@@ -1,0 +1,21 @@
+"""E01 bench — iteration move counts (Lemmas 3.1/3.2).
+
+Times the vectorized iteration sampler and regenerates the E01 table.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments.e01_iteration_moves import run, sample_iterations
+
+
+def test_e01_iteration_sampling_kernel(benchmark, rng):
+    lengths, hit = benchmark(sample_iterations, 128, 20_000, rng)
+    assert lengths.shape == (20_000,)
+    assert hit.shape == (20_000,)
+
+
+def test_e01_report(benchmark):
+    result = benchmark.pedantic(run, args=("smoke",), rounds=1, iterations=1)
+    report(result)

@@ -1,0 +1,17 @@
+"""E02 bench — per-iteration hit probability (Lemma 3.4)."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments.e02_hit_probability import empirical_hit_rate, run
+
+
+def test_e02_hit_rate_kernel(benchmark, rng):
+    rate = benchmark(empirical_hit_rate, 64, (64, 64), 20_000, rng)
+    assert 0.0 <= rate <= 1.0
+
+
+def test_e02_report(benchmark):
+    result = benchmark.pedantic(run, args=("smoke",), rounds=1, iterations=1)
+    report(result)

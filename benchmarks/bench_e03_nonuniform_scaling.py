@@ -1,0 +1,20 @@
+"""E03 bench — Algorithm 1 scaling (Theorem 3.5)."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments.e03_nonuniform_scaling import run
+from repro.sim.fast import fast_algorithm1
+
+
+def test_e03_first_find_kernel(benchmark, rng):
+    outcome = benchmark(
+        fast_algorithm1, 128, 16, (128, 128), rng, 50_000_000
+    )
+    assert outcome.found
+
+
+def test_e03_report(benchmark):
+    result = benchmark.pedantic(run, args=("smoke",), rounds=1, iterations=1)
+    report(result)

@@ -1,0 +1,17 @@
+"""E04 bench — composite coin (Lemma 3.6)."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments.e04_coin import empirical_tails_rate, run
+
+
+def test_e04_tails_rate_kernel(benchmark, rng):
+    rate = benchmark(empirical_tails_rate, 3, 1, 100_000, rng)
+    assert 0.0 <= rate <= 1.0
+
+
+def test_e04_report(benchmark):
+    result = benchmark.pedantic(run, args=("smoke",), rounds=1, iterations=1)
+    report(result)

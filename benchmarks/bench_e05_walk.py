@@ -1,0 +1,24 @@
+"""E05 bench — walk(k, l) length law (Lemma 3.8)."""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import report
+
+from repro.experiments.e05_walk import run
+
+
+def walk_histogram_kernel(rng: np.random.Generator) -> np.ndarray:
+    """The sampling + histogram core of E05 at one (k, l)."""
+    lengths = rng.geometric(2.0**-4, size=200_000) - 1
+    return np.bincount(lengths[lengths <= 16], minlength=17)
+
+
+def test_e05_histogram_kernel(benchmark, rng):
+    histogram = benchmark(walk_histogram_kernel, rng)
+    assert histogram.sum() > 0
+
+
+def test_e05_report(benchmark):
+    result = benchmark.pedantic(run, args=("smoke",), rounds=1, iterations=1)
+    report(result)

@@ -1,0 +1,19 @@
+"""E06 bench — search(k, l) visit probabilities (Lemma 3.9)."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments.e06_square_search import empirical_visit_rates, run
+
+
+def test_e06_visit_rates_kernel(benchmark, rng):
+    rates = benchmark(
+        empirical_visit_rates, 3, 1, [(0, 8), (8, 8), (1, 1)], 100_000, rng
+    )
+    assert len(rates) == 3
+
+
+def test_e06_report(benchmark):
+    result = benchmark.pedantic(run, args=("smoke",), rounds=1, iterations=1)
+    report(result)

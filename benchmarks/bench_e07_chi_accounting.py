@@ -1,0 +1,18 @@
+"""E07 bench — Non-Uniform-Search chi accounting (Theorem 3.7)."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.core.nonuniform import build_nonuniform_automaton
+from repro.experiments.e07_chi_accounting import run
+
+
+def test_e07_automaton_build_kernel(benchmark):
+    machine = benchmark(build_nonuniform_automaton, 4096, 1)
+    assert machine.n_states == 4 * 12 + 7
+
+
+def test_e07_report(benchmark):
+    result = benchmark.pedantic(run, args=("smoke",), rounds=1, iterations=1)
+    report(result)

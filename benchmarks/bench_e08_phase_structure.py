@@ -1,0 +1,17 @@
+"""E08 bench — Algorithm 5 phase structure (Lemmas 3.10/3.12/3.13)."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments.e08_phase_structure import run, sample_phase_moves
+
+
+def test_e08_phase_moves_kernel(benchmark, rng):
+    moves = benchmark(sample_phase_moves, 5, 8, 1, 8, 2_000, rng)
+    assert moves.shape == (2_000,)
+
+
+def test_e08_report(benchmark):
+    result = benchmark.pedantic(run, args=("smoke",), rounds=1, iterations=1)
+    report(result)

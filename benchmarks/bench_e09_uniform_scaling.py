@@ -1,0 +1,21 @@
+"""E09 bench — Algorithm 5 performance (Theorem 3.14)."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.core.uniform import calibrated_K
+from repro.experiments.e09_uniform_scaling import run
+from repro.sim.fast import fast_uniform
+
+
+def test_e09_uniform_first_find_kernel(benchmark, rng):
+    outcome = benchmark(
+        fast_uniform, 8, 1, calibrated_K(1), (32, 32), rng, 50_000_000
+    )
+    assert outcome.found
+
+
+def test_e09_report(benchmark):
+    result = benchmark.pedantic(run, args=("smoke",), rounds=1, iterations=1)
+    report(result)

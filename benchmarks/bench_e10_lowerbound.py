@@ -1,0 +1,26 @@
+"""E10 bench — the lower bound in action (Theorem 4.1)."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments.e10_lowerbound import run
+from repro.lowerbound.colony import simulate_colony
+from repro.markov.random_automata import uniform_walk_automaton
+
+
+def test_e10_colony_kernel(benchmark, rng):
+    result = benchmark(
+        simulate_colony,
+        uniform_walk_automaton(),
+        16,
+        2_000,
+        rng,
+        window_radius=32,
+    )
+    assert result.visited_count() >= 1
+
+
+def test_e10_report(benchmark):
+    result = benchmark.pedantic(run, args=("smoke",), rounds=1, iterations=1)
+    report(result)

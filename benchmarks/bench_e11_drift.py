@@ -1,0 +1,21 @@
+"""E11 bench — drift-line concentration (Corollary 4.10)."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments.e11_drift import run
+from repro.lowerbound.drift import measure_max_deviation
+from repro.markov.random_automata import biased_walk_automaton
+
+
+def test_e11_deviation_kernel(benchmark, rng):
+    machine = biased_walk_automaton([5, 1, 1, 1], ell=3)
+    deviation, line = benchmark(measure_max_deviation, machine, 2_000, rng)
+    assert deviation >= 0.0
+    assert line.drift[1] > 0
+
+
+def test_e11_report(benchmark):
+    result = benchmark.pedantic(run, args=("smoke",), rounds=1, iterations=1)
+    report(result)

@@ -1,0 +1,18 @@
+"""E12 bench — head-to-head baseline comparison."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.baselines.feinerman import fast_feinerman
+from repro.experiments.e12_baselines import run
+
+
+def test_e12_feinerman_kernel(benchmark, rng):
+    outcome = benchmark(fast_feinerman, 8, (32, 32), rng, 10_000_000)
+    assert outcome.found
+
+
+def test_e12_report(benchmark):
+    result = benchmark.pedantic(run, args=("smoke",), rounds=1, iterations=1)
+    report(result)

@@ -1,0 +1,19 @@
+"""E13 bench — the chi/performance frontier (headline claim)."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments.e13_tradeoff_frontier import run
+from repro.lowerbound.coverage import adversarial_target
+from repro.markov.random_automata import uniform_walk_automaton
+
+
+def test_e13_adversary_kernel(benchmark):
+    target = benchmark(adversarial_target, uniform_walk_automaton(), 64)
+    assert max(abs(target[0]), abs(target[1])) <= 64
+
+
+def test_e13_report(benchmark):
+    result = benchmark.pedantic(run, args=("smoke",), rounds=1, iterations=1)
+    report(result)

@@ -1,0 +1,21 @@
+"""E14 bench — b vs l ablation for Algorithm 5 (discussion section)."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.core.uniform import calibrated_K
+from repro.experiments.e14_ablation_ell import run
+from repro.sim.fast import fast_uniform
+
+
+def test_e14_coarse_coin_kernel(benchmark, rng):
+    outcome = benchmark(
+        fast_uniform, 4, 2, calibrated_K(2), (32, 32), rng, 50_000_000
+    )
+    assert outcome.found
+
+
+def test_e14_report(benchmark):
+    result = benchmark.pedantic(run, args=("smoke",), rounds=1, iterations=1)
+    report(result)

@@ -1,0 +1,17 @@
+"""E15 bench — additive-noise robustness (Section 1 motivation)."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments.e15_robustness import realized_composite_stop, run
+
+
+def test_e15_composite_noise_kernel(benchmark, rng):
+    stop = benchmark(realized_composite_stop, 256, 1, 1 / 256, rng)
+    assert 0.0 < stop < 1.0
+
+
+def test_e15_report(benchmark):
+    result = benchmark.pedantic(run, args=("smoke",), rounds=1, iterations=1)
+    report(result)

@@ -1,0 +1,27 @@
+"""E16 bench — Doeblin/Rosenthal mixing envelopes (Corollary 4.6)."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments.e16_mixing import run
+from repro.markov.random_automata import uniform_walk_automaton
+from repro.markov.stationary import stationary_distribution
+
+
+def test_e16_stationary_kernel(benchmark):
+    chain = uniform_walk_automaton().to_markov_chain()
+
+    def solve():
+        from repro.markov.classify import classify_states
+
+        members = sorted(classify_states(chain).recurrent_classes[0])
+        return stationary_distribution(chain, members)
+
+    pi = benchmark(solve)
+    assert abs(pi.sum() - 1.0) < 1e-9
+
+
+def test_e16_report(benchmark):
+    result = benchmark.pedantic(run, args=("smoke",), rounds=1, iterations=1)
+    report(result)

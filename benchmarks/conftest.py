@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_eXX_*.py`` file pairs one pytest-benchmark timing (the
+experiment's computational kernel) with a full smoke-scale run of the
+registered experiment: the run prints the paper-vs-measured table
+(visible with ``-s``) and asserts that every named check passes, so
+``pytest benchmarks/ --benchmark-only`` regenerates and validates the
+entire experiment suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for benchmark kernels."""
+    return np.random.default_rng(20140507)
+
+
+def report(result) -> None:
+    """Print an experiment's table and enforce its checks."""
+    print()
+    print(result.to_markdown())
+    failed = [name for name, ok in result.checks.items() if not ok]
+    assert not failed, f"{result.experiment_id} checks failed: {failed}"

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Foraging colony: the paper's motivating scenario, end to end.
+
+An ant colony must retrieve several food items scattered at unknown
+distances — the central-place-foraging setting the ANTS problem
+abstracts.  Three teams compete on the same food map:
+
+* uniform-search ants (Algorithm 5; know the colony size, not D);
+* doubly uniform ants (know neither D nor n — the [12]-style lift);
+* random-walk ants (chi = 4, the below-threshold regime).
+
+Per team we run successive foraging trips until every item is found
+(or a trip's budget dies), using the multi-target world's union
+semantics for first-find per trip.
+
+Run:  python examples/foraging_colony.py
+"""
+
+from __future__ import annotations
+
+from repro.core.doubly_uniform import DoublyUniformSearch
+from repro.core.uniform import UniformSearch, calibrated_K
+from repro.baselines.random_walk import RandomWalkSearch
+from repro.grid.geometry import chebyshev_norm
+from repro.grid.multi import MultiTargetWorld, forage_until_all_found
+
+N_AGENTS = 5
+SEED = 7
+FOOD_ITEMS = [(3, 2), (-9, 4), (14, -11), (-18, -16)]
+DISTANCE_BOUND = 24
+BUDGET_PER_ITEM = 2_000_000
+
+
+def forage(algorithm_factory, label: str, seed: int) -> None:
+    print(f"--- {label} ---")
+    world = MultiTargetWorld(FOOD_ITEMS, DISTANCE_BOUND)
+    trips = forage_until_all_found(
+        algorithm_factory(),
+        N_AGENTS,
+        world,
+        seed,
+        move_budget_per_item=BUDGET_PER_ITEM,
+    )
+    if trips is None:
+        found = sum(world.discovered.values())
+        print(
+            f"  gave up: {found}/{len(FOOD_ITEMS)} items found before a "
+            f"trip exhausted its {BUDGET_PER_ITEM}-move budget\n"
+        )
+        return
+    for index, moves in enumerate(trips, start=1):
+        print(f"  trip {index}: first item reached after {moves:7d} moves")
+    print(f"  all {len(FOOD_ITEMS)} items retrieved; "
+          f"total first-finder moves: {sum(trips)}\n")
+
+
+def main() -> None:
+    distances = sorted(chebyshev_norm(item) for item in FOOD_ITEMS)
+    print(
+        f"{len(FOOD_ITEMS)} food items at max-norm distances {distances}; "
+        f"{N_AGENTS} ants per team.\n"
+    )
+    forage(
+        lambda: UniformSearch(N_AGENTS, ell=1, K=calibrated_K(1)),
+        "uniform-search ants (know n, not D; Theorem 3.14)",
+        SEED,
+    )
+    forage(
+        lambda: DoublyUniformSearch(ell=1),
+        "doubly uniform ants (know neither D nor n; [12]-style lift)",
+        SEED + 1,
+    )
+    forage(
+        lambda: RandomWalkSearch(),
+        "random-walk ants (chi = 4; Theorem 4.1's regime)",
+        SEED + 2,
+    )
+    print(
+        "Nearby items are found by everyone; the far items separate the "
+        "teams,\nexactly as the D-scaling of the theorems predicts."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Lower-bound demo: watch a small automaton fail, exactly as certified.
+
+Builds a below-threshold agent automaton, prints its Section 4
+certificate (drift lines, predicted coverage, adversarial placement),
+then simulates the colony to the horizon and renders the visited set as
+an ASCII heatmap — drift tubes and all.  The adversarial target sits in
+the untouched region.
+
+Run:  python examples/lowerbound_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lowerbound.certify import certify
+from repro.lowerbound.colony import simulate_colony
+from repro.markov.random_automata import random_bounded_automaton
+from repro.vis.asciiplot import heatmap
+
+DISTANCE = 48
+N_AGENTS = 12
+SEED = 424242
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    automaton = random_bounded_automaton(rng, bits=3, ell=2)
+    print(f"Specimen: {automaton.name} with {automaton.n_states} states\n")
+
+    certificate = certify(automaton, DISTANCE, N_AGENTS)
+    print("Lower-bound certificate (Theorem 4.1 applied to this machine):")
+    for line in certificate.summary_lines():
+        print("  " + line)
+
+    print("\nSimulating the colony to the horizon...")
+    result = simulate_colony(
+        automaton,
+        N_AGENTS,
+        certificate.horizon,
+        rng,
+        window_radius=DISTANCE,
+        target=certificate.adversarial_placement,
+    )
+    print(
+        f"  visited {result.visited_count()} window cells "
+        f"({result.coverage_fraction:.2%} of {(2 * DISTANCE + 1) ** 2}); "
+        f"adversarial target found: {result.found}"
+    )
+
+    print("\nCoverage map (origin at center; denser glyph = visited):")
+    print(heatmap(result.visited.astype(float), max_side=60))
+    x, y = certificate.adversarial_placement
+    print(f"\nThe adversarial target sits at {certificate.adversarial_placement} "
+          f"— {'INSIDE' if result.found else 'outside'} the visited region, as "
+          f"the certificate predicted.")
+
+
+if __name__ == "__main__":
+    main()

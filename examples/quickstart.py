@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: sixty seconds with the ANTS search library.
+
+Builds a small colony, runs the paper's three algorithms against the
+same hidden target, and prints each one's move count and selection
+complexity — the two axes of the paper's trade-off.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Algorithm1,
+    EngineConfig,
+    GridWorld,
+    NonUniformSearch,
+    SearchEngine,
+    UniformSearch,
+    chi_threshold,
+)
+from repro.core.uniform import calibrated_K
+
+DISTANCE = 16  # the (known or unknown) bound D on the target's distance
+N_AGENTS = 4
+TARGET = (11, -7)  # max-norm distance 11 <= D
+SEED = 2014
+
+
+def main() -> None:
+    print(f"Target hidden at {TARGET}; D = {DISTANCE}; {N_AGENTS} agents.")
+    print(f"chi threshold log2 log2 D = {chi_threshold(DISTANCE):.2f}\n")
+
+    algorithms = [
+        ("Algorithm 1 (knows D, fine 1/D coins)", Algorithm1(DISTANCE)),
+        ("Non-Uniform-Search (knows D, coarse coins)", NonUniformSearch(DISTANCE, ell=1)),
+        (
+            "Uniform search (does not know D)",
+            UniformSearch(N_AGENTS, ell=1, K=calibrated_K(1)),
+        ),
+    ]
+
+    engine = SearchEngine(EngineConfig(move_budget=5_000_000))
+    for label, algorithm in algorithms:
+        world = GridWorld(target=TARGET, distance_bound=DISTANCE)
+        outcome = engine.run(algorithm, N_AGENTS, world, rng=SEED)
+        complexity = algorithm.selection_complexity()
+        if complexity is None and isinstance(algorithm, UniformSearch):
+            complexity = algorithm.selection_complexity_for_distance(DISTANCE)
+        chi_text = f"chi = {complexity.chi:5.2f}" if complexity else "chi = n/a"
+        assert outcome.found, "budget should be ample at this scale"
+        print(
+            f"{label:48s} {chi_text}   "
+            f"M_moves = {outcome.m_moves:6d} (agent {outcome.finder})"
+        )
+
+    print(
+        "\nAll three find the target; the point of the paper is that the "
+        "middle one does it\nwith chi = log log D + O(1) — and Section 4 "
+        "proves nothing much smaller can."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Trade-off explorer: chart chi against search performance.
+
+Sweeps a spectrum of strategies at one (D, n), measures the probability
+of finding a hard target within the lower bound's horizon D^{1.75}, and
+renders the frontier as an ASCII scatter: selection complexity on the
+x-axis, horizon success rate on the y-axis.  The cliff at
+chi ~ log log D is the paper's headline.
+
+Run:  python examples/tradeoff_explorer.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.feinerman import fast_feinerman
+from repro.core.algorithm1 import Algorithm1
+from repro.core.nonuniform import NonUniformSearch
+from repro.core.selection import chi_threshold
+from repro.lowerbound.colony import simulate_colony
+from repro.lowerbound.coverage import adversarial_target
+from repro.lowerbound.theory import horizon_moves
+from repro.markov.random_automata import (
+    biased_walk_automaton,
+    uniform_walk_automaton,
+)
+from repro.sim.fast import fast_algorithm1, fast_nonuniform
+from repro.vis.asciiplot import scatter_chart
+
+DISTANCE = 32
+TRIALS = 15
+SEED = 99
+
+
+def main() -> None:
+    horizon = horizon_moves(DISTANCE, 0.25)
+    n_agents = int(np.ceil(256 * DISTANCE**0.25))
+    corner = (DISTANCE, DISTANCE)
+    print(
+        f"D = {DISTANCE}, horizon = D^1.75 = {horizon} moves/agent, "
+        f"n = {n_agents} agents, {TRIALS} trials per strategy."
+    )
+    print(f"chi threshold log2 log2 D = {chi_threshold(DISTANCE):.2f}\n")
+
+    points = []
+    labels = []
+
+    def record(name: str, chi: float, rate: float) -> None:
+        print(f"  {name:24s} chi = {chi:6.2f}   P[find <= horizon] = {rate:.2f}")
+        points.append((chi, rate))
+        labels.append(name[0].upper())
+
+    for name, automaton in [
+        ("uniform-walk", uniform_walk_automaton()),
+        ("biased-walk", biased_walk_automaton([3, 1, 2, 2], ell=3)),
+    ]:
+        target = adversarial_target(automaton, DISTANCE)
+        finds = 0
+        for trial in range(TRIALS):
+            rng = np.random.default_rng(SEED + trial)
+            result = simulate_colony(
+                automaton, n_agents, horizon, rng,
+                window_radius=DISTANCE, target=target,
+            )
+            finds += result.found
+        record(name, automaton.selection_complexity().chi, finds / TRIALS)
+
+    for name, chi, simulate in [
+        (
+            "algorithm1",
+            Algorithm1(DISTANCE).selection_complexity().chi,
+            lambda rng: fast_algorithm1(DISTANCE, n_agents, corner, rng, horizon),
+        ),
+        (
+            "nonuniform(l=1)",
+            NonUniformSearch(DISTANCE, 1).selection_complexity().chi,
+            lambda rng: fast_nonuniform(DISTANCE, 1, n_agents, corner, rng, horizon),
+        ),
+        (
+            "feinerman",
+            30.0,  # Theta(log D); see FeinermanSearch.selection_complexity_for_distance
+            lambda rng: fast_feinerman(n_agents, corner, rng, horizon),
+        ),
+    ]:
+        finds = 0
+        for trial in range(TRIALS):
+            rng = np.random.default_rng(SEED + 1000 + trial)
+            finds += simulate(rng).found
+        record(name, chi, finds / TRIALS)
+
+    print()
+    print(
+        scatter_chart(
+            points,
+            labels=labels,
+            title="chi (x) vs horizon success rate (y) — note the cliff",
+            width=60,
+            height=14,
+        )
+    )
+    print(
+        "\nU = uniform-walk, B = biased-walk (below threshold, ~0 success);"
+        "\nA = algorithm1, N = nonuniform, F = feinerman (above, ~1 success)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Merge regenerated experiment sections into EXPERIMENTS.md.
+
+Used when a subset of experiments is re-run (``--only E03,E14``):
+replaces matching ``### EXX`` sections in the main report with the
+fresh ones and appends sections the main report lacks, preserving
+experiment-id order.
+
+Usage: python scripts/merge_experiment_sections.py EXPERIMENTS.md patch.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from typing import Dict, List, Tuple
+
+_SECTION_RE = re.compile(r"^### (E\d+) — ", flags=re.MULTILINE)
+
+
+def split_report(text: str) -> Tuple[str, Dict[str, str], List[str]]:
+    """Split a report into (header, sections-by-id, id-order)."""
+    matches = list(_SECTION_RE.finditer(text))
+    if not matches:
+        return text, {}, []
+    header = text[: matches[0].start()]
+    sections: Dict[str, str] = {}
+    order: List[str] = []
+    for index, match in enumerate(matches):
+        end = matches[index + 1].start() if index + 1 < len(matches) else len(text)
+        sections[match.group(1)] = text[match.start(): end]
+        order.append(match.group(1))
+    return header, sections, order
+
+
+def merge(main_text: str, patch_text: str) -> str:
+    header, sections, order = split_report(main_text)
+    _, patch_sections, _ = split_report(patch_text)
+    for key, body in patch_sections.items():
+        if key not in sections:
+            order.append(key)
+        sections[key] = body
+    order = sorted(order)
+    merged = header + "".join(
+        sections[key] if sections[key].endswith("\n") else sections[key] + "\n"
+        for key in order
+    )
+    return merged
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    main_path, patch_path = argv[1], argv[2]
+    with open(main_path, encoding="utf-8") as handle:
+        main_text = handle.read()
+    with open(patch_path, encoding="utf-8") as handle:
+        patch_text = handle.read()
+    with open(main_path, "w", encoding="utf-8") as handle:
+        handle.write(merge(main_text, patch_text))
+    print(f"merged {patch_path} into {main_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (offline environments without `wheel`).
+
+All metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-build-isolation`` on toolchains that lack the
+``wheel`` package needed for PEP-660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

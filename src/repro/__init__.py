@@ -1,0 +1,97 @@
+"""repro — reproduction of Lenzen, Lynch, Newport & Radeva (PODC 2014).
+
+"Trade-offs between Selection Complexity and Performance when Searching
+the Plane without Communication" studies ``n`` non-communicating
+probabilistic finite automata searching the grid for a target at
+unknown distance ``D``, trading the selection-complexity metric
+``chi(A) = b + log2(l)`` against the achievable speed-up.
+
+Public API highlights
+---------------------
+
+Algorithms (``repro.core``, re-exported here):
+
+* :class:`~repro.core.algorithm1.Algorithm1` — knows ``D``, optimal
+  ``O(D^2/n + D)`` expected moves (Theorem 3.5);
+* :class:`~repro.core.nonuniform.NonUniformSearch` — knows ``D``, coarse
+  coins only, ``chi = log log D + O(1)`` (Theorem 3.7);
+* :class:`~repro.core.uniform.UniformSearch` — uniform in ``D``,
+  ``(D^2/n + D) * 2^{O(l)}`` with ``chi <= 3 log log D + O(1)``
+  (Theorem 3.14).
+
+Substrates: the grid world (``repro.grid``), Markov-chain analysis
+(``repro.markov``), the simulation engines (``repro.sim``), baseline
+algorithms (``repro.baselines``) and the lower-bound machinery
+(``repro.lowerbound``).
+
+Quickstart
+----------
+
+>>> from repro import UniformSearch, GridWorld, SearchEngine, EngineConfig
+>>> world = GridWorld(target=(5, 3), distance_bound=8)
+>>> engine = SearchEngine(EngineConfig(move_budget=50_000))
+>>> outcome = engine.run(UniformSearch(n_agents=4), 4, world, rng=7)
+>>> outcome.found
+True
+"""
+
+from repro.core import (
+    Action,
+    Algorithm1,
+    Automaton,
+    AutomatonAlgorithm,
+    CompositeCoin,
+    DoublyUniformSearch,
+    MemoryMeter,
+    NonUniformSearch,
+    SearchAlgorithm,
+    SelectionComplexity,
+    UniformSearch,
+    calibrated_K,
+    chi_threshold,
+)
+from repro.grid import (
+    CornerTarget,
+    FixedTarget,
+    GridWorld,
+    MultiTargetWorld,
+    RingTarget,
+    UniformSquareTarget,
+)
+from repro.sim import (
+    EngineConfig,
+    SearchEngine,
+    SearchOutcome,
+    spawn_generators,
+    speedup,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Action",
+    "Algorithm1",
+    "Automaton",
+    "AutomatonAlgorithm",
+    "CompositeCoin",
+    "DoublyUniformSearch",
+    "MemoryMeter",
+    "NonUniformSearch",
+    "SearchAlgorithm",
+    "SelectionComplexity",
+    "UniformSearch",
+    "calibrated_K",
+    "chi_threshold",
+    "GridWorld",
+    "MultiTargetWorld",
+    "FixedTarget",
+    "CornerTarget",
+    "UniformSquareTarget",
+    "RingTarget",
+    "EngineConfig",
+    "SearchEngine",
+    "SearchOutcome",
+    "spawn_generators",
+    "speedup",
+    "__version__",
+]

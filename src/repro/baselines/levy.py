@@ -1,0 +1,72 @@
+"""Levy walk: power-law flight lengths (biological-foraging comparator).
+
+Levy flights are the standard random-search model in the movement-
+ecology literature the paper's introduction gestures at: straight
+flights whose lengths follow a heavy-tailed law ``P[L >= x] ~
+x^{-(alpha-1)}``.  They are *not* finite-state machines (a flight's
+remaining length must be counted), so they sit outside the paper's
+model; the trade-off experiment includes them purely as a familiar
+reference point on the performance axis.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.actions import Action
+from repro.core.base import SearchAlgorithm
+from repro.errors import InvalidParameterError
+
+_MOVES = (Action.UP, Action.DOWN, Action.LEFT, Action.RIGHT)
+
+
+def sample_flight_length(
+    rng: np.random.Generator, alpha: float, max_length: int
+) -> int:
+    """Pareto-tailed integer flight length via inverse transform.
+
+    ``P[L >= x] = x^{-(alpha - 1)}`` for ``x >= 1``, truncated at
+    ``max_length`` (truncation keeps simulations finite; ecology models
+    do the same with a cutoff scale).
+    """
+    if alpha <= 1.0:
+        raise InvalidParameterError(f"alpha must be > 1, got {alpha}")
+    if max_length < 1:
+        raise InvalidParameterError(f"max_length must be >= 1, got {max_length}")
+    u = rng.random()
+    length = int(np.floor(u ** (-1.0 / (alpha - 1.0))))
+    return max(1, min(length, max_length))
+
+
+class LevyWalk(SearchAlgorithm):
+    """Repeated flights: uniform direction, power-law length.
+
+    ``alpha = 2`` is the classic "optimal foraging" exponent; larger
+    values approach diffusive (random-walk) behaviour, smaller ones
+    ballistic behaviour.
+    """
+
+    def __init__(self, alpha: float = 2.0, max_flight: int = 1 << 20) -> None:
+        if alpha <= 1.0:
+            raise InvalidParameterError(f"alpha must be > 1, got {alpha}")
+        if max_flight < 1:
+            raise InvalidParameterError(f"max_flight must be >= 1, got {max_flight}")
+        self._alpha = alpha
+        self._max_flight = max_flight
+
+    @property
+    def alpha(self) -> float:
+        """The tail exponent."""
+        return self._alpha
+
+    def process(self, rng: np.random.Generator) -> Iterator[Action]:
+        while True:
+            direction = _MOVES[int(rng.integers(0, 4))]
+            length = sample_flight_length(rng, self._alpha, self._max_flight)
+            for _ in range(length):
+                yield direction
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LevyWalk(alpha={self._alpha})"

@@ -1,0 +1,40 @@
+"""Uniform random walks: the canonical below-threshold baseline.
+
+A colony of uniform random walkers achieves speed-up at most
+``min{log n, D}`` (Alon et al., the paper's reference [3]) — the
+paper's lower bound generalizes exactly this behaviour to *every*
+sufficiently small automaton.  The walk is a 5-state machine with
+``chi = 3 + log2(2) = 4``, far below ``log log D`` for any realistic
+``D``, so experiment E10 uses it as the first below-threshold
+specimen.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.actions import Action
+from repro.core.automaton import Automaton
+from repro.core.base import SearchAlgorithm
+from repro.core.selection import SelectionComplexity
+
+_MOVES = (Action.UP, Action.DOWN, Action.LEFT, Action.RIGHT)
+
+
+class RandomWalkSearch(SearchAlgorithm):
+    """Each step: move in a uniformly random direction. No resets."""
+
+    def process(self, rng: np.random.Generator) -> Iterator[Action]:
+        while True:
+            yield _MOVES[int(rng.integers(0, 4))]
+
+    def automaton(self) -> Automaton:
+        from repro.markov.random_automata import uniform_walk_automaton
+
+        return uniform_walk_automaton()
+
+    def selection_complexity(self) -> SelectionComplexity:
+        """Five states (origin + four directions), probabilities 1/4."""
+        return self.automaton().selection_complexity()

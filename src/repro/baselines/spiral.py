@@ -1,0 +1,109 @@
+"""Square-spiral search: the deterministic single-agent optimum.
+
+A square spiral visits every cell at Chebyshev distance ``r`` within
+``(2r+1)^2 - 1`` moves, so a single agent finds any target at distance
+``D`` within ``O(D^2)`` moves — optimal for one agent.  The spiral is
+*not* a finite-state strategy (it must count up to the current radius),
+which is exactly why the paper's finite automata cannot just "spiral".
+
+The closed-form :func:`spiral_index` (cell -> position along the
+spiral) powers O(1) hit tests in the Feinerman baseline's fast
+simulator; :func:`spiral_point` is its inverse.  Both are
+property-tested as a bijection against the generator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.core.actions import ACTION_FOR_DIRECTION, Action
+from repro.core.base import SearchAlgorithm
+from repro.errors import InvalidParameterError
+from repro.grid.geometry import Direction, Point
+
+
+def spiral_index(offset: Point) -> int:
+    """Position of ``offset`` along the counterclockwise unit spiral.
+
+    The spiral starts at index 0 on ``(0, 0)`` and proceeds
+    right/up/left/down with segment lengths 1, 1, 2, 2, 3, 3, ...;
+    ring ``r`` (cells at Chebyshev norm ``r``) occupies indices
+    ``(2r-1)^2 .. (2r+1)^2 - 1``, entered at ``(r, -r+1)``.
+    """
+    dx, dy = int(offset[0]), int(offset[1])
+    r = max(abs(dx), abs(dy))
+    if r == 0:
+        return 0
+    base = (2 * r - 1) ** 2
+    if dx == r and dy > -r:
+        return base + (dy + r - 1)
+    if dy == r:
+        return base + 2 * r + (r - 1 - dx)
+    if dx == -r:
+        return base + 4 * r + (r - 1 - dy)
+    return base + 6 * r + (dx + r - 1)
+
+
+def spiral_point(index: int) -> Point:
+    """The cell at position ``index`` along the spiral (inverse of above)."""
+    if index < 0:
+        raise InvalidParameterError(f"index must be >= 0, got {index}")
+    if index == 0:
+        return (0, 0)
+    r = (math.isqrt(index) + 1) // 2
+    base = (2 * r - 1) ** 2
+    offset = index - base
+    side, position = divmod(offset, 2 * r)
+    if side == 0:  # right edge, moving up from (r, -r+1)
+        return (r, -r + 1 + position)
+    if side == 1:  # top edge, moving left from (r-1, r)
+        return (r - 1 - position, r)
+    if side == 2:  # left edge, moving down from (-r, r-1)
+        return (-r, r - 1 - position)
+    return (-r + 1 + position, -r)  # bottom edge, moving right
+
+
+def spiral_points(start: int = 0) -> Iterator[Point]:
+    """Yield spiral cells from position ``start`` onward (infinite)."""
+    index = start
+    while True:
+        yield spiral_point(index)
+        index += 1
+
+
+def spiral_moves(start: int = 0) -> Iterator[Action]:
+    """Yield the unit moves between consecutive spiral cells (infinite)."""
+    previous = spiral_point(start)
+    for current in spiral_points(start + 1):
+        dx = current[0] - previous[0]
+        dy = current[1] - previous[1]
+        yield ACTION_FOR_DIRECTION[_DIRECTION_BY_VECTOR[(dx, dy)]]
+        previous = current
+
+
+_DIRECTION_BY_VECTOR = {direction.value: direction for direction in Direction}
+
+
+class SpiralSearch(SearchAlgorithm):
+    """Deterministic square-spiral search from the origin.
+
+    Finds a target at Chebyshev distance ``r`` after at most
+    ``(2r+1)^2 - 1`` moves — the single-agent optimum up to constants.
+    Not a finite automaton: the spiral's turn schedule requires
+    unbounded counting, so :meth:`selection_complexity` returns ``None``
+    and the class serves purely as a performance reference.
+    """
+
+    def process(self, rng: np.random.Generator) -> Iterator[Action]:
+        return spiral_moves()
+
+    def selection_complexity(self) -> Optional[object]:
+        return None
+
+    @staticmethod
+    def moves_to_find(target: Point) -> int:
+        """Closed-form ``M_moves`` for the spiral: the target's index."""
+        return spiral_index(target)

@@ -1,0 +1,216 @@
+"""Command-line interface: ``python -m repro`` / ``repro-ants``.
+
+Subcommands::
+
+    run        simulate one search and print the outcome
+    certify    print the lower-bound certificate for an automaton family
+    coverage   simulate a below-threshold colony and render its coverage
+    experiment run one registered experiment (E01..E14)
+
+Examples::
+
+    repro-ants run --algorithm uniform --distance 64 --agents 8
+    repro-ants certify --family random --bits 3 --ell 2 --distance 128
+    repro-ants coverage --family uniform-walk --distance 48 --agents 16
+    repro-ants experiment E04
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core.algorithm1 import Algorithm1
+from repro.core.nonuniform import NonUniformSearch
+from repro.core.uniform import UniformSearch, calibrated_K
+from repro.baselines.feinerman import FeinermanSearch
+from repro.baselines.levy import LevyWalk
+from repro.baselines.random_walk import RandomWalkSearch
+from repro.baselines.spiral import SpiralSearch
+from repro.errors import ReproError
+from repro.grid.world import GridWorld
+from repro.sim.engine import EngineConfig, SearchEngine
+
+
+def _build_algorithm(name: str, distance: int, n_agents: int, ell: int):
+    if name == "algorithm1":
+        return Algorithm1(distance)
+    if name == "nonuniform":
+        return NonUniformSearch(distance, ell)
+    if name == "uniform":
+        return UniformSearch(n_agents, ell, calibrated_K(ell))
+    if name == "random-walk":
+        return RandomWalkSearch()
+    if name == "spiral":
+        return SpiralSearch()
+    if name == "feinerman":
+        return FeinermanSearch(n_agents)
+    if name == "levy":
+        return LevyWalk()
+    raise ReproError(f"unknown algorithm {name!r}")
+
+
+def _build_automaton(family: str, bits: int, ell: int, seed: int):
+    from repro.markov.random_automata import (
+        biased_walk_automaton,
+        random_bounded_automaton,
+        uniform_walk_automaton,
+    )
+
+    if family == "uniform-walk":
+        return uniform_walk_automaton()
+    if family == "biased-walk":
+        return biased_walk_automaton([3, 1, 2, 2], ell=max(2, ell))
+    if family == "random":
+        rng = np.random.default_rng(seed)
+        return random_bounded_automaton(rng, bits=bits, ell=ell)
+    raise ReproError(f"unknown automaton family {family!r}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    algorithm = _build_algorithm(args.algorithm, args.distance, args.agents, args.ell)
+    target = (
+        tuple(args.target)
+        if args.target
+        else (args.distance, args.distance)
+    )
+    world = GridWorld(target=target, distance_bound=args.distance)
+    engine = SearchEngine(EngineConfig(move_budget=args.budget))
+    outcome = engine.run(algorithm, args.agents, world, rng=args.seed)
+    print(f"algorithm : {algorithm.name}")
+    print(f"target    : {target} (D = {args.distance})")
+    complexity = algorithm.selection_complexity()
+    if complexity is not None:
+        print(f"chi       : {complexity}")
+    if outcome.found:
+        print(f"found     : yes — M_moves = {outcome.m_moves} "
+              f"(agent {outcome.finder}, steps {outcome.m_steps})")
+    else:
+        print(f"found     : no within budget {args.budget}")
+    return 0 if outcome.found else 1
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    from repro.lowerbound.certify import certify
+
+    automaton = _build_automaton(args.family, args.bits, args.ell, args.seed)
+    certificate = certify(automaton, args.distance, args.agents)
+    print(f"automaton : {automaton.name} ({automaton.n_states} states)")
+    for line in certificate.summary_lines():
+        print(line)
+    return 0
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    from repro.lowerbound.colony import simulate_colony
+    from repro.lowerbound.theory import horizon_moves
+    from repro.vis.asciiplot import heatmap
+
+    automaton = _build_automaton(args.family, args.bits, args.ell, args.seed)
+    rounds = args.rounds or horizon_moves(args.distance, 0.5)
+    rng = np.random.default_rng(args.seed)
+    result = simulate_colony(
+        automaton, args.agents, rounds, rng, window_radius=args.distance
+    )
+    print(
+        f"{automaton.name}: {args.agents} agents, {rounds} rounds -> "
+        f"{result.visited_count()} cells visited "
+        f"({result.coverage_fraction:.2%} of the window)"
+    )
+    print(heatmap(result.visited.astype(float), title="visited cells"))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import REGISTRY
+
+    key = args.id.upper()
+    if key not in REGISTRY:
+        print(f"unknown experiment {key!r}; known: {', '.join(sorted(REGISTRY))}",
+              file=sys.stderr)
+        return 2
+    result = REGISTRY[key](scale=args.scale, seed=args.seed)
+    print(result.to_markdown())
+    return 0 if result.all_passed else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ants",
+        description="ANTS selection-complexity reproduction (PODC 2014)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="simulate one search")
+    run_parser.add_argument(
+        "--algorithm",
+        default="uniform",
+        choices=(
+            "algorithm1", "nonuniform", "uniform", "random-walk",
+            "spiral", "feinerman", "levy",
+        ),
+    )
+    run_parser.add_argument("--distance", type=int, default=32)
+    run_parser.add_argument("--agents", type=int, default=4)
+    run_parser.add_argument("--ell", type=int, default=1)
+    run_parser.add_argument("--budget", type=int, default=10_000_000)
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--target", type=int, nargs=2, metavar=("X", "Y"), default=None
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    certify_parser = sub.add_parser(
+        "certify", help="lower-bound certificate for an automaton"
+    )
+    certify_parser.add_argument(
+        "--family", default="random",
+        choices=("random", "uniform-walk", "biased-walk"),
+    )
+    certify_parser.add_argument("--bits", type=int, default=3)
+    certify_parser.add_argument("--ell", type=int, default=2)
+    certify_parser.add_argument("--distance", type=int, default=64)
+    certify_parser.add_argument("--agents", type=int, default=8)
+    certify_parser.add_argument("--seed", type=int, default=0)
+    certify_parser.set_defaults(func=_cmd_certify)
+
+    coverage_parser = sub.add_parser(
+        "coverage", help="simulate a colony and render coverage"
+    )
+    coverage_parser.add_argument(
+        "--family", default="uniform-walk",
+        choices=("random", "uniform-walk", "biased-walk"),
+    )
+    coverage_parser.add_argument("--bits", type=int, default=3)
+    coverage_parser.add_argument("--ell", type=int, default=2)
+    coverage_parser.add_argument("--distance", type=int, default=48)
+    coverage_parser.add_argument("--agents", type=int, default=16)
+    coverage_parser.add_argument("--rounds", type=int, default=0)
+    coverage_parser.add_argument("--seed", type=int, default=0)
+    coverage_parser.set_defaults(func=_cmd_coverage)
+
+    experiment_parser = sub.add_parser(
+        "experiment", help="run one registered experiment"
+    )
+    experiment_parser.add_argument("id", help="experiment id, e.g. E04")
+    experiment_parser.add_argument("--scale", default="smoke", choices=("smoke", "paper"))
+    experiment_parser.add_argument("--seed", type=int, default=20140507)
+    experiment_parser.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - direct module execution
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""The paper's primary contribution: search algorithms and the chi metric.
+
+This subpackage contains faithful implementations of every algorithm in
+Section 3 of the paper, the selection-complexity metric ``chi`` of
+Section 2, and the closed-form theoretical predictions that the
+benchmark experiments compare against.
+
+Every algorithm is available in two equivalent forms:
+
+* a *process* — a Python generator yielding :class:`~repro.core.actions.Action`
+  values, mirroring the paper's pseudocode and driven by the faithful
+  engine in :mod:`repro.sim.engine`;
+* an *automaton* — an explicit probabilistic finite state machine
+  (:class:`~repro.core.automaton.Automaton`), mirroring the paper's
+  formal model and enabling mechanical ``chi`` accounting and the
+  Markov-chain analysis of Section 4.
+"""
+
+from repro.core.actions import Action, ACTION_VECTORS, MOVE_ACTIONS
+from repro.core.automaton import Automaton, AutomatonAlgorithm
+from repro.core.base import SearchAlgorithm
+from repro.core.coin import CompositeCoin, flip_base_coin
+from repro.core.selection import (
+    MemoryMeter,
+    SelectionComplexity,
+    chi_threshold,
+    is_below_threshold,
+)
+from repro.core.algorithm1 import Algorithm1, build_algorithm1_automaton
+from repro.core.doubly_uniform import DoublyUniformSearch
+from repro.core.nonuniform import NonUniformSearch
+from repro.core.walk import walk_process
+from repro.core.square_search import search_process
+from repro.core.uniform import UniformSearch, calibrated_K
+from repro.core import theory
+
+__all__ = [
+    "Action",
+    "ACTION_VECTORS",
+    "MOVE_ACTIONS",
+    "Automaton",
+    "AutomatonAlgorithm",
+    "SearchAlgorithm",
+    "CompositeCoin",
+    "flip_base_coin",
+    "MemoryMeter",
+    "SelectionComplexity",
+    "chi_threshold",
+    "is_below_threshold",
+    "Algorithm1",
+    "build_algorithm1_automaton",
+    "DoublyUniformSearch",
+    "NonUniformSearch",
+    "walk_process",
+    "search_process",
+    "UniformSearch",
+    "calibrated_K",
+    "theory",
+]

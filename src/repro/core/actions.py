@@ -1,0 +1,67 @@
+"""The action alphabet of the labeling function ``M`` (paper, Section 2).
+
+The model labels every automaton state with one of six actions:
+``up/down/left/right`` (grid moves), ``origin`` (oracle-assisted return
+to the origin) and ``none`` (internal computation, no grid effect).
+A *move* is a step whose state is labeled with one of the four
+directions; ``M_moves`` counts only those.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, Tuple
+
+from repro.grid.geometry import Direction
+
+
+class Action(Enum):
+    """One grid action, the codomain of the labeling function ``M``."""
+
+    UP = "up"
+    DOWN = "down"
+    LEFT = "left"
+    RIGHT = "right"
+    ORIGIN = "origin"
+    NONE = "none"
+
+    @property
+    def is_move(self) -> bool:
+        """True iff this action is counted by the ``M_moves`` metric."""
+        return self in MOVE_ACTIONS
+
+    @property
+    def direction(self) -> Direction:
+        """The :class:`Direction` of a move action.
+
+        Raises :class:`ValueError` for ``ORIGIN``/``NONE``, which do not
+        correspond to a direction.
+        """
+        try:
+            return _ACTION_DIRECTIONS[self]
+        except KeyError:
+            raise ValueError(f"{self} is not a move action") from None
+
+
+_ACTION_DIRECTIONS: Dict[Action, Direction] = {
+    Action.UP: Direction.UP,
+    Action.DOWN: Direction.DOWN,
+    Action.LEFT: Direction.LEFT,
+    Action.RIGHT: Direction.RIGHT,
+}
+
+MOVE_ACTIONS = frozenset(_ACTION_DIRECTIONS)
+
+ACTION_VECTORS: Dict[Action, Tuple[int, int]] = {
+    Action.UP: (0, 1),
+    Action.DOWN: (0, -1),
+    Action.LEFT: (-1, 0),
+    Action.RIGHT: (1, 0),
+    Action.ORIGIN: (0, 0),
+    Action.NONE: (0, 0),
+}
+"""Displacement applied by each action (ORIGIN teleports; see engine)."""
+
+ACTION_FOR_DIRECTION: Dict[Direction, Action] = {
+    direction: action for action, direction in _ACTION_DIRECTIONS.items()
+}

@@ -1,0 +1,137 @@
+"""Algorithm 1: the non-uniform search with direct ``1/D`` coins.
+
+Each iteration: pick a vertical direction fairly, walk a
+``Geometric(1/D) - 1`` number of steps, pick a horizontal direction
+fairly, walk again, return to the origin.  Theorem 3.5 shows ``n``
+copies find any target within max-norm distance ``D`` in expected
+``O(D^2/n + D)`` moves.
+
+The module provides both execution forms:
+
+* :class:`Algorithm1` — the generator process matching the pseudocode;
+* :func:`build_algorithm1_automaton` — the explicit five-state machine
+  from the paper's figure (states ``origin/up/down/left/right``), whose
+  three-bit encoding the paper quotes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.actions import Action
+from repro.core.automaton import Automaton
+from repro.core.base import SearchAlgorithm
+from repro.core.selection import MemoryMeter, SelectionComplexity
+from repro.errors import InvalidParameterError
+
+
+class Algorithm1(SearchAlgorithm):
+    """The paper's Algorithm 1 (knows ``D``; probabilities ``1/D``).
+
+    Parameters
+    ----------
+    distance:
+        The known distance bound ``D``; must be >= 2 (the paper treats
+        ``D in {0, 1}`` separately as trivial).
+    """
+
+    def __init__(self, distance: int) -> None:
+        if distance < 2:
+            raise InvalidParameterError(f"distance must be >= 2, got {distance}")
+        self._distance = distance
+
+    @property
+    def distance(self) -> int:
+        """The known distance bound ``D``."""
+        return self._distance
+
+    @property
+    def stop_probability(self) -> float:
+        """Per-move stop probability of each walk: ``1/D``."""
+        return 1.0 / self._distance
+
+    def process(self, rng: np.random.Generator) -> Iterator[Action]:
+        stop = self.stop_probability
+        while True:
+            vertical = Action.UP if rng.random() < 0.5 else Action.DOWN
+            while rng.random() >= stop:  # coin C_{1/D} shows heads
+                yield vertical
+            horizontal = Action.LEFT if rng.random() < 0.5 else Action.RIGHT
+            while rng.random() >= stop:
+                yield horizontal
+            yield Action.ORIGIN
+
+    def selection_complexity(self) -> SelectionComplexity:
+        """Mechanical chi of the five-state machine: ``b=3, l~log2 D``.
+
+        Note the folded automaton's finest probability is
+        ``1/(2D) * (1 - 1/D)``; the paper quotes ``l = log D`` because
+        the algorithm only *uses* the coins ``C_{1/2}`` and ``C_{1/D}``.
+        We report the automaton's exact accounting.
+        """
+        return build_algorithm1_automaton(self._distance).selection_complexity()
+
+    def memory_meter(self) -> MemoryMeter:
+        """Declared layout: a single five-valued control register."""
+        return MemoryMeter().declare("control", 5)
+
+    def automaton(self) -> Automaton:
+        return build_algorithm1_automaton(self._distance)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Algorithm1(distance={self._distance})"
+
+
+def build_algorithm1_automaton(distance: int) -> Automaton:
+    """The explicit five-state machine from the paper's figure.
+
+    States (in index order): ``origin, up, down, left, right``; the
+    labeling function matches the state names.  Transition
+    probabilities fold the fair direction choices and the geometric
+    stopping rule of the walks:
+
+    * ``origin -> up/down``: ``(1/2)(1 - 1/D)`` each — a vertical walk
+      starts and takes its first move;
+    * ``origin -> left/right``: ``(1/(2D))(1 - 1/D)`` each — the
+      vertical walk halts immediately (probability ``1/D``) and the
+      horizontal walk takes its first move;
+    * ``origin -> origin``: ``1/D^2`` — both walks halt immediately;
+    * ``up -> up`` (and ``down -> down``): ``1 - 1/D`` — the vertical
+      walk continues;
+    * ``up -> left/right``: ``(1/(2D))(1 - 1/D)`` each; ``up -> origin``:
+      ``1/D^2`` (symmetrically for ``down``);
+    * ``left -> left`` / ``right -> right``: ``1 - 1/D``; ``left/right
+      -> origin``: ``1/D``.
+    """
+    if distance < 2:
+        raise InvalidParameterError(f"distance must be >= 2, got {distance}")
+    d = float(distance)
+    stop = 1.0 / d
+    go = 1.0 - stop
+
+    origin, up, down, left, right = range(5)
+    matrix = np.zeros((5, 5), dtype=float)
+
+    # Leaving the origin: vertical walk first.
+    matrix[origin, up] = 0.5 * go
+    matrix[origin, down] = 0.5 * go
+    matrix[origin, left] = 0.5 * stop * go
+    matrix[origin, right] = 0.5 * stop * go
+    matrix[origin, origin] = stop * stop
+
+    for vertical in (up, down):
+        matrix[vertical, vertical] = go
+        matrix[vertical, left] = 0.5 * stop * go
+        matrix[vertical, right] = 0.5 * stop * go
+        matrix[vertical, origin] = stop * stop
+
+    for horizontal in (left, right):
+        matrix[horizontal, horizontal] = go
+        matrix[horizontal, origin] = stop
+
+    labels = [Action.ORIGIN, Action.UP, Action.DOWN, Action.LEFT, Action.RIGHT]
+    return Automaton(
+        matrix, labels, start=origin, name=f"algorithm1(D={distance})"
+    )

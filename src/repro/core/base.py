@@ -1,0 +1,63 @@
+"""Common interface of all search algorithms in this repository.
+
+A search algorithm is anything that can produce a fresh agent *process*
+— an infinite generator of :class:`~repro.core.actions.Action` values —
+given an independent random generator.  Identical agents (the model's
+assumption) are obtained by calling :meth:`SearchAlgorithm.process` once
+per agent with per-agent RNG streams.
+
+Algorithms optionally expose their selection complexity (the paper's
+``chi``) and, when available, an explicit automaton form.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Iterator, Optional
+
+import numpy as np
+
+from repro.core.actions import Action
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.core.automaton import Automaton
+    from repro.core.selection import SelectionComplexity
+
+
+class SearchAlgorithm(ABC):
+    """Base class for the paper's algorithms and all baselines."""
+
+    @property
+    def name(self) -> str:
+        """Human-readable algorithm name (defaults to the class name)."""
+        return type(self).__name__
+
+    @abstractmethod
+    def process(self, rng: np.random.Generator) -> Iterator[Action]:
+        """Return a fresh agent process.
+
+        The generator must be infinite (agents never halt in the model;
+        engines decide when to stop consuming) and must draw all its
+        randomness from ``rng`` so that distinct agents given distinct
+        generators are independent.
+        """
+
+    def selection_complexity(self) -> Optional["SelectionComplexity"]:
+        """The algorithm's ``chi`` accounting, when defined.
+
+        Returns ``None`` for baselines whose chi is unbounded or not
+        meaningful (e.g. oracle-driven deterministic spirals).
+        """
+        return None
+
+    def automaton(self) -> Optional["Automaton"]:
+        """The explicit finite-automaton form, when one is constructed.
+
+        Only algorithms with a finite state representation (possibly
+        after truncation) return one; processes remain the primary
+        execution form.
+        """
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"

@@ -1,0 +1,131 @@
+"""Doubly uniform search: unknown ``D`` *and* unknown ``n``.
+
+The paper treats ``n`` as known ("for simplicity ... algorithms that
+are non-uniform in n") and notes that the standard technique of
+Feinerman et al. [12] lifts the result to unknown ``n``.  This module
+implements that lift for Algorithm 5.
+
+The transformation: run in *epochs* ``j = 1, 2, ...``; epoch ``j``
+commits to the guess ``n_j = 2^j`` and executes the first ``j`` phases
+of Algorithm 5 parameterized by ``n_j``.  Guesses that are too small
+merely make the phase coins stingier (fewer sorties per phase — the
+colony under-searches but loses only a bounded factor per epoch), while
+guesses past ``log2 n`` reproduce the known-``n`` schedule; because
+epoch costs grow geometrically, the total is dominated by the first
+epoch whose guess and phase range are both sufficient, yielding the
+same ``(D^2/n + D) * 2^{O(l)}`` shape with an extra polylogarithmic
+factor — matching [12]'s ``O(log^{1+eps})``-competitiveness barrier for
+fully uniform algorithms.
+
+Selection complexity: the epoch counter spans ``log2 n_j = j`` values,
+adding one ``log2 log2``-sized register on top of Algorithm 5's three,
+so chi stays ``O(log log (D n))``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.actions import Action
+from repro.core.base import SearchAlgorithm
+from repro.core.coin import CompositeCoin
+from repro.core.selection import MemoryMeter, SelectionComplexity
+from repro.core.square_search import search_process
+from repro.core.uniform import calibrated_K, first_covering_phase, phase_coin_exponent
+from repro.errors import InvalidParameterError
+
+
+class DoublyUniformSearch(SearchAlgorithm):
+    """Algorithm 5 wrapped in the guess-``n``-by-doubling epochs of [12].
+
+    Parameters
+    ----------
+    ell:
+        Base-coin fineness ``l``.
+    K:
+        Algorithm 5's constant; defaults to the calibrated value.
+    max_epoch:
+        Optional truncation (chi accounting and bounded runs).
+    """
+
+    def __init__(
+        self,
+        ell: int = 1,
+        K: int | None = None,
+        max_epoch: int | None = None,
+    ) -> None:
+        if ell < 1:
+            raise InvalidParameterError(f"ell must be >= 1, got {ell}")
+        if max_epoch is not None and max_epoch < 1:
+            raise InvalidParameterError(f"max_epoch must be >= 1, got {max_epoch}")
+        self._ell = ell
+        self._K = calibrated_K(ell) if K is None else K
+        if self._K < 1:
+            raise InvalidParameterError(f"K must be >= 1, got {self._K}")
+        self._max_epoch = max_epoch
+
+    @property
+    def ell(self) -> int:
+        """Base-coin fineness ``l``."""
+        return self._ell
+
+    @property
+    def K(self) -> int:
+        """The phase-coin constant in use."""
+        return self._K
+
+    def process(self, rng: np.random.Generator) -> Iterator[Action]:
+        epoch = 0
+        while True:
+            epoch += 1
+            if self._max_epoch is not None and epoch > self._max_epoch:
+                while True:
+                    yield Action.NONE
+            guessed_n = 2**epoch
+            for phase in range(1, epoch + 1):
+                exponent = phase_coin_exponent(phase, guessed_n, self._ell, self._K)
+                coin = CompositeCoin(exponent, self._ell)
+                while not coin.flip(rng):  # heads: one more sortie
+                    yield from search_process(rng, phase, self._ell)
+                    yield Action.ORIGIN
+
+    def sufficient_epoch(self, distance: int, n_agents: int) -> int:
+        """First epoch whose guess and phase range cover ``(D, n)``.
+
+        The epoch must reach phase ``i0(D)`` and guess at least ``n``:
+        ``j* = max(i0, ceil(log2 n))``.
+        """
+        if n_agents < 1:
+            raise InvalidParameterError(f"n_agents must be >= 1, got {n_agents}")
+        i0 = first_covering_phase(distance, self._ell)
+        return max(i0, max(1, math.ceil(math.log2(max(2, n_agents)))))
+
+    def memory_meter_for(self, distance: int, n_agents: int) -> MemoryMeter:
+        """Declared registers through the sufficient epoch."""
+        epoch = self.sufficient_epoch(distance, n_agents) + 1
+        exponent = phase_coin_exponent(epoch, 2**epoch, self._ell, self._K)
+        return (
+            MemoryMeter()
+            .declare("epoch_counter", epoch)
+            .declare("phase_counter", epoch)
+            .declare("phase_coin_counter", max(2, exponent))
+            .declare("search_coin_counter", epoch)
+            .declare("search_direction", 4)
+            .declare("control", 4)
+        )
+
+    def selection_complexity_for(
+        self, distance: int, n_agents: int
+    ) -> SelectionComplexity:
+        """``chi = O(log log (D n))``: four counters of ``log2 j*`` bits."""
+        meter = self.memory_meter_for(distance, n_agents)
+        return SelectionComplexity(bits=meter.bits, ell=float(self._ell))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DoublyUniformSearch(ell={self._ell}, K={self._K}, "
+            f"max_epoch={self._max_epoch})"
+        )

@@ -1,0 +1,184 @@
+"""Non-Uniform-Search (Theorem 3.7): Algorithm 1 built from coarse coins.
+
+Replace every ``C_{1/D}`` flip of Algorithm 1 with ``coin(k, l)`` where
+``k = ceil(log2(D) / l)``.  The realized stop probability is
+``2^{-kl} in (1/(2^l D), 1/D]`` — the walks get (at most a ``2^l``
+factor) longer, which the analysis absorbs into the ``O(.)``.  Memory is
+the three-bit control of Algorithm 1 plus the coin's ``ceil(log2 k)``
+counter, hence ``chi = log log D + O(1)``: the paper's headline upper
+bound for known ``D``.
+
+The product automaton built by :func:`build_nonuniform_automaton`
+realizes the same behaviour with every transition probability in
+``{1, 1/2, 2^{-l}, 1 - 2^{-l}}``, so its mechanical ``chi`` accounting
+agrees with the declared one.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.actions import Action
+from repro.core.automaton import Automaton
+from repro.core.base import SearchAlgorithm
+from repro.core.coin import CompositeCoin
+from repro.core.selection import MemoryMeter, SelectionComplexity
+from repro.core.square_search import search_process
+from repro.errors import InvalidParameterError
+
+
+class NonUniformSearch(SearchAlgorithm):
+    """Algorithm ``Non-Uniform-Search`` (knows ``D``, base coins ``C_{1/2^l}``).
+
+    Parameters
+    ----------
+    distance:
+        The known distance bound ``D >= 2``.
+    ell:
+        Fineness of the available base coin; probabilities used are
+        ``1/2`` and ``1/2^l`` only.
+    """
+
+    def __init__(self, distance: int, ell: int = 1) -> None:
+        if distance < 2:
+            raise InvalidParameterError(f"distance must be >= 2, got {distance}")
+        if ell < 1:
+            raise InvalidParameterError(f"ell must be >= 1, got {ell}")
+        self._distance = distance
+        self._ell = ell
+        self._k = max(1, math.ceil(math.log2(distance) / ell))
+        self._coin = CompositeCoin(self._k, ell)
+
+    @property
+    def distance(self) -> int:
+        """The known distance bound ``D``."""
+        return self._distance
+
+    @property
+    def ell(self) -> int:
+        """The base-coin fineness ``l``."""
+        return self._ell
+
+    @property
+    def k(self) -> int:
+        """The coin-loop bound ``k = ceil(log2(D) / l)``."""
+        return self._k
+
+    @property
+    def stop_probability(self) -> float:
+        """Realized per-move stop probability ``2^{-kl} <= 1/D``."""
+        return self._coin.tails_probability
+
+    def process(self, rng: np.random.Generator) -> Iterator[Action]:
+        while True:
+            yield from search_process(rng, self._k, self._ell)
+            yield Action.ORIGIN
+
+    def memory_meter(self) -> MemoryMeter:
+        """Declared layout: Algorithm 1 control + Algorithm 2 counter."""
+        return (
+            MemoryMeter()
+            .declare("control", 5)
+            .declare("coin_loop_counter", self._k)
+        )
+
+    def selection_complexity(self) -> SelectionComplexity:
+        """Declared accounting: ``b = 3 + ceil(log2 k)``, ``l`` as given.
+
+        Matches Theorem 3.7's ``chi = log log D + O(1)``.
+        """
+        return SelectionComplexity(
+            bits=3 + self._coin.memory_bits, ell=float(self._ell)
+        )
+
+    def automaton(self) -> Automaton:
+        return build_nonuniform_automaton(self._distance, self._ell)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NonUniformSearch(distance={self._distance}, ell={self._ell})"
+
+
+def build_nonuniform_automaton(distance: int, ell: int) -> Automaton:
+    """Explicit product automaton of Non-Uniform-Search.
+
+    State layout (``4k + 7`` states for ``k = ceil(log2(D)/l)``):
+
+    * ``origin`` — labeled ORIGIN; deterministically enters the vertical
+      direction choice;
+    * ``choose_v`` / ``choose_h`` — fair-coin direction choices (NONE);
+    * per direction ``d``: ``move_d`` (labeled ``d``) and flip states
+      ``flip_d_c`` for ``c = 0..k-1`` (NONE), meaning "about to flip the
+      ``(c+1)``-th base coin of the current composite flip, having seen
+      ``c`` consecutive tails".
+
+    Transitions: from ``flip_d_c``, heads (``1 - 2^{-l}``) moves (to
+    ``move_d``); tails (``2^{-l}``) advances to ``flip_d_{c+1}``; the
+    ``k``-th consecutive tails ends the walk — vertical walks fall
+    through to ``choose_h``, horizontal walks to ``origin``.  After a
+    move the composite flip restarts (``move_d -> flip_d_0`` with
+    probability 1).  Every probability is in
+    ``{1, 1/2, 2^{-l}, 1 - 2^{-l}}``: the mechanical ``l`` equals the
+    declared one, and ``b = ceil(log2(4k + 7)) = log2 log2 D + O(1)``.
+    """
+    if distance < 2:
+        raise InvalidParameterError(f"distance must be >= 2, got {distance}")
+    if ell < 1:
+        raise InvalidParameterError(f"ell must be >= 1, got {ell}")
+    k = max(1, math.ceil(math.log2(distance) / ell))
+    p_tails = 2.0**-ell
+    p_heads = 1.0 - p_tails
+
+    directions = [Action.UP, Action.DOWN, Action.LEFT, Action.RIGHT]
+    names: list[str] = []
+    labels: list[Action] = []
+    index: dict[str, int] = {}
+
+    def add_state(name: str, label: Action) -> int:
+        index[name] = len(names)
+        names.append(name)
+        labels.append(label)
+        return index[name]
+
+    add_state("origin", Action.ORIGIN)
+    add_state("choose_v", Action.NONE)
+    add_state("choose_h", Action.NONE)
+    for action in directions:
+        add_state(f"move_{action.value}", action)
+        for c in range(k):
+            add_state(f"flip_{action.value}_{c}", Action.NONE)
+
+    n = len(names)
+    matrix = np.zeros((n, n), dtype=float)
+
+    def walk_exit(action: Action) -> int:
+        """Where a finished walk in direction ``action`` transfers to."""
+        if action in (Action.UP, Action.DOWN):
+            return index["choose_h"]
+        return index["origin"]
+
+    def wire_flip(source: int, action: Action, tails_so_far: int) -> None:
+        """Outgoing edges of a state about to flip a base coin."""
+        matrix[source, index[f"move_{action.value}"]] += p_heads
+        if tails_so_far + 1 < k:
+            matrix[source, index[f"flip_{action.value}_{tails_so_far + 1}"]] += p_tails
+        else:
+            matrix[source, walk_exit(action)] += p_tails
+
+    matrix[index["origin"], index["choose_v"]] = 1.0
+    matrix[index["choose_v"], index["flip_up_0"]] = 0.5
+    matrix[index["choose_v"], index["flip_down_0"]] = 0.5
+    matrix[index["choose_h"], index["flip_left_0"]] = 0.5
+    matrix[index["choose_h"], index["flip_right_0"]] = 0.5
+
+    for action in directions:
+        # After each move the composite flip restarts from zero tails.
+        matrix[index[f"move_{action.value}"], index[f"flip_{action.value}_0"]] = 1.0
+        for c in range(k):
+            wire_flip(index[f"flip_{action.value}_{c}"], action, c)
+
+    return Automaton(
+        matrix, labels, start=index["origin"], name=f"nonuniform(D={distance},l={ell})"
+    )

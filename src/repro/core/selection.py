@@ -1,0 +1,139 @@
+"""The selection-complexity metric ``chi(A) = b + log2(l)`` (Section 2).
+
+``b = ceil(log2 |S|)`` is the number of memory bits needed to encode the
+automaton's state set and ``1/2^l`` lower-bounds every non-zero
+transition probability.  The paper identifies ``log log D`` as the
+threshold for ``chi`` below which no substantial speed-up is possible.
+
+Two accounting styles are supported:
+
+* **mechanical** — compute ``b`` and ``l`` directly from an explicit
+  :class:`~repro.core.automaton.Automaton` (see
+  :meth:`SelectionComplexity.of_automaton`);
+* **declared** — procedural implementations register their registers
+  with a :class:`MemoryMeter` (one entry per counter/flag with its value
+  range), which yields the same ``b`` the paper's counting arguments
+  use (e.g. ``ceil(log2 k)`` bits for Algorithm 2's loop counter).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class SelectionComplexity:
+    """The pair ``(b, l)`` and the derived ``chi = b + log2(l)``.
+
+    Attributes
+    ----------
+    bits:
+        Memory bits ``b = ceil(log2 |S|)``.
+    ell:
+        The probability fineness ``l``: all probabilities used are at
+        least ``1/2^l``.  Real-valued; clamped to ``>= 1`` because every
+        non-trivial algorithm uses probabilities <= 1/2 and the metric's
+        ``log2(l)`` term is undefined below 1.
+    """
+
+    bits: int
+    ell: float
+
+    def __post_init__(self) -> None:
+        if self.bits < 0:
+            raise InvalidParameterError(f"bits must be non-negative, got {self.bits}")
+        if self.ell < 1.0:
+            raise InvalidParameterError(f"ell must be >= 1, got {self.ell}")
+
+    @property
+    def chi(self) -> float:
+        """``chi = b + log2(l)``."""
+        return self.bits + math.log2(self.ell)
+
+    @classmethod
+    def of_automaton(cls, automaton) -> "SelectionComplexity":
+        """Mechanical accounting from an explicit automaton.
+
+        ``b = ceil(log2 |S|)``; ``l = max(1, log2(1 / p_min))`` where
+        ``p_min`` is the smallest non-zero transition probability.
+        """
+        n_states = automaton.n_states
+        bits = max(0, math.ceil(math.log2(n_states))) if n_states > 1 else 0
+        p_min = automaton.min_positive_probability()
+        ell = max(1.0, math.log2(1.0 / p_min)) if p_min < 1.0 else 1.0
+        return cls(bits=bits, ell=ell)
+
+    def __str__(self) -> str:
+        return f"chi={self.chi:.3f} (b={self.bits}, l={self.ell:.3f})"
+
+
+@dataclass
+class MemoryMeter:
+    """Declared-register accounting of the memory bits ``b``.
+
+    Procedural algorithm implementations cannot have their state set
+    enumerated mechanically, so they *declare* their state layout: one
+    named register per counter/flag with the number of distinct values
+    it ranges over.  ``bits`` then matches the paper's counting
+    arguments (Algorithm 2 stores a loop counter in ``ceil(log2 k)``
+    bits, Algorithm 4 adds 2 direction bits, ...).
+    """
+
+    registers: Dict[str, int] = field(default_factory=dict)
+
+    def declare(self, name: str, n_values: int) -> "MemoryMeter":
+        """Declare register ``name`` ranging over ``n_values`` values.
+
+        Returns ``self`` so declarations chain fluently.  Re-declaring a
+        name widens it to the maximum of the two ranges (useful when a
+        register is reused across subroutine calls).
+        """
+        if n_values < 1:
+            raise InvalidParameterError(
+                f"register {name!r} must have at least one value, got {n_values}"
+            )
+        self.registers[name] = max(self.registers.get(name, 1), n_values)
+        return self
+
+    @property
+    def bits(self) -> int:
+        """Total bits: sum over registers of ``ceil(log2 n_values)``."""
+        return sum(
+            max(0, math.ceil(math.log2(n))) if n > 1 else 0
+            for n in self.registers.values()
+        )
+
+    @property
+    def n_states(self) -> int:
+        """Size of the product state space (for cross-checks)."""
+        product = 1
+        for n in self.registers.values():
+            product *= n
+        return product
+
+
+def chi_threshold(distance: int) -> float:
+    """The paper's threshold ``log2 log2 D`` for the chi metric.
+
+    Below it (by a growing margin), Theorem 4.1 forbids substantial
+    speed-up; at ``log log D + O(1)``, Theorem 3.7 achieves optimal
+    speed-up.
+    """
+    if distance < 2:
+        raise InvalidParameterError(f"distance must be >= 2, got {distance}")
+    if distance < 4:
+        return 0.0
+    return math.log2(math.log2(distance))
+
+
+def is_below_threshold(chi: float, distance: int, *, margin: float = 0.0) -> bool:
+    """True iff ``chi <= log log D - margin``.
+
+    The lower bound requires the gap ``margin`` to grow with ``D``
+    (``omega(1)``); finite experiments pick an explicit margin.
+    """
+    return chi <= chi_threshold(distance) - margin

@@ -1,0 +1,185 @@
+"""Closed-form predictions from the paper's analysis (Section 3).
+
+Every lemma/theorem of the upper-bound section is reflected here as an
+explicit, finite-``D`` formula — both the exact quantities the proofs
+manipulate (per-iteration hit probabilities, geometric means) and the
+bounds they derive.  The experiment suite compares measurements against
+these functions; keeping them in one module makes the paper-to-code
+mapping auditable.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.uniform import first_covering_phase, phase_coin_exponent, rho
+from repro.errors import InvalidParameterError
+from repro.grid.geometry import Point
+
+__all__ = [
+    "expected_iteration_moves",
+    "iteration_moves_upper_bound",
+    "conditional_iteration_moves_upper_bound",
+    "hit_probability_exact",
+    "hit_probability_lower_bound",
+    "miss_probability_exact",
+    "miss_probability_upper_bound",
+    "expected_moves_upper_bound",
+    "expected_moves_shape",
+    "optimal_lower_bound",
+    "speedup_upper_bound",
+    "uniform_expected_moves_shape",
+    "uniform_phase_moves_upper_bound",
+    "first_covering_phase",
+    "phase_coin_exponent",
+    "rho",
+]
+
+
+def expected_iteration_moves(stop_probability: float) -> float:
+    """Exact expected moves of one L-sortie: two legs of mean ``1/p - 1``.
+
+    For Algorithm 1 (``p = 1/D``) this is ``2(D - 1) < 2D``, the
+    quantity Lemma 3.1 bounds by ``2D``.
+    """
+    _check_probability(stop_probability)
+    return 2.0 * (1.0 / stop_probability - 1.0)
+
+
+def iteration_moves_upper_bound(distance: int) -> float:
+    """Lemma 3.1: ``R <= 2D``."""
+    return 2.0 * distance
+
+
+def conditional_iteration_moves_upper_bound(distance: int) -> float:
+    """Lemma 3.2: ``R_hat <= 2R <= 4D``."""
+    return 4.0 * distance
+
+
+def hit_probability_exact(stop_probability: float, target: Point) -> float:
+    """Exact probability one sortie visits ``target`` (see Lemma 3.4).
+
+    Identical in structure to
+    :func:`repro.core.square_search.visit_probability`, parameterized by
+    the stop probability instead of ``(k, l)``.
+    """
+    _check_probability(stop_probability)
+    p = stop_probability
+    x, y = target
+    if x == 0 and y == 0:
+        return 1.0
+    if x == 0:
+        return 0.5 * (1.0 - p) ** abs(y)
+    if y == 0:
+        return 0.5 * p * (1.0 - p) ** abs(x)
+    return 0.25 * p * (1.0 - p) ** (abs(x) + abs(y))
+
+
+def hit_probability_lower_bound(distance: int) -> float:
+    """Lemma 3.4's per-iteration hit bound ``1/(64 D)``.
+
+    Valid for every target with both coordinates in ``[-D, D]`` (the
+    proof combines a ``1/(4D)`` exact-stop bound, a ``1/4`` reach bound,
+    and two fair sign choices; the paper rolls the factors into
+    ``1/(64D)``).
+    """
+    if distance < 2:
+        raise InvalidParameterError(f"distance must be >= 2, got {distance}")
+    return 1.0 / (64.0 * distance)
+
+
+def miss_probability_exact(stop_probability: float, target: Point, n_agents: int) -> float:
+    """Probability that all ``n`` agents miss in one iteration each."""
+    single = hit_probability_exact(stop_probability, target)
+    return (1.0 - single) ** n_agents
+
+
+def miss_probability_upper_bound(distance: int, n_agents: int) -> float:
+    """Lemma 3.4: ``q <= (1 - 1/(64D))^n <= max{1 - Omega(n/D), 1/2}``.
+
+    Returns the explicit ``(1 - 1/(64D))^n`` envelope the proof derives
+    before asymptotic rounding.
+    """
+    return (1.0 - hit_probability_lower_bound(distance)) ** n_agents
+
+
+def expected_moves_upper_bound(distance: int, n_agents: int) -> float:
+    """Theorem 3.5's pre-asymptotic bound ``4D / (1 - q)``.
+
+    With ``q = (1 - 1/(64D))^n`` this is ``O(D^2/n + D)`` — the explicit
+    constant the proof produces, not a fitted one.
+    """
+    q = miss_probability_upper_bound(distance, n_agents)
+    return 4.0 * distance / (1.0 - q)
+
+
+def expected_moves_shape(distance: int, n_agents: int) -> float:
+    """The shape function ``D^2/n + D`` used for scaling fits."""
+    return distance * distance / n_agents + distance
+
+
+def optimal_lower_bound(distance: int, n_agents: int) -> float:
+    """The straightforward ``Omega(D + D^2/n)`` lower bound (Section 2).
+
+    Any algorithm — even knowing ``n`` and ``D`` and communicating —
+    needs ``D`` moves to reach distance ``D``, and ``n`` agents need
+    ``D^2/n`` moves each to visit ``Theta(D^2)`` cells.
+    """
+    return max(float(distance), distance * distance / (4.0 * n_agents))
+
+
+def speedup_upper_bound(distance: int, n_agents: int) -> float:
+    """The best possible speed-up ``min{n, D}`` (discussion, Section 1)."""
+    return float(min(n_agents, distance))
+
+
+def uniform_phase_moves_upper_bound(
+    phase: int, n_agents: int, ell: int, K: int
+) -> float:
+    """Lemma 3.10: ``R_i <= 4 rho_i 2^{il}``."""
+    return 4.0 * rho(phase, n_agents, ell, K) * 2.0 ** (phase * ell)
+
+
+def uniform_expected_moves_shape(
+    distance: int, n_agents: int, ell: int, overshoot_exponent: float = 1.0
+) -> float:
+    """Theorem 3.14's shape ``(D^2/n + D) * 2^{c l}``.
+
+    ``overshoot_exponent`` is the constant ``c`` in ``2^{O(l)}``; the
+    ablation experiment (E14) fits it empirically.
+    """
+    return expected_moves_shape(distance, n_agents) * 2.0 ** (
+        overshoot_exponent * ell
+    )
+
+
+def uniform_find_probability_per_phase(ell: int) -> float:
+    """Lemma 3.13: past ``i0`` every phase finds w.p. ``>= 1 - 2^{-(2l+1)}``."""
+    return 1.0 - 2.0 ** -(2 * ell + 1)
+
+
+def nonuniform_chi_prediction(distance: int, ell: int) -> float:
+    """Theorem 3.7: ``chi = log2 ceil(log2 D / l) + log2 l + 3``."""
+    if distance < 2:
+        raise InvalidParameterError(f"distance must be >= 2, got {distance}")
+    k = max(1, math.ceil(math.log2(distance) / ell))
+    return (math.log2(k) if k > 1 else 0.0) + math.log2(max(1, ell)) + 3.0
+
+
+def uniform_chi_prediction(distance: int, ell: int) -> float:
+    """Theorem 3.14: ``chi <= 3 (log2 log2 D - log2 l) + O(1)``.
+
+    Returns the leading term ``3 log2 log2 D - 3 log2 l + log2 l``
+    (+0 constant); experiments compare measured chi minus this value
+    and check the difference stays bounded as ``D`` grows.
+    """
+    if distance < 4:
+        return math.log2(max(1, ell))
+    return 3.0 * (math.log2(math.log2(distance)) - math.log2(ell)) + math.log2(
+        max(1, ell)
+    )
+
+
+def _check_probability(p: float) -> None:
+    if not 0.0 < p <= 1.0:
+        raise InvalidParameterError(f"probability must be in (0, 1], got {p}")

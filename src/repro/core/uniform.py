@@ -1,0 +1,190 @@
+"""Algorithm 5: the uniform search (``D`` unknown).
+
+Phase ``i = 1, 2, ...`` runs ``search(i, l)`` sorties (each followed by
+a return to the origin) for as long as ``coin(K + max{i -
+floor(log2(n)/l), 0}, l)`` keeps showing heads; the tails probability of
+that phase coin is ``1/rho_i`` with ``rho_i = 2^{(K + max{i -
+floor(log2 n / l), 0}) l}``, so a phase performs about ``rho_i`` sorties
+covering the ``2^{il}``-square.  Theorem 3.14: the first of ``n``
+agents finds a target within distance ``D`` after expected
+``(D^2/n + D) * 2^{O(l)}`` moves, with ``chi <= 3 log log D + O(1)``.
+
+``K`` is the paper's "sufficiently large constant"; it is an explicit
+parameter here (default 2) and experiment E08 probes its effect.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.actions import Action
+from repro.core.base import SearchAlgorithm
+from repro.core.coin import CompositeCoin
+from repro.core.selection import MemoryMeter, SelectionComplexity
+from repro.core.square_search import search_process
+from repro.errors import InvalidParameterError
+
+DEFAULT_K = 2
+
+
+def calibrated_K(ell: int) -> int:
+    """The smallest ``K`` that makes Algorithm 5's analysis go through.
+
+    The paper takes ``K`` to be a "sufficiently large constant".  What
+    "sufficient" means is quantitative: phase ``i >= i0`` must find the
+    target with probability at least ``1 - 2^{-(2l+1)}`` (Lemma 3.13),
+    because each further phase multiplies the move cost by ``~2^{2l}``
+    — with a weaker per-phase find probability the expected running
+    time *diverges*.  Using Lemma 3.9's worst-case visit bound
+    ``2^{-(il+6)}`` and the colony's ``~2^{(K+i)l}`` sortie calls per
+    phase, the per-phase miss probability is
+    ``exp(-2^{Kl - 6})``; requiring it to be at most ``2^{-(2l+1)}``
+    gives ``K*l >= 6 + log2((2l+1) ln 2)``.
+
+    The returned ``K`` scales like ``~8/l``: finer base coins (small
+    ``l``) need a larger constant, which is the hidden cost driving the
+    ``2^{O(l)}`` factor in Theorem 3.14 at practical sizes.
+    """
+    if ell < 1:
+        raise InvalidParameterError(f"ell must be >= 1, got {ell}")
+    required_exponent = 6.0 + math.log2((2 * ell + 1) * math.log(2))
+    return max(2, math.ceil(required_exponent / ell))
+
+
+def phase_coin_exponent(phase: int, n_agents: int, ell: int, K: int = DEFAULT_K) -> int:
+    """The phase coin's ``k`` parameter: ``K + max{i - floor(log2(n)/l), 0}``."""
+    if phase < 1:
+        raise InvalidParameterError(f"phase must be >= 1, got {phase}")
+    if n_agents < 1:
+        raise InvalidParameterError(f"n_agents must be >= 1, got {n_agents}")
+    discount = math.floor(math.log2(n_agents) / ell) if n_agents > 1 else 0
+    return K + max(phase - discount, 0)
+
+
+def rho(phase: int, n_agents: int, ell: int, K: int = DEFAULT_K) -> float:
+    """``rho_i = 2^{(K + max{i - floor(log2 n / l), 0}) l}`` (Lemma 3.10)."""
+    return 2.0 ** (phase_coin_exponent(phase, n_agents, ell, K) * ell)
+
+
+def first_covering_phase(distance: int, ell: int) -> int:
+    """``i0 = ceil(log_{2^l} D)``: first phase whose square covers distance D."""
+    if distance < 1:
+        raise InvalidParameterError(f"distance must be >= 1, got {distance}")
+    if distance == 1:
+        return 1
+    return max(1, math.ceil(math.log2(distance) / ell))
+
+
+class UniformSearch(SearchAlgorithm):
+    """The paper's Algorithm 5 — uniform in ``D``, non-uniform in ``n``.
+
+    Parameters
+    ----------
+    n_agents:
+        The colony size ``n`` the state machine is built for (the paper
+        treats ``n`` as known; its uniform-in-``n`` wrapper is a
+        separate standard transformation).
+    ell:
+        Base-coin fineness ``l``.
+    K:
+        The "sufficiently large constant" of Algorithm 5.
+    max_phase:
+        Optional truncation for chi accounting and for bounding runs;
+        the process itself keeps iterating phases forever if ``None``.
+    """
+
+    def __init__(
+        self,
+        n_agents: int,
+        ell: int = 1,
+        K: int = DEFAULT_K,
+        max_phase: int | None = None,
+    ) -> None:
+        if n_agents < 1:
+            raise InvalidParameterError(f"n_agents must be >= 1, got {n_agents}")
+        if ell < 1:
+            raise InvalidParameterError(f"ell must be >= 1, got {ell}")
+        if K < 1:
+            raise InvalidParameterError(f"K must be >= 1, got {K}")
+        if max_phase is not None and max_phase < 1:
+            raise InvalidParameterError(f"max_phase must be >= 1, got {max_phase}")
+        self._n_agents = n_agents
+        self._ell = ell
+        self._K = K
+        self._max_phase = max_phase
+
+    @property
+    def n_agents(self) -> int:
+        """The colony size the machine is parameterized for."""
+        return self._n_agents
+
+    @property
+    def ell(self) -> int:
+        """Base-coin fineness ``l``."""
+        return self._ell
+
+    @property
+    def K(self) -> int:
+        """Algorithm 5's constant ``K``."""
+        return self._K
+
+    def phase_coin(self, phase: int) -> CompositeCoin:
+        """The phase-``i`` continuation coin."""
+        return CompositeCoin(
+            phase_coin_exponent(phase, self._n_agents, self._ell, self._K), self._ell
+        )
+
+    def process(self, rng: np.random.Generator) -> Iterator[Action]:
+        phase = 0
+        while True:
+            phase += 1
+            if self._max_phase is not None and phase > self._max_phase:
+                # Truncated machines idle forever past the last phase;
+                # engines treat a budget overrun as "not found".
+                while True:
+                    yield Action.NONE
+            coin = self.phase_coin(phase)
+            while not coin.flip(rng):  # heads: perform one more sortie
+                yield from search_process(rng, phase, self._ell)
+                yield Action.ORIGIN
+
+    def memory_meter_for_distance(self, distance: int) -> MemoryMeter:
+        """Declared register layout for finding targets within ``distance``.
+
+        Running up to phase ``i0(D) + O(1)`` requires: the phase counter
+        (``log2 i`` bits), the phase coin's loop counter
+        (``log2(K + i)`` bits), and the sortie's ``search(i, l)``
+        counter plus two direction bits — three counters, i.e.
+        ``b = 3 log2 log2 D - 3 log2 l + O(1)``.
+        """
+        phase = first_covering_phase(distance, self._ell) + 1
+        exponent = phase_coin_exponent(phase, self._n_agents, self._ell, self._K)
+        return (
+            MemoryMeter()
+            .declare("phase_counter", phase)
+            .declare("phase_coin_counter", exponent)
+            .declare("search_coin_counter", phase)
+            .declare("search_direction", 4)
+            .declare("control", 4)
+        )
+
+    def selection_complexity_for_distance(self, distance: int) -> SelectionComplexity:
+        """``chi <= 3 log log D + O(1)`` accounting (Theorem 3.14)."""
+        meter = self.memory_meter_for_distance(distance)
+        return SelectionComplexity(bits=meter.bits, ell=float(self._ell))
+
+    def selection_complexity(self) -> SelectionComplexity | None:
+        """Chi of the truncated machine, when a truncation is set."""
+        if self._max_phase is None:
+            return None
+        side = 2 ** min(60, self._max_phase * self._ell)
+        return self.selection_complexity_for_distance(side)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"UniformSearch(n_agents={self._n_agents}, ell={self._ell}, "
+            f"K={self._K}, max_phase={self._max_phase})"
+        )

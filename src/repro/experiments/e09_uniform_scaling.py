@@ -1,0 +1,161 @@
+"""E09 — Uniform algorithm performance (Theorem 3.14).
+
+Theorem 3.14: the first of ``n`` agents running Algorithm 5 finds a
+target within (unknown) distance ``D`` after expected
+``(D^2/n + D) * 2^{O(l)}`` moves.  Two sweeps:
+
+* over ``D`` at fixed ``n`` and ``l=1`` — the measured mean must track
+  the ``D^2/n + D`` shape with a bounded (if large) constant;
+* over ``l`` at fixed ``(D, n)`` — the ``2^{O(l)}`` overshoot, fitted
+  as an exponent.
+
+``K`` is instantiated per ``l`` via
+:func:`repro.core.uniform.calibrated_K`; the resulting ``2^{K l}``
+constant (~2^8) is the concrete value of the theorem's "sufficiently
+large constant" and dominates the measured overshoot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import theory
+from repro.core.uniform import calibrated_K
+from repro.experiments.base import DEFAULT_SEED, ExperimentResult, check_scale
+from repro.sim.fast import fast_uniform
+from repro.sim.rng import derive_seed
+from repro.sim.runner import ExperimentRow, rows_to_markdown
+from repro.sim.stats import fit_loglog_slope, mean_ci
+
+_SCALES = {
+    "smoke": {
+        "distances": (8, 16, 32, 64),
+        "n_agents": 4,
+        "ells": (1, 2),
+        "ell_distance": 32,
+        "trials": 40,
+    },
+    "paper": {
+        "distances": (8, 16, 32, 64, 128, 256),
+        "n_agents": 8,
+        "ells": (1, 2, 3),
+        "ell_distance": 32,
+        "trials": 200,
+    },
+}
+
+
+def mean_uniform_moves(
+    distance: int,
+    n_agents: int,
+    ell: int,
+    trials: int,
+    seed: int,
+    tag: int,
+) -> float:
+    """Mean colony M_moves of Algorithm 5 for the corner target."""
+    K = calibrated_K(ell)
+    target = (distance, distance)
+    budget = int(
+        64.0 * 2.0 ** (K * ell) * theory.expected_moves_shape(distance, n_agents)
+    ) + 100_000
+    samples = []
+    for trial in range(trials):
+        rng = np.random.default_rng(derive_seed(seed, tag, distance, ell, trial))
+        outcome = fast_uniform(n_agents, ell, K, target, rng, budget)
+        samples.append(outcome.moves_or_budget)
+    return float(np.mean(samples))
+
+
+def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
+    params = _SCALES[check_scale(scale)]
+    n_agents = params["n_agents"]
+    checks = {}
+    notes = []
+
+    rows_d = []
+    means = []
+    for distance in params["distances"]:
+        mean = mean_uniform_moves(distance, n_agents, 1, params["trials"], seed, 0)
+        means.append(mean)
+        shape = theory.expected_moves_shape(distance, n_agents)
+        rows_d.append(
+            ExperimentRow(
+                params={"D": distance},
+                estimate=mean_ci([mean]),
+                extras={"shape D^2/n+D": shape, "ratio/shape": mean / shape},
+            )
+        )
+    ratios = [row.extras["ratio/shape"] for row in rows_d]
+    checks["shape ratio bounded across D sweep (l=1)"] = max(ratios) <= 16 * min(
+        ratios
+    )
+    slope, _, r2 = fit_loglog_slope(params["distances"], means)
+    notes.append(
+        f"D-sweep at n={n_agents}, l=1 (K={calibrated_K(1)}): fitted exponent "
+        f"{slope:.2f} (r^2={r2:.3f}); D^2/n dominates once D > n so the "
+        f"exponent sits between 1 and 2."
+    )
+    checks["D-sweep exponent in [0.8, 2.3]"] = 0.8 <= slope <= 2.3
+
+    rows_ell = []
+    distance = params["ell_distance"]
+    base = None
+    overshoots = []
+    for ell in params["ells"]:
+        K = calibrated_K(ell)
+        mean = mean_uniform_moves(distance, n_agents, ell, params["trials"], seed, 1)
+        if base is None:
+            base = mean
+        overshoot = mean / theory.expected_moves_shape(distance, n_agents)
+        overshoots.append(overshoot)
+        rows_ell.append(
+            ExperimentRow(
+                params={"l": ell},
+                estimate=mean_ci([mean]),
+                extras={
+                    "K(l)": float(K),
+                    "overshoot vs shape": overshoot,
+                    "ratio vs l=1": mean / base,
+                },
+            )
+        )
+        checks[f"l={ell}: overshoot within [1, 2^(Kl+6)]"] = (
+            1.0 <= overshoot <= 2.0 ** (K * ell + 6)
+        )
+    if len(params["ells"]) >= 2:
+        exponents = np.polyfit(params["ells"], np.log2(overshoots), 1)
+        fitted_c = float(exponents[0])
+        notes.append(
+            f"Overshoot fit: moves/(D^2/n + D) ~ 2^(c*l + const) with "
+            f"c = {fitted_c:.2f}. With per-l calibrated K the product K(l)*l "
+            f"is nearly constant (~8), so the measured overshoot is flat in "
+            f"l — consistent with the 2^{{O(l)}} *upper* envelope; the cost "
+            f"lives in the ~2^{{K(l) l}} ~ 2^8 constant. E14's fixed-K sweep "
+            f"shows the growth the envelope allows."
+        )
+        checks["overshoot exponent c <= 5 (upper envelope)"] = fitted_c <= 5.0
+
+    table = (
+        rows_to_markdown(
+            rows_d, ["D"], "E[M_moves]", ["shape D^2/n+D", "ratio/shape"]
+        )
+        + f"\n\nOvershoot sweep at D={distance}, n={n_agents}:\n\n"
+        + rows_to_markdown(
+            rows_ell,
+            ["l"],
+            "E[M_moves]",
+            ["K(l)", "overshoot vs shape", "ratio vs l=1"],
+        )
+    )
+    return ExperimentResult(
+        experiment_id="E09",
+        title="Algorithm 5: (D^2/n + D) * 2^{O(l)} expected moves",
+        paper_claim=(
+            "Theorem 3.14: expected M_moves = 2^{O(l)} (D + D^2/n) for "
+            "chi <= 3 log log D + O(1)."
+        ),
+        table=table,
+        checks=checks,
+        notes=notes,
+    )

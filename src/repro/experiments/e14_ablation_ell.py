@@ -1,0 +1,166 @@
+"""E14 — Ablation: trading memory bits for probability fineness.
+
+The paper's discussion section singles out the ``b`` vs ``l`` trade
+inside ``chi = b + log2(l)``: raising ``l`` (coarser... finer base
+coins are *smaller* ``l``; larger ``l`` means the machine may use
+probabilities as small as ``2^{-l}``) lets the uniform algorithm shrink
+its counters by ``3 log2(l)`` bits while paying only ``log2(l)`` in the
+metric — but the running time inflates by ``2^{O(l)}`` because distance
+estimates overshoot by up to a factor ``2^l``.
+
+The experiment fixes ``(D, n)`` and sweeps ``l``, tabulating the
+declared bits, chi, and measured moves — the quantitative version of
+the paper's "more bits of memory might be of greater utility than
+having access to smaller probabilities".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import theory
+from repro.core.uniform import UniformSearch
+from repro.experiments.base import DEFAULT_SEED, ExperimentResult, check_scale
+from repro.sim.fast import fast_uniform
+from repro.sim.rng import derive_seed
+from repro.sim.runner import ExperimentRow, rows_to_markdown
+from repro.sim.stats import mean_ci
+
+_SCALES = {
+    # The distances are chosen so the phase grid 2^{i0 l} genuinely
+    # overshoots D for l > 1 (at D = 64 every l in {1,2,3} aligns with
+    # 2^{i0 l} = 64 exactly and the inflation story inverts — a real
+    # finite-size effect worth knowing about, see the notes).
+    "smoke": {"distance": 32, "n_agents": 4, "ells": (1, 2, 3), "trials": 30},
+    "paper": {"distance": 128, "n_agents": 8, "ells": (1, 2, 3), "trials": 150},
+}
+
+
+def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
+    from repro.core.uniform import calibrated_K
+
+    params = _SCALES[check_scale(scale)]
+    distance, n_agents = params["distance"], params["n_agents"]
+    target = (distance, distance)
+    rows = []
+    checks = {}
+    notes = []
+
+    bits_list = []
+    means = []
+    for ell in params["ells"]:
+        K = calibrated_K(ell)
+        algorithm = UniformSearch(n_agents, ell, K)
+        complexity = algorithm.selection_complexity_for_distance(distance)
+        bits_list.append(complexity.bits)
+        budget = int(
+            64.0
+            * 2.0 ** (K * ell)
+            * theory.uniform_expected_moves_shape(distance, n_agents, ell, 2.0)
+        ) + 100_000
+        samples = []
+        for trial in range(params["trials"]):
+            rng = np.random.default_rng(derive_seed(seed, 15, ell, trial))
+            outcome = fast_uniform(n_agents, ell, K, target, rng, budget)
+            samples.append(outcome.moves_or_budget)
+        mean = float(np.mean(samples))
+        means.append(mean)
+        rows.append(
+            ExperimentRow(
+                params={"l": ell},
+                estimate=mean_ci(samples),
+                extras={
+                    "K(l)": float(K),
+                    "bits b": float(complexity.bits),
+                    "chi": complexity.chi,
+                    "moves ratio vs l=1": mean / means[0],
+                },
+            )
+        )
+
+    checks["memory bits decrease (weakly) as l grows"] = all(
+        b2 <= b1 for b1, b2 in zip(bits_list, bits_list[1:])
+    )
+    checks["run time inflates as l grows"] = means[-1] > means[0]
+    growth = means[-1] / means[0]
+    ell_span = params["ells"][-1] - params["ells"][0]
+    checks["inflation is at most ~2^(4l)"] = growth <= 2.0 ** (4 * ell_span + 2)
+    notes.append(
+        f"Raising l from {params['ells'][0]} to {params['ells'][-1]} saves "
+        f"{bits_list[0] - bits_list[-1]} memory bits but inflates expected "
+        f"moves by {growth:.1f}x — the discussion section's asymmetry "
+        f"(memory can simulate fine probabilities, not vice versa) in "
+        f"numbers."
+    )
+
+    # Fixed-K companion sweep: with the paper's literal "one constant K
+    # for all l" reading, the per-phase sortie count is ~2^{Kl} and the
+    # 2^{O(l)} cost growth becomes visible directly.  Run at a fixed
+    # small distance — the point is the constant's growth, and the
+    # earlier phases' sunk sortie counts scale like 4^{Kl} in wall time.
+    fixed_K = calibrated_K(1)
+    fixed_distance = 32
+    fixed_target = (fixed_distance, fixed_distance)
+    fixed_rows = []
+    fixed_means = []
+    for ell in (1, 2):
+        budget = int(
+            64.0
+            * 2.0 ** (fixed_K * ell)
+            * theory.uniform_expected_moves_shape(fixed_distance, n_agents, ell, 2.0)
+        ) + 100_000
+        samples = []
+        for trial in range(max(10, params["trials"] // 3)):
+            rng = np.random.default_rng(derive_seed(seed, 16, ell, trial))
+            outcome = fast_uniform(
+                n_agents, ell, fixed_K, fixed_target, rng, budget
+            )
+            samples.append(outcome.moves_or_budget)
+        fixed_means.append(float(np.mean(samples)))
+        fixed_rows.append(
+            ExperimentRow(
+                params={"l": ell},
+                estimate=mean_ci(samples),
+                extras={"K": float(fixed_K), "ratio vs l=1": fixed_means[-1] / fixed_means[0]},
+            )
+        )
+    fixed_growth = fixed_means[-1] / fixed_means[0]
+    calibrated_ratio_at_2 = means[1] / means[0] if len(means) > 1 else 1.0
+    checks["fixed-K: one extra l costs >= 2x"] = fixed_growth >= 2.0
+    checks["fixed-K inflates more than calibrated-K at the same step"] = (
+        fixed_growth > calibrated_ratio_at_2
+    )
+    notes.append(
+        f"With K fixed at {fixed_K} (D={fixed_distance}), moving l from 1 "
+        f"to 2 multiplies the expected moves by {fixed_growth:.1f}x, versus "
+        f"{calibrated_ratio_at_2:.1f}x under per-l calibration — the literal "
+        f"constant-K reading of the 2^{{O(l)}} factor. The colony minimum "
+        f"softens the naive 2^{{Kl}} prediction because per-phase sortie "
+        f"counts are geometric (std = mean), so the luckiest agent skips "
+        f"most of a phase."
+    )
+    notes.append(
+        "Finite-size alignment caveat: when 2^{i0 l} = D exactly for every "
+        "l (e.g. D = 64 with l in {1,2,3}), larger l can even be *cheaper* "
+        "because fewer sunk phases precede i0; the distances here are "
+        "chosen so the l > 1 grids genuinely overshoot."
+    )
+
+    table = (
+        rows_to_markdown(
+            rows, ["l"], "E[M_moves]", ["K(l)", "bits b", "chi", "moves ratio vs l=1"]
+        )
+        + f"\n\nFixed K = {fixed_K} companion sweep:\n\n"
+        + rows_to_markdown(fixed_rows, ["l"], "E[M_moves]", ["K", "ratio vs l=1"])
+    )
+    return ExperimentResult(
+        experiment_id="E14",
+        title=f"b vs l ablation for Algorithm 5 at D={distance}, n={n_agents}",
+        paper_claim=(
+            "Discussion: chi = b + log2(l) hides an asymmetry — the uniform "
+            "algorithm can trade 3 log l memory bits for a 2^{O(l)} slowdown."
+        ),
+        table=table,
+        checks=checks,
+        notes=notes,
+    )

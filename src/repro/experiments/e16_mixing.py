@@ -1,0 +1,117 @@
+"""E16 — Mixing inside recurrent classes (Corollary 4.6 / Lemma A.2).
+
+(Companion experiment for the lower bound's middle step.)  Corollary 4.6
+asserts that within a recurrent class, ``beta = c |S| ln(D) / p0^{|S|}``
+rounds bring the state distribution within ``1/D^c`` of stationarity —
+via Rosenthal's lemma with the conservative Doeblin pair
+``(k0, eps) = (|S|, p0^{|S|})``.
+
+The experiment computes, for specimen chains: the exact total-variation
+distance to stationarity after ``k`` steps, the Rosenthal envelope
+``(1 - eps)^{floor(k/k0)}``, and the block length ``beta`` at a given
+``D`` — verifying envelope domination everywhere and showing how much
+slack the proof's constants carry (orders of magnitude, which is why
+the coupling argument survives every union bound it is fed into).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.base import DEFAULT_SEED, ExperimentResult, check_scale
+from repro.markov.classify import classify_states
+from repro.markov.coupling import (
+    doeblin_epsilon,
+    mixing_block_length,
+    rosenthal_envelope,
+)
+from repro.markov.random_automata import (
+    biased_walk_automaton,
+    random_bounded_automaton,
+    uniform_walk_automaton,
+)
+from repro.markov.stationary import stationary_distribution, total_variation
+from repro.sim.rng import derive_seed
+from repro.sim.runner import ExperimentRow, rows_to_markdown
+from repro.sim.stats import mean_ci
+
+_SCALES = {
+    "smoke": {"steps": (1, 2, 4, 8, 16, 32), "distance": 64},
+    "paper": {"steps": (1, 2, 4, 8, 16, 32, 64, 128, 256), "distance": 256},
+}
+
+
+def specimens(seed: int):
+    rng = np.random.default_rng(derive_seed(seed, 1600))
+    return [
+        ("uniform-walk", uniform_walk_automaton()),
+        ("biased-walk", biased_walk_automaton([3, 1, 2, 2], ell=3)),
+        ("random(b=2,l=2)", random_bounded_automaton(rng, bits=2, ell=2)),
+    ]
+
+
+def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
+    params = _SCALES[check_scale(scale)]
+    distance = params["distance"]
+    rows = []
+    checks = {}
+    notes = []
+
+    for name, automaton in specimens(seed):
+        chain = automaton.to_markov_chain()
+        classification = classify_states(chain)
+        members = sorted(classification.recurrent_classes[0])
+        sub = chain.restricted_to(members)
+        pi = stationary_distribution(sub)
+        epsilon = doeblin_epsilon(sub)
+        k0 = sub.n_states
+        beta = mixing_block_length(sub, distance)
+
+        measured_final = None
+        for k in params["steps"]:
+            measured = total_variation(sub.distribution_after(k), pi)
+            envelope = rosenthal_envelope(k, k0, epsilon)
+            measured_final = measured
+            rows.append(
+                ExperimentRow(
+                    params={"chain": name, "k": k},
+                    estimate=mean_ci([measured]),
+                    extras={
+                        "rosenthal envelope": envelope,
+                        "doeblin eps": epsilon,
+                        "beta(D)": float(beta),
+                    },
+                )
+            )
+            checks[f"{name} k={k}: measured TV <= envelope"] = (
+                measured <= envelope + 1e-12
+            )
+        checks[f"{name}: mixed well before beta"] = (
+            measured_final is not None and measured_final < 0.05
+        )
+        notes.append(
+            f"{name}: exact TV reaches {measured_final:.2e} within "
+            f"{params['steps'][-1]} steps while the proof budgets "
+            f"beta = {beta} rounds at D = {distance} — the envelope's "
+            f"slack is what lets Section 4 afford a union bound over "
+            f"Delta/beta groups."
+        )
+
+    table = rows_to_markdown(
+        rows,
+        ["chain", "k"],
+        "TV to stationarity",
+        ["rosenthal envelope", "doeblin eps", "beta(D)"],
+    )
+    return ExperimentResult(
+        experiment_id="E16",
+        title="Doeblin/Rosenthal mixing envelopes inside recurrent classes",
+        paper_claim=(
+            "Corollary 4.6 via Lemma A.2: ||pi_{r+beta,s} - pi|| <= "
+            "(1 - p0^{|S|})^{floor(k/|S|)}, so beta = c |S| ln(D)/p0^{|S|} "
+            "rounds suffice for 1/D^c closeness."
+        ),
+        table=table,
+        checks=checks,
+        notes=notes,
+    )

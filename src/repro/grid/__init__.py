@@ -1,0 +1,60 @@
+"""Grid substrate: the infinite two-dimensional lattice of the ANTS model.
+
+The paper's model (Section 2) places ``n`` agents on the infinite grid
+``Z^2``.  This subpackage provides the geometric vocabulary (points,
+directions, norms), the world abstraction that knows where the target
+is, target-placement strategies, and the return-to-origin oracle.
+
+Nothing in here materializes the grid; coordinates are plain integers,
+so agents can roam arbitrarily far at O(1) cost per move.
+"""
+
+from repro.grid.geometry import (
+    Direction,
+    Point,
+    ORIGIN,
+    chebyshev,
+    chebyshev_norm,
+    manhattan,
+    manhattan_norm,
+    l_path_hit_moves,
+    l_path_hits,
+    l_path_points,
+    square_boundary_points,
+    square_lattice,
+)
+from repro.grid.multi import MultiTargetWorld, forage_until_all_found
+from repro.grid.oracle import ReturnOracle, bresenham_return_path
+from repro.grid.targets import (
+    CornerTarget,
+    FixedTarget,
+    RingTarget,
+    TargetPlacement,
+    UniformSquareTarget,
+)
+from repro.grid.world import GridWorld
+
+__all__ = [
+    "Direction",
+    "Point",
+    "ORIGIN",
+    "chebyshev",
+    "chebyshev_norm",
+    "manhattan",
+    "manhattan_norm",
+    "l_path_hit_moves",
+    "l_path_hits",
+    "l_path_points",
+    "square_boundary_points",
+    "square_lattice",
+    "ReturnOracle",
+    "bresenham_return_path",
+    "GridWorld",
+    "MultiTargetWorld",
+    "forage_until_all_found",
+    "TargetPlacement",
+    "FixedTarget",
+    "CornerTarget",
+    "UniformSquareTarget",
+    "RingTarget",
+]

@@ -1,0 +1,164 @@
+"""Multi-target worlds: foraging with several food items.
+
+The paper's model has a single target, but its motivating scenario —
+central-place foraging — naturally has many.  :class:`MultiTargetWorld`
+is interface-compatible with :class:`~repro.grid.world.GridWorld` (the
+engine only calls ``is_target``/``record_visit``), with first-find
+semantics over the *union* of targets; per-target discovery bookkeeping
+supports foraging studies like ``examples/foraging_colony.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.errors import InvalidParameterError
+from repro.grid.geometry import Point, chebyshev_norm
+
+
+class MultiTargetWorld:
+    """An infinite grid with several targets within max-norm distance D.
+
+    ``is_target`` answers for the union, so a search engine's outcome
+    reflects the first discovery of *any* item; :attr:`discovered`
+    records which items have been stepped on so far (by any agent),
+    letting callers continue a run until all items are found.
+    """
+
+    def __init__(
+        self,
+        targets: Iterable[Point],
+        distance_bound: int,
+        *,
+        track_visits: bool = False,
+    ) -> None:
+        target_list = list(targets)
+        if not target_list:
+            raise InvalidParameterError("need at least one target")
+        if len(set(target_list)) != len(target_list):
+            raise InvalidParameterError("targets must be distinct")
+        if distance_bound < 0:
+            raise InvalidParameterError(
+                f"distance_bound must be non-negative, got {distance_bound}"
+            )
+        for target in target_list:
+            if chebyshev_norm(target) > distance_bound:
+                raise InvalidParameterError(
+                    f"target {target} lies outside max-norm distance "
+                    f"{distance_bound}"
+                )
+        self._targets: List[Point] = target_list
+        self._target_set: Set[Point] = set(target_list)
+        self._distance_bound = distance_bound
+        self._track_visits = track_visits
+        self._visited: Set[Point] = set()
+        self._discovered: Dict[Point, bool] = {t: False for t in target_list}
+
+    @property
+    def targets(self) -> List[Point]:
+        """All target cells, in construction order."""
+        return list(self._targets)
+
+    @property
+    def distance_bound(self) -> int:
+        """The problem's distance bound ``D``."""
+        return self._distance_bound
+
+    @property
+    def target(self) -> Point:
+        """The nearest undiscovered target (GridWorld-compat convenience).
+
+        Falls back to the nearest target overall once everything has
+        been discovered.
+        """
+        remaining = [t for t, found in self._discovered.items() if not found]
+        pool = remaining or self._targets
+        return min(pool, key=chebyshev_norm)
+
+    def is_target(self, point: Point) -> bool:
+        """True iff ``point`` is any target cell; marks it discovered."""
+        if point in self._target_set:
+            self._discovered[point] = True
+            return True
+        return False
+
+    @property
+    def discovered(self) -> Dict[Point, bool]:
+        """Per-target discovery flags (snapshot)."""
+        return dict(self._discovered)
+
+    @property
+    def all_discovered(self) -> bool:
+        """Whether every item has been stepped on."""
+        return all(self._discovered.values())
+
+    def undiscovered(self) -> List[Point]:
+        """Targets not yet stepped on."""
+        return [t for t, found in self._discovered.items() if not found]
+
+    def record_visit(self, point: Point) -> None:
+        """Window-clipped visit bookkeeping (see GridWorld)."""
+        if self._track_visits and chebyshev_norm(point) <= self._distance_bound:
+            self._visited.add(point)
+
+    @property
+    def visited_cells(self) -> frozenset[Point]:
+        """The distinct window cells visited so far."""
+        return frozenset(self._visited)
+
+    @property
+    def window_size(self) -> int:
+        """Number of cells in the ``[-D, D]^2`` window."""
+        side = 2 * self._distance_bound + 1
+        return side * side
+
+    def coverage_fraction(self) -> float:
+        """Visited fraction of the window."""
+        return len(self._visited) / self.window_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        found = sum(self._discovered.values())
+        return (
+            f"MultiTargetWorld({found}/{len(self._targets)} discovered, "
+            f"D={self._distance_bound})"
+        )
+
+
+def forage_until_all_found(
+    algorithm,
+    n_agents: int,
+    world: MultiTargetWorld,
+    rng,
+    *,
+    move_budget_per_item: int,
+) -> Optional[List[int]]:
+    """Repeatedly search until every item is discovered.
+
+    Each round targets the engine at the union (first find of any
+    remaining item), removes it, and continues with fresh agents —
+    modelling successive foraging trips.  Returns the per-trip
+    ``M_moves`` list, or ``None`` if some trip exhausts its budget.
+    """
+    from repro.sim.engine import EngineConfig, SearchEngine
+    from repro.sim.rng import spawn_generators
+
+    trips: List[int] = []
+    engine = SearchEngine(EngineConfig(move_budget=move_budget_per_item))
+    remaining = world.undiscovered()
+    trip_index = 0
+    while remaining:
+        trip_world = MultiTargetWorld(remaining, world.distance_bound)
+        generators = spawn_generators(
+            rng if isinstance(rng, int) else int(rng.integers(1 << 30)),
+            n_agents * (trip_index + 1),
+        )[-n_agents:]
+        outcome = engine.run(algorithm, n_agents, trip_world, generators)
+        if not outcome.found:
+            return None
+        trips.append(outcome.m_moves)
+        found_items = [t for t, hit in trip_world.discovered.items() if hit]
+        for item in found_items:
+            world.is_target(item)  # mark discovered on the master world
+        remaining = world.undiscovered()
+        trip_index += 1
+    return trips

@@ -1,0 +1,104 @@
+"""The return-to-origin oracle of the paper's model (Section 2).
+
+The model grants agents one non-local capability: an oracle-assisted
+return to the origin along "a shortest path in the grid that keeps
+closest to the straight line connecting the origin to its current
+position".  The analysis then *ignores* the return moves (they at most
+double the move count), and the execution semantics teleport the agent.
+
+This module implements the oracle's actual path so that (a) engines can
+optionally charge for return moves and reproduce the factor <= 2, and
+(b) the model is complete rather than hand-waved.  The path follows the
+Bresenham/DDA discipline: at each step it takes the axis step whose
+resulting cell lies closest to the ideal segment.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.grid.geometry import Point, manhattan_norm
+
+
+def bresenham_return_path(start: Point) -> List[Point]:
+    """Shortest grid path from ``start`` to the origin hugging the segment.
+
+    Returns the full cell sequence including both endpoints, so the
+    number of *moves* is ``len(path) - 1 == manhattan_norm(start)``
+    (shortest possible, since each move changes one coordinate by one).
+
+    The cell chosen at each step minimizes the perpendicular distance to
+    the straight segment from ``start`` to the origin, which is the
+    paper's "keeps closest to the straight line" requirement.  Ties are
+    broken toward the x-axis step, deterministically.
+    """
+    x, y = start
+    path = [start]
+    # Walk toward the origin one axis-step at a time.  The ideal line
+    # through (0,0) and (x0,y0) satisfies  y0*px - x0*py = 0;  the value
+    # |y0*px - x0*py| is proportional to a cell's distance to the line.
+    x0, y0 = start
+    px, py = x, y
+    step_x = -1 if x0 > 0 else 1
+    step_y = -1 if y0 > 0 else 1
+    while (px, py) != (0, 0):
+        if px == 0:
+            py += step_y
+        elif py == 0:
+            px += step_x
+        else:
+            error_if_x = abs(y0 * (px + step_x) - x0 * py)
+            error_if_y = abs(y0 * px - x0 * (py + step_y))
+            if error_if_x <= error_if_y:
+                px += step_x
+            else:
+                py += step_y
+        path.append((px, py))
+    return path
+
+
+class ReturnOracle:
+    """Oracle wrapper with move accounting.
+
+    ``counted`` selects whether returns cost moves.  The paper's metric
+    excludes them ("we ignore the lengths of the return paths in our
+    analysis"); engines default to the uncounted mode but experiments
+    can flip the switch to verify the factor-two claim empirically.
+    """
+
+    def __init__(self, *, counted: bool = False) -> None:
+        self._counted = counted
+        self._total_return_moves = 0
+        self._total_returns = 0
+
+    @property
+    def counted(self) -> bool:
+        """Whether return paths contribute to the move metric."""
+        return self._counted
+
+    @property
+    def total_return_moves(self) -> int:
+        """Accumulated length of all return paths served so far."""
+        return self._total_return_moves
+
+    @property
+    def total_returns(self) -> int:
+        """Number of return requests served so far."""
+        return self._total_returns
+
+    def return_cost(self, position: Point) -> int:
+        """Serve a return request from ``position``.
+
+        Returns the number of moves to charge the agent: the shortest
+        path length when ``counted``, else zero.  Always accumulates the
+        true path length in :attr:`total_return_moves` so experiments
+        can report the overhead even in uncounted mode.
+        """
+        length = manhattan_norm(position)
+        self._total_return_moves += length
+        self._total_returns += 1
+        return length if self._counted else 0
+
+    def path(self, position: Point) -> List[Point]:
+        """The explicit oracle path from ``position`` to the origin."""
+        return bresenham_return_path(position)

@@ -1,0 +1,129 @@
+"""Target-placement strategies.
+
+The paper's statements quantify over target positions in two ways:
+
+* *adversarial* — "there is a placement of the target within distance D"
+  (the lower bound, Theorem 4.1), and the upper bounds hold for *every*
+  placement within distance ``D``;
+* *uniform random* — "a target placed uniformly at random in the square
+  of side 2D centered at the origin" (the second clause of Theorem 4.1).
+
+Each strategy here is a small callable object: ``placement(rng) ->
+Point``.  Deterministic strategies ignore the generator argument, which
+keeps the experiment-runner interface uniform.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.grid.geometry import Point, chebyshev_norm
+
+
+class TargetPlacement(ABC):
+    """Strategy interface producing a target within max-norm distance D."""
+
+    def __init__(self, distance_bound: int) -> None:
+        if distance_bound < 0:
+            raise InvalidParameterError(
+                f"distance_bound must be non-negative, got {distance_bound}"
+            )
+        self._distance_bound = distance_bound
+
+    @property
+    def distance_bound(self) -> int:
+        """The ``D`` this placement is bounded by."""
+        return self._distance_bound
+
+    @abstractmethod
+    def place(self, rng: np.random.Generator) -> Point:
+        """Return target coordinates with ``chebyshev_norm <= D``."""
+
+    def __call__(self, rng: np.random.Generator) -> Point:
+        point = self.place(rng)
+        if chebyshev_norm(point) > self._distance_bound:
+            raise InvalidParameterError(
+                f"{type(self).__name__} produced {point}, outside distance "
+                f"{self._distance_bound}"
+            )
+        return point
+
+
+class FixedTarget(TargetPlacement):
+    """Always the same target cell.
+
+    ``distance_bound`` defaults to the target's own norm, i.e. the
+    tightest admissible ``D``.
+    """
+
+    def __init__(self, target: Point, distance_bound: int | None = None) -> None:
+        norm = chebyshev_norm(target)
+        if distance_bound is None:
+            distance_bound = norm
+        if norm > distance_bound:
+            raise InvalidParameterError(
+                f"target {target} lies outside max-norm distance {distance_bound}"
+            )
+        super().__init__(distance_bound)
+        self._target = target
+
+    def place(self, rng: np.random.Generator) -> Point:
+        return self._target
+
+
+class CornerTarget(TargetPlacement):
+    """The corner ``(D, D)`` of the window — a canonical hard placement.
+
+    The corner maximizes both max-norm and L1 distance, so it needs both
+    legs of an L-sortie to reach their extremes simultaneously; the
+    upper-bound proofs' worst-case constants are exercised here.
+    """
+
+    def place(self, rng: np.random.Generator) -> Point:
+        return (self._distance_bound, self._distance_bound)
+
+
+class UniformSquareTarget(TargetPlacement):
+    """Uniform over all cells of the square ``[-D, D]^2``.
+
+    Matches the "placed uniformly at random in the square of side 2D"
+    clause of Theorem 4.1.
+    """
+
+    def place(self, rng: np.random.Generator) -> Point:
+        d = self._distance_bound
+        x = int(rng.integers(-d, d + 1))
+        y = int(rng.integers(-d, d + 1))
+        return (x, y)
+
+
+class RingTarget(TargetPlacement):
+    """Uniform over the cells at *exactly* max-norm distance ``D``.
+
+    The hardest distance compatible with the bound: expected-time upper
+    bounds are tight for targets on this ring.
+    """
+
+    def place(self, rng: np.random.Generator) -> Point:
+        d = self._distance_bound
+        if d == 0:
+            return (0, 0)
+        # The ring has 8d cells. Index them: 2 horizontal edges of
+        # (2d + 1) cells each, 2 vertical edges of (2d - 1) interior
+        # cells each.
+        index = int(rng.integers(0, 8 * d))
+        top_edge = 2 * d + 1
+        if index < top_edge:
+            return (index - d, d)
+        index -= top_edge
+        if index < top_edge:
+            return (index - d, -d)
+        index -= top_edge
+        side = 2 * d - 1
+        if index < side:
+            return (d, index - d + 1)
+        index -= side
+        return (-d, index - d + 1)

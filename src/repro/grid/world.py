@@ -1,0 +1,110 @@
+"""The searched world: target location plus optional visit accounting.
+
+:class:`GridWorld` is deliberately small.  The grid itself is never
+materialized (agents carry integer coordinates); the world only knows
+where the target is, answers "is this the target?" queries, and — when
+asked to — records the set of distinct cells the colony has visited
+inside the ``D``-window.  That visited set is exactly the quantity the
+lower bound (Theorem 4.1) reasons about: low-chi colonies cover only
+``o(D^2)`` of the ``Theta(D^2)`` window cells.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.errors import InvalidParameterError
+from repro.grid.geometry import Point, chebyshev_norm
+
+
+class GridWorld:
+    """An infinite grid with a single target at max-norm distance <= D.
+
+    Parameters
+    ----------
+    target:
+        Grid coordinates of the target.
+    distance_bound:
+        The ``D`` of the problem statement.  The target must lie within
+        max-norm distance ``D`` of the origin; this is validated eagerly.
+    track_visits:
+        When true, :meth:`record_visit` accumulates the set of distinct
+        cells visited inside the ``[-D, D]^2`` window, enabling coverage
+        measurements for the lower-bound experiments.  Defaults to off
+        because the set costs memory proportional to coverage.
+    """
+
+    def __init__(
+        self, target: Point, distance_bound: int, *, track_visits: bool = False
+    ) -> None:
+        if distance_bound < 0:
+            raise InvalidParameterError(
+                f"distance_bound must be non-negative, got {distance_bound}"
+            )
+        if chebyshev_norm(target) > distance_bound:
+            raise InvalidParameterError(
+                f"target {target} lies outside max-norm distance {distance_bound}"
+            )
+        self._target = target
+        self._distance_bound = distance_bound
+        self._track_visits = track_visits
+        self._visited: Set[Point] = set()
+
+    @property
+    def target(self) -> Point:
+        """The target's coordinates."""
+        return self._target
+
+    @property
+    def distance_bound(self) -> int:
+        """The problem's distance bound ``D``."""
+        return self._distance_bound
+
+    @property
+    def target_distance(self) -> int:
+        """Actual max-norm distance of the target from the origin."""
+        return chebyshev_norm(self._target)
+
+    def is_target(self, point: Point) -> bool:
+        """True iff ``point`` is the target cell."""
+        return point == self._target
+
+    def record_visit(self, point: Point) -> None:
+        """Record that some agent stood on ``point``.
+
+        Only cells inside the ``[-D, D]^2`` window are retained; the
+        lower bound's coverage statement concerns that window only.
+        No-op unless the world was built with ``track_visits=True``.
+        """
+        if self._track_visits and chebyshev_norm(point) <= self._distance_bound:
+            self._visited.add(point)
+
+    def record_visits(self, points: Iterable[Point]) -> None:
+        """Record a batch of visits (see :meth:`record_visit`)."""
+        for point in points:
+            self.record_visit(point)
+
+    @property
+    def visited_cells(self) -> frozenset[Point]:
+        """The distinct window cells visited so far (frozen snapshot)."""
+        return frozenset(self._visited)
+
+    @property
+    def window_size(self) -> int:
+        """Number of cells in the ``[-D, D]^2`` window: ``(2D+1)^2``."""
+        side = 2 * self._distance_bound + 1
+        return side * side
+
+    def coverage_fraction(self) -> float:
+        """Fraction of window cells visited: ``|visited| / (2D+1)^2``.
+
+        The lower bound predicts this stays ``o(1)`` for below-threshold
+        colonies even after ``D^{2-o(1)}`` moves per agent.
+        """
+        return len(self._visited) / self.window_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GridWorld(target={self._target}, D={self._distance_bound}, "
+            f"visited={len(self._visited)})"
+        )

@@ -1,0 +1,55 @@
+"""Lower-bound machinery (Section 4 of the paper).
+
+Theorem 4.1: any algorithm with ``chi(A) <= log log D - omega(1)`` and
+``n in poly(D)`` agents leaves some target within distance ``D``
+unfound for ``D^{2-o(1)}`` moves w.h.p., and finds a uniformly placed
+target within that horizon only with probability ``o(1)``.
+
+The proof pipeline — absorb into a recurrent class, mix to
+stationarity, concentrate along per-class drift lines, cover only a
+union of thin tubes — is implemented here as executable analysis:
+
+* :mod:`repro.lowerbound.theory` — the explicit quantities (``R0``,
+  ``beta``, ``Delta``, the chi margin);
+* :mod:`repro.lowerbound.drift` — per-class drift vectors and deviation
+  measurements (Corollary 4.10);
+* :mod:`repro.lowerbound.coverage` — the predicted visited set ``G``
+  (union of tubes) and empirical coverage;
+* :mod:`repro.lowerbound.colony` — vectorized colony simulation of an
+  arbitrary automaton;
+* :mod:`repro.lowerbound.certify` — an end-to-end certificate for a
+  given automaton and ``D``, including a constructive adversarial
+  target placement.
+"""
+
+from repro.lowerbound.certify import LowerBoundCertificate, certify
+from repro.lowerbound.colony import ColonyResult, simulate_colony
+from repro.lowerbound.coverage import (
+    adversarial_target,
+    predicted_coverage_fraction,
+    ray_distance,
+)
+from repro.lowerbound.drift import DriftLine, drift_profile, measure_max_deviation
+from repro.lowerbound.theory import (
+    chi_margin,
+    horizon_moves,
+    initial_rounds_r0,
+    speedup_cap_below_threshold,
+)
+
+__all__ = [
+    "LowerBoundCertificate",
+    "certify",
+    "ColonyResult",
+    "simulate_colony",
+    "adversarial_target",
+    "predicted_coverage_fraction",
+    "ray_distance",
+    "DriftLine",
+    "drift_profile",
+    "measure_max_deviation",
+    "chi_margin",
+    "horizon_moves",
+    "initial_rounds_r0",
+    "speedup_cap_below_threshold",
+]

@@ -1,0 +1,133 @@
+"""Vectorized simulation of an automaton colony (the lower-bound workload).
+
+Runs ``n`` independent copies of an arbitrary agent automaton for a
+fixed number of synchronous rounds, tracking:
+
+* the set of distinct cells visited inside the ``[-D, D]^2`` window (a
+  dense boolean array — the coverage quantity of Theorem 4.1);
+* per-agent move counts and the colony ``M_moves`` / ``M_steps`` for an
+  optional target.
+
+One round costs O(n) numpy work, so ``D^2``-scale horizons at the
+experiment sizes run in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.automaton import Automaton
+from repro.errors import InvalidParameterError
+from repro.grid.geometry import Point
+
+
+@dataclass
+class ColonyResult:
+    """Outcome of a fixed-horizon colony run."""
+
+    n_agents: int
+    rounds: int
+    window_radius: int
+    visited: np.ndarray
+    found: bool
+    m_moves: Optional[int]
+    m_steps: Optional[int]
+    finder: Optional[int]
+
+    @property
+    def coverage_fraction(self) -> float:
+        """Visited fraction of the ``(2D+1)^2`` window."""
+        return float(self.visited.sum()) / self.visited.size
+
+    def visited_count(self) -> int:
+        """Number of distinct window cells visited."""
+        return int(self.visited.sum())
+
+
+def simulate_colony(
+    automaton: Automaton,
+    n_agents: int,
+    rounds: int,
+    rng: np.random.Generator,
+    *,
+    window_radius: int,
+    target: Optional[Point] = None,
+) -> ColonyResult:
+    """Run the colony for ``rounds`` synchronous rounds.
+
+    The run does not stop at the first find — the lower-bound
+    experiments measure coverage over the whole horizon — but it does
+    record the first find's ``M_moves``/``M_steps`` when a target is
+    given.
+    """
+    if n_agents < 1:
+        raise InvalidParameterError(f"n_agents must be >= 1, got {n_agents}")
+    if rounds < 1:
+        raise InvalidParameterError(f"rounds must be >= 1, got {rounds}")
+    if window_radius < 1:
+        raise InvalidParameterError(
+            f"window_radius must be >= 1, got {window_radius}"
+        )
+
+    side = 2 * window_radius + 1
+    visited = np.zeros((side, side), dtype=bool)
+    visited[window_radius, window_radius] = True  # everyone starts at origin
+
+    states = np.full(n_agents, automaton.start, dtype=np.int64)
+    positions = np.zeros((n_agents, 2), dtype=np.int64)
+    moves = np.zeros(n_agents, dtype=np.int64)
+    move_vectors = automaton.move_vectors()
+    origin_mask_by_state = automaton.origin_state_mask()
+
+    target_array = None if target is None else np.asarray(target, dtype=np.int64)
+    best_moves: Optional[int] = None
+    best_steps: Optional[int] = None
+    finder: Optional[int] = None
+    found_mask = np.zeros(n_agents, dtype=bool)
+
+    for round_index in range(1, rounds + 1):
+        states = automaton.step_many(rng, states)
+        displacements = move_vectors[states]
+        positions += displacements
+        teleported = origin_mask_by_state[states]
+        if np.any(teleported):
+            positions[teleported] = 0
+        is_move = (displacements[:, 0] != 0) | (displacements[:, 1] != 0)
+        moves += is_move
+
+        in_window = (np.abs(positions) <= window_radius).all(axis=1)
+        if np.any(in_window):
+            xs = positions[in_window, 0] + window_radius
+            ys = positions[in_window, 1] + window_radius
+            visited[xs, ys] = True
+
+        if target_array is not None:
+            hits = (
+                is_move
+                & ~found_mask
+                & (positions[:, 0] == target_array[0])
+                & (positions[:, 1] == target_array[1])
+            )
+            if np.any(hits):
+                hit_ids = np.flatnonzero(hits)
+                found_mask[hit_ids] = True
+                candidate = int(moves[hit_ids].min())
+                if best_moves is None or candidate < best_moves:
+                    best_moves = candidate
+                    finder = int(hit_ids[np.argmin(moves[hit_ids])])
+                if best_steps is None:
+                    best_steps = round_index
+
+    return ColonyResult(
+        n_agents=n_agents,
+        rounds=rounds,
+        window_radius=window_radius,
+        visited=visited,
+        found=best_moves is not None,
+        m_moves=best_moves,
+        m_steps=best_steps,
+        finder=finder,
+    )

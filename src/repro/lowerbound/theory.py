@@ -1,0 +1,103 @@
+"""The explicit quantities of the lower-bound proof (Section 4.2).
+
+The proof's asymptotic shorthands are made concrete:
+
+* ``R0 = p0^{-2^b} * 2^b * c * log D`` — rounds after which every agent
+  is inside a recurrent class w.h.p. (Lemma 4.2 / Corollary 4.3);
+* ``beta = c * |S| * ln(D) / p0^{|S|}`` — the mixing block length
+  (Corollary 4.6; computed in :mod:`repro.markov.coupling`);
+* ``Delta = D^{2 - epsilon}`` — the move/step horizon within which the
+  adversarial target stays unfound;
+* the chi margin ``log log D - chi`` that must be ``omega(1)`` for the
+  bound to bite.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.selection import chi_threshold
+from repro.errors import InvalidParameterError
+
+
+def chi_margin(chi: float, distance: int) -> float:
+    """``log2 log2 D - chi``: positive and growing means "below threshold"."""
+    return chi_threshold(distance) - chi
+
+
+def horizon_moves(distance: int, epsilon: float = 0.25) -> int:
+    """The lower bound's horizon ``Delta = D^{2 - epsilon}``.
+
+    The paper's ``o(1)`` exponent deficit is an explicit ``epsilon``
+    here; experiments report results at several epsilons.
+    """
+    if distance < 2:
+        raise InvalidParameterError(f"distance must be >= 2, got {distance}")
+    if not 0.0 < epsilon <= 1.0:
+        raise InvalidParameterError(f"epsilon must be in (0, 1], got {epsilon}")
+    return max(1, math.ceil(distance ** (2.0 - epsilon)))
+
+
+def initial_rounds_r0(
+    p0: float, bits: int, distance: int, c: float = 1.0
+) -> float:
+    """Lemma 4.2's ``R0 = p0^{-2^b} * 2^b * c * log D``.
+
+    Within ``R0`` rounds every always-reachable state is visited w.h.p.;
+    in particular the agent reaches a recurrent class.  For
+    below-threshold machines this is ``D^{o(1)}``.
+    """
+    if not 0.0 < p0 <= 1.0:
+        raise InvalidParameterError(f"p0 must be in (0, 1], got {p0}")
+    if bits < 0:
+        raise InvalidParameterError(f"bits must be >= 0, got {bits}")
+    if distance < 2:
+        raise InvalidParameterError(f"distance must be >= 2, got {distance}")
+    if c <= 0:
+        raise InvalidParameterError(f"c must be positive, got {c}")
+    n_states = 2**bits
+    return p0 ** (-n_states) * n_states * c * math.log2(distance)
+
+
+def tube_width(distance: int, n_states: int) -> float:
+    """The concentration width ``o(D / |S|)`` made explicit.
+
+    Corollary 4.10 bounds each agent's deviation from its drift line by
+    ``o(D/|S|)``; finite experiments use ``D / (|S| * log2 D)`` as the
+    concrete envelope (any ``o(D/|S|)`` choice that shrinks relative to
+    ``D/|S|`` as ``D`` grows reproduces the argument's shape).
+    """
+    if distance < 4:
+        raise InvalidParameterError(f"distance must be >= 4, got {distance}")
+    if n_states < 1:
+        raise InvalidParameterError(f"n_states must be >= 1, got {n_states}")
+    return distance / (n_states * math.log2(distance))
+
+
+def speedup_cap_below_threshold(
+    distance: int, n_agents: int, epsilon: float = 0.25
+) -> float:
+    """The lower bound's speed-up ceiling ``min{n, D^{o(1)}}``.
+
+    With the explicit horizon exponent deficit ``epsilon``, the
+    achievable speed-up of a below-threshold colony over the optimal
+    single agent is at most ``min{n, D^epsilon}`` — compare with the
+    optimal ``min{n, D}`` above the threshold.
+    """
+    if distance < 2:
+        raise InvalidParameterError(f"distance must be >= 2, got {distance}")
+    if n_agents < 1:
+        raise InvalidParameterError(f"n_agents must be >= 1, got {n_agents}")
+    return float(min(float(n_agents), distance**epsilon))
+
+
+def is_poly_agents(distance: int, n_agents: int, max_degree: float = 3.0) -> bool:
+    """Whether ``n`` is within the bound's ``poly(D)`` hypothesis.
+
+    The lower bound assumes ``n in poly(D)`` (exponentially many random
+    walkers *do* find the target quickly); experiments assert their
+    configurations satisfy this.
+    """
+    if distance < 2:
+        return n_agents <= 1
+    return n_agents <= distance**max_degree

@@ -1,0 +1,58 @@
+"""Markov-chain substrate for the lower-bound analysis (Section 4).
+
+The paper's lower bound treats each agent as a finite Markov chain and
+argues: the agent falls into a recurrent class within ``D^{o(1)}``
+rounds (Corollary 4.3); within a class, distributions converge to
+stationarity at Doeblin rate (Corollary 4.6 via Rosenthal's lemma);
+hence trajectories concentrate along per-class drift lines (Corollary
+4.10).  This subpackage implements each ingredient from scratch:
+
+* :mod:`repro.markov.chain` — dense finite chains with validation and
+  (vectorized) sampling;
+* :mod:`repro.markov.classify` — Tarjan SCCs, transient/recurrent
+  classification;
+* :mod:`repro.markov.periodicity` — class periods and Feller's cyclic
+  classes (Theorem A.1);
+* :mod:`repro.markov.stationary` — stationary distributions, Cesaro
+  averages, total-variation distance;
+* :mod:`repro.markov.coupling` — the Doeblin/Rosenthal convergence
+  envelope (Lemma A.2);
+* :mod:`repro.markov.random_automata` — the adversary families of
+  bounded-chi agent automata the experiments instantiate.
+"""
+
+from repro.markov.chain import MarkovChain
+from repro.markov.classify import StateClassification, classify_states, strongly_connected_components
+from repro.markov.coupling import doeblin_epsilon, rosenthal_envelope
+from repro.markov.hitting import (
+    expected_absorption_time,
+    expected_hitting_times,
+    expected_return_time,
+    fundamental_matrix,
+)
+from repro.markov.periodicity import class_period, cyclic_classes
+from repro.markov.stationary import (
+    cesaro_distribution,
+    occupation_distribution,
+    stationary_distribution,
+    total_variation,
+)
+
+__all__ = [
+    "MarkovChain",
+    "StateClassification",
+    "classify_states",
+    "strongly_connected_components",
+    "doeblin_epsilon",
+    "rosenthal_envelope",
+    "expected_absorption_time",
+    "expected_hitting_times",
+    "expected_return_time",
+    "fundamental_matrix",
+    "class_period",
+    "cyclic_classes",
+    "cesaro_distribution",
+    "occupation_distribution",
+    "stationary_distribution",
+    "total_variation",
+]

@@ -1,0 +1,180 @@
+"""State classification: SCCs, transient and recurrent classes.
+
+Corollary 4.3 of the paper needs the recurrent classes of an agent's
+chain: within ``R0 = D^{o(1)}`` rounds the agent is in one of them
+w.h.p. and never leaves.  A recurrent class is exactly a strongly
+connected component with no outgoing edge in the condensation.
+
+The SCC computation is an iterative Tarjan (explicit stack, no
+recursion) implemented from scratch — chains here are small, but the
+implementation is exact and property-tested against brute-force
+reachability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.markov.chain import MarkovChain
+
+
+def strongly_connected_components(adjacency: np.ndarray) -> List[List[int]]:
+    """Tarjan's algorithm, iteratively, on a boolean adjacency matrix.
+
+    Returns components in reverse topological order (every edge between
+    components points from a later list entry to an earlier one), which
+    is the order Tarjan naturally emits.
+    """
+    matrix = np.asarray(adjacency, dtype=bool)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise InvalidParameterError(
+            f"adjacency must be square, got shape {matrix.shape}"
+        )
+    n = matrix.shape[0]
+    successors = [np.flatnonzero(matrix[v]).tolist() for v in range(n)]
+
+    index_of = [-1] * n
+    low_link = [0] * n
+    on_stack = [False] * n
+    stack: List[int] = []
+    components: List[List[int]] = []
+    next_index = 0
+
+    for root in range(n):
+        if index_of[root] != -1:
+            continue
+        # Each work item is (vertex, iterator position into successors).
+        work: List[Tuple[int, int]] = [(root, 0)]
+        while work:
+            vertex, position = work[-1]
+            if position == 0:
+                index_of[vertex] = next_index
+                low_link[vertex] = next_index
+                next_index += 1
+                stack.append(vertex)
+                on_stack[vertex] = True
+            advanced = False
+            for offset in range(position, len(successors[vertex])):
+                child = successors[vertex][offset]
+                if index_of[child] == -1:
+                    work[-1] = (vertex, offset + 1)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if on_stack[child]:
+                    low_link[vertex] = min(low_link[vertex], index_of[child])
+            if advanced:
+                continue
+            work.pop()
+            if low_link[vertex] == index_of[vertex]:
+                component: List[int] = []
+                while True:
+                    node = stack.pop()
+                    on_stack[node] = False
+                    component.append(node)
+                    if node == vertex:
+                        break
+                components.append(sorted(component))
+            if work:
+                parent, _ = work[-1]
+                low_link[parent] = min(low_link[parent], low_link[vertex])
+    return components
+
+
+@dataclass(frozen=True)
+class StateClassification:
+    """Partition of a chain's states into recurrent classes and transients."""
+
+    recurrent_classes: Tuple[FrozenSet[int], ...]
+    transient_states: FrozenSet[int]
+
+    @property
+    def n_recurrent_classes(self) -> int:
+        """Number of recurrent classes (the ``|C|`` of Section 4)."""
+        return len(self.recurrent_classes)
+
+    def class_of(self, state: int) -> FrozenSet[int] | None:
+        """The recurrent class containing ``state``, or ``None``."""
+        for cls in self.recurrent_classes:
+            if state in cls:
+                return cls
+        return None
+
+    def is_recurrent(self, state: int) -> bool:
+        """Whether ``state`` belongs to some recurrent class."""
+        return self.class_of(state) is not None
+
+
+def classify_states(chain: MarkovChain) -> StateClassification:
+    """Partition states: an SCC is recurrent iff it has no exit edge."""
+    adjacency = chain.adjacency()
+    components = strongly_connected_components(adjacency)
+    recurrent: List[FrozenSet[int]] = []
+    transient: List[int] = []
+    for component in components:
+        members = np.asarray(component, dtype=np.int64)
+        outside = np.setdiff1d(np.arange(chain.n_states), members, assume_unique=False)
+        leaks = bool(adjacency[np.ix_(members, outside)].any()) if outside.size else False
+        if leaks:
+            transient.extend(component)
+        else:
+            recurrent.append(frozenset(component))
+    return StateClassification(
+        recurrent_classes=tuple(sorted(recurrent, key=min)),
+        transient_states=frozenset(transient),
+    )
+
+
+def reachable_from(chain: MarkovChain, state: int) -> FrozenSet[int]:
+    """All states reachable from ``state`` (including itself)."""
+    if not 0 <= state < chain.n_states:
+        raise InvalidParameterError(f"state {state} out of range")
+    adjacency = chain.adjacency()
+    seen = {state}
+    frontier = [state]
+    while frontier:
+        vertex = frontier.pop()
+        for child in np.flatnonzero(adjacency[vertex]):
+            child = int(child)
+            if child not in seen:
+                seen.add(child)
+                frontier.append(child)
+    return frozenset(seen)
+
+
+def absorbing_probability_classes(
+    chain: MarkovChain, classification: StateClassification | None = None
+) -> dict[FrozenSet[int], float]:
+    """Probability of being absorbed into each recurrent class from ``s0``.
+
+    Solves the standard first-step linear system on the transient
+    states.  Used by the lower-bound certifier to weight per-class drift
+    predictions by how likely an agent is to land in each class.
+    """
+    classification = classification or classify_states(chain)
+    matrix = chain.matrix
+    transient = sorted(classification.transient_states)
+    index_in_transient = {state: i for i, state in enumerate(transient)}
+    result: dict[FrozenSet[int], float] = {}
+    if not transient:
+        for cls in classification.recurrent_classes:
+            result[cls] = 1.0 if chain.start in cls else 0.0
+        return result
+
+    q = matrix[np.ix_(transient, transient)]
+    identity = np.eye(len(transient))
+    for cls in classification.recurrent_classes:
+        members = sorted(cls)
+        into_class = matrix[np.ix_(transient, members)].sum(axis=1)
+        absorbed = np.linalg.solve(identity - q, into_class)
+        if chain.start in cls:
+            result[cls] = 1.0
+        elif chain.start in index_in_transient:
+            result[cls] = float(absorbed[index_in_transient[chain.start]])
+        else:
+            result[cls] = 0.0
+    return result

@@ -1,0 +1,73 @@
+"""Doeblin/Rosenthal convergence envelopes (paper's Lemma A.2).
+
+Rosenthal's lemma: if ``P^{k0}(x, .) >= eps * Q(.)`` for all ``x``,
+then ``||pi_k - pi|| <= (1 - eps)^{floor(k/k0)}``.  The paper
+instantiates it with ``k0 = |S|`` (any two states of a recurrent class
+are connected by a path of < ``|S|`` hops) and ``eps = p0^{|S|}`` (each
+hop has probability at least ``p0 >= 2^{-l}``), yielding Corollary 4.6:
+after ``beta = c |S| ln(D) / p0^{|S|}`` rounds the state distribution
+is within ``1/D^c`` of stationarity.  These quantities — not asymptotic
+stand-ins — are computed here and compared against measured
+total-variation decay in the tests and experiments.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import InvalidParameterError
+from repro.markov.chain import MarkovChain
+
+
+def doeblin_epsilon(chain: MarkovChain) -> float:
+    """The paper's conservative minorization constant ``p0^{|S|}``.
+
+    Any state of a recurrent class reaches any other within ``|S| - 1``
+    hops, each of probability >= ``p0``; padding to exactly ``|S|``
+    steps can cost one more factor, hence the exponent ``|S|``.
+    """
+    p0 = chain.min_positive_probability()
+    return p0**chain.n_states
+
+
+def rosenthal_envelope(k: int, k0: int, epsilon: float) -> float:
+    """``(1 - eps)^{floor(k / k0)}`` — the TV bound after ``k`` steps."""
+    if k < 0:
+        raise InvalidParameterError(f"k must be >= 0, got {k}")
+    if k0 < 1:
+        raise InvalidParameterError(f"k0 must be >= 1, got {k0}")
+    if not 0.0 < epsilon <= 1.0:
+        raise InvalidParameterError(f"epsilon must be in (0, 1], got {epsilon}")
+    return (1.0 - epsilon) ** (k // k0)
+
+
+def mixing_block_length(chain: MarkovChain, distance: int, c: float = 1.0) -> int:
+    """The paper's block length ``beta = c |S| ln(D) / p0^{|S|}``.
+
+    After ``beta`` rounds inside a recurrent class the distribution is
+    within ``D^{-Theta(c)}`` of stationary; the coupling argument spaces
+    each group's rounds ``beta`` apart.  For below-threshold chains
+    (``chi <= log log D - omega(1)``) this is ``D^{o(1)}``.
+    """
+    if distance < 3:
+        raise InvalidParameterError(f"distance must be >= 3, got {distance}")
+    if c <= 0:
+        raise InvalidParameterError(f"c must be positive, got {c}")
+    epsilon = doeblin_epsilon(chain)
+    beta = c * chain.n_states * math.log(distance) / epsilon
+    return max(1, math.ceil(beta))
+
+
+def steps_for_tv_target(chain: MarkovChain, tv_target: float) -> int:
+    """Steps after which the Rosenthal envelope drops below ``tv_target``.
+
+    Uses ``k0 = |S|`` and ``eps = p0^{|S|}`` — the same conservative
+    parameters the paper's proof commits to.
+    """
+    if not 0.0 < tv_target < 1.0:
+        raise InvalidParameterError(f"tv_target must be in (0, 1), got {tv_target}")
+    epsilon = doeblin_epsilon(chain)
+    if epsilon >= 1.0:
+        return chain.n_states
+    blocks = math.ceil(math.log(tv_target) / math.log(1.0 - epsilon))
+    return blocks * chain.n_states

@@ -1,0 +1,84 @@
+"""Periods and cyclic classes (Feller's theorem; paper's Theorem A.1).
+
+An irreducible chain with period ``t`` partitions into cyclic classes
+``G_0..G_{t-1}`` such that one-step transitions always advance to the
+next class (mod ``t``), and ``P^t`` restricted to each ``G_tau`` is an
+irreducible closed chain.  The paper's coupling argument (Section
+4.2.2) groups rounds by residue so that each group mixes inside one
+cyclic class.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError, InvalidParameterError
+from repro.markov.chain import MarkovChain
+
+
+def _bfs_levels(adjacency: np.ndarray, members: Sequence[int], root: int) -> dict[int, int]:
+    """BFS levels of ``members`` from ``root`` within the class subgraph."""
+    member_set = set(int(m) for m in members)
+    levels = {root: 0}
+    frontier = [root]
+    while frontier:
+        next_frontier: List[int] = []
+        for vertex in frontier:
+            for child in np.flatnonzero(adjacency[vertex]):
+                child = int(child)
+                if child in member_set and child not in levels:
+                    levels[child] = levels[vertex] + 1
+                    next_frontier.append(child)
+        frontier = next_frontier
+    return levels
+
+
+def class_period(chain: MarkovChain, members: Sequence[int]) -> int:
+    """Period of an irreducible (e.g. recurrent) class of states.
+
+    Computed as ``gcd`` over all intra-class edges ``(u, v)`` of
+    ``level(u) + 1 - level(v)`` for BFS levels from an arbitrary root —
+    the standard linear-time period algorithm.
+    """
+    member_list = sorted(set(int(m) for m in members))
+    if not member_list:
+        raise InvalidParameterError("class must be non-empty")
+    adjacency = chain.adjacency()
+    root = member_list[0]
+    levels = _bfs_levels(adjacency, member_list, root)
+    if set(levels) != set(member_list):
+        raise AnalysisError("class is not strongly connected from its root")
+    period = 0
+    for u in member_list:
+        for v in np.flatnonzero(adjacency[u]):
+            v = int(v)
+            if v in levels:
+                period = math.gcd(period, levels[u] + 1 - levels[v])
+    if period == 0:
+        raise AnalysisError("class has no internal edges")
+    return abs(period)
+
+
+def cyclic_classes(chain: MarkovChain, members: Sequence[int]) -> List[List[int]]:
+    """Feller's classes ``G_0..G_{t-1}`` of an irreducible class.
+
+    ``G_tau`` collects the states whose BFS level from the root is
+    ``tau (mod t)``; Theorem A.1 guarantees one-step transitions map
+    ``G_tau`` into ``G_{tau+1 mod t}``, which the tests verify.
+    """
+    member_list = sorted(set(int(m) for m in members))
+    period = class_period(chain, member_list)
+    adjacency = chain.adjacency()
+    levels = _bfs_levels(adjacency, member_list, member_list[0])
+    classes: List[List[int]] = [[] for _ in range(period)]
+    for state in member_list:
+        classes[levels[state] % period].append(state)
+    return [sorted(group) for group in classes]
+
+
+def is_aperiodic(chain: MarkovChain, members: Sequence[int]) -> bool:
+    """Whether the class has period one."""
+    return class_period(chain, members) == 1

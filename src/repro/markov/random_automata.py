@@ -1,0 +1,175 @@
+"""Adversary families: agent automata with bounded selection complexity.
+
+The lower bound (Theorem 4.1) quantifies over *all* algorithms with
+``chi(A) = b + log2(l) <= log log D - omega(1)``.  Finite experiments
+cannot quantify over all of them, so they sample from families that
+span the regime's behaviours:
+
+* :func:`random_bounded_automaton` — uniformly structured random
+  machines with ``2^b`` states whose transition probabilities are
+  multiples of ``2^{-l}`` (so ``p_min >= 2^{-l}`` holds exactly);
+* :func:`uniform_walk_automaton` — the uniform random walk (the
+  classical ``min{log n, D}``-speed-up baseline the paper cites);
+* :func:`biased_walk_automaton` — drifting walkers, the behaviour the
+  lower-bound proof shows *every* small machine degenerates to;
+* :func:`cycle_automaton` — deterministic periodic machines exercising
+  the periodicity machinery (Feller classes, Cesaro limits).
+
+All constructors return :class:`repro.core.automaton.Automaton` with
+state 0 labeled ORIGIN as the model requires.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.actions import Action
+from repro.core.automaton import Automaton
+from repro.errors import InvalidParameterError
+
+_MOVE_LABELS = [Action.UP, Action.DOWN, Action.LEFT, Action.RIGHT]
+_DEFAULT_LABEL_POOL = [*_MOVE_LABELS, Action.NONE]
+
+
+def _dyadic_row(
+    rng: np.random.Generator, n_states: int, out_degree: int, ell: int
+) -> np.ndarray:
+    """A random row whose positive entries are multiples of ``2^{-l}``.
+
+    Distributes the ``2^l`` probability quanta over ``out_degree``
+    distinct successors, at least one quantum each, so the smallest
+    positive entry is exactly >= ``2^{-l}``.
+    """
+    quanta = 2**ell
+    if not 1 <= out_degree <= min(n_states, quanta):
+        raise InvalidParameterError(
+            f"out_degree must be in 1..min(n_states, 2^l) = "
+            f"{min(n_states, quanta)}, got {out_degree}"
+        )
+    successors = rng.choice(n_states, size=out_degree, replace=False)
+    counts = np.ones(out_degree, dtype=np.int64)
+    spare = quanta - out_degree
+    if spare > 0:
+        extra = rng.multinomial(spare, np.full(out_degree, 1.0 / out_degree))
+        counts += extra
+    row = np.zeros(n_states)
+    row[successors] = counts / quanta
+    return row
+
+
+def random_bounded_automaton(
+    rng: np.random.Generator,
+    bits: int,
+    ell: int,
+    *,
+    none_fraction: float = 0.2,
+    max_out_degree: int | None = None,
+    name: str | None = None,
+) -> Automaton:
+    """A random agent automaton with ``2^bits`` states and ``p_min >= 2^{-l}``.
+
+    Labels are drawn over moves and NONE (weighted by
+    ``none_fraction``); state 0 is ORIGIN and is also the start state,
+    so sampled machines may or may not keep returning to the origin —
+    both behaviours occur in the adversary class.
+    """
+    if bits < 1:
+        raise InvalidParameterError(f"bits must be >= 1, got {bits}")
+    if ell < 1:
+        raise InvalidParameterError(f"ell must be >= 1, got {ell}")
+    if not 0.0 <= none_fraction < 1.0:
+        raise InvalidParameterError(
+            f"none_fraction must be in [0, 1), got {none_fraction}"
+        )
+    n_states = 2**bits
+    degree_cap = min(n_states, 2**ell, max_out_degree or n_states)
+    matrix = np.zeros((n_states, n_states))
+    for state in range(n_states):
+        out_degree = int(rng.integers(1, degree_cap + 1))
+        matrix[state] = _dyadic_row(rng, n_states, out_degree, ell)
+
+    move_weight = (1.0 - none_fraction) / 4.0
+    weights = np.array([move_weight] * 4 + [none_fraction])
+    labels = [Action.ORIGIN] + [
+        _DEFAULT_LABEL_POOL[int(i)]
+        for i in rng.choice(len(_DEFAULT_LABEL_POOL), size=n_states - 1, p=weights)
+    ]
+    return Automaton(
+        matrix,
+        labels,
+        start=0,
+        name=name or f"random(b={bits},l={ell})",
+    )
+
+
+def uniform_walk_automaton() -> Automaton:
+    """The uniform random walk as a five-state automaton.
+
+    State 0 (ORIGIN, start) and one state per direction; every state
+    moves to a uniformly random direction state.  ``b = 3`` bits,
+    ``l = 2`` — far below ``log log D`` for any interesting ``D``, so
+    the lower bound applies: speed-up is limited to ``min{log n, D}``
+    (the paper cites Alon et al. for the exact random-walk bound).
+    """
+    matrix = np.zeros((5, 5))
+    matrix[:, 1:] = 0.25
+    labels = [Action.ORIGIN, *_MOVE_LABELS]
+    return Automaton(matrix, labels, start=0, name="uniform-walk")
+
+
+def biased_walk_automaton(
+    weights: Sequence[float], ell: int, name: str | None = None
+) -> Automaton:
+    """A walker whose each move is drawn from a fixed direction bias.
+
+    ``weights`` are relative weights over (up, down, left, right); they
+    are quantized to multiples of ``2^{-l}`` (largest-remainder
+    rounding) so the machine respects the probability floor exactly.
+    The drift vector of the single recurrent class is then the
+    quantized expectation — the straight line Corollary 4.10 predicts.
+    """
+    raw = np.asarray(weights, dtype=float)
+    if raw.shape != (4,) or np.any(raw < 0) or raw.sum() <= 0:
+        raise InvalidParameterError("weights must be 4 non-negative values, not all 0")
+    quanta = 2**ell
+    scaled = raw / raw.sum() * quanta
+    counts = np.floor(scaled).astype(np.int64)
+    remainder = quanta - counts.sum()
+    if remainder > 0:
+        order = np.argsort(-(scaled - counts))
+        counts[order[:remainder]] += 1
+    if np.all(counts == 0):
+        raise InvalidParameterError("quantization produced an empty distribution")
+    probabilities = counts / quanta
+
+    matrix = np.zeros((5, 5))
+    matrix[:, 1:] = probabilities
+    labels = [Action.ORIGIN, *_MOVE_LABELS]
+    return Automaton(
+        matrix, labels, start=0, name=name or f"biased-walk(l={ell})"
+    )
+
+
+def cycle_automaton(pattern: Sequence[Action], name: str | None = None) -> Automaton:
+    """A deterministic cyclic machine stepping through ``pattern`` forever.
+
+    State 0 is ORIGIN; states ``1..len(pattern)`` carry the pattern's
+    labels and chain deterministically, wrapping from the last back to
+    the first pattern state (not to the origin).  Period equals
+    ``len(pattern)``; the recurrent class is the pattern cycle.
+    """
+    actions = list(pattern)
+    if not actions:
+        raise InvalidParameterError("pattern must be non-empty")
+    if any(action is Action.ORIGIN for action in actions):
+        raise InvalidParameterError("pattern may not contain ORIGIN")
+    n = len(actions) + 1
+    matrix = np.zeros((n, n))
+    matrix[0, 1] = 1.0
+    for position in range(1, n):
+        successor = position + 1 if position + 1 < n else 1
+        matrix[position, successor] = 1.0
+    labels = [Action.ORIGIN, *actions]
+    return Automaton(matrix, labels, start=0, name=name or f"cycle(t={len(actions)})")

@@ -1,0 +1,142 @@
+"""Stationary distributions, Cesaro averages, total variation.
+
+Corollary 4.6 of the paper needs the unique stationary distribution of
+``P^t`` restricted to a cyclic class; Corollary 4.10's drift vector is
+an expectation under the long-run occupation distribution of a
+recurrent class.  This module computes both by solving the fixed-point
+linear system directly (chains here are tiny), plus power iteration as
+an independent cross-check used by tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError, InvalidParameterError
+from repro.markov.chain import MarkovChain
+
+
+def total_variation(p: np.ndarray, q: np.ndarray) -> float:
+    """Total-variation distance ``(1/2) * sum |p_i - q_i|``."""
+    a = np.asarray(p, dtype=float)
+    b = np.asarray(q, dtype=float)
+    if a.shape != b.shape:
+        raise InvalidParameterError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return 0.5 * float(np.abs(a - b).sum())
+
+
+def _solve_stationary(matrix: np.ndarray) -> np.ndarray:
+    """Solve ``pi P = pi``, ``sum pi = 1`` by least squares.
+
+    Least squares (rather than a square solve on a pinned component)
+    handles periodic chains, whose eigenvalue structure makes naive
+    pivoting fragile, and raises if the residual indicates no solution.
+    """
+    n = matrix.shape[0]
+    system = np.vstack([matrix.T - np.eye(n), np.ones((1, n))])
+    rhs = np.zeros(n + 1)
+    rhs[-1] = 1.0
+    solution, *_ = np.linalg.lstsq(system, rhs, rcond=None)
+    residual = system @ solution - rhs
+    if np.abs(residual).max() > 1e-8:
+        raise AnalysisError("stationary system is inconsistent")
+    solution = np.clip(solution, 0.0, None)
+    total = solution.sum()
+    if total <= 0:
+        raise AnalysisError("stationary solve produced a zero vector")
+    return solution / total
+
+
+def stationary_distribution(
+    chain: MarkovChain, members: Optional[Sequence[int]] = None
+) -> np.ndarray:
+    """The stationary distribution of the chain (or a closed class of it).
+
+    For an irreducible class this is unique (even when periodic — it is
+    then the Cesaro/occupation limit rather than the simple limit).
+    When ``members`` is given, the result is a full-length vector
+    supported on the class, which keeps downstream indexing uniform.
+    """
+    if members is None:
+        pi = _solve_stationary(chain.matrix)
+        return pi
+    member_list = sorted(set(int(m) for m in members))
+    sub = chain.restricted_to(member_list)
+    pi_sub = _solve_stationary(sub.matrix)
+    pi = np.zeros(chain.n_states)
+    pi[member_list] = pi_sub
+    return pi
+
+
+def occupation_distribution(
+    chain: MarkovChain, members: Sequence[int]
+) -> np.ndarray:
+    """Long-run fraction of time spent in each state of a closed class.
+
+    For irreducible classes this equals :func:`stationary_distribution`;
+    the separate name documents intent at call sites (drift vectors are
+    occupation averages regardless of periodicity).
+    """
+    return stationary_distribution(chain, members)
+
+
+def cesaro_distribution(
+    chain: MarkovChain, steps: int, initial: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """The Cesaro average ``(1/k) sum_{j=1..k} mu P^j``.
+
+    Converges to the occupation distribution for any start inside a
+    recurrent class, periodic or not; tests cross-check the linear
+    solve against this average.
+    """
+    if steps < 1:
+        raise InvalidParameterError(f"steps must be >= 1, got {steps}")
+    if initial is None:
+        current = np.zeros(chain.n_states)
+        current[chain.start] = 1.0
+    else:
+        current = np.asarray(initial, dtype=float).copy()
+    matrix = chain.matrix
+    accumulator = np.zeros_like(current)
+    for _ in range(steps):
+        current = current @ matrix
+        accumulator += current
+    return accumulator / steps
+
+
+def power_iteration_distribution(
+    chain: MarkovChain,
+    members: Optional[Sequence[int]] = None,
+    tolerance: float = 1e-12,
+    max_rounds: int = 200_000,
+) -> np.ndarray:
+    """Stationary distribution via power iteration on the lazy chain.
+
+    Independent cross-check for :func:`stationary_distribution`.  The
+    lazy chain ``(P + I)/2`` has the same stationary distribution but is
+    aperiodic, so plain power iteration converges geometrically even
+    for periodic classes.
+    """
+    target_chain = (
+        chain if members is None else chain.restricted_to(sorted(set(map(int, members))))
+    )
+    n = target_chain.n_states
+    lazy = 0.5 * (target_chain.matrix + np.eye(n))
+    current = np.full(n, 1.0 / n)
+    for _ in range(max_rounds):
+        updated = current @ lazy
+        if np.abs(updated - current).max() < tolerance:
+            current = updated
+            break
+        current = updated
+    else:
+        raise AnalysisError("power iteration did not converge")
+    result = current / current.sum()
+    if members is None:
+        return result
+    member_list = sorted(set(int(m) for m in members))
+    full = np.zeros(chain.n_states)
+    full[member_list] = result
+    return full

@@ -1,0 +1,25 @@
+"""Perturbation robustness: the selection metric's biological rationale.
+
+Section 1 of the paper motivates charging for probability fineness
+(the ``log2 l`` term of chi) by arguing that "algorithms relying on
+small probabilities are more sensitive to additive disturbances of the
+probability values" — a biased coin realized by a noisy physical
+process cannot hold a ``1/D`` bias to relative precision, while a
+``1/2``-ish bias is robust.
+
+This subpackage makes that argument executable: perturb every
+transition probability of an automaton by bounded additive noise
+(renormalizing rows), and measure how each algorithm's search
+performance degrades as a function of its probability fineness ``l``.
+Experiment E15 runs the comparison the paper gestures at: the fine-coin
+Algorithm 1 degrades catastrophically under noise that the coarse-coin
+Non-Uniform-Search barely notices.
+"""
+
+from repro.robustness.perturbation import (
+    degradation_ratio,
+    perturb_automaton,
+    perturb_probability,
+)
+
+__all__ = ["perturb_automaton", "perturb_probability", "degradation_ratio"]

@@ -1,0 +1,53 @@
+"""Simulation engine, fast vectorized simulators, metrics and statistics.
+
+Two execution paths produce the paper's metrics:
+
+* :mod:`repro.sim.engine` — the faithful, step-by-step synchronous
+  engine driving agent processes (or automata).  Used by tests and by
+  the lower-bound experiments where step-level fidelity matters.
+* :mod:`repro.sim.fast` — numpy-vectorized simulators that sample whole
+  iterations (geometric leg lengths + closed-form hit tests) and are
+  distribution-exact.  Used by the benchmark sweeps.
+
+Shared result records live in :mod:`repro.sim.metrics`; deterministic
+seeding utilities in :mod:`repro.sim.rng`; estimators and scaling fits
+in :mod:`repro.sim.stats`; sweep orchestration in
+:mod:`repro.sim.runner`.
+"""
+
+from repro.sim.engine import SearchEngine, EngineConfig
+from repro.sim.metrics import AgentOutcome, SearchOutcome, speedup
+from repro.sim.rng import generator_from, spawn_generators
+from repro.sim.runner import ExperimentRow, Sweep, rows_to_markdown
+from repro.sim.stats import (
+    Estimate,
+    bootstrap_mean_ci,
+    fit_loglog_slope,
+    ks_statistic,
+    ks_two_sample_threshold,
+    mean_ci,
+    summarize,
+)
+from repro.sim.trace import Execution, TraceRecorder
+
+__all__ = [
+    "SearchEngine",
+    "EngineConfig",
+    "AgentOutcome",
+    "SearchOutcome",
+    "speedup",
+    "generator_from",
+    "spawn_generators",
+    "ExperimentRow",
+    "Sweep",
+    "rows_to_markdown",
+    "Estimate",
+    "bootstrap_mean_ci",
+    "fit_loglog_slope",
+    "ks_statistic",
+    "ks_two_sample_threshold",
+    "mean_ci",
+    "summarize",
+    "Execution",
+    "TraceRecorder",
+]

@@ -1,0 +1,405 @@
+"""Vectorized, distribution-exact simulators for the paper's algorithms.
+
+The faithful engine advances one coin flip at a time; these simulators
+advance one *iteration* at a time, exploiting the closed forms:
+
+* each walk leg's length is ``Geometric(p) - 1`` (one numpy draw);
+* whether an L-shaped sortie visits the target, and after how many
+  moves, is a closed-form predicate of the four iteration variables
+  (see :mod:`repro.grid.geometry`).
+
+Because the sorties are sampled from exactly the process distribution
+(no conditioning tricks, no approximation), the outputs are equal in
+distribution to the faithful engine's — an equivalence the integration
+tests check statistically.
+
+All simulators compute the exact colony minimum ``M_moves`` with the
+same retire-when-unimprovable policy as the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.uniform import phase_coin_exponent
+from repro.errors import InvalidParameterError
+from repro.grid.geometry import Point
+from repro.sim.metrics import SearchOutcome
+
+
+@dataclass(frozen=True)
+class FastRunStats:
+    """Diagnostics accumulated by a fast simulation run."""
+
+    iterations_executed: int
+    rounds_executed: int
+
+
+def _sample_sorties(
+    rng: np.random.Generator, stop_probability: np.ndarray | float, count: int
+):
+    """Sample ``count`` independent sorties.
+
+    Returns ``(signs_v, lengths_v, signs_h, lengths_h)`` arrays.  The
+    stop probability may be scalar or per-sortie (the uniform algorithm
+    mixes phases in one batch).
+    """
+    signs_v = rng.integers(0, 2, size=count) * 2 - 1
+    signs_h = rng.integers(0, 2, size=count) * 2 - 1
+    lengths_v = rng.geometric(stop_probability, size=count) - 1
+    lengths_h = rng.geometric(stop_probability, size=count) - 1
+    return signs_v, lengths_v, signs_h, lengths_h
+
+
+def _sortie_hits(target: Point, signs_v, lengths_v, signs_h, lengths_h):
+    """Vectorized L-path hit test + moves-at-hit.
+
+    Mirrors :func:`repro.grid.geometry.l_path_hit_moves`: a target on
+    the vertical leg is reached after ``|y|`` moves; on the horizontal
+    leg after ``lengths_v + |x|`` moves.
+    """
+    x, y = target
+    hit_vertical = (x == 0) & (signs_v * y >= 0) & (lengths_v >= abs(y))
+    hit_horizontal = (
+        (signs_v * lengths_v == y) & (signs_h * x >= 0) & (lengths_h >= abs(x))
+    )
+    hit = hit_vertical | hit_horizontal
+    moves_at_hit = np.where(hit_vertical, abs(y), lengths_v + abs(x))
+    return hit, moves_at_hit
+
+
+def lshape_first_find(
+    stop_probability: float,
+    n_agents: int,
+    target: Point,
+    rng: np.random.Generator,
+    move_budget: int,
+) -> SearchOutcome:
+    """Colony ``M_moves`` for repeated L-sorties with one stop probability.
+
+    Covers Algorithm 1 (``p = 1/D``) and Non-Uniform-Search
+    (``p = 2^{-kl}``): both repeat identical sorties followed by an
+    (uncharged) oracle return.
+    """
+    if not 0.0 < stop_probability < 1.0:
+        raise InvalidParameterError(
+            f"stop_probability must be in (0, 1), got {stop_probability}"
+        )
+    if n_agents < 1:
+        raise InvalidParameterError(f"n_agents must be >= 1, got {n_agents}")
+    if move_budget < 1:
+        raise InvalidParameterError(f"move_budget must be >= 1, got {move_budget}")
+    if target == (0, 0):
+        return _found_at_origin(n_agents, move_budget)
+
+    cumulative = np.zeros(n_agents, dtype=np.int64)
+    agent_ids = np.arange(n_agents)
+    best: Optional[int] = None
+    best_finder: Optional[int] = None
+    # Failsafe against pathological parameter corners; the budget prune
+    # guarantees progress in expectation, this guards the worst case.
+    expected_len = max(1.0, 2.0 * (1.0 / stop_probability - 1.0))
+    max_rounds = int(200 * (move_budget / expected_len + 1)) + 10_000
+
+    for _ in range(max_rounds):
+        if agent_ids.size == 0:
+            break
+        count = agent_ids.size
+        sv, lv, sh, lh = _sample_sorties(rng, stop_probability, count)
+        hit, moves_at_hit = _sortie_hits(target, sv, lv, sh, lh)
+        totals = cumulative + moves_at_hit
+        eligible = hit & (totals <= move_budget)
+        if np.any(eligible):
+            candidate_index = int(np.argmin(np.where(eligible, totals, np.iinfo(np.int64).max)))
+            candidate_total = int(totals[candidate_index])
+            if best is None or candidate_total < best:
+                best = candidate_total
+                best_finder = int(agent_ids[candidate_index])
+        survivors = ~hit
+        cumulative = cumulative[survivors] + (lv + lh)[survivors]
+        agent_ids = agent_ids[survivors]
+        limit = move_budget if best is None else min(move_budget, best)
+        keep = cumulative < limit
+        cumulative = cumulative[keep]
+        agent_ids = agent_ids[keep]
+
+    if best is None:
+        return _not_found(n_agents, move_budget)
+    return SearchOutcome(
+        found=True,
+        m_moves=best,
+        m_steps=None,
+        finder=best_finder,
+        n_agents=n_agents,
+        move_budget=move_budget,
+    )
+
+
+def fast_algorithm1(
+    distance: int,
+    n_agents: int,
+    target: Point,
+    rng: np.random.Generator,
+    move_budget: int,
+) -> SearchOutcome:
+    """Fast path for Algorithm 1: sorties with stop probability ``1/D``."""
+    if distance < 2:
+        raise InvalidParameterError(f"distance must be >= 2, got {distance}")
+    return lshape_first_find(1.0 / distance, n_agents, target, rng, move_budget)
+
+
+def fast_nonuniform(
+    distance: int,
+    ell: int,
+    n_agents: int,
+    target: Point,
+    rng: np.random.Generator,
+    move_budget: int,
+) -> SearchOutcome:
+    """Fast path for Non-Uniform-Search: stop probability ``2^{-kl}``."""
+    from repro.core.nonuniform import NonUniformSearch
+
+    algorithm = NonUniformSearch(distance, ell)
+    return lshape_first_find(
+        algorithm.stop_probability, n_agents, target, rng, move_budget
+    )
+
+
+_SORTIE_CHUNK = 1 << 18
+
+
+def fast_uniform(
+    n_agents: int,
+    ell: int,
+    K: int,
+    target: Point,
+    rng: np.random.Generator,
+    move_budget: int,
+    max_phase: int = 50,
+) -> SearchOutcome:
+    """Fast path for Algorithm 5 (uniform in ``D``).
+
+    Agents are independent, so each is simulated to completion in turn:
+    per phase, the number of sorties is one geometric draw
+    (``Geometric(1/rho_i) - 1``) and the sorties themselves are sampled
+    as one vectorized batch with a closed-form first-hit scan.  Later
+    agents stop early once they can no longer beat the best find so
+    far, preserving the exact colony minimum.
+    """
+    if n_agents < 1:
+        raise InvalidParameterError(f"n_agents must be >= 1, got {n_agents}")
+    if ell < 1:
+        raise InvalidParameterError(f"ell must be >= 1, got {ell}")
+    if move_budget < 1:
+        raise InvalidParameterError(f"move_budget must be >= 1, got {move_budget}")
+    if target == (0, 0):
+        return _found_at_origin(n_agents, move_budget)
+
+    best: Optional[int] = None
+    best_finder: Optional[int] = None
+
+    for agent_id in range(n_agents):
+        limit = move_budget if best is None else min(move_budget, best)
+        total = _simulate_uniform_agent(
+            n_agents, ell, K, target, rng, limit, max_phase
+        )
+        if total is not None and (best is None or total < best):
+            best = total
+            best_finder = agent_id
+
+    if best is None:
+        return _not_found(n_agents, move_budget)
+    return SearchOutcome(
+        found=True,
+        m_moves=best,
+        m_steps=None,
+        finder=best_finder,
+        n_agents=n_agents,
+        move_budget=move_budget,
+    )
+
+
+def _simulate_uniform_agent(
+    n_agents: int,
+    ell: int,
+    K: int,
+    target: Point,
+    rng: np.random.Generator,
+    move_limit: int,
+    max_phase: int,
+) -> Optional[int]:
+    """One agent's moves-at-first-find, or None if it exceeds the limit.
+
+    Sorties within one phase are sampled in chunks so that a phase with
+    millions of expected calls (large ``K * l``) stays memory-bounded.
+    """
+    cumulative = 0
+    phase = 0
+    while phase < max_phase and cumulative < move_limit:
+        phase += 1
+        rho_i = 2.0 ** (phase_coin_exponent(phase, n_agents, ell, K) * ell)
+        calls = int(rng.geometric(1.0 / rho_i)) - 1
+        stop_p = 2.0 ** -(phase * ell)
+        while calls > 0 and cumulative < move_limit:
+            batch = min(calls, _SORTIE_CHUNK)
+            calls -= batch
+            sv, lv, sh, lh = _sample_sorties(rng, stop_p, batch)
+            hit, moves_at_hit = _sortie_hits(target, sv, lv, sh, lh)
+            lengths = lv + lh
+            if np.any(hit):
+                first = int(np.argmax(hit))
+                moves_before = int(lengths[:first].sum())
+                total = cumulative + moves_before + int(moves_at_hit[first])
+                return total if total <= move_limit else None
+            cumulative += int(lengths.sum())
+    return None
+
+
+def fast_doubly_uniform(
+    n_agents: int,
+    ell: int,
+    K: int,
+    target: Point,
+    rng: np.random.Generator,
+    move_budget: int,
+    max_epoch: int = 40,
+) -> SearchOutcome:
+    """Fast path for the doubly uniform search (unknown ``D`` and ``n``).
+
+    Mirrors :class:`repro.core.doubly_uniform.DoublyUniformSearch`:
+    epoch ``j`` guesses ``n_j = 2^j`` and runs phases ``1..j`` of
+    Algorithm 5 under that guess, with the same per-agent-phase batched
+    sampling as :func:`fast_uniform`.
+    """
+    if n_agents < 1:
+        raise InvalidParameterError(f"n_agents must be >= 1, got {n_agents}")
+    if ell < 1:
+        raise InvalidParameterError(f"ell must be >= 1, got {ell}")
+    if move_budget < 1:
+        raise InvalidParameterError(f"move_budget must be >= 1, got {move_budget}")
+    if target == (0, 0):
+        return _found_at_origin(n_agents, move_budget)
+
+    best: Optional[int] = None
+    best_finder: Optional[int] = None
+    for agent_id in range(n_agents):
+        limit = move_budget if best is None else min(move_budget, best)
+        total = _simulate_doubly_uniform_agent(ell, K, target, rng, limit, max_epoch)
+        if total is not None and (best is None or total < best):
+            best = total
+            best_finder = agent_id
+
+    if best is None:
+        return _not_found(n_agents, move_budget)
+    return SearchOutcome(
+        found=True,
+        m_moves=best,
+        m_steps=None,
+        finder=best_finder,
+        n_agents=n_agents,
+        move_budget=move_budget,
+    )
+
+
+def _simulate_doubly_uniform_agent(
+    ell: int,
+    K: int,
+    target: Point,
+    rng: np.random.Generator,
+    move_limit: int,
+    max_epoch: int,
+) -> Optional[int]:
+    """One doubly uniform agent's moves-at-first-find within the limit."""
+    cumulative = 0
+    for epoch in range(1, max_epoch + 1):
+        guessed_n = 2**epoch
+        for phase in range(1, epoch + 1):
+            if cumulative >= move_limit:
+                return None
+            rho_i = 2.0 ** (phase_coin_exponent(phase, guessed_n, ell, K) * ell)
+            calls = int(rng.geometric(1.0 / rho_i)) - 1
+            stop_p = 2.0 ** -(phase * ell)
+            while calls > 0 and cumulative < move_limit:
+                batch = min(calls, _SORTIE_CHUNK)
+                calls -= batch
+                sv, lv, sh, lh = _sample_sorties(rng, stop_p, batch)
+                hit, moves_at_hit = _sortie_hits(target, sv, lv, sh, lh)
+                lengths = lv + lh
+                if np.any(hit):
+                    first = int(np.argmax(hit))
+                    moves_before = int(lengths[:first].sum())
+                    total = cumulative + moves_before + int(moves_at_hit[first])
+                    return total if total <= move_limit else None
+                cumulative += int(lengths.sum())
+    return None
+
+
+def fast_random_walk(
+    n_agents: int,
+    target: Point,
+    rng: np.random.Generator,
+    move_budget: int,
+    chunk: int = 2048,
+) -> SearchOutcome:
+    """Colony ``M_moves`` for independent uniform random walks.
+
+    Every step is a move, so all agents' move counts advance in
+    lockstep and the first find in simulated time is the exact colony
+    minimum — the simulation stops there.
+    """
+    if n_agents < 1:
+        raise InvalidParameterError(f"n_agents must be >= 1, got {n_agents}")
+    if move_budget < 1:
+        raise InvalidParameterError(f"move_budget must be >= 1, got {move_budget}")
+    if target == (0, 0):
+        return _found_at_origin(n_agents, move_budget)
+
+    steps_vectors = np.array([(0, 1), (0, -1), (-1, 0), (1, 0)], dtype=np.int64)
+    positions = np.zeros((n_agents, 2), dtype=np.int64)
+    moves_done = 0
+    x, y = target
+    while moves_done < move_budget:
+        block = min(chunk, move_budget - moves_done)
+        choices = rng.integers(0, 4, size=(n_agents, block))
+        displacements = steps_vectors[choices]
+        trajectory = positions[:, None, :] + np.cumsum(displacements, axis=1)
+        hits = (trajectory[:, :, 0] == x) & (trajectory[:, :, 1] == y)
+        if np.any(hits):
+            step_of_hit = np.where(hits.any(axis=1), hits.argmax(axis=1), block)
+            winner = int(np.argmin(step_of_hit))
+            return SearchOutcome(
+                found=True,
+                m_moves=moves_done + int(step_of_hit[winner]) + 1,
+                m_steps=None,
+                finder=winner,
+                n_agents=n_agents,
+                move_budget=move_budget,
+            )
+        positions = trajectory[:, -1, :]
+        moves_done += block
+    return _not_found(n_agents, move_budget)
+
+
+def _found_at_origin(n_agents: int, move_budget: int) -> SearchOutcome:
+    return SearchOutcome(
+        found=True,
+        m_moves=0,
+        m_steps=0,
+        finder=0,
+        n_agents=n_agents,
+        move_budget=move_budget,
+    )
+
+
+def _not_found(n_agents: int, move_budget: int) -> SearchOutcome:
+    return SearchOutcome(
+        found=False,
+        m_moves=None,
+        m_steps=None,
+        finder=None,
+        n_agents=n_agents,
+        move_budget=move_budget,
+    )

@@ -1,0 +1,106 @@
+"""Result records and the paper's performance metrics.
+
+The paper measures ``M_moves`` — the minimum over all agents of the
+number of *moves* (steps labeled up/down/left/right) an agent performs
+until it finds the target — and the analogous ``M_steps`` over Markov
+chain steps.  Speed-up compares the one-agent and ``n``-agent values of
+the same metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import InvalidParameterError
+from repro.grid.geometry import Point
+
+
+@dataclass(frozen=True)
+class AgentOutcome:
+    """Per-agent accounting at the end of a run.
+
+    ``moves_at_find``/``steps_at_find`` are ``None`` when the agent did
+    not reach the target before the engine stopped it (budget reached,
+    or it could no longer improve the colony minimum).
+    """
+
+    agent_id: int
+    found: bool
+    moves_at_find: Optional[int]
+    steps_at_find: Optional[int]
+    total_moves: int
+    total_steps: int
+    final_position: Point
+
+    def __post_init__(self) -> None:
+        if self.found and self.moves_at_find is None:
+            raise InvalidParameterError("found agents must report moves_at_find")
+
+
+@dataclass(frozen=True)
+class SearchOutcome:
+    """Colony-level result of one simulated search.
+
+    Attributes
+    ----------
+    found:
+        Whether any agent reached the target within budget.
+    m_moves:
+        The paper's ``M_moves``: minimum over agents of the per-agent
+        move count at its own first find (``None`` if not found).
+    m_steps:
+        The analogous minimum over Markov-chain steps, when the
+        simulator tracks steps (fast simulators report ``None``).
+    finder:
+        Id of an agent achieving the minimum.
+    n_agents:
+        Colony size.
+    move_budget:
+        The per-agent move budget the run was allowed.
+    per_agent:
+        Optional per-agent details (faithful engine only).
+    """
+
+    found: bool
+    m_moves: Optional[int]
+    m_steps: Optional[int]
+    finder: Optional[int]
+    n_agents: int
+    move_budget: Optional[int]
+    per_agent: List[AgentOutcome] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.found and self.m_moves is None:
+            raise InvalidParameterError("found outcomes must report m_moves")
+        if not self.found and self.m_moves is not None:
+            raise InvalidParameterError("not-found outcomes must not report m_moves")
+
+    @property
+    def moves_or_budget(self) -> int:
+        """``m_moves`` when found, else the exhausted budget.
+
+        A right-censored estimate convenient for averaging in sweeps
+        where the budget is chosen far above the expected value, so the
+        censoring bias is negligible (and conservative: it understates
+        slow algorithms' cost).
+        """
+        if self.found:
+            assert self.m_moves is not None
+            return self.m_moves
+        if self.move_budget is None:
+            raise InvalidParameterError(
+                "outcome has neither a find nor a budget to report"
+            )
+        return self.move_budget
+
+
+def speedup(single_agent_moves: float, colony_moves: float) -> float:
+    """Speed-up of a colony over one agent: ``E_1[M] / E_n[M]``.
+
+    The paper's performance question is how this grows with ``n``
+    (optimal: ``min{n, D}``; below the chi threshold: ``min{n, D^{o(1)}}``).
+    """
+    if single_agent_moves <= 0 or colony_moves <= 0:
+        raise InvalidParameterError("move counts must be positive")
+    return single_agent_moves / colony_moves

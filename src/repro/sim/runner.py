@@ -1,0 +1,125 @@
+"""Experiment sweeps: parameter grids, repetitions, tables.
+
+The benchmark harness and EXPERIMENTS.md both consume this module: a
+:class:`Sweep` maps a trial function over a parameter grid with
+per-point repetitions (independently seeded via
+:func:`repro.sim.rng.derive_seed`), aggregates each point into an
+:class:`ExperimentRow`, and :func:`rows_to_markdown` renders the tables
+recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.sim.rng import derive_seed
+from repro.sim.stats import Estimate, mean_ci
+
+TrialFunction = Callable[[Mapping[str, object], np.random.Generator], float]
+
+
+@dataclass(frozen=True)
+class ExperimentRow:
+    """One aggregated grid point: parameters plus measured estimates."""
+
+    params: Dict[str, object]
+    estimate: Estimate
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def value(self) -> float:
+        """The point estimate (mean over trials)."""
+        return self.estimate.mean
+
+
+class Sweep:
+    """Run a trial function over a parameter grid, trials times per point.
+
+    Parameters
+    ----------
+    trial:
+        ``trial(params, rng) -> float`` — one measurement; must draw all
+        randomness from ``rng``.
+    grid:
+        Sequence of parameter dictionaries (one per grid point).  Use
+        :func:`grid_product` to build Cartesian grids.
+    trials:
+        Repetitions per point.
+    seed:
+        Master seed; point ``i``, trial ``t`` gets the independent
+        stream ``derive_seed(seed, i, t)`` so any single trial is
+        reproducible in isolation.
+    """
+
+    def __init__(
+        self,
+        trial: TrialFunction,
+        grid: Sequence[Mapping[str, object]],
+        trials: int,
+        seed: int,
+    ) -> None:
+        if trials < 1:
+            raise InvalidParameterError(f"trials must be >= 1, got {trials}")
+        if not grid:
+            raise InvalidParameterError("grid must contain at least one point")
+        self._trial = trial
+        self._grid = [dict(point) for point in grid]
+        self._trials = trials
+        self._seed = seed
+
+    def run(self) -> List[ExperimentRow]:
+        """Execute the sweep and aggregate each point."""
+        rows: List[ExperimentRow] = []
+        for point_index, params in enumerate(self._grid):
+            samples = []
+            for trial_index in range(self._trials):
+                rng = np.random.default_rng(
+                    derive_seed(self._seed, point_index, trial_index)
+                )
+                samples.append(float(self._trial(params, rng)))
+            rows.append(ExperimentRow(params=params, estimate=mean_ci(samples)))
+        return rows
+
+
+def grid_product(**axes: Sequence[object]) -> List[Dict[str, object]]:
+    """Cartesian product of named axes into a list of param dicts.
+
+    ``grid_product(D=[8, 16], n=[1, 4])`` yields four points in
+    row-major order.
+    """
+    if not axes:
+        raise InvalidParameterError("need at least one axis")
+    names = list(axes)
+    points: List[Dict[str, object]] = [{}]
+    for name in names:
+        values = list(axes[name])
+        if not values:
+            raise InvalidParameterError(f"axis {name!r} is empty")
+        points = [{**point, name: value} for point in points for value in values]
+    return points
+
+
+def rows_to_markdown(
+    rows: Iterable[ExperimentRow],
+    param_columns: Sequence[str],
+    value_label: str = "measured",
+    extra_columns: Sequence[str] = (),
+) -> str:
+    """Render rows as a GitHub-flavored markdown table."""
+    header_cells = [*param_columns, value_label, "ci95", *extra_columns]
+    lines = [
+        "| " + " | ".join(header_cells) + " |",
+        "|" + "|".join("---" for _ in header_cells) + "|",
+    ]
+    for row in rows:
+        cells = [str(row.params.get(name, "")) for name in param_columns]
+        cells.append(f"{row.estimate.mean:.4g}")
+        cells.append(f"[{row.estimate.ci_low:.4g}, {row.estimate.ci_high:.4g}]")
+        for name in extra_columns:
+            value = row.extras.get(name)
+            cells.append("" if value is None else f"{value:.4g}")
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,220 @@
+"""Statistics substrate: estimators, intervals, scaling-law fits.
+
+Implemented from scratch on numpy (no scipy dependency): normal
+quantiles via the Acklam rational approximation, mean confidence
+intervals, bootstrap intervals, and the log-log regression used to fit
+scaling exponents (e.g. checking that ``E[M_moves]`` grows like ``D^2``
+for one agent and like ``D`` for ``n >= D`` agents).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+
+def normal_quantile(p: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation).
+
+    Absolute error below 1.15e-9 over (0, 1) — far tighter than any
+    statistical use here requires.
+    """
+    if not 0.0 < p < 1.0:
+        raise InvalidParameterError(f"quantile argument must be in (0, 1), got {p}")
+    # Coefficients from Peter Acklam's algorithm.
+    a = (
+        -3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+        1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00,
+    )
+    b = (
+        -5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+        6.680131188771972e01, -1.328068155288572e01,
+    )
+    c = (
+        -7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+        -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00,
+    )
+    d = (
+        7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+        3.754408661907416e00,
+    )
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (
+            ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        ) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    if p <= 1.0 - p_low:
+        q = p - 0.5
+        r = q * q
+        return (
+            ((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]
+        ) * q / (
+            ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+        )
+    q = math.sqrt(-2.0 * math.log(1.0 - p))
+    return -(
+        ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+    ) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A point estimate with a symmetric-by-construction interval."""
+
+    mean: float
+    std_error: float
+    ci_low: float
+    ci_high: float
+    n_samples: int
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.ci_low <= value <= self.ci_high
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} [{self.ci_low:.4g}, {self.ci_high:.4g}] (n={self.n_samples})"
+
+
+def mean_ci(samples: Sequence[float], confidence: float = 0.95) -> Estimate:
+    """Normal-approximation confidence interval for the mean."""
+    data = np.asarray(samples, dtype=float)
+    if data.size == 0:
+        raise InvalidParameterError("need at least one sample")
+    if not 0.0 < confidence < 1.0:
+        raise InvalidParameterError(f"confidence must be in (0, 1), got {confidence}")
+    mean = float(data.mean())
+    if data.size == 1:
+        return Estimate(mean, 0.0, mean, mean, 1)
+    std_error = float(data.std(ddof=1) / math.sqrt(data.size))
+    z = normal_quantile(0.5 + confidence / 2.0)
+    half = z * std_error
+    return Estimate(mean, std_error, mean - half, mean + half, int(data.size))
+
+
+def bootstrap_mean_ci(
+    samples: Sequence[float],
+    rng: np.random.Generator,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+) -> Estimate:
+    """Percentile-bootstrap interval for the mean.
+
+    Preferred over the normal interval for the heavily right-skewed
+    move-count distributions the search algorithms produce.
+    """
+    data = np.asarray(samples, dtype=float)
+    if data.size == 0:
+        raise InvalidParameterError("need at least one sample")
+    if n_resamples < 10:
+        raise InvalidParameterError(f"n_resamples must be >= 10, got {n_resamples}")
+    mean = float(data.mean())
+    if data.size == 1:
+        return Estimate(mean, 0.0, mean, mean, 1)
+    indices = rng.integers(0, data.size, size=(n_resamples, data.size))
+    resampled_means = data[indices].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(resampled_means, [alpha, 1.0 - alpha])
+    std_error = float(resampled_means.std(ddof=1))
+    return Estimate(mean, std_error, float(low), float(high), int(data.size))
+
+
+def summarize(samples: Sequence[float]) -> Estimate:
+    """Shorthand for the default 95% normal interval."""
+    return mean_ci(samples)
+
+
+def geometric_mean(samples: Sequence[float]) -> float:
+    """Geometric mean (summary for ratio-style measurements)."""
+    data = np.asarray(samples, dtype=float)
+    if data.size == 0:
+        raise InvalidParameterError("need at least one sample")
+    if np.any(data <= 0):
+        raise InvalidParameterError("geometric mean requires positive samples")
+    return float(np.exp(np.log(data).mean()))
+
+
+def fit_loglog_slope(
+    xs: Sequence[float], ys: Sequence[float]
+) -> Tuple[float, float, float]:
+    """Least-squares fit of ``log y = slope * log x + intercept``.
+
+    Returns ``(slope, intercept, r_squared)``.  The slope is the scaling
+    exponent: the experiments check, e.g., that single-agent Algorithm 1
+    move counts scale with exponent ~2 in ``D`` (from ``O(D^2/n + D)``)
+    and that the uniform random walk stays near exponent 2 as well while
+    the colony algorithms drop toward exponent 1 once ``n >= D``.
+    """
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.size != y.size or x.size < 2:
+        raise InvalidParameterError("need >= 2 paired samples")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise InvalidParameterError("log-log fit requires positive values")
+    log_x = np.log(x)
+    log_y = np.log(y)
+    slope, intercept = np.polyfit(log_x, log_y, 1)
+    predictions = slope * log_x + intercept
+    residual = float(((log_y - predictions) ** 2).sum())
+    total = float(((log_y - log_y.mean()) ** 2).sum())
+    r_squared = 1.0 if total == 0.0 else 1.0 - residual / total
+    return float(slope), float(intercept), r_squared
+
+
+def ks_statistic(first: Sequence[float], second: Sequence[float]) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic ``sup |F1 - F2|``.
+
+    Used by the cross-form equivalence tests: two simulators of the
+    same algorithm must produce move-count samples whose empirical
+    distributions are close in KS distance, a much stronger requirement
+    than matching means.
+    """
+    a = np.sort(np.asarray(first, dtype=float))
+    b = np.sort(np.asarray(second, dtype=float))
+    if a.size == 0 or b.size == 0:
+        raise InvalidParameterError("need non-empty samples")
+    grid = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, grid, side="right") / a.size
+    cdf_b = np.searchsorted(b, grid, side="right") / b.size
+    return float(np.abs(cdf_a - cdf_b).max())
+
+
+def ks_two_sample_threshold(
+    n_first: int, n_second: int, alpha: float = 0.01
+) -> float:
+    """Critical KS distance at significance ``alpha`` (asymptotic form).
+
+    ``c(alpha) * sqrt((n + m) / (n m))`` with
+    ``c(alpha) = sqrt(-ln(alpha / 2) / 2)`` — the classical large-sample
+    approximation, ample for the equal-distribution checks here.
+    """
+    if n_first < 1 or n_second < 1:
+        raise InvalidParameterError("sample sizes must be >= 1")
+    if not 0.0 < alpha < 1.0:
+        raise InvalidParameterError(f"alpha must be in (0, 1), got {alpha}")
+    c_alpha = math.sqrt(-math.log(alpha / 2.0) / 2.0)
+    return c_alpha * math.sqrt((n_first + n_second) / (n_first * n_second))
+
+
+def fit_ratio(
+    measured: Sequence[float], predicted: Sequence[float]
+) -> Tuple[float, float]:
+    """Mean and max of measured/predicted ratios (shape comparisons).
+
+    A bounded max ratio across a sweep is evidence the prediction's
+    shape holds with a uniform constant, which is what reproducing an
+    ``O(.)`` claim means at finite scale.
+    """
+    m = np.asarray(measured, dtype=float)
+    p = np.asarray(predicted, dtype=float)
+    if m.size != p.size or m.size == 0:
+        raise InvalidParameterError("need equally many measured and predicted values")
+    if np.any(p <= 0):
+        raise InvalidParameterError("predicted values must be positive")
+    ratios = m / p
+    return float(ratios.mean()), float(ratios.max())

@@ -1,0 +1,91 @@
+"""Execution traces in the paper's formal sense.
+
+Section 2 defines an execution of a single agent as the alternating
+sequence ``(s0, (x0, y0), s1, (x1, y1), ...)`` of states and grid
+coordinates.  :class:`TraceRecorder` captures exactly that from the
+faithful engine (actions stand in for states when the algorithm runs in
+process form, since the process emits ``M(s_i)`` rather than ``s_i``).
+
+Traces are an observability tool: equivalence tests compare move
+subsequences across execution forms, and the examples render them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.actions import Action
+from repro.grid.geometry import Point
+
+
+@dataclass
+class Execution:
+    """One agent's recorded execution prefix."""
+
+    agent_id: int
+    actions: List[Action] = field(default_factory=list)
+    positions: List[Point] = field(default_factory=list)
+
+    def append(self, action: Action, position: Point) -> None:
+        """Record one step: the emitted action and the resulting position."""
+        self.actions.append(action)
+        self.positions.append(position)
+
+    @property
+    def n_steps(self) -> int:
+        """Number of recorded steps (Markov-chain transitions)."""
+        return len(self.actions)
+
+    @property
+    def n_moves(self) -> int:
+        """Number of recorded grid moves (``M_moves``-countable steps)."""
+        return sum(1 for action in self.actions if action.is_move)
+
+    def moves_only(self) -> List[Action]:
+        """The move subsequence (used by cross-form equivalence tests)."""
+        return [action for action in self.actions if action.is_move]
+
+    def visited(self) -> List[Point]:
+        """All positions in visit order, including the origin start."""
+        return [(0, 0), *self.positions]
+
+
+class TraceRecorder:
+    """Collects executions for the agents of one engine run.
+
+    Recording every step of every agent is memory-hungry; the recorder
+    therefore accepts an optional cap on steps per agent and a subset of
+    agent ids to record.
+    """
+
+    def __init__(
+        self,
+        max_steps_per_agent: Optional[int] = None,
+        agent_ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        self._max_steps = max_steps_per_agent
+        self._agent_filter = None if agent_ids is None else frozenset(agent_ids)
+        self._executions: dict[int, Execution] = {}
+
+    def wants(self, agent_id: int) -> bool:
+        """Whether steps of this agent should be recorded."""
+        return self._agent_filter is None or agent_id in self._agent_filter
+
+    def record(self, agent_id: int, action: Action, position: Point) -> None:
+        """Record one step of one agent (subject to the caps)."""
+        if not self.wants(agent_id):
+            return
+        execution = self._executions.setdefault(agent_id, Execution(agent_id))
+        if self._max_steps is not None and execution.n_steps >= self._max_steps:
+            return
+        execution.append(action, position)
+
+    def execution(self, agent_id: int) -> Execution:
+        """The recorded execution of ``agent_id`` (empty if never stepped)."""
+        return self._executions.get(agent_id, Execution(agent_id))
+
+    @property
+    def executions(self) -> List[Execution]:
+        """All recorded executions, ordered by agent id."""
+        return [self._executions[key] for key in sorted(self._executions)]

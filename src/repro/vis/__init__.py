@@ -1,0 +1,10 @@
+"""Terminal-friendly visualization (no plotting dependencies offline).
+
+ASCII line charts, scatter plots and heatmaps used by the example
+scripts and the CLI to render trade-off frontiers, scaling curves and
+coverage maps.
+"""
+
+from repro.vis.asciiplot import heatmap, line_chart, scatter_chart
+
+__all__ = ["heatmap", "line_chart", "scatter_chart"]

@@ -1,0 +1,190 @@
+"""ASCII charts: line plots, scatter plots, and heatmaps.
+
+Minimal but correct: axes are linearly (or log-) scaled into a
+character canvas; multiple series get distinct glyphs and a legend.
+Intended for example scripts and CLI output, not publication graphics.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+_SERIES_GLYPHS = "ox+*#@%&"
+_HEAT_RAMP = " .:-=+*#%@"
+
+
+def _scale(values: Sequence[float], log: bool) -> list[float]:
+    if log:
+        if any(v <= 0 for v in values):
+            raise InvalidParameterError("log scaling requires positive values")
+        return [math.log10(v) for v in values]
+    return [float(v) for v in values]
+
+
+def _to_canvas_coordinates(
+    values: list[float], size: int
+) -> list[int]:
+    low, high = min(values), max(values)
+    if high == low:
+        return [size // 2 for _ in values]
+    return [
+        min(size - 1, max(0, round((v - low) / (high - low) * (size - 1))))
+        for v in values
+    ]
+
+
+def line_chart(
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 18,
+    log_x: bool = False,
+    log_y: bool = False,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render several aligned series against shared x values.
+
+    Points are plotted (no interpolation): with the narrow canvases
+    used here, interpolation would suggest precision the data lacks.
+    """
+    if not series:
+        raise InvalidParameterError("need at least one series")
+    if len(series) > len(_SERIES_GLYPHS):
+        raise InvalidParameterError(
+            f"at most {len(_SERIES_GLYPHS)} series supported, got {len(series)}"
+        )
+    n = len(xs)
+    if n == 0 or any(len(ys) != n for ys in series.values()):
+        raise InvalidParameterError("all series must match the x vector's length")
+    if width < 8 or height < 4:
+        raise InvalidParameterError("canvas too small")
+
+    x_scaled = _scale(xs, log_x)
+    all_y = [y for ys in series.values() for y in ys]
+    y_scaled_all = _scale(all_y, log_y)
+    y_low, y_high = min(y_scaled_all), max(y_scaled_all)
+
+    canvas = [[" "] * width for _ in range(height)]
+    columns = _to_canvas_coordinates(x_scaled, width)
+    for glyph, (name, ys) in zip(_SERIES_GLYPHS, series.items()):
+        y_scaled = _scale(ys, log_y)
+        for col, y in zip(columns, y_scaled):
+            if y_high == y_low:
+                row = height // 2
+            else:
+                row = round((y - y_low) / (y_high - y_low) * (height - 1))
+            canvas[height - 1 - row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = 10**y_high if log_y else y_high
+    y_bottom = 10**y_low if log_y else y_low
+    lines.append(f"{y_label} max = {y_top:.4g}")
+    lines.extend("|" + "".join(row) for row in canvas)
+    lines.append("+" + "-" * width)
+    lines.append(
+        f"{y_label} min = {y_bottom:.4g}; {x_label} in "
+        f"[{min(xs):.4g}, {max(xs):.4g}]" + ("  (log x)" if log_x else "")
+        + ("  (log y)" if log_y else "")
+    )
+    legend = "   ".join(
+        f"{glyph} = {name}" for glyph, name in zip(_SERIES_GLYPHS, series)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def scatter_chart(
+    points: Sequence[tuple[float, float]],
+    *,
+    width: int = 64,
+    height: int = 18,
+    title: str = "",
+    labels: Sequence[str] | None = None,
+) -> str:
+    """Scatter points on a canvas; optional single-character labels."""
+    if not points:
+        raise InvalidParameterError("need at least one point")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    columns = _to_canvas_coordinates([float(x) for x in xs], width)
+    rows = _to_canvas_coordinates([float(y) for y in ys], height)
+    canvas = [[" "] * width for _ in range(height)]
+    for index, (col, row) in enumerate(zip(columns, rows)):
+        glyph = "o"
+        if labels is not None and index < len(labels) and labels[index]:
+            glyph = labels[index][0]
+        canvas[height - 1 - row][col] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y in [{min(ys):.4g}, {max(ys):.4g}]")
+    lines.extend("|" + "".join(row) for row in canvas)
+    lines.append("+" + "-" * width)
+    lines.append(f"x in [{min(xs):.4g}, {max(xs):.4g}]")
+    return "\n".join(lines)
+
+
+def heatmap(
+    grid: np.ndarray,
+    *,
+    max_side: int = 64,
+    title: str = "",
+) -> str:
+    """Render a 2-D array as a density heatmap.
+
+    Larger values map to denser glyphs.  Arrays bigger than
+    ``max_side`` in either dimension are block-averaged down, which is
+    what coverage maps want (the question is "where is mass", not
+    per-cell values).  Rows are rendered top-to-bottom as
+    north-to-south, matching the grid convention (positive y is up).
+    """
+    array = np.asarray(grid, dtype=float)
+    if array.ndim != 2:
+        raise InvalidParameterError(f"grid must be 2-D, got {array.ndim}-D")
+    if array.size == 0:
+        raise InvalidParameterError("grid must be non-empty")
+
+    def shrink(a: np.ndarray, axis: int) -> np.ndarray:
+        size = a.shape[axis]
+        if size <= max_side:
+            return a
+        factor = math.ceil(size / max_side)
+        pad = (-size) % factor
+        if pad:
+            padding = [(0, 0), (0, 0)]
+            padding[axis] = (0, pad)
+            a = np.pad(a, padding, constant_values=0.0)
+        new_shape = list(a.shape)
+        new_shape[axis] = a.shape[axis] // factor
+        if axis == 0:
+            a = a.reshape(new_shape[0], factor, a.shape[1]).mean(axis=1)
+        else:
+            a = a.reshape(a.shape[0], new_shape[1], factor).mean(axis=2)
+        return a
+
+    array = shrink(shrink(array, 0), 1)
+    low, high = float(array.min()), float(array.max())
+    span = high - low
+    lines = []
+    if title:
+        lines.append(title)
+    # Transpose: array is indexed [x, y]; render rows of decreasing y.
+    for y in range(array.shape[1] - 1, -1, -1):
+        row_chars = []
+        for x in range(array.shape[0]):
+            value = array[x, y]
+            level = 0 if span == 0 else int((value - low) / span * (len(_HEAT_RAMP) - 1))
+            row_chars.append(_HEAT_RAMP[level])
+        lines.append("".join(row_chars))
+    lines.append(f"range [{low:.4g}, {high:.4g}]")
+    return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh, deterministically seeded generator per test."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def rng_factory():
+    """Factory for additional independent generators inside one test."""
+
+    def make(seed: int) -> np.random.Generator:
+        return np.random.default_rng(seed)
+
+    return make

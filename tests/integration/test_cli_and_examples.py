@@ -1,0 +1,118 @@
+"""Integration tests: CLI subcommands and the example scripts."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+class TestCli:
+    def test_run_finds_target(self, capsys):
+        code = main(
+            [
+                "run", "--algorithm", "nonuniform", "--distance", "16",
+                "--agents", "4", "--budget", "5000000", "--seed", "3",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "found     : yes" in captured
+        assert "chi" in captured
+
+    def test_run_with_explicit_target(self, capsys):
+        code = main(
+            [
+                "run", "--algorithm", "spiral", "--distance", "8",
+                "--agents", "1", "--target", "3", "-2", "--seed", "1",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "(3, -2)" in captured
+
+    def test_run_budget_exhaustion_exit_code(self, capsys):
+        code = main(
+            [
+                "run", "--algorithm", "random-walk", "--distance", "64",
+                "--agents", "1", "--budget", "50", "--seed", "1",
+            ]
+        )
+        assert code == 1
+        assert "no within budget" in capsys.readouterr().out
+
+    def test_certify(self, capsys):
+        code = main(
+            ["certify", "--family", "uniform-walk", "--distance", "64"]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "chi = 4.000" in captured
+        assert "adversarial target" in captured
+
+    def test_coverage(self, capsys):
+        code = main(
+            [
+                "coverage", "--family", "biased-walk", "--distance", "16",
+                "--agents", "4", "--rounds", "200",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "cells visited" in captured
+
+    def test_experiment_subcommand(self, capsys):
+        code = main(["experiment", "e04"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "### E04" in captured
+
+    def test_experiment_unknown_id(self, capsys):
+        code = main(["experiment", "E99"])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_unknown_algorithm_reports_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--algorithm", "teleport"])
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "state_machine_tour.py",
+        "lowerbound_demo.py",
+    ],
+)
+def test_example_scripts_run(script):
+    """The cheap examples must execute cleanly as subprocesses."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_examples_directory_complete():
+    """All five documented examples exist and are non-trivial."""
+    expected = {
+        "quickstart.py",
+        "foraging_colony.py",
+        "tradeoff_explorer.py",
+        "lowerbound_demo.py",
+        "state_machine_tour.py",
+    }
+    present = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert expected <= present
+    for name in expected:
+        assert (EXAMPLES_DIR / name).read_text().count("\n") > 30

@@ -1,0 +1,53 @@
+"""Integration tests: the experiment registry at smoke scale.
+
+The fast experiments run end-to-end here (the slow ones are exercised
+by the benchmark harness, which is their natural home); every run must
+produce a table, at least one check, and all checks must pass.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.experiments import REGISTRY
+from repro.experiments.base import check_scale
+
+FAST_EXPERIMENTS = [
+    "E01", "E02", "E04", "E05", "E06", "E08", "E09", "E11", "E14", "E15", "E16",
+]
+
+
+class TestRegistry:
+    def test_all_sixteen_registered(self):
+        assert sorted(REGISTRY) == [f"E{i:02d}" for i in range(1, 17)]
+
+    def test_scale_validation(self):
+        with pytest.raises(InvalidParameterError):
+            check_scale("huge")
+
+    @pytest.mark.parametrize("experiment_id", FAST_EXPERIMENTS)
+    def test_fast_experiments_pass_at_smoke_scale(self, experiment_id):
+        result = REGISTRY[experiment_id](scale="smoke")
+        assert result.experiment_id == experiment_id
+        assert result.checks, "every experiment must assert something"
+        failed = [name for name, ok in result.checks.items() if not ok]
+        assert not failed, f"{experiment_id} failed: {failed}"
+        assert "|" in result.table  # markdown table present
+
+    def test_results_render_to_markdown(self):
+        result = REGISTRY["E04"](scale="smoke")
+        text = result.to_markdown()
+        assert text.startswith("### E04")
+        assert "**Paper claim.**" in text
+        assert "[PASS]" in text
+
+    def test_experiments_are_seed_reproducible(self):
+        first = REGISTRY["E01"](scale="smoke", seed=5)
+        second = REGISTRY["E01"](scale="smoke", seed=5)
+        assert first.table == second.table
+
+    def test_different_seeds_change_measurements(self):
+        first = REGISTRY["E01"](scale="smoke", seed=5)
+        second = REGISTRY["E01"](scale="smoke", seed=6)
+        assert first.table != second.table

@@ -1,0 +1,168 @@
+"""Property-based tests: coins, selection metric, engine bookkeeping."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.actions import Action
+from repro.core.base import SearchAlgorithm
+from repro.core.coin import CompositeCoin
+from repro.core.nonuniform import build_nonuniform_automaton
+from repro.core.selection import MemoryMeter, SelectionComplexity
+from repro.core.square_search import visit_probability, visit_probability_lower_bound
+from repro.core.walk import walk_length_pmf
+from repro.grid.world import GridWorld
+from repro.sim.engine import EngineConfig, SearchEngine
+from repro.sim.trace import TraceRecorder
+
+
+class TestCoinProperties:
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=1, max_value=6))
+    def test_tails_probability_formula(self, k, ell):
+        coin = CompositeCoin(k, ell)
+        assert coin.tails_probability == 2.0 ** -(k * ell)
+
+    @given(st.integers(min_value=1, max_value=40), st.integers(min_value=1, max_value=8))
+    def test_memory_bits_formula(self, k, ell):
+        assert CompositeCoin(k, ell).memory_bits == (
+            math.ceil(math.log2(k)) if k > 1 else 0
+        )
+
+    @given(st.integers(min_value=1, max_value=30), st.integers(min_value=1, max_value=6))
+    def test_for_target_probability_dominates(self, exponent, ell):
+        coin = CompositeCoin.for_target_probability(ell, exponent)
+        assert coin.tails_probability <= 2.0**-exponent
+        # Never overshoots by more than a factor of 2^{ell-1}.
+        assert coin.tails_probability >= 2.0 ** -(exponent + ell - 1)
+
+
+class TestSelectionProperties:
+    @given(st.integers(min_value=0, max_value=64), st.floats(min_value=1.0, max_value=64.0))
+    def test_chi_monotone_in_both_arguments(self, bits, ell):
+        sc = SelectionComplexity(bits=bits, ell=ell)
+        assert sc.chi >= bits
+        assert SelectionComplexity(bits=bits + 1, ell=ell).chi > sc.chi
+        assert SelectionComplexity(bits=bits, ell=ell * 2).chi > sc.chi
+
+    @given(st.lists(st.integers(min_value=1, max_value=100), min_size=1, max_size=8))
+    def test_memory_meter_bits_bound_product(self, ranges):
+        meter = MemoryMeter()
+        for index, n in enumerate(ranges):
+            meter.declare(f"r{index}", n)
+        # Bits upper-bound: encoding the product state space never needs
+        # more than the sum of per-register bits (and at most that).
+        assert 2**meter.bits >= meter.n_states
+
+
+class TestProbabilityFormulas:
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=3),
+        st.tuples(
+            st.integers(min_value=-20, max_value=20),
+            st.integers(min_value=-20, max_value=20),
+        ),
+    )
+    def test_visit_probability_in_unit_interval_and_symmetric(self, k, ell, target):
+        p = visit_probability(k, ell, target)
+        assert 0.0 <= p <= 1.0
+        x, y = target
+        assert visit_probability(k, ell, (-x, y)) == p
+        assert visit_probability(k, ell, (x, -y)) == p
+
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=2))
+    @settings(max_examples=30)
+    def test_lemma_39_bound_over_whole_square(self, k, ell):
+        side = 2 ** (k * ell)
+        floor = visit_probability_lower_bound(k, ell)
+        # Sample the square's extremes and a diagonal; the bound must hold.
+        probes = {(side, side), (0, side), (side, 0), (1, 1), (side // 2, side // 2)}
+        for target in probes:
+            assert visit_probability(k, ell, target) >= floor
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=50),
+    )
+    def test_walk_pmf_monotone_decreasing(self, k, ell, length):
+        assert walk_length_pmf(k, ell, length) >= walk_length_pmf(k, ell, length + 1)
+
+
+class RecordedWalk(SearchAlgorithm):
+    """Random move/none/origin mix for engine-invariant testing."""
+
+    def __init__(self, script: list[Action]) -> None:
+        self._script = script
+
+    def process(self, rng: np.random.Generator):
+        yield from self._script
+        while True:
+            yield Action.NONE
+
+
+action_scripts = st.lists(
+    st.sampled_from(
+        [Action.UP, Action.DOWN, Action.LEFT, Action.RIGHT, Action.NONE, Action.ORIGIN]
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestEngineInvariants:
+    @given(action_scripts)
+    @settings(max_examples=150, deadline=None)
+    def test_position_is_sum_of_moves_since_last_origin(self, script):
+        engine = SearchEngine(EngineConfig(move_budget=1000, step_budget=200))
+        world = GridWorld(target=(999, 0), distance_bound=1000)
+        trace = TraceRecorder()
+        engine.run(RecordedWalk(script), 1, world, rng=1, trace=trace)
+        execution = trace.execution(0)
+        position = (0, 0)
+        for action, recorded in zip(execution.actions, execution.positions):
+            if action is Action.ORIGIN:
+                position = (0, 0)
+            elif action.is_move:
+                dx, dy = action.direction.vector
+                position = (position[0] + dx, position[1] + dy)
+            assert recorded == position
+
+    @given(action_scripts)
+    @settings(max_examples=150, deadline=None)
+    def test_move_count_equals_move_actions(self, script):
+        engine = SearchEngine(EngineConfig(move_budget=1000, step_budget=200))
+        world = GridWorld(target=(999, 0), distance_bound=1000)
+        outcome = engine.run(RecordedWalk(script), 1, world, rng=1)
+        agent = outcome.per_agent[0]
+        expected_moves = sum(1 for a in script if a.is_move)
+        assert agent.total_moves == expected_moves
+
+    @given(action_scripts, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=100, deadline=None)
+    def test_m_moves_is_minimum_over_agents(self, script, n_agents):
+        engine = SearchEngine(EngineConfig(move_budget=1000, step_budget=200))
+        world = GridWorld(target=(1, 1), distance_bound=4)
+        outcome = engine.run(RecordedWalk(script), n_agents, world, rng=2)
+        if outcome.found:
+            finds = [
+                agent.moves_at_find
+                for agent in outcome.per_agent
+                if agent.moves_at_find is not None
+            ]
+            assert outcome.m_moves == min(finds)
+
+
+class TestAutomatonStochasticity:
+    @given(st.integers(min_value=2, max_value=9), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=40)
+    def test_nonuniform_product_machine_always_valid(self, log_d, ell):
+        machine = build_nonuniform_automaton(2**log_d, ell)
+        matrix = machine.matrix
+        np.testing.assert_allclose(matrix.sum(axis=1), 1.0, atol=1e-9)
+        positive = matrix[matrix > 0]
+        assert positive.min() >= 2.0**-ell - 1e-12

@@ -1,0 +1,153 @@
+"""Property-based tests: hitting times, robustness, multi-target worlds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.grid.multi import MultiTargetWorld
+from repro.markov.chain import MarkovChain
+from repro.markov.classify import classify_states
+from repro.markov.hitting import (
+    absorption_time_distribution_tail,
+    expected_absorption_time,
+    expected_hitting_times,
+    expected_return_time,
+)
+from repro.markov.stationary import stationary_distribution
+from repro.robustness.perturbation import perturb_automaton, perturb_probability
+
+
+def dense_chain(seed: int, n: int) -> MarkovChain:
+    """A fully supported random chain (irreducible by construction)."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.random((n, n)) + 0.05
+    matrix /= matrix.sum(axis=1, keepdims=True)
+    return MarkovChain(matrix)
+
+
+chain_params = st.tuples(
+    st.integers(min_value=0, max_value=5000),
+    st.integers(min_value=2, max_value=10),
+)
+
+
+class TestHittingProperties:
+    @given(chain_params, st.integers(min_value=0, max_value=9))
+    @settings(max_examples=100)
+    def test_hitting_times_nonnegative_and_zero_at_target(self, params, raw_target):
+        seed, n = params
+        chain = dense_chain(seed, n)
+        target = raw_target % n
+        times = expected_hitting_times(chain, target)
+        assert times[target] == 0.0
+        assert np.all(times >= 0.0)
+
+    @given(chain_params, st.integers(min_value=0, max_value=9))
+    @settings(max_examples=60)
+    def test_kac_identity(self, params, raw_state):
+        seed, n = params
+        chain = dense_chain(seed, n)
+        state = raw_state % n
+        pi = stationary_distribution(chain)
+        assert expected_return_time(chain, state) == pytest.approx(
+            1.0 / pi[state], rel=1e-6
+        )
+
+    @given(chain_params)
+    @settings(max_examples=60)
+    def test_hitting_time_first_step_equation(self, params):
+        seed, n = params
+        chain = dense_chain(seed, n)
+        times = expected_hitting_times(chain, 0)
+        matrix = chain.matrix
+        for state in range(1, n):
+            expected = 1.0 + matrix[state] @ times
+            assert times[state] == pytest.approx(expected, rel=1e-8)
+
+    @given(st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=60)
+    def test_absorption_tail_is_monotone_and_sums_to_expectation(self, seed):
+        rng = np.random.default_rng(seed)
+        alpha = 0.1 + 0.8 * rng.random()
+        chain = MarkovChain(np.array([[1 - alpha, alpha], [0.0, 1.0]]))
+        tail = absorption_time_distribution_tail(chain, 200)
+        assert np.all(np.diff(tail) <= 1e-12)
+        # E[T] = sum_{r>=0} P[T > r]; the truncated survival sum must
+        # approach the exact expectation 1/alpha from below.
+        truncated_sum = float(tail.sum()) - tail[0] + 1.0  # P[T>0] = 1
+        expectation = expected_absorption_time(chain)
+        assert expectation == pytest.approx(1.0 / alpha, rel=1e-9)
+        assert truncated_sum <= expectation + 1e-9
+        assert truncated_sum == pytest.approx(expectation, rel=0.01)
+
+
+class TestRobustnessProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=0.5),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_perturbed_probability_in_unit_interval(self, p, eps, seed):
+        rng = np.random.default_rng(seed)
+        assert 0.0 <= perturb_probability(p, eps, rng) <= 1.0
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.95),
+        st.floats(min_value=0.0, max_value=0.04),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_perturbation_bounded_by_epsilon(self, p, eps, seed):
+        rng = np.random.default_rng(seed)
+        assert abs(perturb_probability(p, eps, rng) - p) <= eps + 1e-12
+
+    @given(st.integers(min_value=0, max_value=5000), st.floats(min_value=0.0, max_value=0.2))
+    @settings(max_examples=80)
+    def test_perturbed_automaton_valid(self, seed, eps):
+        from repro.markov.random_automata import random_bounded_automaton
+
+        rng = np.random.default_rng(seed)
+        machine = random_bounded_automaton(rng, bits=2, ell=2)
+        noisy = perturb_automaton(machine, eps, rng)
+        np.testing.assert_allclose(noisy.matrix.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(noisy.matrix[machine.matrix == 0.0] == 0.0)
+
+
+points = st.tuples(
+    st.integers(min_value=-10, max_value=10),
+    st.integers(min_value=-10, max_value=10),
+)
+
+
+class TestMultiWorldProperties:
+    @given(st.lists(points, min_size=1, max_size=8, unique=True))
+    @settings(max_examples=150)
+    def test_union_semantics_match_membership(self, targets):
+        world = MultiTargetWorld(targets, distance_bound=10)
+        for x in range(-3, 4):
+            for y in range(-3, 4):
+                assert world.is_target((x, y)) == ((x, y) in targets)
+
+    @given(st.lists(points, min_size=1, max_size=8, unique=True))
+    @settings(max_examples=100)
+    def test_discovery_monotone(self, targets):
+        world = MultiTargetWorld(targets, distance_bound=10)
+        assert world.undiscovered() == list(targets)
+        for target in targets:
+            world.is_target(target)
+        assert world.all_discovered
+        assert world.undiscovered() == []
+
+    @given(st.lists(points, min_size=1, max_size=8, unique=True))
+    @settings(max_examples=100)
+    def test_nearest_target_is_minimal(self, targets):
+        from repro.grid.geometry import chebyshev_norm
+
+        world = MultiTargetWorld(targets, distance_bound=10)
+        nearest = world.target
+        assert chebyshev_norm(nearest) == min(
+            chebyshev_norm(t) for t in targets
+        )

@@ -1,0 +1,92 @@
+"""Property-based tests: geometry invariants (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.geometry import (
+    chebyshev,
+    chebyshev_norm,
+    l_path_hit_moves,
+    l_path_hits,
+    l_path_points,
+    manhattan,
+    manhattan_norm,
+)
+from repro.grid.oracle import bresenham_return_path
+
+points = st.tuples(
+    st.integers(min_value=-50, max_value=50),
+    st.integers(min_value=-50, max_value=50),
+)
+signs = st.sampled_from([-1, 1])
+leg_lengths = st.integers(min_value=0, max_value=30)
+
+
+class TestNormProperties:
+    @given(points, points)
+    def test_chebyshev_triangle_inequality(self, a, b):
+        assert chebyshev(a, b) <= chebyshev_norm(a) + chebyshev_norm(b)
+
+    @given(points, points)
+    def test_chebyshev_symmetry(self, a, b):
+        assert chebyshev(a, b) == chebyshev(b, a)
+
+    @given(points)
+    def test_norm_sandwich(self, p):
+        # max-norm <= L1 <= 2 * max-norm on Z^2.
+        assert chebyshev_norm(p) <= manhattan_norm(p) <= 2 * chebyshev_norm(p)
+
+    @given(points, points)
+    def test_manhattan_nonnegative_and_identity(self, a, b):
+        assert manhattan(a, b) >= 0
+        assert (manhattan(a, b) == 0) == (a == b)
+
+
+class TestLPathProperties:
+    @given(points, signs, leg_lengths, signs, leg_lengths)
+    @settings(max_examples=300)
+    def test_hit_test_equals_enumeration(self, target, sv, lv, sh, lh):
+        enumerated = target in set(l_path_points(sv, lv, sh, lh))
+        assert l_path_hits(target, sv, lv, sh, lh) == enumerated
+
+    @given(signs, leg_lengths, signs, leg_lengths)
+    @settings(max_examples=200)
+    def test_hit_moves_equals_first_enumeration_index(self, sv, lv, sh, lh):
+        for index, point in enumerate(l_path_points(sv, lv, sh, lh)):
+            moves = l_path_hit_moves(point, sv, lv, sh, lh)
+            assert moves is not None
+            assert moves == index
+
+    @given(signs, leg_lengths, signs, leg_lengths)
+    def test_path_length(self, sv, lv, sh, lh):
+        assert len(list(l_path_points(sv, lv, sh, lh))) == lv + lh + 1
+
+    @given(points, signs, leg_lengths, signs, leg_lengths)
+    @settings(max_examples=200)
+    def test_hit_moves_bounded_by_path_length(self, target, sv, lv, sh, lh):
+        moves = l_path_hit_moves(target, sv, lv, sh, lh)
+        if moves is not None:
+            assert 0 <= moves <= lv + lh
+
+
+class TestOracleProperties:
+    @given(points)
+    @settings(max_examples=200)
+    def test_return_path_is_shortest_and_connected(self, start):
+        path = bresenham_return_path(start)
+        assert path[0] == start
+        assert path[-1] == (0, 0)
+        assert len(path) - 1 == manhattan_norm(start)
+        for a, b in zip(path, path[1:]):
+            assert manhattan(a, b) == 1
+
+    @given(points)
+    @settings(max_examples=200)
+    def test_return_path_monotone_in_both_axes(self, start):
+        """Coordinates never overshoot: |x| and |y| are non-increasing."""
+        path = bresenham_return_path(start)
+        for a, b in zip(path, path[1:]):
+            assert abs(b[0]) <= abs(a[0])
+            assert abs(b[1]) <= abs(a[1])

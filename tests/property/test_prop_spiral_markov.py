@@ -1,0 +1,152 @@
+"""Property-based tests: spiral indexing and Markov classification."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.spiral import spiral_index, spiral_point
+from repro.grid.geometry import chebyshev_norm
+from repro.markov.chain import MarkovChain
+from repro.markov.classify import classify_states, strongly_connected_components
+from repro.markov.periodicity import class_period, cyclic_classes
+from repro.markov.stationary import stationary_distribution, total_variation
+
+
+class TestSpiralProperties:
+    @given(st.integers(min_value=0, max_value=500_000))
+    @settings(max_examples=300)
+    def test_index_point_bijection(self, index):
+        assert spiral_index(spiral_point(index)) == index
+
+    @given(
+        st.tuples(
+            st.integers(min_value=-300, max_value=300),
+            st.integers(min_value=-300, max_value=300),
+        )
+    )
+    @settings(max_examples=300)
+    def test_point_index_bijection(self, point):
+        assert spiral_point(spiral_index(point)) == point
+
+    @given(st.integers(min_value=1, max_value=100_000))
+    def test_consecutive_points_adjacent(self, index):
+        a = spiral_point(index - 1)
+        b = spiral_point(index)
+        assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_index_lower_bounds_ring_entry(self, index):
+        """Everything at ring r is indexed at least (2r-1)^2."""
+        point = spiral_point(index)
+        r = chebyshev_norm(point)
+        if r > 0:
+            assert (2 * r - 1) ** 2 <= index <= (2 * r + 1) ** 2 - 1
+
+
+def random_stochastic_matrix(draw_seed: int, n: int, density: float) -> np.ndarray:
+    """A deterministic random row-stochastic matrix for hypothesis inputs."""
+    rng = np.random.default_rng(draw_seed)
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        mask = rng.random(n) < density
+        if not mask.any():
+            mask[rng.integers(0, n)] = True
+        weights = rng.random(n) * mask
+        matrix[i] = weights / weights.sum()
+    return matrix
+
+
+chain_params = st.tuples(
+    st.integers(min_value=0, max_value=10_000),  # seed
+    st.integers(min_value=1, max_value=12),  # states
+    st.floats(min_value=0.15, max_value=1.0),  # density
+)
+
+
+class TestClassificationProperties:
+    @given(chain_params)
+    @settings(max_examples=150)
+    def test_scc_is_a_partition(self, params):
+        seed, n, density = params
+        matrix = random_stochastic_matrix(seed, n, density)
+        components = strongly_connected_components(matrix > 0)
+        flattened = sorted(state for component in components for state in component)
+        assert flattened == list(range(n))
+
+    @given(chain_params)
+    @settings(max_examples=150)
+    def test_recurrent_classes_are_closed(self, params):
+        seed, n, density = params
+        chain = MarkovChain(random_stochastic_matrix(seed, n, density))
+        classification = classify_states(chain)
+        matrix = chain.matrix
+        for cls in classification.recurrent_classes:
+            members = sorted(cls)
+            outside = [s for s in range(n) if s not in cls]
+            if outside:
+                leak = matrix[np.ix_(members, outside)].sum()
+                assert leak < 1e-12
+
+    @given(chain_params)
+    @settings(max_examples=150)
+    def test_at_least_one_recurrent_class(self, params):
+        seed, n, density = params
+        chain = MarkovChain(random_stochastic_matrix(seed, n, density))
+        classification = classify_states(chain)
+        assert classification.n_recurrent_classes >= 1
+
+    @given(chain_params)
+    @settings(max_examples=100)
+    def test_stationary_distribution_is_fixed_point(self, params):
+        seed, n, density = params
+        chain = MarkovChain(random_stochastic_matrix(seed, n, density))
+        classification = classify_states(chain)
+        members = sorted(classification.recurrent_classes[0])
+        pi = stationary_distribution(chain, members)
+        assert abs(pi.sum() - 1.0) < 1e-9
+        assert np.all(pi >= -1e-12)
+        # Restricted fixed point: pi P = pi on the closed class.
+        np.testing.assert_allclose(pi @ chain.matrix, pi, atol=1e-8)
+
+    @given(chain_params)
+    @settings(max_examples=100)
+    def test_cyclic_classes_partition_and_rotate(self, params):
+        seed, n, density = params
+        chain = MarkovChain(random_stochastic_matrix(seed, n, density))
+        classification = classify_states(chain)
+        members = sorted(classification.recurrent_classes[0])
+        period = class_period(chain, members)
+        classes = cyclic_classes(chain, members)
+        assert len(classes) == period
+        assert sorted(sum(classes, [])) == members
+        index_of = {}
+        for tau, group in enumerate(classes):
+            for state in group:
+                index_of[state] = tau
+        adjacency = chain.adjacency()
+        for u in members:
+            for v in np.flatnonzero(adjacency[u]):
+                if int(v) in index_of:
+                    assert index_of[int(v)] == (index_of[u] + 1) % period
+
+    @given(chain_params, st.integers(min_value=1, max_value=64))
+    @settings(max_examples=80)
+    def test_distribution_after_stays_on_simplex(self, params, steps):
+        seed, n, density = params
+        chain = MarkovChain(random_stochastic_matrix(seed, n, density))
+        distribution = chain.distribution_after(steps)
+        assert abs(distribution.sum() - 1.0) < 1e-9
+        assert np.all(distribution >= -1e-12)
+
+    @given(chain_params)
+    @settings(max_examples=80)
+    def test_tv_distance_axioms(self, params):
+        seed, n, density = params
+        chain = MarkovChain(random_stochastic_matrix(seed, n, density))
+        p = chain.distribution_after(1)
+        q = chain.distribution_after(2)
+        assert total_variation(p, p) == 0.0
+        assert 0.0 <= total_variation(p, q) <= 1.0 + 1e-12
+        assert total_variation(p, q) == total_variation(q, p)

@@ -1,0 +1,173 @@
+"""Unit tests for Algorithm 1 (paper Section 3.1, Lemmas 3.1-3.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.actions import Action
+from repro.core.algorithm1 import Algorithm1, build_algorithm1_automaton
+from repro.core import theory
+from repro.errors import InvalidParameterError
+
+
+def collect_iteration(process) -> list[Action]:
+    """Consume actions until (and excluding) the first ORIGIN."""
+    actions = []
+    for action in process:
+        if action is Action.ORIGIN:
+            return actions
+        actions.append(action)
+    raise AssertionError("process ended without returning to origin")
+
+
+class TestAlgorithm1Process:
+    def test_rejects_degenerate_distance(self):
+        with pytest.raises(InvalidParameterError):
+            Algorithm1(1)
+
+    def test_iteration_is_one_vertical_then_one_horizontal_leg(self, rng):
+        process = Algorithm1(8).process(rng)
+        for _ in range(50):
+            actions = collect_iteration(process)
+            vertical = {Action.UP, Action.DOWN}
+            horizontal = {Action.LEFT, Action.RIGHT}
+            seen_vertical = [a for a in actions if a in vertical]
+            seen_horizontal = [a for a in actions if a in horizontal]
+            # All vertical moves precede all horizontal moves.
+            if seen_vertical and seen_horizontal:
+                last_vertical = max(i for i, a in enumerate(actions) if a in vertical)
+                first_horizontal = min(
+                    i for i, a in enumerate(actions) if a in horizontal
+                )
+                assert last_vertical < first_horizontal
+            # Each leg uses a single direction.
+            assert len(set(seen_vertical)) <= 1
+            assert len(set(seen_horizontal)) <= 1
+
+    def test_expected_iteration_moves_below_lemma_bound(self, rng):
+        distance = 16
+        process = Algorithm1(distance).process(rng)
+        lengths = [len(collect_iteration(process)) for _ in range(4000)]
+        mean = float(np.mean(lengths))
+        assert mean <= theory.iteration_moves_upper_bound(distance)
+        # Exact expectation is 2(D-1).
+        assert mean == pytest.approx(2 * (distance - 1), rel=0.05)
+
+    def test_leg_length_is_geometric(self, rng):
+        distance = 10
+        process = Algorithm1(distance).process(rng)
+        vertical_lengths = []
+        for _ in range(4000):
+            actions = collect_iteration(process)
+            vertical_lengths.append(
+                sum(1 for a in actions if a in (Action.UP, Action.DOWN))
+            )
+        assert np.mean(vertical_lengths) == pytest.approx(distance - 1, rel=0.06)
+        empirical_zero = np.mean([l == 0 for l in vertical_lengths])
+        assert empirical_zero == pytest.approx(1 / distance, abs=0.02)
+
+    def test_direction_signs_are_fair(self, rng):
+        process = Algorithm1(6).process(rng)
+        ups = downs = 0
+        for _ in range(3000):
+            actions = collect_iteration(process)
+            if any(a is Action.UP for a in actions):
+                ups += 1
+            if any(a is Action.DOWN for a in actions):
+                downs += 1
+        total = ups + downs
+        assert ups / total == pytest.approx(0.5, abs=0.03)
+
+
+class TestAlgorithm1Automaton:
+    def test_five_states_three_bits(self):
+        machine = build_algorithm1_automaton(32)
+        assert machine.n_states == 5
+        assert machine.memory_bits() == 3
+
+    def test_labels_match_figure(self):
+        machine = build_algorithm1_automaton(32)
+        assert machine.labels == [
+            Action.ORIGIN, Action.UP, Action.DOWN, Action.LEFT, Action.RIGHT,
+        ]
+
+    def test_rows_are_stochastic(self):
+        machine = build_algorithm1_automaton(9)
+        np.testing.assert_allclose(machine.matrix.sum(axis=1), np.ones(5))
+
+    def test_transition_probabilities_match_figure(self):
+        d = 8.0
+        matrix = build_algorithm1_automaton(8).matrix
+        origin, up, down, left, right = range(5)
+        assert matrix[origin, up] == pytest.approx(0.5 * (1 - 1 / d))
+        assert matrix[origin, origin] == pytest.approx(1 / d**2)
+        assert matrix[origin, left] == pytest.approx((1 / (2 * d)) * (1 - 1 / d))
+        assert matrix[up, up] == pytest.approx(1 - 1 / d)
+        assert matrix[up, origin] == pytest.approx(1 / d**2)
+        assert matrix[up, right] == pytest.approx((1 / (2 * d)) * (1 - 1 / d))
+        assert matrix[left, left] == pytest.approx(1 - 1 / d)
+        assert matrix[left, origin] == pytest.approx(1 / d)
+        assert matrix[left, up] == 0.0
+        assert matrix[right, right] == pytest.approx(1 - 1 / d)
+
+    def test_process_and_automaton_iteration_length_agree(self, rng_factory):
+        distance = 7
+        process = Algorithm1(distance).process(rng_factory(1))
+        process_lengths = [len(collect_iteration(process)) for _ in range(3000)]
+
+        machine = build_algorithm1_automaton(distance)
+        automaton_lengths = []
+        state = machine.start
+        moves = 0
+        generator = rng_factory(2)
+        while len(automaton_lengths) < 3000:
+            state = machine.step(generator, state)
+            if machine.label(state) is Action.ORIGIN:
+                automaton_lengths.append(moves)
+                moves = 0
+            else:
+                moves += 1
+        assert np.mean(process_lengths) == pytest.approx(
+            np.mean(automaton_lengths), rel=0.06
+        )
+
+    def test_selection_complexity_scales_with_log_d(self):
+        small = Algorithm1(8).selection_complexity()
+        large = Algorithm1(1024).selection_complexity()
+        assert small.bits == large.bits == 3
+        assert large.ell > small.ell  # finer probabilities for larger D
+
+
+class TestHitProbabilityTheory:
+    """Lemma 3.4 cross-checks: empirical per-iteration hit rates."""
+
+    @pytest.mark.parametrize("target", [(3, 2), (0, 4), (5, 0), (-2, -2), (1, -3)])
+    def test_empirical_hit_rate_matches_exact_formula(self, rng, target):
+        distance = 8
+        probability = theory.hit_probability_exact(1 / distance, target)
+        process = Algorithm1(distance).process(rng)
+        hits = 0
+        trials = 30_000
+        for _ in range(trials):
+            actions = collect_iteration(process)
+            position = (0, 0)
+            visited = False
+            for action in actions:
+                dx, dy = action.direction.vector
+                position = (position[0] + dx, position[1] + dy)
+                if position == target:
+                    visited = True
+            hits += visited
+        standard_error = (probability * (1 - probability) / trials) ** 0.5
+        assert hits / trials == pytest.approx(probability, abs=5 * standard_error + 1e-4)
+
+    def test_exact_formula_dominates_lemma_bound_in_window(self):
+        distance = 16
+        bound = theory.hit_probability_lower_bound(distance)
+        for x in range(-distance, distance + 1, 3):
+            for y in range(-distance, distance + 1, 3):
+                if (x, y) == (0, 0):
+                    continue
+                exact = theory.hit_probability_exact(1 / distance, (x, y))
+                assert exact >= bound

@@ -1,0 +1,138 @@
+"""Unit tests for repro.core.coin and repro.core.selection (Lemma 3.6)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.coin import CompositeCoin, flip_base_coin
+from repro.core.selection import (
+    MemoryMeter,
+    SelectionComplexity,
+    chi_threshold,
+    is_below_threshold,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestCompositeCoin:
+    def test_tails_probability_is_exact_power(self):
+        assert CompositeCoin(3, 2).tails_probability == 2.0**-6
+        assert CompositeCoin(1, 1).tails_probability == 0.5
+
+    @pytest.mark.parametrize("k,expected_bits", [(1, 0), (2, 1), (3, 2), (8, 3), (9, 4)])
+    def test_memory_bits_match_lemma(self, k, expected_bits):
+        assert CompositeCoin(k, 1).memory_bits == expected_bits
+
+    def test_for_target_probability(self):
+        coin = CompositeCoin.for_target_probability(ell=2, target_exponent=7)
+        assert coin.k == 4  # ceil(7/2)
+        assert coin.tails_probability <= 2.0**-7
+
+    def test_for_target_probability_exact_divisor(self):
+        coin = CompositeCoin.for_target_probability(ell=3, target_exponent=6)
+        assert coin.k == 2
+        assert coin.tails_probability == 2.0**-6
+
+    def test_flip_empirical_rate(self, rng):
+        coin = CompositeCoin(2, 1)  # tails probability 1/4
+        flips = sum(coin.flip(rng) for _ in range(40_000))
+        assert flips / 40_000 == pytest.approx(0.25, abs=0.01)
+
+    def test_flip_fast_empirical_rate(self, rng):
+        coin = CompositeCoin(3, 1)  # tails probability 1/8
+        flips = sum(coin.flip_fast(rng) for _ in range(40_000))
+        assert flips / 40_000 == pytest.approx(0.125, abs=0.01)
+
+    def test_faithful_and_fast_flip_agree_statistically(self, rng_factory):
+        coin = CompositeCoin(2, 2)
+        slow_rng = rng_factory(1)
+        fast_rng = rng_factory(2)
+        slow = np.mean([coin.flip(slow_rng) for _ in range(30_000)])
+        fast = np.mean([coin.flip_fast(fast_rng) for _ in range(30_000)])
+        assert slow == pytest.approx(fast, abs=0.01)
+
+    def test_geometric_heads_run_mean(self, rng):
+        coin = CompositeCoin(3, 1)  # p = 1/8, mean run = 7
+        runs = [coin.geometric_heads_run(rng) for _ in range(20_000)]
+        assert np.mean(runs) == pytest.approx(7.0, rel=0.05)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            CompositeCoin(0, 1)
+        with pytest.raises(InvalidParameterError):
+            CompositeCoin(1, 0)
+        with pytest.raises(InvalidParameterError):
+            CompositeCoin.for_target_probability(1, 0)
+
+    def test_base_coin_rate(self, rng):
+        flips = sum(flip_base_coin(rng, 2) for _ in range(40_000))
+        assert flips / 40_000 == pytest.approx(0.25, abs=0.01)
+
+    def test_base_coin_rejects_bad_ell(self, rng):
+        with pytest.raises(InvalidParameterError):
+            flip_base_coin(rng, 0)
+
+    def test_memory_meter_layout(self):
+        meter = CompositeCoin(6, 1).memory_meter()
+        assert meter.bits == 3
+        assert meter.n_states == 6
+
+
+class TestSelectionComplexity:
+    def test_chi_formula(self):
+        sc = SelectionComplexity(bits=5, ell=4.0)
+        assert sc.chi == 7.0
+
+    def test_ell_one_contributes_nothing(self):
+        assert SelectionComplexity(bits=3, ell=1.0).chi == 3.0
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SelectionComplexity(bits=-1, ell=1.0)
+        with pytest.raises(InvalidParameterError):
+            SelectionComplexity(bits=1, ell=0.5)
+
+    def test_threshold_values(self):
+        assert chi_threshold(16) == pytest.approx(2.0)
+        assert chi_threshold(256) == pytest.approx(3.0)
+        assert chi_threshold(2**16) == pytest.approx(4.0)
+
+    def test_threshold_monotone(self):
+        values = [chi_threshold(d) for d in (8, 64, 1024, 1 << 20)]
+        assert values == sorted(values)
+
+    def test_threshold_rejects_tiny_distance(self):
+        with pytest.raises(InvalidParameterError):
+            chi_threshold(1)
+
+    def test_is_below_threshold(self):
+        assert is_below_threshold(1.0, 256)
+        assert not is_below_threshold(4.0, 256)
+        assert not is_below_threshold(2.5, 256, margin=1.0)
+
+
+class TestMemoryMeter:
+    def test_bits_sum_of_register_logs(self):
+        meter = MemoryMeter().declare("a", 5).declare("b", 2).declare("c", 1)
+        assert meter.bits == 3 + 1 + 0
+        assert meter.n_states == 10
+
+    def test_redeclare_widens(self):
+        meter = MemoryMeter().declare("a", 2).declare("a", 9)
+        assert meter.registers["a"] == 9
+        assert meter.bits == 4
+
+    def test_redeclare_never_narrows(self):
+        meter = MemoryMeter().declare("a", 9).declare("a", 2)
+        assert meter.registers["a"] == 9
+
+    def test_rejects_empty_register(self):
+        with pytest.raises(InvalidParameterError):
+            MemoryMeter().declare("a", 0)
+
+    def test_chaining_returns_self(self):
+        meter = MemoryMeter()
+        assert meter.declare("x", 2) is meter

@@ -1,0 +1,203 @@
+"""Unit tests for the faithful engine (repro.sim.engine)."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+import pytest
+
+from repro.core.actions import Action
+from repro.core.base import SearchAlgorithm
+from repro.errors import InvalidParameterError
+from repro.grid.world import GridWorld
+from repro.sim.engine import EngineConfig, SearchEngine
+from repro.sim.trace import TraceRecorder
+
+
+class ScriptedAlgorithm(SearchAlgorithm):
+    """Plays a fixed action script, then idles on NONE (deterministic)."""
+
+    def __init__(self, script: list[Action]) -> None:
+        self._script = script
+
+    def process(self, rng: np.random.Generator) -> Iterator[Action]:
+        yield from self._script
+        while True:
+            yield Action.NONE
+
+
+class FiniteAlgorithm(SearchAlgorithm):
+    """A process that terminates (engines must tolerate StopIteration)."""
+
+    def process(self, rng: np.random.Generator) -> Iterator[Action]:
+        yield Action.UP
+        yield Action.UP
+
+
+def run_script(script, target, budget=100, n_agents=1, **config_kwargs):
+    engine = SearchEngine(EngineConfig(move_budget=budget, **config_kwargs))
+    world = GridWorld(target=target, distance_bound=64)
+    return engine.run(ScriptedAlgorithm(script), n_agents, world, rng=1)
+
+
+class TestEngineBasics:
+    def test_finds_target_on_path(self):
+        outcome = run_script([Action.UP, Action.UP, Action.RIGHT], (0, 2))
+        assert outcome.found
+        assert outcome.m_moves == 2
+        assert outcome.m_steps == 2
+        assert outcome.finder == 0
+
+    def test_moves_exclude_none_steps(self):
+        script = [Action.NONE, Action.UP, Action.NONE, Action.UP]
+        outcome = run_script(script, (0, 2))
+        assert outcome.m_moves == 2
+        assert outcome.m_steps == 4  # steps include NONE
+
+    def test_origin_teleports_without_move(self):
+        script = [Action.UP, Action.ORIGIN, Action.RIGHT]
+        outcome = run_script(script, (1, 0))
+        assert outcome.found
+        assert outcome.m_moves == 2  # UP + RIGHT; ORIGIN costs nothing
+
+    def test_origin_position_reset(self):
+        # After ORIGIN, the agent is back at (0, 0): one UP reaches (0, 1).
+        script = [Action.UP, Action.UP, Action.ORIGIN, Action.UP]
+        outcome = run_script(script, (0, 1))
+        assert outcome.found
+        assert outcome.m_moves == 1  # found on the way up, first move
+
+    def test_unfound_returns_budget_info(self):
+        outcome = run_script([Action.DOWN] * 5, (10, 10), budget=20)
+        assert not outcome.found
+        assert outcome.m_moves is None
+        assert outcome.moves_or_budget == 20
+
+    def test_target_at_origin_found_immediately(self):
+        engine = SearchEngine(EngineConfig(move_budget=10))
+        world = GridWorld(target=(0, 0), distance_bound=0)
+        outcome = engine.run(ScriptedAlgorithm([Action.UP]), 3, world, rng=1)
+        assert outcome.found and outcome.m_moves == 0
+
+    def test_step_budget_stops_none_spinners(self):
+        engine = SearchEngine(EngineConfig(move_budget=1000, step_budget=50))
+        world = GridWorld(target=(5, 5), distance_bound=8)
+        outcome = engine.run(ScriptedAlgorithm([]), 1, world, rng=1)
+        assert not outcome.found
+        assert outcome.per_agent[0].total_steps == 50
+
+    def test_finite_process_is_tolerated(self):
+        engine = SearchEngine(EngineConfig(move_budget=100))
+        world = GridWorld(target=(9, 9), distance_bound=9)
+        outcome = engine.run(FiniteAlgorithm(), 1, world, rng=1)
+        assert not outcome.found
+        assert outcome.per_agent[0].total_moves == 2
+
+    def test_rejects_zero_agents(self):
+        engine = SearchEngine(EngineConfig(move_budget=10))
+        world = GridWorld(target=(1, 1), distance_bound=2)
+        with pytest.raises(InvalidParameterError):
+            engine.run(ScriptedAlgorithm([]), 0, world, rng=1)
+
+    def test_config_validation(self):
+        with pytest.raises(InvalidParameterError):
+            EngineConfig(move_budget=0)
+        with pytest.raises(InvalidParameterError):
+            EngineConfig(move_budget=5, step_budget=0)
+
+    def test_explicit_generator_list(self):
+        engine = SearchEngine(EngineConfig(move_budget=10))
+        world = GridWorld(target=(0, 1), distance_bound=1)
+        generators = [np.random.default_rng(0), np.random.default_rng(1)]
+        outcome = engine.run(ScriptedAlgorithm([Action.UP]), 2, world, generators)
+        assert outcome.found
+
+    def test_generator_count_mismatch_rejected(self):
+        engine = SearchEngine(EngineConfig(move_budget=10))
+        world = GridWorld(target=(0, 1), distance_bound=1)
+        with pytest.raises(InvalidParameterError):
+            engine.run(
+                ScriptedAlgorithm([Action.UP]), 2, world, [np.random.default_rng(0)]
+            )
+
+
+class TestReturnHandling:
+    def test_counted_returns_charge_manhattan(self):
+        script = [Action.UP, Action.UP, Action.ORIGIN, Action.RIGHT]
+        outcome = run_script(script, (1, 0), count_return_moves=True)
+        # 2 up-moves + 2 return moves + 1 right = 5 at find.
+        assert outcome.m_moves == 5
+
+    def test_return_path_check_finds_target_on_the_way_home(self):
+        # Outbound path: (0,1), (0,2), (1,2), (2,2).  The Bresenham
+        # return from (2,2) passes (1,1), which outbound never touches.
+        script = [Action.UP, Action.UP, Action.RIGHT, Action.RIGHT, Action.ORIGIN]
+        missed = run_script(script, (1, 1))
+        assert not missed.found  # default: returns are not searched
+        found = run_script(script, (1, 1), check_return_path=True)
+        assert found.found
+
+    def test_return_visits_recorded_when_tracking(self):
+        engine = SearchEngine(
+            EngineConfig(move_budget=50, check_return_path=True)
+        )
+        world = GridWorld(target=(9, 9), distance_bound=9, track_visits=True)
+        engine.run(
+            ScriptedAlgorithm([Action.UP, Action.UP, Action.ORIGIN]),
+            1,
+            world,
+            rng=1,
+        )
+        assert (0, 1) in world.visited_cells
+
+
+class TestMinimumSemantics:
+    def test_minimum_over_agents_is_exact(self):
+        """Two scripted colonies: the slow finder must not win."""
+
+        class TwoScripts(SearchAlgorithm):
+            def __init__(self):
+                self._count = 0
+
+            def process(self, rng: np.random.Generator) -> Iterator[Action]:
+                agent_index = self._count
+                self._count += 1
+                if agent_index == 0:
+                    # Wanders, then finds at move 6.
+                    yield from [Action.DOWN, Action.DOWN, Action.ORIGIN]
+                    yield from [Action.UP, Action.UP, Action.UP, Action.RIGHT]
+                else:
+                    # Direct: finds at move 4.
+                    yield from [Action.UP, Action.UP, Action.UP, Action.RIGHT]
+                while True:
+                    yield Action.NONE
+
+        engine = SearchEngine(EngineConfig(move_budget=100))
+        world = GridWorld(target=(1, 3), distance_bound=4)
+        outcome = engine.run(TwoScripts(), 2, world, rng=5)
+        assert outcome.found
+        assert outcome.m_moves == 4
+        assert outcome.finder == 1
+
+    def test_trace_recording(self):
+        engine = SearchEngine(EngineConfig(move_budget=10))
+        world = GridWorld(target=(5, 5), distance_bound=6)
+        trace = TraceRecorder()
+        engine.run(
+            ScriptedAlgorithm([Action.UP, Action.RIGHT, Action.NONE]),
+            1,
+            world,
+            rng=1,
+            trace=trace,
+        )
+        execution = trace.execution(0)
+        assert execution.actions[:3] == [Action.UP, Action.RIGHT, Action.NONE]
+        assert execution.positions[:2] == [(0, 1), (1, 1)]
+        assert execution.n_moves == 2
+        assert execution.moves_only() == [Action.UP, Action.RIGHT]
+
+    def test_per_agent_outcomes_reported(self):
+        outcome = run_script([Action.UP], (0, 1), n_agents=3)
+        assert len(outcome.per_agent) == 3
+        assert all(agent.found for agent in outcome.per_agent)

@@ -1,0 +1,149 @@
+"""Unit tests for the vectorized simulators (repro.sim.fast)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import theory
+from repro.errors import InvalidParameterError
+from repro.sim.fast import (
+    fast_algorithm1,
+    fast_nonuniform,
+    fast_random_walk,
+    fast_uniform,
+    lshape_first_find,
+)
+
+
+class TestLShapeFirstFind:
+    def test_finds_near_target(self, rng):
+        outcome = lshape_first_find(0.125, 4, (2, 1), rng, move_budget=100_000)
+        assert outcome.found
+        assert outcome.m_moves is not None and outcome.m_moves >= 3
+
+    def test_target_at_origin(self, rng):
+        outcome = lshape_first_find(0.5, 2, (0, 0), rng, 100)
+        assert outcome.found and outcome.m_moves == 0
+
+    def test_m_moves_at_least_manhattan_distance(self, rng):
+        # The L-path to (x, y) costs at least |x| + |y| moves.
+        for target in [(3, 2), (0, 5), (-4, 1)]:
+            outcome = lshape_first_find(0.1, 8, target, rng, 1_000_000)
+            assert outcome.found
+            assert outcome.m_moves >= abs(target[0]) + abs(target[1])
+
+    def test_tiny_budget_fails(self, rng):
+        outcome = lshape_first_find(0.125, 1, (6, 6), rng, move_budget=5)
+        assert not outcome.found
+        assert outcome.m_moves is None
+
+    def test_mean_matches_theory_single_agent(self, rng):
+        """E[M_moves] for one agent ~ 4D/(1-q) envelope (Theorem 3.5)."""
+        distance = 16
+        target = (distance, distance)  # hardest corner
+        samples = [
+            fast_algorithm1(distance, 1, target, rng, 10**7).m_moves
+            for _ in range(300)
+        ]
+        mean = float(np.mean(samples))
+        bound = theory.expected_moves_upper_bound(distance, 1)
+        assert mean <= bound  # the proof's explicit envelope holds
+
+    def test_more_agents_never_slower(self, rng_factory):
+        distance, target = 32, (20, -13)
+        means = []
+        for n_agents in (1, 8, 64):
+            generator = rng_factory(17)
+            samples = [
+                fast_algorithm1(distance, n_agents, target, generator, 10**7).m_moves
+                for _ in range(150)
+            ]
+            means.append(np.mean(samples))
+        assert means[1] < means[0]
+        assert means[2] < means[1]
+
+    def test_parameter_validation(self, rng):
+        with pytest.raises(InvalidParameterError):
+            lshape_first_find(0.0, 1, (1, 1), rng, 10)
+        with pytest.raises(InvalidParameterError):
+            lshape_first_find(1.0, 1, (1, 1), rng, 10)
+        with pytest.raises(InvalidParameterError):
+            lshape_first_find(0.5, 0, (1, 1), rng, 10)
+        with pytest.raises(InvalidParameterError):
+            lshape_first_find(0.5, 1, (1, 1), rng, 0)
+
+
+class TestFastWrappers:
+    def test_fast_nonuniform_smaller_stop_probability(self, rng):
+        outcome = fast_nonuniform(16, 1, 4, (5, 5), rng, 10**6)
+        assert outcome.found
+
+    def test_fast_algorithm1_validation(self, rng):
+        with pytest.raises(InvalidParameterError):
+            fast_algorithm1(1, 1, (0, 0), rng, 10)
+
+    def test_fast_uniform_finds_close_targets_quickly(self, rng):
+        outcome = fast_uniform(4, 1, 2, (2, 2), rng, 10**6)
+        assert outcome.found
+        assert outcome.m_moves < 10**5
+
+    def test_fast_uniform_respects_budget(self, rng):
+        outcome = fast_uniform(1, 1, 2, (50, 50), rng, move_budget=20)
+        assert not outcome.found
+
+    def test_fast_uniform_max_phase_truncation(self, rng):
+        # With max_phase=1 the square side is 2; a far target is unreachable.
+        outcome = fast_uniform(2, 1, 2, (40, 40), rng, 10**6, max_phase=1)
+        assert not outcome.found
+
+    def test_fast_uniform_validation(self, rng):
+        with pytest.raises(InvalidParameterError):
+            fast_uniform(0, 1, 2, (1, 1), rng, 10)
+        with pytest.raises(InvalidParameterError):
+            fast_uniform(1, 0, 2, (1, 1), rng, 10)
+
+
+class TestFastRandomWalk:
+    def test_finds_adjacent_target(self, rng):
+        outcome = fast_random_walk(8, (1, 0), rng, 10_000)
+        assert outcome.found
+        assert outcome.m_moves >= 1
+
+    def test_budget_exhaustion(self, rng):
+        outcome = fast_random_walk(1, (90, 90), rng, move_budget=50)
+        assert not outcome.found
+
+    def test_m_moves_parity(self, rng):
+        """A walk reaching (x, y) needs moves with the parity of x+y."""
+        for _ in range(20):
+            outcome = fast_random_walk(2, (1, 2), rng, 100_000)
+            if outcome.found:
+                assert (outcome.m_moves - 3) % 2 == 0
+
+    def test_origin_target(self, rng):
+        assert fast_random_walk(1, (0, 0), rng, 10).m_moves == 0
+
+    def test_validation(self, rng):
+        with pytest.raises(InvalidParameterError):
+            fast_random_walk(0, (1, 1), rng, 10)
+        with pytest.raises(InvalidParameterError):
+            fast_random_walk(1, (1, 1), rng, 0)
+
+    def test_reproducible_with_same_seed(self, rng_factory):
+        first = fast_random_walk(2, (2, 1), rng_factory(99), 5_000).m_moves
+        second = fast_random_walk(2, (2, 1), rng_factory(99), 5_000).m_moves
+        assert first == second
+
+    def test_chunk_size_does_not_bias_results(self, rng_factory):
+        """Different chunkings draw differently but agree in distribution."""
+        means = []
+        for chunk, seed in ((5, 1), (2048, 2)):
+            generator = rng_factory(seed)
+            samples = [
+                fast_random_walk(2, (2, 1), generator, 100_000, chunk=chunk)
+                .moves_or_budget
+                for _ in range(200)
+            ]
+            means.append(np.mean(samples))
+        assert means[0] == pytest.approx(means[1], rel=0.35)

@@ -1,0 +1,125 @@
+"""Unit tests for repro.grid.geometry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grid.geometry import (
+    Direction,
+    chebyshev,
+    chebyshev_norm,
+    l_path_hit_moves,
+    l_path_hits,
+    l_path_points,
+    manhattan,
+    manhattan_norm,
+    square_boundary_points,
+    square_lattice,
+)
+
+
+class TestDirections:
+    def test_vectors_are_unit_steps(self):
+        for direction in Direction:
+            dx, dy = direction.vector
+            assert abs(dx) + abs(dy) == 1
+
+    def test_opposites_cancel(self):
+        for direction in Direction:
+            dx, dy = direction.vector
+            ox, oy = direction.opposite.vector
+            assert (dx + ox, dy + oy) == (0, 0)
+
+    def test_opposite_is_involution(self):
+        for direction in Direction:
+            assert direction.opposite.opposite is direction
+
+    def test_vertical_flag(self):
+        assert Direction.UP.is_vertical
+        assert Direction.DOWN.is_vertical
+        assert not Direction.LEFT.is_vertical
+        assert not Direction.RIGHT.is_vertical
+
+    def test_step_moves_one_cell(self):
+        assert Direction.UP.step((3, -2)) == (3, -1)
+        assert Direction.LEFT.step((0, 0)) == (-1, 0)
+
+
+class TestNorms:
+    def test_chebyshev_examples(self):
+        assert chebyshev((0, 0), (3, -4)) == 4
+        assert chebyshev_norm((5, 5)) == 5
+        assert chebyshev_norm((0, 0)) == 0
+
+    def test_manhattan_examples(self):
+        assert manhattan((1, 1), (-2, 3)) == 5
+        assert manhattan_norm((-3, 4)) == 7
+
+    def test_chebyshev_at_most_manhattan(self):
+        for point in [(-4, 7), (0, 0), (9, 9), (-2, -2)]:
+            assert chebyshev_norm(point) <= manhattan_norm(point)
+
+
+class TestLPath:
+    def test_enumeration_counts_points_once(self):
+        points = list(l_path_points(1, 3, -1, 2))
+        assert len(points) == 3 + 2 + 1  # vertical leg + horizontal leg + origin
+        assert len(set(points)) == len(points)
+
+    def test_enumeration_shape(self):
+        points = list(l_path_points(1, 2, 1, 2))
+        assert points == [(0, 0), (0, 1), (0, 2), (1, 2), (2, 2)]
+
+    def test_zero_legs_visit_only_origin(self):
+        assert list(l_path_points(1, 0, 1, 0)) == [(0, 0)]
+
+    def test_hits_matches_enumeration(self):
+        cases = [(1, 3, 1, 2), (-1, 2, 1, 0), (1, 0, -1, 4), (-1, 5, -1, 5)]
+        for sv, lv, sh, lh in cases:
+            visited = set(l_path_points(sv, lv, sh, lh))
+            for x in range(-6, 7):
+                for y in range(-6, 7):
+                    assert l_path_hits((x, y), sv, lv, sh, lh) == ((x, y) in visited)
+
+    def test_hit_moves_matches_enumeration_order(self):
+        sv, lv, sh, lh = 1, 3, -1, 2
+        path = list(l_path_points(sv, lv, sh, lh))
+        for index, point in enumerate(path):
+            assert l_path_hit_moves(point, sv, lv, sh, lh) == index
+
+    def test_hit_moves_none_on_miss(self):
+        assert l_path_hit_moves((5, 5), 1, 2, 1, 2) is None
+
+    def test_invalid_sign_rejected(self):
+        with pytest.raises(ValueError):
+            list(l_path_points(0, 1, 1, 1))
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            list(l_path_points(1, -1, 1, 1))
+
+
+class TestSquares:
+    def test_lattice_count(self):
+        assert len(list(square_lattice(3))) == 49
+        assert list(square_lattice(0)) == [(0, 0)]
+
+    def test_lattice_bounds(self):
+        for point in square_lattice(2):
+            assert chebyshev_norm(point) <= 2
+
+    def test_boundary_count(self):
+        assert len(list(square_boundary_points(3))) == 24
+        assert list(square_boundary_points(0)) == [(0, 0)]
+
+    def test_boundary_is_exact_ring(self):
+        ring = set(square_boundary_points(4))
+        assert all(chebyshev_norm(p) == 4 for p in ring)
+        brute = {p for p in square_lattice(4) if chebyshev_norm(p) == 4}
+        assert ring == brute
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            list(square_lattice(-1))
+        with pytest.raises(ValueError):
+            list(square_boundary_points(-2))

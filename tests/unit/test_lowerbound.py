@@ -1,0 +1,242 @@
+"""Unit tests for the lower-bound machinery (repro.lowerbound)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.actions import Action
+from repro.errors import InvalidParameterError
+from repro.lowerbound.certify import certify
+from repro.lowerbound.colony import simulate_colony
+from repro.lowerbound.coverage import (
+    adversarial_target,
+    distance_to_prediction,
+    empirical_vs_predicted,
+    predicted_coverage_fraction,
+    ray_distance,
+)
+from repro.lowerbound.drift import drift_profile, measure_max_deviation
+from repro.lowerbound.theory import (
+    chi_margin,
+    horizon_moves,
+    initial_rounds_r0,
+    is_poly_agents,
+    speedup_cap_below_threshold,
+    tube_width,
+)
+from repro.markov.random_automata import (
+    biased_walk_automaton,
+    cycle_automaton,
+    random_bounded_automaton,
+    uniform_walk_automaton,
+)
+
+
+class TestTheoryQuantities:
+    def test_horizon_moves(self):
+        assert horizon_moves(16, 1.0) == 16
+        assert horizon_moves(16, 0.5) == 64  # D^{1.5}
+        assert horizon_moves(100, 0.25) == int(np.ceil(100**1.75))
+
+    def test_horizon_validation(self):
+        with pytest.raises(InvalidParameterError):
+            horizon_moves(1)
+        with pytest.raises(InvalidParameterError):
+            horizon_moves(16, 0.0)
+
+    def test_r0_grows_with_states(self):
+        small = initial_rounds_r0(0.5, 1, 64)
+        large = initial_rounds_r0(0.5, 3, 64)
+        assert large > small
+
+    def test_chi_margin_sign(self):
+        # threshold at D=256 is 3.
+        assert chi_margin(2.0, 256) > 0
+        assert chi_margin(4.0, 256) < 0
+
+    def test_tube_width_sublinear_in_d_over_s(self):
+        # width * |S| / D -> 0 as D grows (the o(D/|S|) requirement).
+        ratios = [tube_width(d, 4) * 4 / d for d in (16, 256, 65536)]
+        assert ratios[0] > ratios[1] > ratios[2]
+
+    def test_speedup_cap(self):
+        assert speedup_cap_below_threshold(256, 2, 0.25) == 2.0
+        assert speedup_cap_below_threshold(256, 10**6, 0.25) == pytest.approx(
+            256**0.25
+        )
+
+    def test_poly_agents(self):
+        assert is_poly_agents(16, 4096)
+        assert not is_poly_agents(16, 16**4)
+
+
+class TestDrift:
+    def test_uniform_walk_has_zero_drift(self):
+        lines = drift_profile(uniform_walk_automaton())
+        assert len(lines) == 1
+        assert lines[0].drift == pytest.approx((0.0, 0.0))
+        assert lines[0].absorption_probability == 1.0
+        assert lines[0].moves_per_round == pytest.approx(1.0)
+        assert not lines[0].is_stalling
+
+    def test_biased_walk_drift_matches_quantized_weights(self):
+        machine = biased_walk_automaton([2, 0, 1, 1], ell=2)
+        (line,) = drift_profile(machine)
+        # quantized to (2, 0, 1, 1)/4: drift = (p_right - p_left, p_up - p_down)
+        assert line.drift == pytest.approx((0.0, 0.5))
+        assert line.speed == pytest.approx(0.5)
+
+    def test_cycle_machine_zero_drift_loop(self):
+        pattern = [Action.UP, Action.RIGHT, Action.DOWN, Action.LEFT]
+        (line,) = drift_profile(cycle_automaton(pattern))
+        assert line.drift == pytest.approx((0.0, 0.0))
+
+    def test_straight_line_machine_unit_drift(self):
+        (line,) = drift_profile(cycle_automaton([Action.UP]))
+        assert line.drift == pytest.approx((0.0, 1.0))
+
+    def test_measured_deviation_small_for_deterministic_line(self, rng):
+        machine = cycle_automaton([Action.UP])
+        deviation, line = measure_max_deviation(machine, rounds=500, rng=rng)
+        assert line.drift == pytest.approx((0.0, 1.0))
+        assert deviation <= 2.0  # burn-in offset only
+
+    def test_measured_deviation_diffusive_for_uniform_walk(self, rng):
+        machine = uniform_walk_automaton()
+        rounds = 3600
+        deviation, _ = measure_max_deviation(machine, rounds=rounds, rng=rng)
+        # Diffusive: deviation ~ sqrt(rounds) << rounds.
+        assert deviation < rounds / 8
+        assert deviation > 0
+
+    def test_deviation_rejects_bad_rounds(self, rng):
+        with pytest.raises(InvalidParameterError):
+            measure_max_deviation(uniform_walk_automaton(), rounds=0, rng=rng)
+
+
+class TestRayDistance:
+    def test_point_on_ray(self):
+        assert ray_distance((3, 3), (1.0, 1.0)) == pytest.approx(0.0)
+
+    def test_point_behind_ray_uses_origin(self):
+        assert ray_distance((-3, 0), (1.0, 0.0)) == pytest.approx(3.0)
+
+    def test_perpendicular_offset(self):
+        assert ray_distance((5, 1), (1.0, 0.0)) == pytest.approx(1.0)
+
+    def test_zero_direction_degenerates_to_norm(self):
+        assert ray_distance((3, 4), (0.0, 0.0)) == pytest.approx(5.0)
+
+    def test_distance_to_prediction_min_over_lines(self):
+        machine = biased_walk_automaton([4, 0, 0, 0], ell=2)  # drifts up
+        lines = drift_profile(machine)
+        on_line = distance_to_prediction((0, 10), lines)
+        off_line = distance_to_prediction((10, 0), lines)
+        assert on_line == pytest.approx(0.0)
+        assert off_line > 5
+
+
+class TestCoverage:
+    def test_predicted_fraction_decays_with_distance(self):
+        machine = uniform_walk_automaton()
+        fractions = [predicted_coverage_fraction(machine, d) for d in (64, 256, 1024)]
+        assert fractions[0] > fractions[1] > fractions[2]
+
+    def test_adversarial_target_avoids_drift_line(self):
+        machine = biased_walk_automaton([4, 0, 0, 0], ell=2)  # drifts straight up
+        target = adversarial_target(machine, 64)
+        lines = drift_profile(machine)
+        assert distance_to_prediction(target, lines) > 32
+
+    def test_adversarial_target_within_bound(self):
+        machine = uniform_walk_automaton()
+        target = adversarial_target(machine, 32)
+        assert max(abs(target[0]), abs(target[1])) <= 32
+
+    def test_empirical_vs_predicted_shapes(self, rng):
+        machine = uniform_walk_automaton()
+        result = simulate_colony(machine, 4, 500, rng, window_radius=16)
+        empirical, predicted = empirical_vs_predicted(result.visited, machine, 16)
+        assert 0.0 < empirical < 1.0
+        assert 0.0 < predicted <= 1.0
+
+    def test_empirical_vs_predicted_validates_shape(self):
+        machine = uniform_walk_automaton()
+        with pytest.raises(InvalidParameterError):
+            empirical_vs_predicted(np.zeros((3, 3), dtype=bool), machine, 16)
+
+
+class TestColonySimulation:
+    def test_coverage_counts_origin(self, rng):
+        machine = uniform_walk_automaton()
+        result = simulate_colony(machine, 2, 10, rng, window_radius=8)
+        assert result.visited[8, 8]  # origin cell
+        assert result.visited_count() >= 1
+
+    def test_straight_line_colony_visits_column(self, rng):
+        machine = cycle_automaton([Action.UP])
+        result = simulate_colony(machine, 1, 8, rng, window_radius=8)
+        column = result.visited[8, :]  # x = 0 column
+        assert column.sum() >= 8
+
+    def test_target_found_with_move_count(self, rng):
+        machine = cycle_automaton([Action.UP])
+        result = simulate_colony(
+            machine, 3, 20, rng, window_radius=16, target=(0, 5)
+        )
+        assert result.found
+        assert result.m_moves == 5
+        assert result.m_steps is not None
+
+    def test_target_missed(self, rng):
+        machine = cycle_automaton([Action.UP])
+        result = simulate_colony(
+            machine, 2, 50, rng, window_radius=16, target=(3, 3)
+        )
+        assert not result.found
+        assert result.m_moves is None
+
+    def test_validation(self, rng):
+        machine = uniform_walk_automaton()
+        with pytest.raises(InvalidParameterError):
+            simulate_colony(machine, 0, 5, rng, window_radius=4)
+        with pytest.raises(InvalidParameterError):
+            simulate_colony(machine, 1, 0, rng, window_radius=4)
+        with pytest.raises(InvalidParameterError):
+            simulate_colony(machine, 1, 5, rng, window_radius=0)
+
+
+class TestCertificate:
+    def test_certificate_fields(self, rng):
+        machine = random_bounded_automaton(rng, bits=2, ell=1)
+        certificate = certify(machine, 64, 8)
+        assert certificate.distance == 64
+        assert certificate.threshold == pytest.approx(np.log2(np.log2(64)))
+        assert certificate.horizon == horizon_moves(64)
+        assert len(certificate.drift_lines) >= 1
+        assert 0.0 < certificate.predicted_coverage <= 1.0
+        assert certificate.speedup_cap <= 8
+
+    def test_summary_renders(self, rng):
+        machine = uniform_walk_automaton()
+        certificate = certify(machine, 64, 4)
+        text = "\n".join(certificate.summary_lines())
+        assert "chi" in text and "drift" in text
+
+    def test_below_threshold_flag(self):
+        # A 2-state, ell=1 machine has chi = 1 < log log 64 = 2.585.
+        import numpy as np
+        from repro.core.automaton import Automaton
+
+        matrix = np.array([[0.5, 0.5], [0.5, 0.5]])
+        machine = Automaton(matrix, [Action.ORIGIN, Action.UP])
+        certificate = certify(machine, 64, 4)
+        assert certificate.below_threshold
+
+    def test_validation(self):
+        machine = uniform_walk_automaton()
+        with pytest.raises(InvalidParameterError):
+            certify(machine, 2, 4)
+        with pytest.raises(InvalidParameterError):
+            certify(machine, 64, 0)

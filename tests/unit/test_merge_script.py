@@ -1,0 +1,66 @@
+"""Unit tests for the report-merge helper script."""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+SCRIPT = (
+    pathlib.Path(__file__).resolve().parents[2]
+    / "scripts"
+    / "merge_experiment_sections.py"
+)
+spec = importlib.util.spec_from_file_location("merge_script", SCRIPT)
+merge_script = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(merge_script)
+
+
+MAIN = """# Report
+
+intro text
+
+### E01 — first
+
+body one
+
+### E03 — third
+
+stale body
+"""
+
+PATCH = """# Patch header (discarded)
+
+### E03 — third
+
+fresh body
+
+### E05 — fifth
+
+new section
+"""
+
+
+class TestMerge:
+    def test_replaces_and_appends_in_order(self):
+        merged = merge_script.merge(MAIN, PATCH)
+        assert "fresh body" in merged
+        assert "stale body" not in merged
+        assert "new section" in merged
+        assert merged.index("### E01") < merged.index("### E03") < merged.index("### E05")
+
+    def test_header_preserved(self):
+        merged = merge_script.merge(MAIN, PATCH)
+        assert merged.startswith("# Report")
+        assert "Patch header" not in merged
+
+    def test_split_roundtrip(self):
+        header, sections, order = merge_script.split_report(MAIN)
+        assert order == ["E01", "E03"]
+        assert header.startswith("# Report")
+        assert sections["E01"].startswith("### E01")
+
+    def test_no_sections_passthrough(self):
+        header, sections, order = merge_script.split_report("just text\n")
+        assert header == "just text\n"
+        assert sections == {}
+        assert order == []

@@ -1,0 +1,180 @@
+"""Unit tests for Non-Uniform-Search (Thm 3.7) and Algorithm 5 (Thm 3.14)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.actions import Action
+from repro.core.nonuniform import NonUniformSearch, build_nonuniform_automaton
+from repro.core.uniform import (
+    UniformSearch,
+    first_covering_phase,
+    phase_coin_exponent,
+    rho,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestNonUniformSearch:
+    def test_k_choice(self):
+        assert NonUniformSearch(1024, 1).k == 10
+        assert NonUniformSearch(1024, 4).k == 3  # ceil(10/4)
+        assert NonUniformSearch(1000, 1).k == 10  # ceil(log2 1000)
+
+    def test_stop_probability_at_most_one_over_d(self):
+        for distance in (8, 100, 1024):
+            for ell in (1, 2, 3):
+                algorithm = NonUniformSearch(distance, ell)
+                assert algorithm.stop_probability <= 1.0 / distance + 1e-12
+
+    def test_chi_matches_theorem(self):
+        # Theorem 3.7: chi = log log D + O(1); here b = 3 + ceil(log2 k).
+        sc = NonUniformSearch(1024, 1).selection_complexity()
+        assert sc.bits == 3 + 4  # k = 10 -> 4 bits
+        assert sc.ell == 1.0
+        assert sc.chi == pytest.approx(7.0)
+
+    def test_chi_grows_doubly_logarithmically(self):
+        chis = [
+            NonUniformSearch(d, 1).selection_complexity().chi
+            for d in (16, 256, 65536)
+        ]
+        diffs = [b - a for a, b in zip(chis, chis[1:])]
+        # log log D steps by 1 between these D values; chi tracks it
+        # within rounding.
+        assert all(0 <= diff <= 2 for diff in diffs)
+
+    def test_process_iterations_return_to_origin(self, rng):
+        process = NonUniformSearch(8, 1).process(rng)
+        actions = [next(process) for _ in range(500)]
+        assert Action.ORIGIN in actions
+
+    def test_memory_meter_matches_declared_bits(self):
+        algorithm = NonUniformSearch(256, 2)
+        assert algorithm.memory_meter().bits == algorithm.selection_complexity().bits
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            NonUniformSearch(1, 1)
+        with pytest.raises(InvalidParameterError):
+            NonUniformSearch(8, 0)
+
+
+class TestNonUniformAutomaton:
+    def test_state_count(self):
+        for distance, ell in [(16, 1), (256, 2), (64, 3)]:
+            k = max(1, math.ceil(math.log2(distance) / ell))
+            machine = build_nonuniform_automaton(distance, ell)
+            assert machine.n_states == 4 * k + 7
+
+    def test_probability_floor_is_exactly_ell(self):
+        for ell in (1, 2, 3):
+            machine = build_nonuniform_automaton(256, ell)
+            assert machine.min_positive_probability() == pytest.approx(2.0**-ell)
+            assert machine.selection_complexity().ell == pytest.approx(float(ell))
+
+    def test_rows_are_stochastic(self):
+        machine = build_nonuniform_automaton(64, 2)
+        np.testing.assert_allclose(
+            machine.matrix.sum(axis=1), np.ones(machine.n_states)
+        )
+
+    def test_automaton_walk_lengths_match_process(self, rng_factory):
+        """The product automaton's move runs follow Geometric(2^-kl)."""
+        distance, ell = 16, 1
+        machine = build_nonuniform_automaton(distance, ell)
+        state = machine.start
+        generator = rng_factory(3)
+        vertical_runs = []
+        run = 0
+        seen_vertical = False
+        for _ in range(400_000):
+            state = machine.step(generator, state)
+            label = machine.label(state)
+            if label in (Action.UP, Action.DOWN):
+                run += 1
+                seen_vertical = True
+            elif label in (Action.LEFT, Action.RIGHT, Action.ORIGIN) and seen_vertical:
+                vertical_runs.append(run)
+                run = 0
+                seen_vertical = False
+            elif label is Action.ORIGIN:
+                run = 0
+                seen_vertical = False
+        assert len(vertical_runs) > 500
+        expected_mean = 2 ** (machine_k(distance, ell)) - 1
+        assert np.mean(vertical_runs) == pytest.approx(expected_mean, rel=0.1)
+
+
+def machine_k(distance: int, ell: int) -> int:
+    return max(1, math.ceil(math.log2(distance) / ell)) * ell
+
+
+class TestUniformSearchParameters:
+    def test_phase_coin_exponent(self):
+        # K + max(i - floor(log2(n)/l), 0)
+        assert phase_coin_exponent(3, n_agents=1, ell=1, K=2) == 5
+        assert phase_coin_exponent(3, n_agents=8, ell=1, K=2) == 2
+        assert phase_coin_exponent(6, n_agents=8, ell=1, K=2) == 5
+        assert phase_coin_exponent(4, n_agents=16, ell=2, K=3) == 5
+
+    def test_rho_values(self):
+        assert rho(3, 1, 1, 2) == 2.0**5
+        # exponent = K + max(i - floor(log2(n)/l), 0) = 2 + (2 - 1) = 3
+        assert rho(2, 4, 2, 2) == 2.0 ** (3 * 2)
+
+    def test_first_covering_phase(self):
+        assert first_covering_phase(1024, 1) == 10
+        assert first_covering_phase(1024, 2) == 5
+        assert first_covering_phase(1000, 1) == 10
+        assert first_covering_phase(1, 1) == 1
+
+    def test_invalid_phase_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            phase_coin_exponent(0, 1, 1)
+
+
+class TestUniformSearchBehaviour:
+    def test_process_emits_sorties_and_returns(self, rng):
+        process = UniformSearch(n_agents=2, ell=1).process(rng)
+        actions = [next(process) for _ in range(2000)]
+        assert Action.ORIGIN in actions
+        assert any(a.is_move for a in actions)
+
+    def test_truncated_machine_idles_after_max_phase(self, rng):
+        process = UniformSearch(n_agents=1, ell=1, max_phase=1).process(rng)
+        actions = [next(process) for _ in range(5000)]
+        tail = actions[-100:]
+        assert all(a is Action.NONE for a in tail)
+
+    def test_chi_accounting_tracks_3_log_log_d(self):
+        algorithm = UniformSearch(n_agents=4, ell=1)
+        chi_small = algorithm.selection_complexity_for_distance(2**8).chi
+        chi_large = algorithm.selection_complexity_for_distance(2**16).chi
+        assert chi_large > chi_small
+        # Three counters each gain one bit when log D doubles.
+        assert chi_large - chi_small <= 3 + 1
+
+    def test_chi_decreases_with_larger_ell(self):
+        d = 2**12
+        chi_ell_1 = UniformSearch(4, ell=1).selection_complexity_for_distance(d).chi
+        chi_ell_4 = UniformSearch(4, ell=4).selection_complexity_for_distance(d).chi
+        # b shrinks by ~3 log l, chi pays back only log l.
+        assert chi_ell_4 < chi_ell_1
+
+    def test_selection_complexity_none_when_untruncated(self):
+        assert UniformSearch(2).selection_complexity() is None
+        assert UniformSearch(2, max_phase=6).selection_complexity() is not None
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            UniformSearch(0)
+        with pytest.raises(InvalidParameterError):
+            UniformSearch(1, ell=0)
+        with pytest.raises(InvalidParameterError):
+            UniformSearch(1, K=0)
+        with pytest.raises(InvalidParameterError):
+            UniformSearch(1, max_phase=0)

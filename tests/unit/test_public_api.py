@@ -1,0 +1,77 @@
+"""Public-API surface tests: exports, docstrings, repr hygiene."""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_is_semver_like(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_key_classes_have_docstrings(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"{name} lacks a docstring"
+
+    def test_every_subpackage_has_module_docstring(self):
+        import repro.baselines
+        import repro.core
+        import repro.experiments
+        import repro.grid
+        import repro.lowerbound
+        import repro.markov
+        import repro.robustness
+        import repro.sim
+        import repro.vis
+
+        for module in (
+            repro.baselines, repro.core, repro.experiments, repro.grid,
+            repro.lowerbound, repro.markov, repro.robustness, repro.sim,
+            repro.vis,
+        ):
+            assert module.__doc__ and len(module.__doc__) > 80
+
+
+class TestAlgorithmContracts:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: repro.Algorithm1(8),
+            lambda: repro.NonUniformSearch(8, 1),
+            lambda: repro.UniformSearch(2, 1),
+            lambda: repro.DoublyUniformSearch(1),
+        ],
+    )
+    def test_processes_are_generators_of_actions(self, factory, rng):
+        algorithm = factory()
+        process = algorithm.process(rng)
+        for _ in range(25):
+            action = next(process)
+            assert isinstance(action, repro.Action)
+
+    def test_algorithm_names_are_informative(self):
+        assert "Algorithm1" in repro.Algorithm1(8).name
+        assert "NonUniform" in repro.NonUniformSearch(8, 1).name
+
+    def test_search_algorithm_default_hooks(self, rng):
+        class Minimal(repro.SearchAlgorithm):
+            def process(self, generator):
+                while True:
+                    yield repro.Action.NONE
+
+        minimal = Minimal()
+        assert minimal.selection_complexity() is None
+        assert minimal.automaton() is None
+        assert minimal.name == "Minimal"

@@ -1,0 +1,106 @@
+"""Unit tests for the adversary automaton families."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.actions import Action
+from repro.errors import InvalidParameterError
+from repro.markov.random_automata import (
+    biased_walk_automaton,
+    cycle_automaton,
+    random_bounded_automaton,
+    uniform_walk_automaton,
+)
+
+
+class TestRandomBoundedAutomaton:
+    def test_state_count_and_start_label(self, rng):
+        machine = random_bounded_automaton(rng, bits=3, ell=2)
+        assert machine.n_states == 8
+        assert machine.label(machine.start) is Action.ORIGIN
+
+    def test_probability_floor_respected(self, rng):
+        for _ in range(20):
+            machine = random_bounded_automaton(rng, bits=2, ell=2)
+            assert machine.min_positive_probability() >= 2.0**-2 - 1e-12
+
+    def test_probabilities_are_dyadic_multiples(self, rng):
+        ell = 3
+        machine = random_bounded_automaton(rng, bits=2, ell=ell)
+        quanta = machine.matrix * 2**ell
+        np.testing.assert_allclose(quanta, np.round(quanta), atol=1e-9)
+
+    def test_chi_accounting_bounded(self, rng):
+        machine = random_bounded_automaton(rng, bits=3, ell=2)
+        sc = machine.selection_complexity()
+        assert sc.bits == 3
+        assert sc.ell <= 2.0
+
+    def test_rejects_bad_parameters(self, rng):
+        with pytest.raises(InvalidParameterError):
+            random_bounded_automaton(rng, bits=0, ell=1)
+        with pytest.raises(InvalidParameterError):
+            random_bounded_automaton(rng, bits=1, ell=0)
+        with pytest.raises(InvalidParameterError):
+            random_bounded_automaton(rng, bits=1, ell=1, none_fraction=1.0)
+
+    def test_distinct_seeds_give_distinct_machines(self, rng_factory):
+        a = random_bounded_automaton(rng_factory(1), bits=3, ell=2)
+        b = random_bounded_automaton(rng_factory(2), bits=3, ell=2)
+        assert not np.allclose(a.matrix, b.matrix)
+
+
+class TestUniformWalkAutomaton:
+    def test_structure(self):
+        machine = uniform_walk_automaton()
+        assert machine.n_states == 5
+        assert machine.selection_complexity().chi == pytest.approx(4.0)
+
+    def test_every_state_moves_uniformly(self):
+        matrix = uniform_walk_automaton().matrix
+        np.testing.assert_allclose(matrix[:, 1:], 0.25)
+        np.testing.assert_allclose(matrix[:, 0], 0.0)
+
+
+class TestBiasedWalkAutomaton:
+    def test_quantization_preserves_total(self):
+        machine = biased_walk_automaton([1, 2, 3, 4], ell=3)
+        np.testing.assert_allclose(machine.matrix.sum(axis=1), 1.0)
+
+    def test_exact_weights_pass_through(self):
+        machine = biased_walk_automaton([2, 2, 2, 2], ell=3)
+        np.testing.assert_allclose(machine.matrix[0, 1:], 0.25)
+
+    def test_zero_weight_directions_absent(self):
+        machine = biased_walk_automaton([1, 0, 0, 1], ell=1)
+        row = machine.matrix[0]
+        assert row[2] == 0.0 and row[3] == 0.0
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(InvalidParameterError):
+            biased_walk_automaton([0, 0, 0, 0], ell=2)
+        with pytest.raises(InvalidParameterError):
+            biased_walk_automaton([1, 2, 3], ell=2)
+
+
+class TestCycleAutomaton:
+    def test_deterministic_cycle(self, rng):
+        pattern = [Action.UP, Action.RIGHT, Action.DOWN, Action.LEFT]
+        machine = cycle_automaton(pattern)
+        assert machine.n_states == 5
+        state = machine.start
+        emitted = []
+        for _ in range(8):
+            state = machine.step(rng, state)
+            emitted.append(machine.label(state))
+        assert emitted == pattern * 2
+
+    def test_rejects_origin_in_pattern(self):
+        with pytest.raises(InvalidParameterError):
+            cycle_automaton([Action.UP, Action.ORIGIN])
+
+    def test_rejects_empty_pattern(self):
+        with pytest.raises(InvalidParameterError):
+            cycle_automaton([])

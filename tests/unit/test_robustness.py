@@ -1,0 +1,91 @@
+"""Unit tests for repro.robustness (the chi metric's motivation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm1 import build_algorithm1_automaton
+from repro.errors import InvalidParameterError
+from repro.markov.random_automata import uniform_walk_automaton
+from repro.robustness.perturbation import (
+    degradation_ratio,
+    expected_walk_length_under_noise,
+    perturb_automaton,
+    perturb_probability,
+)
+
+
+class TestPerturbProbability:
+    def test_zero_noise_is_identity(self, rng):
+        assert perturb_probability(0.25, 0.0, rng) == 0.25
+
+    def test_stays_in_unit_interval(self, rng):
+        for _ in range(500):
+            assert 0.0 <= perturb_probability(0.01, 0.5, rng) <= 1.0
+
+    def test_noise_is_additive_not_relative(self, rng):
+        """The same eps moves a tiny bias relatively much more."""
+        eps = 0.05
+        fair = [perturb_probability(0.5, eps, rng) for _ in range(3000)]
+        fine = [perturb_probability(0.01, eps, rng) for _ in range(3000)]
+        relative_spread_fair = np.std(fair) / np.mean(fair)
+        relative_spread_fine = np.std(fine) / np.mean(fine)
+        assert relative_spread_fine > 5 * relative_spread_fair
+
+    def test_validation(self, rng):
+        with pytest.raises(InvalidParameterError):
+            perturb_probability(1.5, 0.1, rng)
+        with pytest.raises(InvalidParameterError):
+            perturb_probability(0.5, -0.1, rng)
+
+
+class TestPerturbAutomaton:
+    def test_rows_remain_stochastic(self, rng):
+        noisy = perturb_automaton(build_algorithm1_automaton(16), 0.05, rng)
+        np.testing.assert_allclose(noisy.matrix.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_zero_edges_stay_zero(self, rng):
+        original = build_algorithm1_automaton(16)
+        noisy = perturb_automaton(original, 0.05, rng)
+        assert np.all(noisy.matrix[original.matrix == 0.0] == 0.0)
+
+    def test_zero_noise_preserves_matrix(self, rng):
+        original = uniform_walk_automaton()
+        noisy = perturb_automaton(original, 0.0, rng)
+        np.testing.assert_allclose(noisy.matrix, original.matrix)
+
+    def test_labels_and_start_preserved(self, rng):
+        original = build_algorithm1_automaton(8)
+        noisy = perturb_automaton(original, 0.1, rng)
+        assert noisy.labels == original.labels
+        assert noisy.start == original.start
+
+    def test_noise_actually_moves_probabilities(self, rng):
+        original = uniform_walk_automaton()
+        noisy = perturb_automaton(original, 0.1, rng)
+        assert not np.allclose(noisy.matrix, original.matrix)
+
+    def test_negative_noise_rejected(self, rng):
+        with pytest.raises(InvalidParameterError):
+            perturb_automaton(uniform_walk_automaton(), -0.1, rng)
+
+
+class TestDegradation:
+    def test_degradation_ratio(self):
+        assert degradation_ratio(100.0, 250.0) == 2.5
+        with pytest.raises(InvalidParameterError):
+            degradation_ratio(0.0, 1.0)
+
+    def test_walk_length_explodes_for_fine_coins(self, rng):
+        """The Section 1 motivation: additive noise vs a 1/D coin."""
+        fine = expected_walk_length_under_noise(1 / 256, 1 / 256, rng, 3000)
+        coarse = expected_walk_length_under_noise(0.5, 1 / 256, rng, 3000)
+        nominal_fine = 255.0
+        nominal_coarse = 1.0
+        assert fine / nominal_fine > 2.0  # explodes
+        assert coarse / nominal_coarse == pytest.approx(1.0, abs=0.05)
+
+    def test_walk_length_validation(self, rng):
+        with pytest.raises(InvalidParameterError):
+            expected_walk_length_under_noise(0.5, 0.1, rng, 0)

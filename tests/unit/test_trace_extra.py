@@ -1,0 +1,97 @@
+"""Additional unit tests: trace filtering and engine edge cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.actions import Action
+from repro.sim.trace import Execution, TraceRecorder
+
+
+class TestTraceFilters:
+    def test_agent_filter(self):
+        recorder = TraceRecorder(agent_ids=[1])
+        recorder.record(0, Action.UP, (0, 1))
+        recorder.record(1, Action.DOWN, (0, -1))
+        assert recorder.execution(0).n_steps == 0
+        assert recorder.execution(1).n_steps == 1
+        assert not recorder.wants(0)
+        assert recorder.wants(1)
+
+    def test_step_cap(self):
+        recorder = TraceRecorder(max_steps_per_agent=2)
+        for _ in range(5):
+            recorder.record(0, Action.UP, (0, 1))
+        assert recorder.execution(0).n_steps == 2
+
+    def test_executions_sorted_by_agent(self):
+        recorder = TraceRecorder()
+        recorder.record(2, Action.UP, (0, 1))
+        recorder.record(0, Action.DOWN, (0, -1))
+        ids = [execution.agent_id for execution in recorder.executions]
+        assert ids == [0, 2]
+
+    def test_unrecorded_agent_yields_empty_execution(self):
+        recorder = TraceRecorder()
+        execution = recorder.execution(7)
+        assert execution.agent_id == 7
+        assert execution.n_steps == 0
+
+
+class TestExecution:
+    def test_counts_and_views(self):
+        execution = Execution(agent_id=0)
+        execution.append(Action.UP, (0, 1))
+        execution.append(Action.NONE, (0, 1))
+        execution.append(Action.RIGHT, (1, 1))
+        execution.append(Action.ORIGIN, (0, 0))
+        assert execution.n_steps == 4
+        assert execution.n_moves == 2
+        assert execution.moves_only() == [Action.UP, Action.RIGHT]
+        assert execution.visited()[0] == (0, 0)
+        assert execution.visited()[-1] == (0, 0)
+
+
+class TestEngineEdgeCases:
+    def test_origin_action_while_at_origin_is_noop(self):
+        from repro.core.base import SearchAlgorithm
+        from repro.grid.world import GridWorld
+        from repro.sim.engine import EngineConfig, SearchEngine
+
+        class OriginSpammer(SearchAlgorithm):
+            def process(self, rng: np.random.Generator):
+                for _ in range(5):
+                    yield Action.ORIGIN
+                yield Action.UP
+                while True:
+                    yield Action.NONE
+
+        engine = SearchEngine(
+            EngineConfig(move_budget=10, count_return_moves=True)
+        )
+        world = GridWorld(target=(0, 1), distance_bound=1)
+        outcome = engine.run(OriginSpammer(), 1, world, rng=1)
+        assert outcome.found
+        assert outcome.m_moves == 1  # idle returns cost nothing
+
+    def test_counted_returns_reported_in_totals(self):
+        from repro.core.base import SearchAlgorithm
+        from repro.grid.world import GridWorld
+        from repro.sim.engine import EngineConfig, SearchEngine
+
+        class OutAndBack(SearchAlgorithm):
+            def process(self, rng: np.random.Generator):
+                yield Action.UP
+                yield Action.UP
+                yield Action.ORIGIN
+                while True:
+                    yield Action.NONE
+
+        engine = SearchEngine(
+            EngineConfig(move_budget=100, step_budget=50, count_return_moves=True)
+        )
+        world = GridWorld(target=(9, 9), distance_bound=9)
+        outcome = engine.run(OutAndBack(), 1, world, rng=1)
+        agent = outcome.per_agent[0]
+        assert agent.total_moves == 4  # 2 out + 2 charged return moves

@@ -1,0 +1,181 @@
+"""Unit tests for repro.vis, repro.sim.metrics, repro.core.theory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import theory
+from repro.errors import InvalidParameterError
+from repro.sim.metrics import AgentOutcome, SearchOutcome, speedup
+from repro.vis.asciiplot import heatmap, line_chart, scatter_chart
+
+
+class TestMetrics:
+    def test_outcome_consistency_enforced(self):
+        with pytest.raises(InvalidParameterError):
+            SearchOutcome(
+                found=True, m_moves=None, m_steps=None, finder=0,
+                n_agents=1, move_budget=10,
+            )
+        with pytest.raises(InvalidParameterError):
+            SearchOutcome(
+                found=False, m_moves=5, m_steps=None, finder=None,
+                n_agents=1, move_budget=10,
+            )
+
+    def test_moves_or_budget(self):
+        found = SearchOutcome(
+            found=True, m_moves=7, m_steps=9, finder=0, n_agents=2, move_budget=100,
+        )
+        missed = SearchOutcome(
+            found=False, m_moves=None, m_steps=None, finder=None,
+            n_agents=2, move_budget=100,
+        )
+        assert found.moves_or_budget == 7
+        assert missed.moves_or_budget == 100
+
+    def test_moves_or_budget_requires_budget(self):
+        outcome = SearchOutcome(
+            found=False, m_moves=None, m_steps=None, finder=None,
+            n_agents=1, move_budget=None,
+        )
+        with pytest.raises(InvalidParameterError):
+            _ = outcome.moves_or_budget
+
+    def test_agent_outcome_validation(self):
+        with pytest.raises(InvalidParameterError):
+            AgentOutcome(
+                agent_id=0, found=True, moves_at_find=None, steps_at_find=None,
+                total_moves=5, total_steps=5, final_position=(0, 0),
+            )
+
+    def test_speedup(self):
+        assert speedup(100.0, 25.0) == 4.0
+        with pytest.raises(InvalidParameterError):
+            speedup(0.0, 5.0)
+
+
+class TestTheoryFormulas:
+    def test_iteration_moves(self):
+        assert theory.expected_iteration_moves(0.5) == 2.0
+        assert theory.iteration_moves_upper_bound(16) == 32.0
+        assert theory.conditional_iteration_moves_upper_bound(16) == 64.0
+        assert theory.expected_iteration_moves(1.0 / 16) < 32.0
+
+    def test_hit_probability_cases(self):
+        p = 0.25
+        assert theory.hit_probability_exact(p, (0, 0)) == 1.0
+        assert theory.hit_probability_exact(p, (0, 2)) == pytest.approx(
+            0.5 * 0.75**2
+        )
+        assert theory.hit_probability_exact(p, (3, 0)) == pytest.approx(
+            0.5 * p * 0.75**3
+        )
+        assert theory.hit_probability_exact(p, (2, 1)) == pytest.approx(
+            0.25 * p * 0.75**3
+        )
+
+    def test_miss_probability(self):
+        p_hit = theory.hit_probability_exact(0.125, (1, 1))
+        assert theory.miss_probability_exact(0.125, (1, 1), 3) == pytest.approx(
+            (1 - p_hit) ** 3
+        )
+        q = theory.miss_probability_upper_bound(16, 64)
+        assert q == pytest.approx((1 - 1 / (64 * 16)) ** 64)
+
+    def test_expected_moves_bound_shape(self):
+        # The 4D/(1-q) envelope is O(D^2/n + D): ratio stays bounded.
+        for d in (16, 64, 256):
+            for n in (1, 4, 64):
+                envelope = theory.expected_moves_upper_bound(d, n)
+                shape = theory.expected_moves_shape(d, n)
+                assert envelope / shape < 400
+
+    def test_optimal_lower_bound(self):
+        assert theory.optimal_lower_bound(16, 1) == 64.0
+        assert theory.optimal_lower_bound(16, 1000) == 16.0
+
+    def test_speedup_upper_bound(self):
+        assert theory.speedup_upper_bound(64, 8) == 8.0
+        assert theory.speedup_upper_bound(8, 100) == 8.0
+
+    def test_uniform_shapes(self):
+        assert theory.uniform_phase_moves_upper_bound(3, 1, 1, 2) == pytest.approx(
+            4 * 2.0**5 * 2.0**3
+        )
+        base = theory.uniform_expected_moves_shape(64, 4, 1)
+        assert theory.uniform_expected_moves_shape(64, 4, 3) > base
+
+    def test_chi_predictions(self):
+        assert theory.nonuniform_chi_prediction(1024, 1) == pytest.approx(
+            np.log2(10) + 3
+        )
+        assert theory.uniform_chi_prediction(2**16, 1) == pytest.approx(12.0)
+
+    def test_find_probability_per_phase(self):
+        assert theory.uniform_find_probability_per_phase(1) == pytest.approx(
+            1 - 2.0**-3
+        )
+
+    def test_probability_validation(self):
+        with pytest.raises(InvalidParameterError):
+            theory.expected_iteration_moves(0.0)
+        with pytest.raises(InvalidParameterError):
+            theory.hit_probability_exact(1.5, (0, 0))
+
+
+class TestAsciiPlots:
+    def test_line_chart_renders(self):
+        chart = line_chart(
+            [1, 2, 4, 8],
+            {"measured": [1, 4, 16, 64], "bound": [2, 8, 32, 128]},
+            log_x=True,
+            log_y=True,
+            title="scaling",
+        )
+        assert "scaling" in chart
+        assert "legend" in chart
+        assert "o = measured" in chart
+
+    def test_line_chart_validation(self):
+        with pytest.raises(InvalidParameterError):
+            line_chart([1, 2], {})
+        with pytest.raises(InvalidParameterError):
+            line_chart([1, 2], {"a": [1.0]})
+        with pytest.raises(InvalidParameterError):
+            line_chart([0, 2], {"a": [1.0, 2.0]}, log_x=True)
+
+    def test_scatter_renders(self):
+        chart = scatter_chart([(0, 0), (1, 1), (2, 4)], labels=["a", "b", "c"])
+        assert "a" in chart and "c" in chart
+
+    def test_scatter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            scatter_chart([])
+
+    def test_heatmap_renders(self):
+        grid = np.zeros((9, 9))
+        grid[4, 4] = 1.0
+        art = heatmap(grid, title="coverage")
+        assert "coverage" in art
+        assert "@" in art  # densest glyph at the peak
+
+    def test_heatmap_shrinks_large_grids(self):
+        grid = np.random.default_rng(0).random((300, 300))
+        art = heatmap(grid, max_side=32)
+        body_lines = [l for l in art.splitlines() if not l.startswith("range")]
+        assert all(len(line) <= 40 for line in body_lines)
+
+    def test_heatmap_validation(self):
+        with pytest.raises(InvalidParameterError):
+            heatmap(np.zeros((2, 2, 2)))
+        with pytest.raises(InvalidParameterError):
+            heatmap(np.zeros((0, 3)))
+
+    def test_heatmap_orientation_north_up(self):
+        # A grid with mass only at high y must render it on the first line.
+        grid = np.zeros((5, 5))
+        grid[2, 4] = 1.0  # x=2, y=4 (top)
+        lines = heatmap(grid).splitlines()
+        assert "@" in lines[0]

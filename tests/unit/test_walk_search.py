@@ -1,0 +1,161 @@
+"""Unit tests for Algorithms 3 and 4 (Lemmas 3.8 and 3.9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.actions import Action
+from repro.core.square_search import (
+    check_square_parameters,
+    chi_of_search,
+    expected_sortie_moves,
+    search_memory_bits,
+    search_process,
+    square_side,
+    visit_probability,
+    visit_probability_lower_bound,
+)
+from repro.core.walk import (
+    sample_walk_length,
+    walk_length_pmf,
+    walk_length_tail,
+    walk_memory_bits,
+    walk_process,
+)
+from repro.errors import InvalidParameterError
+from repro.grid.geometry import Direction
+
+
+class TestWalk:
+    def test_walk_yields_single_direction(self, rng):
+        actions = list(walk_process(rng, k=2, ell=1, direction=Direction.LEFT))
+        assert all(action is Action.LEFT for action in actions)
+
+    def test_walk_length_distribution_mean(self, rng):
+        # p = 2^-2 = 1/4; mean length = 3.
+        lengths = [
+            sum(1 for _ in walk_process(rng, 2, 1, Direction.UP)) for _ in range(8000)
+        ]
+        assert np.mean(lengths) == pytest.approx(3.0, rel=0.06)
+
+    def test_sample_walk_length_matches_process(self, rng_factory):
+        direct_rng = rng_factory(1)
+        process_rng = rng_factory(2)
+        lengths_direct = [sample_walk_length(direct_rng, 3, 1) for _ in range(8000)]
+        lengths_process = [
+            sum(1 for _ in walk_process(process_rng, 3, 1, Direction.UP))
+            for _ in range(8000)
+        ]
+        assert np.mean(lengths_direct) == pytest.approx(
+            np.mean(lengths_process), rel=0.08
+        )
+
+    def test_emit_internal_produces_none_steps(self, rng):
+        actions = list(
+            walk_process(rng, 2, 1, Direction.RIGHT, emit_internal=True)
+        )
+        assert Action.NONE in actions
+        moves = [a for a in actions if a.is_move]
+        assert all(a is Action.RIGHT for a in moves)
+
+    def test_pmf_lemma_bound(self):
+        # Lemma 3.8: every length 0..2^{kl} has probability >= 2^{-(kl+2)}.
+        k, ell = 3, 1
+        floor = 2.0 ** -(k * ell + 2)
+        for length in range(2 ** (k * ell) + 1):
+            assert walk_length_pmf(k, ell, length) >= floor
+
+    def test_tail_lemma_bound(self):
+        # Lemma 3.8: P[len >= 2^{kl}] >= 1/4.
+        for k, ell in [(1, 1), (2, 1), (3, 1), (2, 2)]:
+            assert walk_length_tail(k, ell, 2 ** (k * ell)) >= 0.25
+
+    def test_expected_length_below_bound(self, rng):
+        # Lemma 3.8: E[len] < 2^{kl}.
+        k, ell = 2, 2
+        lengths = [sample_walk_length(rng, k, ell) for _ in range(20_000)]
+        assert np.mean(lengths) < 2 ** (k * ell)
+
+    def test_pmf_sums_to_one(self):
+        total = sum(walk_length_pmf(2, 1, i) for i in range(4000))
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_memory_bits(self):
+        assert walk_memory_bits(1) == 0
+        assert walk_memory_bits(5) == 3
+
+    def test_pmf_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            walk_length_pmf(2, 1, -1)
+        with pytest.raises(InvalidParameterError):
+            walk_length_tail(2, 1, -1)
+
+
+class TestSquareSearch:
+    def test_sortie_shape(self, rng):
+        for _ in range(40):
+            actions = list(search_process(rng, 2, 1))
+            vertical = [a for a in actions if a in (Action.UP, Action.DOWN)]
+            horizontal = [a for a in actions if a in (Action.LEFT, Action.RIGHT)]
+            assert len(vertical) + len(horizontal) == len(actions)
+            assert len(set(vertical)) <= 1
+            assert len(set(horizontal)) <= 1
+
+    def test_visit_probability_origin_is_one(self):
+        assert visit_probability(3, 1, (0, 0)) == 1.0
+
+    def test_visit_probability_symmetry(self):
+        for target in [(2, 3), (1, 0), (0, 5)]:
+            x, y = target
+            reference = visit_probability(3, 1, (x, y))
+            for mirrored in [(-x, y), (x, -y), (-x, -y)]:
+                assert visit_probability(3, 1, mirrored) == pytest.approx(reference)
+
+    def test_visit_probability_matches_simulation(self, rng):
+        k, ell = 2, 1
+        targets = [(1, 2), (0, 3), (2, 0), (3, 3)]
+        trials = 30_000
+        counts = {t: 0 for t in targets}
+        for _ in range(trials):
+            position = (0, 0)
+            visited = set([position])
+            for action in search_process(rng, k, ell):
+                dx, dy = action.direction.vector
+                position = (position[0] + dx, position[1] + dy)
+                visited.add(position)
+            for t in targets:
+                counts[t] += t in visited
+        for t in targets:
+            expected = visit_probability(k, ell, t)
+            se = (expected * (1 - expected) / trials) ** 0.5
+            assert counts[t] / trials == pytest.approx(expected, abs=5 * se + 1e-4)
+
+    def test_lemma_bound_holds_over_square(self):
+        # Lemma 3.9: visit probability >= 2^{-(kl+6)} over the square.
+        k, ell = 2, 1
+        side = square_side(k, ell)
+        floor = visit_probability_lower_bound(k, ell)
+        for x in range(-side, side + 1):
+            for y in range(-side, side + 1):
+                assert visit_probability(k, ell, (x, y)) >= floor
+
+    def test_memory_bits_lemma(self):
+        # Lemma 3.9: ceil(log k) + 2 bits.
+        assert search_memory_bits(1) == 2
+        assert search_memory_bits(4) == 4
+        assert search_memory_bits(5) == 5
+
+    def test_expected_sortie_moves(self):
+        assert expected_sortie_moves(2, 1) == pytest.approx(2 * 3)
+
+    def test_chi_of_search(self):
+        assert chi_of_search(4, 1) == pytest.approx(4.0)  # (2+2) + log2(1)
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            check_square_parameters(0, 1)
+        with pytest.raises(InvalidParameterError):
+            check_square_parameters(1, 0)
+        with pytest.raises(InvalidParameterError):
+            check_square_parameters(61, 1)

@@ -1,0 +1,142 @@
+"""Unit tests for repro.grid.world, repro.grid.targets, repro.grid.oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.grid.geometry import chebyshev_norm, manhattan_norm
+from repro.grid.oracle import ReturnOracle, bresenham_return_path
+from repro.grid.targets import (
+    CornerTarget,
+    FixedTarget,
+    RingTarget,
+    UniformSquareTarget,
+)
+from repro.grid.world import GridWorld
+
+
+class TestGridWorld:
+    def test_target_and_distance(self):
+        world = GridWorld(target=(3, -4), distance_bound=5)
+        assert world.target == (3, -4)
+        assert world.target_distance == 4
+        assert world.is_target((3, -4))
+        assert not world.is_target((0, 0))
+
+    def test_target_outside_bound_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            GridWorld(target=(6, 0), distance_bound=5)
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            GridWorld(target=(0, 0), distance_bound=-1)
+
+    def test_visit_tracking_window_only(self):
+        world = GridWorld(target=(1, 1), distance_bound=2, track_visits=True)
+        world.record_visit((0, 0))
+        world.record_visit((2, 2))
+        world.record_visit((3, 0))  # outside the window: dropped
+        assert world.visited_cells == frozenset({(0, 0), (2, 2)})
+
+    def test_visit_tracking_disabled_by_default(self):
+        world = GridWorld(target=(1, 1), distance_bound=2)
+        world.record_visit((0, 0))
+        assert world.visited_cells == frozenset()
+
+    def test_coverage_fraction(self):
+        world = GridWorld(target=(0, 1), distance_bound=1, track_visits=True)
+        world.record_visits([(0, 0), (1, 1), (0, 0)])
+        assert world.window_size == 9
+        assert world.coverage_fraction() == pytest.approx(2 / 9)
+
+
+class TestTargets:
+    def test_fixed_returns_same_point(self, rng):
+        placement = FixedTarget((2, -3))
+        assert placement(rng) == (2, -3)
+        assert placement.distance_bound == 3
+
+    def test_fixed_with_explicit_bound(self, rng):
+        placement = FixedTarget((1, 0), distance_bound=10)
+        assert placement.distance_bound == 10
+
+    def test_fixed_rejects_out_of_bound(self):
+        with pytest.raises(InvalidParameterError):
+            FixedTarget((5, 5), distance_bound=3)
+
+    def test_corner(self, rng):
+        assert CornerTarget(7)(rng) == (7, 7)
+
+    def test_uniform_square_within_bound(self, rng):
+        placement = UniformSquareTarget(4)
+        for _ in range(200):
+            assert chebyshev_norm(placement(rng)) <= 4
+
+    def test_uniform_square_covers_cells(self, rng):
+        placement = UniformSquareTarget(1)
+        seen = {placement(rng) for _ in range(500)}
+        assert len(seen) == 9  # all cells of the 3x3 window appear
+
+    def test_ring_exact_distance(self, rng):
+        placement = RingTarget(5)
+        for _ in range(200):
+            assert chebyshev_norm(placement(rng)) == 5
+
+    def test_ring_covers_all_sides(self, rng):
+        placement = RingTarget(2)
+        seen = {placement(rng) for _ in range(2000)}
+        assert seen == {
+            p
+            for p in [
+                (x, y) for x in range(-2, 3) for y in range(-2, 3)
+            ]
+            if chebyshev_norm(p) == 2
+        }
+
+    def test_ring_degenerate_zero(self, rng):
+        assert RingTarget(0)(rng) == (0, 0)
+
+
+class TestOracle:
+    @pytest.mark.parametrize(
+        "start", [(5, 3), (-4, 7), (0, 9), (8, 0), (-3, -3), (1, -6), (0, 0)]
+    )
+    def test_path_is_shortest(self, start):
+        path = bresenham_return_path(start)
+        assert path[0] == start
+        assert path[-1] == (0, 0)
+        assert len(path) - 1 == manhattan_norm(start)
+
+    @pytest.mark.parametrize("start", [(5, 3), (-4, 7), (10, -1), (-6, -8)])
+    def test_path_steps_are_unit_moves(self, start):
+        path = bresenham_return_path(start)
+        for a, b in zip(path, path[1:]):
+            assert manhattan_norm((a[0] - b[0], a[1] - b[1])) == 1
+
+    @pytest.mark.parametrize("start", [(10, 4), (-7, 3), (6, -9), (-5, -5)])
+    def test_path_hugs_the_segment(self, start):
+        x0, y0 = start
+        segment_norm = float(np.hypot(x0, y0))
+        for px, py in bresenham_return_path(start):
+            # Perpendicular distance from (px, py) to the line through
+            # the origin and start.
+            perpendicular = abs(y0 * px - x0 * py) / segment_norm
+            assert perpendicular <= 1.0
+
+    def test_uncounted_mode_costs_zero_but_accumulates(self):
+        oracle = ReturnOracle(counted=False)
+        assert oracle.return_cost((3, 4)) == 0
+        assert oracle.total_return_moves == 7
+        assert oracle.total_returns == 1
+
+    def test_counted_mode_charges_manhattan(self):
+        oracle = ReturnOracle(counted=True)
+        assert oracle.return_cost((3, 4)) == 7
+        assert oracle.return_cost((0, 0)) == 0
+        assert oracle.total_returns == 2
+
+    def test_oracle_path_matches_function(self):
+        oracle = ReturnOracle()
+        assert oracle.path((2, 2)) == bresenham_return_path((2, 2))
