@@ -10,21 +10,30 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.algorithm1 import Algorithm1
 from repro.core.coin import CompositeCoin
 from repro.grid.world import GridWorld
+from repro.sim import AlgorithmSpec, SimulationRequest, simulate
 from repro.sim.engine import EngineConfig, SearchEngine
-from repro.sim.fast import fast_algorithm1
 
 DISTANCE = 16
 TARGET = (10, 9)
 BUDGET = 500_000
 
+_REQUEST = SimulationRequest(
+    algorithm=AlgorithmSpec.algorithm1(DISTANCE),
+    n_agents=4,
+    target=TARGET,
+    move_budget=BUDGET,
+    seed=11,
+)
+
 
 def run_engine(count_returns: bool = False) -> int:
+    # Raw engine rather than the facade: count_return_moves is an
+    # engine-only policy knob the ablation is about.
     engine = SearchEngine(
         EngineConfig(move_budget=BUDGET, count_return_moves=count_returns)
     )
@@ -34,8 +43,7 @@ def run_engine(count_returns: bool = False) -> int:
 
 
 def run_fast() -> int:
-    rng = np.random.default_rng(11)
-    return fast_algorithm1(DISTANCE, 4, TARGET, rng, BUDGET).moves_or_budget
+    return simulate(_REQUEST, backend="closed_form").outcome.moves_or_budget
 
 
 def test_ablation_faithful_engine(benchmark):

@@ -5,14 +5,20 @@ from __future__ import annotations
 from conftest import report
 
 from repro.experiments.e03_nonuniform_scaling import run
-from repro.sim.fast import fast_algorithm1
+from repro.sim import AlgorithmSpec, SimulationRequest, simulate
+
+_REQUEST = SimulationRequest(
+    algorithm=AlgorithmSpec.algorithm1(128),
+    n_agents=16,
+    target=(128, 128),
+    move_budget=50_000_000,
+    seed=20140507,
+)
 
 
-def test_e03_first_find_kernel(benchmark, rng):
-    outcome = benchmark(
-        fast_algorithm1, 128, 16, (128, 128), rng, 50_000_000
-    )
-    assert outcome.found
+def test_e03_first_find_kernel(benchmark):
+    result = benchmark(simulate, _REQUEST, "closed_form")
+    assert result.outcome.found
 
 
 def test_e03_report(benchmark):

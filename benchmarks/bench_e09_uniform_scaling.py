@@ -6,14 +6,20 @@ from conftest import report
 
 from repro.core.uniform import calibrated_K
 from repro.experiments.e09_uniform_scaling import run
-from repro.sim.fast import fast_uniform
+from repro.sim import AlgorithmSpec, SimulationRequest, simulate
+
+_REQUEST = SimulationRequest(
+    algorithm=AlgorithmSpec.uniform(1, calibrated_K(1)),
+    n_agents=8,
+    target=(32, 32),
+    move_budget=50_000_000,
+    seed=20140507,
+)
 
 
-def test_e09_uniform_first_find_kernel(benchmark, rng):
-    outcome = benchmark(
-        fast_uniform, 8, 1, calibrated_K(1), (32, 32), rng, 50_000_000
-    )
-    assert outcome.found
+def test_e09_uniform_first_find_kernel(benchmark):
+    result = benchmark(simulate, _REQUEST, "closed_form")
+    assert result.outcome.found
 
 
 def test_e09_report(benchmark):

@@ -4,13 +4,21 @@ from __future__ import annotations
 
 from conftest import report
 
-from repro.baselines.feinerman import fast_feinerman
 from repro.experiments.e12_baselines import run
+from repro.sim import AlgorithmSpec, SimulationRequest, simulate
+
+_REQUEST = SimulationRequest(
+    algorithm=AlgorithmSpec.feinerman(),
+    n_agents=8,
+    target=(32, 32),
+    move_budget=10_000_000,
+    seed=20140507,
+)
 
 
-def test_e12_feinerman_kernel(benchmark, rng):
-    outcome = benchmark(fast_feinerman, 8, (32, 32), rng, 10_000_000)
-    assert outcome.found
+def test_e12_feinerman_kernel(benchmark):
+    result = benchmark(simulate, _REQUEST, "closed_form")
+    assert result.outcome.found
 
 
 def test_e12_report(benchmark):

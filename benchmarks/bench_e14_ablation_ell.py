@@ -6,14 +6,20 @@ from conftest import report
 
 from repro.core.uniform import calibrated_K
 from repro.experiments.e14_ablation_ell import run
-from repro.sim.fast import fast_uniform
+from repro.sim import AlgorithmSpec, SimulationRequest, simulate
+
+_REQUEST = SimulationRequest(
+    algorithm=AlgorithmSpec.uniform(2, calibrated_K(2)),
+    n_agents=4,
+    target=(32, 32),
+    move_budget=50_000_000,
+    seed=20140507,
+)
 
 
-def test_e14_coarse_coin_kernel(benchmark, rng):
-    outcome = benchmark(
-        fast_uniform, 4, 2, calibrated_K(2), (32, 32), rng, 50_000_000
-    )
-    assert outcome.found
+def test_e14_coarse_coin_kernel(benchmark):
+    result = benchmark(simulate, _REQUEST, "closed_form")
+    assert result.outcome.found
 
 
 def test_e14_report(benchmark):

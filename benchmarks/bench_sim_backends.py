@@ -1,0 +1,66 @@
+"""Backend throughput benchmark — writes ``BENCH_sim_backends.json``.
+
+Runs the same workload (Algorithm 1 colonies hunting the corner target)
+through every registered backend, measures colonies/sec, and records
+the numbers next to this file so the performance trajectory is tracked
+from PR to PR.  The acceptance floor — the ``batched`` backend at least
+10x the ``reference`` engine — is asserted, with the measured margin in
+the JSON (typically two to three orders of magnitude).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.sim import AlgorithmSpec, SimulationRequest, simulate
+
+RECORD_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_sim_backends.json"
+
+WORKLOAD = {
+    "algorithm": "algorithm1",
+    "distance": 32,
+    "n_agents": 8,
+    "target": (32, 32),
+    "move_budget": 100_000,
+}
+
+# Colonies per timing run, scaled to each backend's expected throughput
+# so every measurement covers a comparable wall-clock slice.
+_TRIALS = {"reference": 5, "closed_form": 100, "batched": 400}
+
+
+def _colonies_per_second(backend: str) -> float:
+    n_trials = _TRIALS[backend]
+    request = SimulationRequest(
+        algorithm=AlgorithmSpec.algorithm1(WORKLOAD["distance"]),
+        n_agents=WORKLOAD["n_agents"],
+        target=WORKLOAD["target"],
+        move_budget=WORKLOAD["move_budget"],
+        n_trials=n_trials,
+        seed=20140507,
+    )
+    start = time.perf_counter()
+    result = simulate(request, backend=backend)
+    elapsed = time.perf_counter() - start
+    assert len(result.outcomes) == n_trials
+    return n_trials / elapsed
+
+
+def test_backend_throughput_record():
+    rates = {name: _colonies_per_second(name) for name in sorted(_TRIALS)}
+    speedup = rates["batched"] / rates["reference"]
+    record = {
+        "workload": WORKLOAD,
+        "colonies_per_second": {name: round(rate, 2) for name, rate in rates.items()},
+        "speedup_batched_vs_reference": round(speedup, 1),
+        "trials_timed": _TRIALS,
+    }
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print()
+    print(json.dumps(record, indent=2))
+    assert speedup >= 10.0, (
+        f"batched backend must beat reference by >= 10x colonies/sec, "
+        f"got {speedup:.1f}x"
+    )

@@ -11,13 +11,10 @@ Run:  python examples/quickstart.py
 from __future__ import annotations
 
 from repro import (
-    Algorithm1,
-    EngineConfig,
-    GridWorld,
-    NonUniformSearch,
-    SearchEngine,
-    UniformSearch,
+    AlgorithmSpec,
+    SimulationRequest,
     chi_threshold,
+    simulate,
 )
 from repro.core.uniform import calibrated_K
 
@@ -31,27 +28,36 @@ def main() -> None:
     print(f"Target hidden at {TARGET}; D = {DISTANCE}; {N_AGENTS} agents.")
     print(f"chi threshold log2 log2 D = {chi_threshold(DISTANCE):.2f}\n")
 
-    algorithms = [
-        ("Algorithm 1 (knows D, fine 1/D coins)", Algorithm1(DISTANCE)),
-        ("Non-Uniform-Search (knows D, coarse coins)", NonUniformSearch(DISTANCE, ell=1)),
+    specs = [
+        ("Algorithm 1 (knows D, fine 1/D coins)", AlgorithmSpec.algorithm1(DISTANCE)),
+        ("Non-Uniform-Search (knows D, coarse coins)", AlgorithmSpec.nonuniform(DISTANCE, 1)),
         (
             "Uniform search (does not know D)",
-            UniformSearch(N_AGENTS, ell=1, K=calibrated_K(1)),
+            AlgorithmSpec.uniform(1, calibrated_K(1)),
         ),
     ]
 
-    engine = SearchEngine(EngineConfig(move_budget=5_000_000))
-    for label, algorithm in algorithms:
-        world = GridWorld(target=TARGET, distance_bound=DISTANCE)
-        outcome = engine.run(algorithm, N_AGENTS, world, rng=SEED)
+    for label, spec in specs:
+        request = SimulationRequest(
+            algorithm=spec,
+            n_agents=N_AGENTS,
+            target=TARGET,
+            move_budget=5_000_000,
+            seed=SEED,
+            distance_bound=DISTANCE,
+        )
+        result = simulate(request)  # backend="auto" picks the best registered one
+        outcome = result.outcome
+        algorithm = spec.build(N_AGENTS)
         complexity = algorithm.selection_complexity()
-        if complexity is None and isinstance(algorithm, UniformSearch):
+        if complexity is None:
             complexity = algorithm.selection_complexity_for_distance(DISTANCE)
         chi_text = f"chi = {complexity.chi:5.2f}" if complexity else "chi = n/a"
         assert outcome.found, "budget should be ample at this scale"
         print(
             f"{label:48s} {chi_text}   "
-            f"M_moves = {outcome.m_moves:6d} (agent {outcome.finder})"
+            f"M_moves = {outcome.m_moves:6d} "
+            f"(agent {outcome.finder}, backend {result.backend})"
         )
 
     print(

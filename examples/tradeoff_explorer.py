@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines.feinerman import fast_feinerman
 from repro.core.algorithm1 import Algorithm1
 from repro.core.nonuniform import NonUniformSearch
 from repro.core.selection import chi_threshold
@@ -25,7 +24,7 @@ from repro.markov.random_automata import (
     biased_walk_automaton,
     uniform_walk_automaton,
 )
-from repro.sim.fast import fast_algorithm1, fast_nonuniform
+from repro.sim import AlgorithmSpec, SimulationRequest, simulate
 from repro.vis.asciiplot import scatter_chart
 
 DISTANCE = 32
@@ -66,28 +65,32 @@ def main() -> None:
             finds += result.found
         record(name, automaton.selection_complexity().chi, finds / TRIALS)
 
-    for name, chi, simulate in [
+    for name, chi, spec in [
         (
             "algorithm1",
             Algorithm1(DISTANCE).selection_complexity().chi,
-            lambda rng: fast_algorithm1(DISTANCE, n_agents, corner, rng, horizon),
+            AlgorithmSpec.algorithm1(DISTANCE),
         ),
         (
             "nonuniform(l=1)",
             NonUniformSearch(DISTANCE, 1).selection_complexity().chi,
-            lambda rng: fast_nonuniform(DISTANCE, 1, n_agents, corner, rng, horizon),
+            AlgorithmSpec.nonuniform(DISTANCE, 1),
         ),
         (
             "feinerman",
             30.0,  # Theta(log D); see FeinermanSearch.selection_complexity_for_distance
-            lambda rng: fast_feinerman(n_agents, corner, rng, horizon),
+            AlgorithmSpec.feinerman(),
         ),
     ]:
-        finds = 0
-        for trial in range(TRIALS):
-            rng = np.random.default_rng(SEED + 1000 + trial)
-            finds += simulate(rng).found
-        record(name, chi, finds / TRIALS)
+        request = SimulationRequest(
+            algorithm=spec,
+            n_agents=n_agents,
+            target=corner,
+            move_budget=horizon,
+            n_trials=TRIALS,
+            seed=SEED + 1000,
+        )
+        record(name, chi, simulate(request, backend="auto").find_rate)
 
     print()
     print(

@@ -24,14 +24,21 @@ Substrates: the grid world (``repro.grid``), Markov-chain analysis
 algorithms (``repro.baselines``) and the lower-bound machinery
 (``repro.lowerbound``).
 
+Simulations run through the backend service layer (see
+ARCHITECTURE.md): build a :class:`~repro.sim.SimulationRequest` and
+call :func:`~repro.sim.simulate`, which dispatches to the faithful
+engine, the closed-form simulators, or the batched whole-trial-batch
+NumPy backend and can shard trials across worker processes.
+
 Quickstart
 ----------
 
->>> from repro import UniformSearch, GridWorld, SearchEngine, EngineConfig
->>> world = GridWorld(target=(5, 3), distance_bound=8)
->>> engine = SearchEngine(EngineConfig(move_budget=50_000))
->>> outcome = engine.run(UniformSearch(n_agents=4), 4, world, rng=7)
->>> outcome.found
+>>> from repro import AlgorithmSpec, SimulationRequest, simulate
+>>> request = SimulationRequest(
+...     algorithm=AlgorithmSpec.uniform(1),
+...     n_agents=4, target=(5, 3), move_budget=50_000, seed=7,
+... )
+>>> simulate(request).outcome.found
 True
 """
 
@@ -59,9 +66,13 @@ from repro.grid import (
     UniformSquareTarget,
 )
 from repro.sim import (
+    AlgorithmSpec,
     EngineConfig,
     SearchEngine,
     SearchOutcome,
+    SimulationRequest,
+    SimulationResult,
+    simulate,
     spawn_generators,
     speedup,
 )
@@ -88,9 +99,13 @@ __all__ = [
     "CornerTarget",
     "UniformSquareTarget",
     "RingTarget",
+    "AlgorithmSpec",
     "EngineConfig",
     "SearchEngine",
     "SearchOutcome",
+    "SimulationRequest",
+    "SimulationResult",
+    "simulate",
     "spawn_generators",
     "speedup",
     "__version__",

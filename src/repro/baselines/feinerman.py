@@ -32,7 +32,7 @@ from repro.core.base import SearchAlgorithm
 from repro.core.selection import MemoryMeter, SelectionComplexity
 from repro.errors import InvalidParameterError
 from repro.grid.geometry import Direction, Point, manhattan_norm
-from repro.sim.metrics import SearchOutcome
+from repro.sim.metrics import FastRunStats, SearchOutcome
 
 
 def stage_radius(stage: int) -> int:
@@ -163,9 +163,13 @@ def fast_feinerman(
     agent_ids = np.arange(n_agents)
     best: int | None = None
     best_finder: int | None = None
+    rounds_executed = 0
+    iterations_executed = 0
 
     while agent_ids.size:
         count = agent_ids.size
+        rounds_executed += 1
+        iterations_executed += count
         radii = 2**stages
         quotas = np.array(
             [stage_quota(int(s), n_agents, c) for s in stages], dtype=np.int64
@@ -202,12 +206,13 @@ def fast_feinerman(
         stages = stages[keep]
         agent_ids = agent_ids[keep]
 
+    stats = FastRunStats(iterations_executed, rounds_executed)
     if best is None:
         return SearchOutcome(
             found=False, m_moves=None, m_steps=None, finder=None,
-            n_agents=n_agents, move_budget=move_budget,
+            n_agents=n_agents, move_budget=move_budget, stats=stats,
         )
     return SearchOutcome(
         found=True, m_moves=best, m_steps=None, finder=best_finder,
-        n_agents=n_agents, move_budget=move_budget,
+        n_agents=n_agents, move_budget=move_budget, stats=stats,
     )

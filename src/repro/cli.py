@@ -2,14 +2,18 @@
 
 Subcommands::
 
-    run        simulate one search and print the outcome
+    run        simulate searches through the backend service layer
+    backends   list registered simulation backends and their coverage
     certify    print the lower-bound certificate for an automaton family
     coverage   simulate a below-threshold colony and render its coverage
-    experiment run one registered experiment (E01..E14)
+    experiment run one registered experiment (E01..E16)
 
 Examples::
 
     repro-ants run --algorithm uniform --distance 64 --agents 8
+    repro-ants run --algorithm algorithm1 --trials 200 --backend batched
+    repro-ants run --algorithm nonuniform --trials 64 --workers 4
+    repro-ants backends
     repro-ants certify --family random --bits 3 --ell 2 --distance 128
     repro-ants coverage --family uniform-walk --distance 48 --agents 16
     repro-ants experiment E04
@@ -22,33 +26,35 @@ import sys
 
 import numpy as np
 
-from repro.core.algorithm1 import Algorithm1
-from repro.core.nonuniform import NonUniformSearch
-from repro.core.uniform import UniformSearch, calibrated_K
-from repro.baselines.feinerman import FeinermanSearch
-from repro.baselines.levy import LevyWalk
-from repro.baselines.random_walk import RandomWalkSearch
-from repro.baselines.spiral import SpiralSearch
 from repro.errors import ReproError
-from repro.grid.world import GridWorld
-from repro.sim.engine import EngineConfig, SearchEngine
+from repro.sim.backends import (
+    AlgorithmSpec,
+    KNOWN_ALGORITHMS,
+    SimulationRequest,
+    registered_backends,
+)
+from repro.sim.service import simulate
+
+BACKEND_CHOICES = ("auto", "reference", "closed_form", "batched")
 
 
-def _build_algorithm(name: str, distance: int, n_agents: int, ell: int):
+def _build_spec(name: str, distance: int, ell: int) -> AlgorithmSpec:
     if name == "algorithm1":
-        return Algorithm1(distance)
+        return AlgorithmSpec.algorithm1(distance)
     if name == "nonuniform":
-        return NonUniformSearch(distance, ell)
+        return AlgorithmSpec.nonuniform(distance, ell)
     if name == "uniform":
-        return UniformSearch(n_agents, ell, calibrated_K(ell))
+        return AlgorithmSpec.uniform(ell)
+    if name == "doubly-uniform":
+        return AlgorithmSpec.doubly_uniform(ell)
     if name == "random-walk":
-        return RandomWalkSearch()
+        return AlgorithmSpec.random_walk()
     if name == "spiral":
-        return SpiralSearch()
+        return AlgorithmSpec.spiral()
     if name == "feinerman":
-        return FeinermanSearch(n_agents)
+        return AlgorithmSpec.feinerman()
     if name == "levy":
-        return LevyWalk()
+        return AlgorithmSpec.levy()
     raise ReproError(f"unknown algorithm {name!r}")
 
 
@@ -70,26 +76,66 @@ def _build_automaton(family: str, bits: int, ell: int, seed: int):
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    algorithm = _build_algorithm(args.algorithm, args.distance, args.agents, args.ell)
+    spec = _build_spec(args.algorithm, args.distance, args.ell)
     target = (
         tuple(args.target)
         if args.target
         else (args.distance, args.distance)
     )
-    world = GridWorld(target=target, distance_bound=args.distance)
-    engine = SearchEngine(EngineConfig(move_budget=args.budget))
-    outcome = engine.run(algorithm, args.agents, world, rng=args.seed)
+    request = SimulationRequest(
+        algorithm=spec,
+        n_agents=args.agents,
+        target=target,
+        move_budget=args.budget,
+        n_trials=args.trials,
+        seed=args.seed,
+        distance_bound=max(args.distance, abs(target[0]), abs(target[1])),
+    )
+    result = simulate(request, backend=args.backend, workers=args.workers)
+    algorithm = spec.build(args.agents)
     print(f"algorithm : {algorithm.name}")
+    print(f"backend   : {result.backend}")
     print(f"target    : {target} (D = {args.distance})")
     complexity = algorithm.selection_complexity()
     if complexity is not None:
         print(f"chi       : {complexity}")
+    outcome = result.outcome
     if outcome.found:
+        steps = "" if outcome.m_steps is None else f", steps {outcome.m_steps}"
         print(f"found     : yes — M_moves = {outcome.m_moves} "
-              f"(agent {outcome.finder}, steps {outcome.m_steps})")
+              f"(agent {outcome.finder}{steps})")
     else:
         print(f"found     : no within budget {args.budget}")
-    return 0 if outcome.found else 1
+    if args.trials > 1:
+        moves = result.moves_or_budget()
+        print(
+            f"trials    : {args.trials} — find rate {result.find_rate:.2%}, "
+            f"mean M_moves (censored) {moves.mean():.1f}"
+        )
+    # Multi-trial runs succeed if any trial found the target; scripts
+    # gating on the exit code get the aggregate, not trial 0's luck.
+    return 0 if result.find_rate > 0 else 1
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    backends = registered_backends()
+    header = ["backend", *KNOWN_ALGORITHMS]
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "|" + "|".join("---" for _ in header) + "|",
+    ]
+    for name in sorted(backends):
+        coverage = backends[name].coverage()
+        cells = ["yes" if coverage[algo] else "-" for algo in KNOWN_ALGORITHMS]
+        lines.append("| " + " | ".join([name, *cells]) + " |")
+    print("registered simulation backends and supports() coverage:")
+    print()
+    print("\n".join(lines))
+    print()
+    print('resolve order for "auto": batched (trial batches) > '
+          "closed_form (single trials) > reference (universal fallback; "
+          "step budgets).")
+    return 0
 
 
 def _cmd_certify(args: argparse.Namespace) -> int:
@@ -143,14 +189,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run_parser = sub.add_parser("run", help="simulate one search")
+    run_parser = sub.add_parser("run", help="simulate searches via the service layer")
     run_parser.add_argument(
         "--algorithm",
         default="uniform",
-        choices=(
-            "algorithm1", "nonuniform", "uniform", "random-walk",
-            "spiral", "feinerman", "levy",
-        ),
+        choices=KNOWN_ALGORITHMS,
     )
     run_parser.add_argument("--distance", type=int, default=32)
     run_parser.add_argument("--agents", type=int, default=4)
@@ -160,7 +203,24 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--target", type=int, nargs=2, metavar=("X", "Y"), default=None
     )
+    run_parser.add_argument(
+        "--backend", default="auto", choices=BACKEND_CHOICES,
+        help="simulation backend (default: auto-resolve)",
+    )
+    run_parser.add_argument(
+        "--trials", type=int, default=1,
+        help="independent colony repetitions (default: 1)",
+    )
+    run_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes to shard trials across (default: 1)",
+    )
     run_parser.set_defaults(func=_cmd_run)
+
+    backends_parser = sub.add_parser(
+        "backends", help="list registered simulation backends"
+    )
+    backends_parser.set_defaults(func=_cmd_backends)
 
     certify_parser = sub.add_parser(
         "certify", help="lower-bound certificate for an automaton"

@@ -12,13 +12,11 @@ over ``n`` at fixed ``D`` (the speed-up curve, which should track
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core import theory
 from repro.experiments.base import DEFAULT_SEED, ExperimentResult, check_scale
-from repro.sim.fast import fast_algorithm1
-from repro.sim.rng import derive_seed
+from repro.sim.backends import AlgorithmSpec, SimulationRequest
 from repro.sim.runner import ExperimentRow, rows_to_markdown
+from repro.sim.service import simulate
 from repro.sim.stats import fit_loglog_slope, mean_ci
 
 _SCALES = {
@@ -42,15 +40,22 @@ _SCALES = {
 def mean_moves(
     distance: int, n_agents: int, trials: int, seed: int, tag: int
 ) -> float:
-    """Mean colony M_moves over trials for the corner target."""
-    target = (distance, distance)
+    """Mean colony M_moves over trials for the corner target.
+
+    Uses the closed_form backend: per-trial seed streams match the
+    historical hand-rolled loop bit for bit.
+    """
     budget = 64 * int(theory.expected_moves_upper_bound(distance, n_agents)) + 10_000
-    samples = []
-    for trial in range(trials):
-        rng = np.random.default_rng(derive_seed(seed, tag, distance, n_agents, trial))
-        outcome = fast_algorithm1(distance, n_agents, target, rng, budget)
-        samples.append(outcome.moves_or_budget)
-    return float(np.mean(samples))
+    request = SimulationRequest(
+        algorithm=AlgorithmSpec.algorithm1(distance),
+        n_agents=n_agents,
+        target=(distance, distance),
+        move_budget=budget,
+        n_trials=trials,
+        seed=seed,
+        seed_keys=(tag, distance, n_agents),
+    )
+    return float(simulate(request, backend="closed_form").moves_or_budget().mean())
 
 
 def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:

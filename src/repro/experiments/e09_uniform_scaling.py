@@ -22,9 +22,9 @@ import numpy as np
 from repro.core import theory
 from repro.core.uniform import calibrated_K
 from repro.experiments.base import DEFAULT_SEED, ExperimentResult, check_scale
-from repro.sim.fast import fast_uniform
-from repro.sim.rng import derive_seed
+from repro.sim.backends import AlgorithmSpec, SimulationRequest
 from repro.sim.runner import ExperimentRow, rows_to_markdown
+from repro.sim.service import simulate
 from repro.sim.stats import fit_loglog_slope, mean_ci
 
 _SCALES = {
@@ -55,16 +55,19 @@ def mean_uniform_moves(
 ) -> float:
     """Mean colony M_moves of Algorithm 5 for the corner target."""
     K = calibrated_K(ell)
-    target = (distance, distance)
     budget = int(
         64.0 * 2.0 ** (K * ell) * theory.expected_moves_shape(distance, n_agents)
     ) + 100_000
-    samples = []
-    for trial in range(trials):
-        rng = np.random.default_rng(derive_seed(seed, tag, distance, ell, trial))
-        outcome = fast_uniform(n_agents, ell, K, target, rng, budget)
-        samples.append(outcome.moves_or_budget)
-    return float(np.mean(samples))
+    request = SimulationRequest(
+        algorithm=AlgorithmSpec.uniform(ell, K),
+        n_agents=n_agents,
+        target=(distance, distance),
+        move_budget=budget,
+        n_trials=trials,
+        seed=seed,
+        seed_keys=(tag, distance, ell),
+    )
+    return float(simulate(request, backend="closed_form").moves_or_budget().mean())
 
 
 def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:

@@ -27,9 +27,10 @@ from repro.markov.random_automata import (
     random_bounded_automaton,
     uniform_walk_automaton,
 )
-from repro.sim.fast import fast_nonuniform
+from repro.sim.backends import AlgorithmSpec, SimulationRequest
 from repro.sim.rng import derive_seed
 from repro.sim.runner import ExperimentRow, rows_to_markdown
+from repro.sim.service import simulate
 from repro.sim.stats import mean_ci
 
 _SCALES = {
@@ -123,15 +124,16 @@ def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
     for distance in params["distances"]:
         horizon = horizon_moves(distance, epsilon)
         n_contrast = int(np.ceil(256.0 * distance**0.25))
-        target = (distance, distance)
-        found = 0
-        for trial in range(params["trials"]):
-            rng = np.random.default_rng(derive_seed(seed, 20, distance, trial))
-            outcome = fast_nonuniform(
-                distance, 1, n_contrast, target, rng, move_budget=horizon
-            )
-            found += outcome.found
-        rate = found / params["trials"]
+        request = SimulationRequest(
+            algorithm=AlgorithmSpec.nonuniform(distance, 1),
+            n_agents=n_contrast,
+            target=(distance, distance),
+            move_budget=horizon,
+            n_trials=params["trials"],
+            seed=seed,
+            seed_keys=(20, distance),
+        )
+        rate = simulate(request, backend="closed_form").find_rate
         chi = NonUniformSearch(distance, 1).selection_complexity().chi
         contrast_rows.append(
             ExperimentRow(

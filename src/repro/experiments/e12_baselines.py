@@ -11,16 +11,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines.feinerman import FeinermanSearch, fast_feinerman
+from repro.baselines.feinerman import FeinermanSearch
 from repro.baselines.random_walk import RandomWalkSearch
 from repro.baselines.spiral import spiral_index
 from repro.core import theory
 from repro.core.nonuniform import NonUniformSearch
 from repro.core.uniform import UniformSearch
 from repro.experiments.base import DEFAULT_SEED, ExperimentResult, check_scale
-from repro.sim.fast import fast_algorithm1, fast_nonuniform, fast_random_walk, fast_uniform
-from repro.sim.rng import derive_seed
+from repro.sim.backends import AlgorithmSpec, SimulationRequest
 from repro.sim.runner import ExperimentRow, rows_to_markdown
+from repro.sim.service import simulate
 from repro.sim.stats import mean_ci
 
 _SCALES = {
@@ -55,25 +55,26 @@ def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
 
     chi_values["algorithm1"] = Algorithm1(distance).selection_complexity().chi
 
+    spec_for = {
+        "algorithm1": AlgorithmSpec.algorithm1(distance),
+        "nonuniform(l=1)": AlgorithmSpec.nonuniform(distance, 1),
+        "uniform(l=1)": AlgorithmSpec.uniform(1, K),
+        "feinerman": AlgorithmSpec.feinerman(),
+        "random-walk": AlgorithmSpec.random_walk(),
+    }
     means = {}
     for n_agents in params["n_values"]:
         for name in chi_values:
-            samples = []
-            for trial in range(params["trials"]):
-                rng = np.random.default_rng(
-                    derive_seed(seed, 12, n_agents, trial)
-                )
-                if name == "algorithm1":
-                    outcome = fast_algorithm1(distance, n_agents, target, rng, budget)
-                elif name == "nonuniform(l=1)":
-                    outcome = fast_nonuniform(distance, 1, n_agents, target, rng, budget)
-                elif name == "uniform(l=1)":
-                    outcome = fast_uniform(n_agents, 1, K, target, rng, budget)
-                elif name == "feinerman":
-                    outcome = fast_feinerman(n_agents, target, rng, budget)
-                else:
-                    outcome = fast_random_walk(n_agents, target, rng, budget)
-                samples.append(outcome.moves_or_budget)
+            request = SimulationRequest(
+                algorithm=spec_for[name],
+                n_agents=n_agents,
+                target=target,
+                move_budget=budget,
+                n_trials=params["trials"],
+                seed=seed,
+                seed_keys=(12, n_agents),
+            )
+            samples = simulate(request, backend="closed_form").moves_or_budget()
             mean = float(np.mean(samples))
             means[(name, n_agents)] = mean
             rows.append(

@@ -32,7 +32,7 @@ from typing import Callable, List, Tuple
 
 import numpy as np
 
-from repro.baselines.feinerman import FeinermanSearch, fast_feinerman
+from repro.baselines.feinerman import FeinermanSearch
 from repro.core.algorithm1 import Algorithm1
 from repro.core.nonuniform import NonUniformSearch
 from repro.core.selection import chi_threshold
@@ -46,9 +46,10 @@ from repro.markov.random_automata import (
     random_bounded_automaton,
     uniform_walk_automaton,
 )
-from repro.sim.fast import fast_algorithm1, fast_nonuniform, fast_uniform
+from repro.sim.backends import AlgorithmSpec, SimulationRequest
 from repro.sim.rng import derive_seed
 from repro.sim.runner import ExperimentRow, rows_to_markdown
+from repro.sim.service import simulate
 from repro.sim.stats import mean_ci
 
 _SCALES = {
@@ -70,19 +71,37 @@ def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
     def colony_entry(name, automaton):
         target = adversarial_target(automaton, distance)
 
-        def runner(rng: np.random.Generator):
-            result = simulate_colony(
-                automaton, n_agents, horizon, rng,
-                window_radius=distance, target=target,
-            )
-            return result.found, (result.m_moves if result.found else horizon)
+        def runner():
+            results = []
+            for trial in range(params["trials"]):
+                rng = np.random.default_rng(derive_seed(seed, 13, trial))
+                result = simulate_colony(
+                    automaton, n_agents, horizon, rng,
+                    window_radius=distance, target=target,
+                )
+                results.append(
+                    (result.found, result.m_moves if result.found else horizon)
+                )
+            return results
 
         return name, "below", automaton.selection_complexity().chi, runner
 
-    def fast_entry(name, regime, chi, simulate):
-        def runner(rng: np.random.Generator):
-            outcome = simulate(rng)
-            return outcome.found, outcome.moves_or_budget
+    def fast_entry(name, regime, chi, spec):
+        def runner():
+            request = SimulationRequest(
+                algorithm=spec,
+                n_agents=n_agents,
+                target=corner,
+                move_budget=horizon,
+                n_trials=params["trials"],
+                seed=seed,
+                seed_keys=(13,),
+            )
+            result = simulate(request, backend="closed_form")
+            return [
+                (outcome.found, outcome.moves_or_budget)
+                for outcome in result.outcomes
+            ]
 
         return name, regime, chi, runner
 
@@ -95,36 +114,30 @@ def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
         fast_entry(
             "algorithm1", "above",
             Algorithm1(distance).selection_complexity().chi,
-            lambda rng: fast_algorithm1(distance, n_agents, corner, rng, horizon),
+            AlgorithmSpec.algorithm1(distance),
         ),
         fast_entry(
             "nonuniform(l=1)", "above",
             NonUniformSearch(distance, 1).selection_complexity().chi,
-            lambda rng: fast_nonuniform(distance, 1, n_agents, corner, rng, horizon),
+            AlgorithmSpec.nonuniform(distance, 1),
         ),
         fast_entry(
             "uniform(l=1)", "above*",
             UniformSearch(n_agents, 1).selection_complexity_for_distance(distance).chi,
-            lambda rng: fast_uniform(
-                n_agents, 1, calibrated_K(1), corner, rng, horizon
-            ),
+            AlgorithmSpec.uniform(1, calibrated_K(1)),
         ),
         fast_entry(
             "feinerman", "above",
             FeinermanSearch(n_agents).selection_complexity_for_distance(distance).chi,
-            lambda rng: fast_feinerman(n_agents, corner, rng, horizon),
+            AlgorithmSpec.feinerman(),
         ),
     ]
 
     find_rates = {"below": [], "above": []}
     for name, regime, chi, runner in sorted(entries, key=lambda e: e[2]):
-        finds = 0
-        moves = []
-        for trial in range(params["trials"]):
-            rng = np.random.default_rng(derive_seed(seed, 13, trial))
-            found, count = runner(rng)
-            finds += found
-            moves.append(float(count))
+        trial_results = runner()
+        finds = sum(found for found, _ in trial_results)
+        moves = [float(count) for _, count in trial_results]
         rate = finds / params["trials"]
         if regime in find_rates:
             find_rates[regime].append(rate)

@@ -21,9 +21,9 @@ import numpy as np
 from repro.core import theory
 from repro.core.uniform import UniformSearch
 from repro.experiments.base import DEFAULT_SEED, ExperimentResult, check_scale
-from repro.sim.fast import fast_uniform
-from repro.sim.rng import derive_seed
+from repro.sim.backends import AlgorithmSpec, SimulationRequest
 from repro.sim.runner import ExperimentRow, rows_to_markdown
+from repro.sim.service import simulate
 from repro.sim.stats import mean_ci
 
 _SCALES = {
@@ -58,11 +58,16 @@ def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
             * 2.0 ** (K * ell)
             * theory.uniform_expected_moves_shape(distance, n_agents, ell, 2.0)
         ) + 100_000
-        samples = []
-        for trial in range(params["trials"]):
-            rng = np.random.default_rng(derive_seed(seed, 15, ell, trial))
-            outcome = fast_uniform(n_agents, ell, K, target, rng, budget)
-            samples.append(outcome.moves_or_budget)
+        request = SimulationRequest(
+            algorithm=AlgorithmSpec.uniform(ell, K),
+            n_agents=n_agents,
+            target=target,
+            move_budget=budget,
+            n_trials=params["trials"],
+            seed=seed,
+            seed_keys=(15, ell),
+        )
+        samples = simulate(request, backend="closed_form").moves_or_budget()
         mean = float(np.mean(samples))
         means.append(mean)
         rows.append(
@@ -109,13 +114,16 @@ def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
             * 2.0 ** (fixed_K * ell)
             * theory.uniform_expected_moves_shape(fixed_distance, n_agents, ell, 2.0)
         ) + 100_000
-        samples = []
-        for trial in range(max(10, params["trials"] // 3)):
-            rng = np.random.default_rng(derive_seed(seed, 16, ell, trial))
-            outcome = fast_uniform(
-                n_agents, ell, fixed_K, fixed_target, rng, budget
-            )
-            samples.append(outcome.moves_or_budget)
+        request = SimulationRequest(
+            algorithm=AlgorithmSpec.uniform(ell, fixed_K),
+            n_agents=n_agents,
+            target=fixed_target,
+            move_budget=budget,
+            n_trials=max(10, params["trials"] // 3),
+            seed=seed,
+            seed_keys=(16, ell),
+        )
+        samples = simulate(request, backend="closed_form").moves_or_budget()
         fixed_means.append(float(np.mean(samples)))
         fixed_rows.append(
             ExperimentRow(

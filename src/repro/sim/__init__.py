@@ -1,24 +1,41 @@
-"""Simulation engine, fast vectorized simulators, metrics and statistics.
+"""Simulation service, engines, backends, metrics and statistics.
 
-Two execution paths produce the paper's metrics:
+The uniform entry point is :func:`repro.sim.simulate`: build a
+:class:`SimulationRequest` (algorithm spec + colony + world + budgets +
+seed stream) and let the backend registry dispatch it:
 
-* :mod:`repro.sim.engine` — the faithful, step-by-step synchronous
-  engine driving agent processes (or automata).  Used by tests and by
-  the lower-bound experiments where step-level fidelity matters.
-* :mod:`repro.sim.fast` — numpy-vectorized simulators that sample whole
-  iterations (geometric leg lengths + closed-form hit tests) and are
-  distribution-exact.  Used by the benchmark sweeps.
+* ``reference`` (:mod:`repro.sim.engine`) — the faithful, step-by-step
+  synchronous engine driving agent processes (or automata); tracks
+  ``M_steps`` and per-agent outcomes, executes arbitrary automata for
+  the lower-bound experiments.
+* ``closed_form`` (:mod:`repro.sim.fast`) — numpy-vectorized per-colony
+  simulators sampling whole iterations; distribution-exact.
+* ``batched`` (:mod:`repro.sim.backends.batched`) — many colonies and
+  many trials in one vectorized pass; the high-throughput batch path.
 
 Shared result records live in :mod:`repro.sim.metrics`; deterministic
 seeding utilities in :mod:`repro.sim.rng`; estimators and scaling fits
-in :mod:`repro.sim.stats`; sweep orchestration in
-:mod:`repro.sim.runner`.
+in :mod:`repro.sim.stats`; sweep orchestration (with parallel
+``workers=N`` sharding) in :mod:`repro.sim.runner`.
 """
 
+from repro.sim.backends import (
+    AlgorithmSpec,
+    BackendError,
+    SimulationBackend,
+    SimulationRequest,
+    SimulationResult,
+    backend_names,
+    get_backend,
+    register_backend,
+    registered_backends,
+    resolve_backend,
+)
 from repro.sim.engine import SearchEngine, EngineConfig
-from repro.sim.metrics import AgentOutcome, SearchOutcome, speedup
+from repro.sim.metrics import AgentOutcome, FastRunStats, SearchOutcome, speedup
 from repro.sim.rng import generator_from, spawn_generators
-from repro.sim.runner import ExperimentRow, Sweep, rows_to_markdown
+from repro.sim.runner import ExperimentRow, Sweep, SweepJob, rows_to_markdown
+from repro.sim.service import simulate
 from repro.sim.stats import (
     Estimate,
     bootstrap_mean_ci,
@@ -31,15 +48,28 @@ from repro.sim.stats import (
 from repro.sim.trace import Execution, TraceRecorder
 
 __all__ = [
+    "AlgorithmSpec",
+    "BackendError",
+    "SimulationBackend",
+    "SimulationRequest",
+    "SimulationResult",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "registered_backends",
+    "resolve_backend",
+    "simulate",
     "SearchEngine",
     "EngineConfig",
     "AgentOutcome",
+    "FastRunStats",
     "SearchOutcome",
     "speedup",
     "generator_from",
     "spawn_generators",
     "ExperimentRow",
     "Sweep",
+    "SweepJob",
     "rows_to_markdown",
     "Estimate",
     "bootstrap_mean_ci",

@@ -1,0 +1,264 @@
+"""The ``batched`` backend: many colonies x many trials in one NumPy pass.
+
+The closed-form simulators vectorize over one colony's agents; this
+backend flattens the whole request — ``n_trials`` colonies of
+``n_agents`` agents — into one pool of (trial, agent) pairs and samples
+*every active pair's next sortie in a single draw*.  Each round:
+
+1. sample one L-sortie per active pair (vectorized geometric legs),
+2. closed-form hit test against the target,
+3. scatter per-colony minima (``np.minimum.at``) to update each
+   trial's running best find,
+4. retire pairs that found the target, exhausted the budget, or can no
+   longer beat their own colony's best (the engine's
+   retire-when-unimprovable policy, applied per colony).
+
+Sorties are drawn from exactly the process distribution, so outcomes
+are equal in distribution to the ``reference`` engine — the
+integration tests check this statistically for Algorithm 1,
+Non-Uniform-Search, and Algorithm 5.  Unlike the per-trial backends,
+the whole batch shares one generator stream, so individual trials are
+not separately re-seedable (request-level determinism still holds).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.backends.base import SimulationBackend, SimulationRequest
+from repro.sim.fast import _sample_sorties, _sortie_hits
+from repro.sim.metrics import FastRunStats, SearchOutcome
+
+_SENTINEL = np.iinfo(np.int64).max
+_DEFAULT_MAX_PHASE = 50
+
+
+class BatchedBackend(SimulationBackend):
+    """Whole-batch vectorized simulation of the paper's sortie algorithms."""
+
+    name = "batched"
+
+    _SUPPORTED = ("algorithm1", "nonuniform", "uniform")
+
+    def supports(self, request: SimulationRequest) -> bool:
+        return request.step_budget is None and (
+            request.algorithm.name in self._SUPPORTED
+        )
+
+    def auto_priority(self, request: SimulationRequest) -> int:
+        # The batch pass amortizes across trials; a single trial is
+        # better served by the closed-form per-colony simulators.
+        return 20 if request.n_trials > 1 else 5
+
+    def run(
+        self,
+        request: SimulationRequest,
+        trial_indices: Optional[Sequence[int]] = None,
+    ) -> Tuple[SearchOutcome, ...]:
+        indices = (
+            list(range(request.n_trials))
+            if trial_indices is None
+            else list(trial_indices)
+        )
+        if not indices:
+            return ()
+        # One pooled stream for the whole batch, anchored at the first
+        # trial's address so sharded runs stay deterministic.
+        rng = np.random.default_rng(request.trial_seed(indices[0]))
+        n_trials = len(indices)
+        spec = request.algorithm
+        if spec.name in ("algorithm1", "nonuniform"):
+            stop_probability = self._stop_probability(request)
+            best, finder, stats = _batch_lshape(
+                stop_probability,
+                request.n_agents,
+                n_trials,
+                request.target,
+                rng,
+                request.move_budget,
+            )
+        else:
+            best, finder, stats = _batch_uniform(
+                request.n_agents,
+                spec.ell or 1,
+                spec.K,
+                n_trials,
+                request.target,
+                rng,
+                request.move_budget,
+                spec.max_phase or _DEFAULT_MAX_PHASE,
+            )
+        return tuple(
+            _outcome(
+                int(best[i]), int(finder[i]), request.n_agents,
+                request.move_budget, stats,
+            )
+            for i in range(n_trials)
+        )
+
+    @staticmethod
+    def _stop_probability(request: SimulationRequest) -> float:
+        if request.algorithm.name == "algorithm1":
+            return 1.0 / request.algorithm.distance
+        from repro.core.nonuniform import NonUniformSearch
+
+        return NonUniformSearch(
+            request.algorithm.distance, request.algorithm.ell or 1
+        ).stop_probability
+
+
+def _outcome(
+    best: int, finder: int, n_agents: int, move_budget: int, stats: FastRunStats
+) -> SearchOutcome:
+    if best == _SENTINEL:
+        return SearchOutcome(
+            found=False, m_moves=None, m_steps=None, finder=None,
+            n_agents=n_agents, move_budget=move_budget, stats=stats,
+        )
+    return SearchOutcome(
+        found=True, m_moves=best, m_steps=0 if best == 0 else None,
+        finder=finder, n_agents=n_agents, move_budget=move_budget, stats=stats,
+    )
+
+
+def _batch_lshape(
+    stop_probability: float,
+    n_agents: int,
+    n_trials: int,
+    target,
+    rng: np.random.Generator,
+    move_budget: int,
+):
+    """All trials of a constant-stop-probability sortie algorithm at once."""
+    if target == (0, 0):
+        return (
+            np.zeros(n_trials, dtype=np.int64),
+            np.zeros(n_trials, dtype=np.int64),
+            FastRunStats(0, 0),
+        )
+    pair_trial = np.repeat(np.arange(n_trials), n_agents)
+    pair_agent = np.tile(np.arange(n_agents), n_trials)
+    cumulative = np.zeros(n_trials * n_agents, dtype=np.int64)
+    best = np.full(n_trials, _SENTINEL, dtype=np.int64)
+    best_finder = np.full(n_trials, -1, dtype=np.int64)
+
+    expected_len = max(1.0, 2.0 * (1.0 / stop_probability - 1.0))
+    max_rounds = int(200 * (move_budget / expected_len + 1)) + 10_000
+    rounds = 0
+    iterations = 0
+    for _ in range(max_rounds):
+        if pair_trial.size == 0:
+            break
+        rounds += 1
+        count = pair_trial.size
+        iterations += count
+        sv, lv, sh, lh = _sample_sorties(rng, stop_probability, count)
+        hit, moves_at_hit = _sortie_hits(target, sv, lv, sh, lh)
+        totals = cumulative + moves_at_hit
+        eligible = hit & (totals <= move_budget) & (totals < best[pair_trial])
+        if np.any(eligible):
+            np.minimum.at(best, pair_trial[eligible], totals[eligible])
+            improved = eligible & (totals == best[pair_trial])
+            best_finder[pair_trial[improved]] = pair_agent[improved]
+        survivors = ~hit
+        cumulative = (cumulative + lv + lh)[survivors]
+        pair_trial = pair_trial[survivors]
+        pair_agent = pair_agent[survivors]
+        limit = np.minimum(move_budget, best[pair_trial])
+        keep = cumulative < limit
+        cumulative = cumulative[keep]
+        pair_trial = pair_trial[keep]
+        pair_agent = pair_agent[keep]
+    return best, best_finder, FastRunStats(iterations, rounds)
+
+
+def _batch_uniform(
+    n_agents: int,
+    ell: int,
+    K: int,
+    n_trials: int,
+    target,
+    rng: np.random.Generator,
+    move_budget: int,
+    max_phase: int,
+):
+    """All trials of Algorithm 5 at once.
+
+    Per-pair state is ``(phase, calls_left, cumulative)``; phase coins
+    are redrawn vectorized (``Geometric(1/rho_i) - 1`` sortie calls per
+    phase) whenever a pair exhausts its calls, and every active pair
+    contributes one sortie per round with its own phase's stop
+    probability — ``_sample_sorties`` accepts the per-pair vector.
+    """
+    if target == (0, 0):
+        return (
+            np.zeros(n_trials, dtype=np.int64),
+            np.zeros(n_trials, dtype=np.int64),
+            FastRunStats(0, 0),
+        )
+    discount = math.floor(math.log2(n_agents) / ell) if n_agents > 1 else 0
+    pair_trial = np.repeat(np.arange(n_trials), n_agents)
+    pair_agent = np.tile(np.arange(n_agents), n_trials)
+    cumulative = np.zeros(n_trials * n_agents, dtype=np.int64)
+    phase = np.zeros(n_trials * n_agents, dtype=np.int64)
+    calls_left = np.zeros(n_trials * n_agents, dtype=np.int64)
+    best = np.full(n_trials, _SENTINEL, dtype=np.int64)
+    best_finder = np.full(n_trials, -1, dtype=np.int64)
+
+    phase1_len = max(1.0, 2.0 * (2.0**ell - 1.0))
+    max_rounds = int(200 * (move_budget / phase1_len + 1)) + 10_000
+    rounds = 0
+    iterations = 0
+    for _ in range(max_rounds):
+        if pair_trial.size == 0:
+            break
+        rounds += 1
+        # Refill exhausted phase coins; pairs that run out of phases
+        # retire below via the `alive` mask.
+        need = calls_left <= 0
+        while np.any(need):
+            phase[need] += 1
+            need &= phase <= max_phase
+            if not np.any(need):
+                break
+            exponent = K + np.maximum(phase[need] - discount, 0)
+            rho = np.exp2(exponent.astype(np.float64) * ell)
+            calls_left[need] = rng.geometric(1.0 / rho) - 1
+            need &= calls_left <= 0
+        alive = phase <= max_phase
+        if not np.all(alive):
+            pair_trial = pair_trial[alive]
+            pair_agent = pair_agent[alive]
+            cumulative = cumulative[alive]
+            phase = phase[alive]
+            calls_left = calls_left[alive]
+            if pair_trial.size == 0:
+                break
+        count = pair_trial.size
+        iterations += count
+        stop_p = np.exp2(-(phase.astype(np.float64) * ell))
+        sv, lv, sh, lh = _sample_sorties(rng, stop_p, count)
+        hit, moves_at_hit = _sortie_hits(target, sv, lv, sh, lh)
+        totals = cumulative + moves_at_hit
+        eligible = hit & (totals <= move_budget) & (totals < best[pair_trial])
+        if np.any(eligible):
+            np.minimum.at(best, pair_trial[eligible], totals[eligible])
+            improved = eligible & (totals == best[pair_trial])
+            best_finder[pair_trial[improved]] = pair_agent[improved]
+        survivors = ~hit
+        cumulative = (cumulative + lv + lh)[survivors]
+        calls_left = calls_left[survivors] - 1
+        phase = phase[survivors]
+        pair_trial = pair_trial[survivors]
+        pair_agent = pair_agent[survivors]
+        limit = np.minimum(move_budget, best[pair_trial])
+        keep = cumulative < limit
+        cumulative = cumulative[keep]
+        calls_left = calls_left[keep]
+        phase = phase[keep]
+        pair_trial = pair_trial[keep]
+        pair_agent = pair_agent[keep]
+    return best, best_finder, FastRunStats(iterations, rounds)

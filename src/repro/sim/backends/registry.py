@@ -1,0 +1,106 @@
+"""Backend registry and ``auto`` resolution.
+
+Backends register under a short name (``reference``, ``closed_form``,
+``batched``).  Callers address them by name or pass ``"auto"`` and let
+:func:`resolve_backend` pick the best supporting backend: each backend
+reports an :meth:`~repro.sim.backends.base.SimulationBackend.auto_priority`
+for the concrete request, so the vectorized multi-trial backend wins
+batch jobs, the closed-form simulators win single trials, and the
+faithful engine is the universal fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import InvalidParameterError
+from repro.sim.backends.base import BackendError, SimulationBackend, SimulationRequest
+
+_REGISTRY: Dict[str, SimulationBackend] = {}
+_DEFAULTS_LOADED = False
+
+AUTO = "auto"
+
+
+def register_backend(backend: SimulationBackend, replace: bool = False) -> None:
+    """Add a backend instance to the registry.
+
+    Registering a custom backend never displaces the built-ins: the
+    defaults load lazily but unconditionally on first use.
+    """
+    if backend.name == AUTO:
+        raise InvalidParameterError('"auto" is reserved and not a backend name')
+    _ensure_default_backends()
+    if backend.name in _REGISTRY and not replace:
+        raise InvalidParameterError(f"backend {backend.name!r} already registered")
+    _REGISTRY[backend.name] = backend
+
+
+def get_backend(name: str) -> SimulationBackend:
+    """Look a backend up by name."""
+    _ensure_default_backends()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise BackendError(f"unknown backend {name!r}; registered: {known}") from None
+
+
+def registered_backends() -> Dict[str, SimulationBackend]:
+    """A snapshot of the registry (name -> backend)."""
+    _ensure_default_backends()
+    return dict(_REGISTRY)
+
+
+def backend_names() -> List[str]:
+    """Sorted registered backend names."""
+    return sorted(registered_backends())
+
+
+def resolve_backend(request: SimulationRequest, name: str = AUTO) -> SimulationBackend:
+    """Pick the backend that will serve ``request``.
+
+    An explicit name must support the request (``BackendError``
+    otherwise — silent fallback would undermine equivalence testing).
+    ``"auto"`` picks the supporting backend with the highest
+    ``auto_priority``, ties broken by name for determinism.
+    """
+    _ensure_default_backends()
+    if name != AUTO:
+        backend = get_backend(name)
+        if not backend.supports(request):
+            raise BackendError(
+                f"backend {name!r} does not support algorithm "
+                f"{request.algorithm.name!r} (try backend='auto')"
+            )
+        return backend
+    candidates = [
+        backend for backend in _REGISTRY.values() if backend.supports(request)
+    ]
+    if not candidates:
+        raise BackendError(
+            f"no registered backend supports algorithm {request.algorithm.name!r}"
+        )
+    return max(candidates, key=lambda b: (b.auto_priority(request), b.name))
+
+
+def _ensure_default_backends() -> None:
+    """Idempotently register the three built-in backends.
+
+    Import-cycle-safe lazy registration: the backend modules import the
+    simulators, which import ``repro.sim.metrics``, so registration
+    happens on first use rather than at package import.  Guarded by a
+    dedicated flag (not registry emptiness) so a custom backend
+    registered first cannot suppress the built-ins.
+    """
+    global _DEFAULTS_LOADED
+    if _DEFAULTS_LOADED:
+        return
+    _DEFAULTS_LOADED = True
+    from repro.sim.backends.batched import BatchedBackend
+    from repro.sim.backends.closed_form import ClosedFormBackend
+    from repro.sim.backends.reference import ReferenceBackend
+
+    register_backend(ReferenceBackend())
+    register_backend(ClosedFormBackend())
+    register_backend(BatchedBackend())

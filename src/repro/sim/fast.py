@@ -19,23 +19,24 @@ same retire-when-unimprovable policy as the engine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.core.uniform import phase_coin_exponent
 from repro.errors import InvalidParameterError
 from repro.grid.geometry import Point
-from repro.sim.metrics import SearchOutcome
+from repro.sim.metrics import FastRunStats, SearchOutcome
 
-
-@dataclass(frozen=True)
-class FastRunStats:
-    """Diagnostics accumulated by a fast simulation run."""
-
-    iterations_executed: int
-    rounds_executed: int
+__all__ = [
+    "FastRunStats",
+    "lshape_first_find",
+    "fast_algorithm1",
+    "fast_nonuniform",
+    "fast_uniform",
+    "fast_doubly_uniform",
+    "fast_random_walk",
+]
 
 
 def _sample_sorties(
@@ -103,11 +104,15 @@ def lshape_first_find(
     # guarantees progress in expectation, this guards the worst case.
     expected_len = max(1.0, 2.0 * (1.0 / stop_probability - 1.0))
     max_rounds = int(200 * (move_budget / expected_len + 1)) + 10_000
+    rounds_executed = 0
+    iterations_executed = 0
 
     for _ in range(max_rounds):
         if agent_ids.size == 0:
             break
         count = agent_ids.size
+        rounds_executed += 1
+        iterations_executed += count
         sv, lv, sh, lh = _sample_sorties(rng, stop_probability, count)
         hit, moves_at_hit = _sortie_hits(target, sv, lv, sh, lh)
         totals = cumulative + moves_at_hit
@@ -126,8 +131,9 @@ def lshape_first_find(
         cumulative = cumulative[keep]
         agent_ids = agent_ids[keep]
 
+    stats = FastRunStats(iterations_executed, rounds_executed)
     if best is None:
-        return _not_found(n_agents, move_budget)
+        return _not_found(n_agents, move_budget, stats)
     return SearchOutcome(
         found=True,
         m_moves=best,
@@ -135,6 +141,7 @@ def lshape_first_find(
         finder=best_finder,
         n_agents=n_agents,
         move_budget=move_budget,
+        stats=stats,
     )
 
 
@@ -200,18 +207,23 @@ def fast_uniform(
 
     best: Optional[int] = None
     best_finder: Optional[int] = None
+    iterations_executed = 0
+    rounds_executed = 0
 
     for agent_id in range(n_agents):
         limit = move_budget if best is None else min(move_budget, best)
-        total = _simulate_uniform_agent(
+        total, iterations, rounds = _simulate_uniform_agent(
             n_agents, ell, K, target, rng, limit, max_phase
         )
+        iterations_executed += iterations
+        rounds_executed += rounds
         if total is not None and (best is None or total < best):
             best = total
             best_finder = agent_id
 
+    stats = FastRunStats(iterations_executed, rounds_executed)
     if best is None:
-        return _not_found(n_agents, move_budget)
+        return _not_found(n_agents, move_budget, stats)
     return SearchOutcome(
         found=True,
         m_moves=best,
@@ -219,6 +231,7 @@ def fast_uniform(
         finder=best_finder,
         n_agents=n_agents,
         move_budget=move_budget,
+        stats=stats,
     )
 
 
@@ -230,22 +243,27 @@ def _simulate_uniform_agent(
     rng: np.random.Generator,
     move_limit: int,
     max_phase: int,
-) -> Optional[int]:
-    """One agent's moves-at-first-find, or None if it exceeds the limit.
+) -> Tuple[Optional[int], int, int]:
+    """One agent's ``(moves_at_first_find, iterations, rounds)``.
 
-    Sorties within one phase are sampled in chunks so that a phase with
+    The move count is None if the agent exceeds the limit.  Sorties
+    within one phase are sampled in chunks so that a phase with
     millions of expected calls (large ``K * l``) stays memory-bounded.
     """
     cumulative = 0
     phase = 0
+    iterations = 0
+    rounds = 0
     while phase < max_phase and cumulative < move_limit:
         phase += 1
+        rounds += 1
         rho_i = 2.0 ** (phase_coin_exponent(phase, n_agents, ell, K) * ell)
         calls = int(rng.geometric(1.0 / rho_i)) - 1
         stop_p = 2.0 ** -(phase * ell)
         while calls > 0 and cumulative < move_limit:
             batch = min(calls, _SORTIE_CHUNK)
             calls -= batch
+            iterations += batch
             sv, lv, sh, lh = _sample_sorties(rng, stop_p, batch)
             hit, moves_at_hit = _sortie_hits(target, sv, lv, sh, lh)
             lengths = lv + lh
@@ -253,9 +271,9 @@ def _simulate_uniform_agent(
                 first = int(np.argmax(hit))
                 moves_before = int(lengths[:first].sum())
                 total = cumulative + moves_before + int(moves_at_hit[first])
-                return total if total <= move_limit else None
+                return (total if total <= move_limit else None), iterations, rounds
             cumulative += int(lengths.sum())
-    return None
+    return None, iterations, rounds
 
 
 def fast_doubly_uniform(
@@ -285,15 +303,22 @@ def fast_doubly_uniform(
 
     best: Optional[int] = None
     best_finder: Optional[int] = None
+    iterations_executed = 0
+    rounds_executed = 0
     for agent_id in range(n_agents):
         limit = move_budget if best is None else min(move_budget, best)
-        total = _simulate_doubly_uniform_agent(ell, K, target, rng, limit, max_epoch)
+        total, iterations, rounds = _simulate_doubly_uniform_agent(
+            ell, K, target, rng, limit, max_epoch
+        )
+        iterations_executed += iterations
+        rounds_executed += rounds
         if total is not None and (best is None or total < best):
             best = total
             best_finder = agent_id
 
+    stats = FastRunStats(iterations_executed, rounds_executed)
     if best is None:
-        return _not_found(n_agents, move_budget)
+        return _not_found(n_agents, move_budget, stats)
     return SearchOutcome(
         found=True,
         m_moves=best,
@@ -301,6 +326,7 @@ def fast_doubly_uniform(
         finder=best_finder,
         n_agents=n_agents,
         move_budget=move_budget,
+        stats=stats,
     )
 
 
@@ -311,20 +337,24 @@ def _simulate_doubly_uniform_agent(
     rng: np.random.Generator,
     move_limit: int,
     max_epoch: int,
-) -> Optional[int]:
-    """One doubly uniform agent's moves-at-first-find within the limit."""
+) -> Tuple[Optional[int], int, int]:
+    """One doubly uniform agent's ``(moves_at_first_find, iterations, rounds)``."""
     cumulative = 0
+    iterations = 0
+    rounds = 0
     for epoch in range(1, max_epoch + 1):
         guessed_n = 2**epoch
         for phase in range(1, epoch + 1):
             if cumulative >= move_limit:
-                return None
+                return None, iterations, rounds
+            rounds += 1
             rho_i = 2.0 ** (phase_coin_exponent(phase, guessed_n, ell, K) * ell)
             calls = int(rng.geometric(1.0 / rho_i)) - 1
             stop_p = 2.0 ** -(phase * ell)
             while calls > 0 and cumulative < move_limit:
                 batch = min(calls, _SORTIE_CHUNK)
                 calls -= batch
+                iterations += batch
                 sv, lv, sh, lh = _sample_sorties(rng, stop_p, batch)
                 hit, moves_at_hit = _sortie_hits(target, sv, lv, sh, lh)
                 lengths = lv + lh
@@ -332,9 +362,11 @@ def _simulate_doubly_uniform_agent(
                     first = int(np.argmax(hit))
                     moves_before = int(lengths[:first].sum())
                     total = cumulative + moves_before + int(moves_at_hit[first])
-                    return total if total <= move_limit else None
+                    return (
+                        (total if total <= move_limit else None), iterations, rounds
+                    )
                 cumulative += int(lengths.sum())
-    return None
+    return None, iterations, rounds
 
 
 def fast_random_walk(
@@ -360,9 +392,11 @@ def fast_random_walk(
     steps_vectors = np.array([(0, 1), (0, -1), (-1, 0), (1, 0)], dtype=np.int64)
     positions = np.zeros((n_agents, 2), dtype=np.int64)
     moves_done = 0
+    rounds_executed = 0
     x, y = target
     while moves_done < move_budget:
         block = min(chunk, move_budget - moves_done)
+        rounds_executed += 1
         choices = rng.integers(0, 4, size=(n_agents, block))
         displacements = steps_vectors[choices]
         trajectory = positions[:, None, :] + np.cumsum(displacements, axis=1)
@@ -370,17 +404,21 @@ def fast_random_walk(
         if np.any(hits):
             step_of_hit = np.where(hits.any(axis=1), hits.argmax(axis=1), block)
             winner = int(np.argmin(step_of_hit))
+            m_moves = moves_done + int(step_of_hit[winner]) + 1
             return SearchOutcome(
                 found=True,
-                m_moves=moves_done + int(step_of_hit[winner]) + 1,
+                m_moves=m_moves,
                 m_steps=None,
                 finder=winner,
                 n_agents=n_agents,
                 move_budget=move_budget,
+                stats=FastRunStats(n_agents * m_moves, rounds_executed),
             )
         positions = trajectory[:, -1, :]
         moves_done += block
-    return _not_found(n_agents, move_budget)
+    return _not_found(
+        n_agents, move_budget, FastRunStats(n_agents * moves_done, rounds_executed)
+    )
 
 
 def _found_at_origin(n_agents: int, move_budget: int) -> SearchOutcome:
@@ -391,10 +429,13 @@ def _found_at_origin(n_agents: int, move_budget: int) -> SearchOutcome:
         finder=0,
         n_agents=n_agents,
         move_budget=move_budget,
+        stats=FastRunStats(0, 0),
     )
 
 
-def _not_found(n_agents: int, move_budget: int) -> SearchOutcome:
+def _not_found(
+    n_agents: int, move_budget: int, stats: Optional[FastRunStats] = None
+) -> SearchOutcome:
     return SearchOutcome(
         found=False,
         m_moves=None,
@@ -402,4 +443,5 @@ def _not_found(n_agents: int, move_budget: int) -> SearchOutcome:
         finder=None,
         n_agents=n_agents,
         move_budget=move_budget,
+        stats=stats,
     )

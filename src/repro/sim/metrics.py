@@ -17,6 +17,21 @@ from repro.grid.geometry import Point
 
 
 @dataclass(frozen=True)
+class FastRunStats:
+    """Diagnostics accumulated by a vectorized simulation run.
+
+    ``iterations_executed`` counts sampled algorithm iterations
+    (sorties, walk steps, or Feinerman stages — the unit each simulator
+    advances by); ``rounds_executed`` counts the simulator's outer
+    vectorized passes.  Batch backends attach one shared record to
+    every outcome of the batch.
+    """
+
+    iterations_executed: int
+    rounds_executed: int
+
+
+@dataclass(frozen=True)
 class AgentOutcome:
     """Per-agent accounting at the end of a run.
 
@@ -60,6 +75,9 @@ class SearchOutcome:
         The per-agent move budget the run was allowed.
     per_agent:
         Optional per-agent details (faithful engine only).
+    stats:
+        Optional vectorized-run diagnostics (fast simulators and the
+        batched backend only).
     """
 
     found: bool
@@ -69,6 +87,7 @@ class SearchOutcome:
     n_agents: int
     move_budget: Optional[int]
     per_agent: List[AgentOutcome] = field(default_factory=list)
+    stats: Optional[FastRunStats] = None
 
     def __post_init__(self) -> None:
         if self.found and self.m_moves is None:

@@ -1,17 +1,24 @@
 """Experiment sweeps: parameter grids, repetitions, tables.
 
 The benchmark harness and EXPERIMENTS.md both consume this module: a
-:class:`Sweep` maps a trial function over a parameter grid with
-per-point repetitions (independently seeded via
-:func:`repro.sim.rng.derive_seed`), aggregates each point into an
-:class:`ExperimentRow`, and :func:`rows_to_markdown` renders the tables
-recorded in EXPERIMENTS.md.
+:class:`Sweep` compiles a parameter grid x trials into
+:class:`SweepJob` batches, executes them — serially, or sharded across
+a :class:`~concurrent.futures.ProcessPoolExecutor` with ``workers=N``
+— aggregates each grid point into an :class:`ExperimentRow`, and
+:func:`rows_to_markdown` renders the tables recorded in
+EXPERIMENTS.md.
+
+Trial ``t`` of point ``i`` always draws from ``derive_seed(seed, i,
+t)`` regardless of job partitioning or worker count, so parallel runs
+reproduce the serial rows bit for bit.
 """
 
 from __future__ import annotations
 
+import pickle
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Sequence
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,6 +42,42 @@ class ExperimentRow:
         return self.estimate.mean
 
 
+@dataclass(frozen=True)
+class SweepJob:
+    """One executable shard of a sweep: a trial slice of one grid point."""
+
+    point_index: int
+    params: Dict[str, object]
+    trial_start: int
+    trial_count: int
+
+    @property
+    def trial_indices(self) -> range:
+        """The trial indices this job covers."""
+        return range(self.trial_start, self.trial_start + self.trial_count)
+
+
+def _execute_job(
+    trial: TrialFunction, job: SweepJob, seed: int
+) -> Tuple[int, int, List[float]]:
+    """Run one job; also the worker-process entry point.
+
+    The per-trial stream is derived from the trial's *global* address
+    ``(seed, point_index, trial_index)``, never from the job boundaries,
+    which is what makes any partitioning reproduce the serial samples.
+    """
+    samples = [
+        float(
+            trial(
+                job.params,
+                np.random.default_rng(derive_seed(seed, job.point_index, t)),
+            )
+        )
+        for t in job.trial_indices
+    ]
+    return job.point_index, job.trial_start, samples
+
+
 class Sweep:
     """Run a trial function over a parameter grid, trials times per point.
 
@@ -52,6 +95,15 @@ class Sweep:
         Master seed; point ``i``, trial ``t`` gets the independent
         stream ``derive_seed(seed, i, t)`` so any single trial is
         reproducible in isolation.
+    workers:
+        Number of worker processes.  ``1`` (default) executes in
+        process; ``N > 1`` shards the compiled jobs across a process
+        pool.  Rows are bit-identical either way.  Trial functions that
+        cannot be pickled (lambdas, closures) silently fall back to the
+        serial path.
+    job_size:
+        Trials per compiled job.  Defaults to the whole point serially
+        or to balanced shards (4 jobs per worker) when parallel.
     """
 
     def __init__(
@@ -60,28 +112,84 @@ class Sweep:
         grid: Sequence[Mapping[str, object]],
         trials: int,
         seed: int,
+        workers: int = 1,
+        job_size: Optional[int] = None,
     ) -> None:
         if trials < 1:
             raise InvalidParameterError(f"trials must be >= 1, got {trials}")
         if not grid:
             raise InvalidParameterError("grid must contain at least one point")
+        if workers < 1:
+            raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+        if job_size is not None and job_size < 1:
+            raise InvalidParameterError(f"job_size must be >= 1, got {job_size}")
         self._trial = trial
         self._grid = [dict(point) for point in grid]
         self._trials = trials
         self._seed = seed
+        self._workers = workers
+        self._job_size = job_size
+
+    def compile_jobs(self) -> List[SweepJob]:
+        """Compile the grid x trials square into executable jobs."""
+        if self._job_size is not None:
+            job_size = self._job_size
+        elif self._workers == 1:
+            job_size = self._trials
+        else:
+            # Oversplit relative to the pool so stragglers rebalance.
+            total = len(self._grid) * self._trials
+            job_size = max(1, total // (self._workers * 4) or 1)
+            job_size = min(job_size, self._trials)
+        jobs: List[SweepJob] = []
+        for point_index, params in enumerate(self._grid):
+            for trial_start in range(0, self._trials, job_size):
+                jobs.append(
+                    SweepJob(
+                        point_index=point_index,
+                        params=params,
+                        trial_start=trial_start,
+                        trial_count=min(job_size, self._trials - trial_start),
+                    )
+                )
+        return jobs
 
     def run(self) -> List[ExperimentRow]:
         """Execute the sweep and aggregate each point."""
+        jobs = self.compile_jobs()
+        if self._workers > 1 and self._picklable():
+            results = self._run_parallel(jobs)
+        else:
+            results = [_execute_job(self._trial, job, self._seed) for job in jobs]
+        # Reassemble in (point, trial) order — jobs may complete in any
+        # order, the samples may not.
+        per_point: Dict[int, List[Tuple[int, List[float]]]] = {}
+        for point_index, trial_start, samples in results:
+            per_point.setdefault(point_index, []).append((trial_start, samples))
         rows: List[ExperimentRow] = []
         for point_index, params in enumerate(self._grid):
-            samples = []
-            for trial_index in range(self._trials):
-                rng = np.random.default_rng(
-                    derive_seed(self._seed, point_index, trial_index)
-                )
-                samples.append(float(self._trial(params, rng)))
+            shards = sorted(per_point[point_index])
+            samples = [value for _, shard in shards for value in shard]
             rows.append(ExperimentRow(params=params, estimate=mean_ci(samples)))
         return rows
+
+    def _run_parallel(
+        self, jobs: List[SweepJob]
+    ) -> List[Tuple[int, int, List[float]]]:
+        with ProcessPoolExecutor(max_workers=self._workers) as pool:
+            futures = [
+                pool.submit(_execute_job, self._trial, job, self._seed)
+                for job in jobs
+            ]
+            return [future.result() for future in futures]
+
+    def _picklable(self) -> bool:
+        """Whether the trial function can cross a process boundary."""
+        try:
+            pickle.dumps(self._trial)
+            return True
+        except Exception:
+            return False
 
 
 def grid_product(**axes: Sequence[object]) -> List[Dict[str, object]]:

@@ -1,0 +1,88 @@
+"""The simulation service facade: ``repro.sim.simulate``.
+
+Every caller that wants the colony metric — CLI, experiments,
+benchmarks, examples — funnels through :func:`simulate`: build a
+:class:`~repro.sim.backends.base.SimulationRequest`, pick a backend (or
+leave ``"auto"``), optionally shard the trial batch across worker
+processes.  Sharding preserves the per-trial seed contract
+(``derive_seed(seed, *seed_keys, trial)``), so for the per-trial
+backends the outcomes are bit-identical whatever ``workers`` is; the
+batched backend re-anchors its pooled stream per shard and is equal in
+distribution instead.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Sequence, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.sim.backends.base import (
+    SimulationRequest,
+    SimulationResult,
+)
+from repro.sim.backends.registry import AUTO, resolve_backend
+from repro.sim.metrics import SearchOutcome
+
+
+def simulate(
+    request: SimulationRequest,
+    backend: str = AUTO,
+    workers: int = 1,
+) -> SimulationResult:
+    """Execute a simulation request on the best (or named) backend.
+
+    Parameters
+    ----------
+    request:
+        The job: algorithm spec, colony size, target, budgets, trials,
+        seed stream.
+    backend:
+        A registered backend name, or ``"auto"`` to pick the highest
+        priority backend supporting the request.
+    workers:
+        When > 1 and the request has several trials, shard the trial
+        range across a :class:`~concurrent.futures.ProcessPoolExecutor`.
+    """
+    if workers < 1:
+        raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+    chosen = resolve_backend(request, backend)
+    if workers == 1 or request.n_trials == 1:
+        return SimulationResult(
+            request=request, backend=chosen.name, outcomes=chosen.run(request)
+        )
+    chunks = _chunk_trials(request.n_trials, workers)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(_run_chunk, request, chosen.name, chunk) for chunk in chunks
+        ]
+        gathered: List[Tuple[SearchOutcome, ...]] = [
+            future.result() for future in futures
+        ]
+    outcomes: List[SearchOutcome] = []
+    for chunk_outcomes in gathered:
+        outcomes.extend(chunk_outcomes)
+    return SimulationResult(
+        request=request, backend=chosen.name, outcomes=tuple(outcomes)
+    )
+
+
+def _chunk_trials(n_trials: int, workers: int) -> List[range]:
+    """Contiguous trial-index ranges, one per worker (possibly fewer)."""
+    n_chunks = min(workers, n_trials)
+    base, remainder = divmod(n_trials, n_chunks)
+    chunks: List[range] = []
+    start = 0
+    for index in range(n_chunks):
+        size = base + (1 if index < remainder else 0)
+        chunks.append(range(start, start + size))
+        start += size
+    return chunks
+
+
+def _run_chunk(
+    request: SimulationRequest, backend_name: str, trial_indices: Sequence[int]
+) -> Tuple[SearchOutcome, ...]:
+    """Worker-process entry point: run a contiguous slice of trials."""
+    backend = resolve_backend(request, backend_name)
+    return backend.run(request, trial_indices=trial_indices)

@@ -1,0 +1,109 @@
+"""Statistical equivalence of the batched backend against the reference.
+
+The batched backend samples sorties from exactly the process
+distribution, so its colony ``M_moves`` must be equal in distribution
+to the faithful engine's.  These tests check that with a two-sample KS
+test (Algorithm 1) and mean comparisons (Non-Uniform-Search,
+Algorithm 5), mirroring the closed-form equivalence suite in
+``test_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim import AlgorithmSpec, SimulationRequest, simulate
+from repro.sim.stats import ks_statistic, ks_two_sample_threshold
+
+
+def _moves(spec, n_agents, target, budget, trials, seed, backend):
+    request = SimulationRequest(
+        algorithm=spec,
+        n_agents=n_agents,
+        target=target,
+        move_budget=budget,
+        n_trials=trials,
+        seed=seed,
+        distance_bound=64,
+    )
+    return simulate(request, backend=backend).moves_or_budget().astype(float)
+
+
+class TestBatchedVsReference:
+    def test_algorithm1_distributions_ks_close(self):
+        spec = AlgorithmSpec.algorithm1(8)
+        trials = 300
+        via_reference = _moves(spec, 2, (5, 3), 500_000, trials, 41, "reference")
+        via_batched = _moves(spec, 2, (5, 3), 500_000, trials, 42, "batched")
+        distance = ks_statistic(via_reference, via_batched)
+        # alpha = 0.001: flake-resistant while still sensitive to any
+        # systematic distribution mismatch at these sample sizes.
+        assert distance <= ks_two_sample_threshold(trials, trials, alpha=0.001)
+
+    def test_nonuniform_means_match(self):
+        spec = AlgorithmSpec.nonuniform(8, 1)
+        via_reference = _moves(spec, 2, (4, -2), 500_000, 200, 3, "reference")
+        via_batched = _moves(spec, 2, (4, -2), 500_000, 400, 4, "batched")
+        assert via_reference.mean() == pytest.approx(
+            via_batched.mean(), rel=0.2
+        )
+
+    def test_uniform_means_match(self):
+        spec = AlgorithmSpec.uniform(1)
+        via_reference = _moves(spec, 2, (3, 3), 2_000_000, 120, 5, "reference")
+        via_batched = _moves(spec, 2, (3, 3), 2_000_000, 400, 6, "batched")
+        assert via_reference.mean() == pytest.approx(
+            via_batched.mean(), rel=0.25
+        )
+
+    def test_batched_matches_closed_form_distribution(self):
+        """The two vectorized paths agree with each other too (cheap, tight)."""
+        spec = AlgorithmSpec.algorithm1(8)
+        trials = 1200
+        via_closed = _moves(spec, 2, (5, 3), 500_000, trials, 7, "closed_form")
+        via_batched = _moves(spec, 2, (5, 3), 500_000, trials, 8, "batched")
+        distance = ks_statistic(via_closed, via_batched)
+        assert distance <= ks_two_sample_threshold(trials, trials, alpha=0.001)
+
+
+class TestParallelSweepBitIdentity:
+    def test_sweep_workers_4_reproduces_serial_reference_rows(self):
+        """The acceptance criterion: parallel == serial, bit for bit."""
+        from repro.sim.runner import Sweep, grid_product
+
+        grid = grid_product(distance=[8, 12], n=[1, 2])
+        serial = Sweep(_reference_trial, grid, trials=3, seed=17, workers=1).run()
+        parallel = Sweep(_reference_trial, grid, trials=3, seed=17, workers=4).run()
+        for row_s, row_p in zip(serial, parallel):
+            assert row_s.params == row_p.params
+            assert row_s.estimate == row_p.estimate
+
+    def test_facade_workers_shard_reference_backend_identically(self):
+        spec = AlgorithmSpec.algorithm1(8)
+        request = SimulationRequest(
+            algorithm=spec, n_agents=2, target=(5, 3),
+            move_budget=200_000, n_trials=6, seed=9,
+        )
+        serial = simulate(request, backend="reference", workers=1)
+        sharded = simulate(request, backend="reference", workers=4)
+        assert list(serial.moves_or_budget()) == list(sharded.moves_or_budget())
+        assert [o.m_steps for o in serial.outcomes] == [
+            o.m_steps for o in sharded.outcomes
+        ]
+
+
+def _reference_trial(params, rng):
+    """Module-level engine trial (picklable for the process pool)."""
+    from repro.core.algorithm1 import Algorithm1
+    from repro.grid.world import GridWorld
+    from repro.sim.engine import EngineConfig, SearchEngine
+
+    distance = int(params["distance"])
+    n_agents = int(params["n"])
+    engine = SearchEngine(EngineConfig(move_budget=100_000))
+    world = GridWorld(target=(distance, distance), distance_bound=distance)
+    outcome = engine.run(
+        Algorithm1(distance), n_agents, world, rng=rng.spawn(n_agents)
+    )
+    return float(outcome.moves_or_budget)

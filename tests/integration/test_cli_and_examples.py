@@ -82,6 +82,45 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["run", "--algorithm", "teleport"])
 
+    def test_run_with_explicit_backend_and_trials(self, capsys):
+        code = main(
+            [
+                "run", "--algorithm", "algorithm1", "--distance", "16",
+                "--agents", "4", "--budget", "5000000", "--seed", "3",
+                "--backend", "batched", "--trials", "20",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "backend   : batched" in captured
+        assert "trials    : 20" in captured
+
+    def test_run_workers_shard(self, capsys):
+        code = main(
+            [
+                "run", "--algorithm", "nonuniform", "--distance", "16",
+                "--budget", "5000000", "--trials", "4", "--workers", "2",
+                "--backend", "closed_form",
+            ]
+        )
+        assert code == 0
+        assert "find rate" in capsys.readouterr().out
+
+    def test_backends_subcommand_lists_registry(self, capsys):
+        code = main(["backends"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        for name in ("reference", "closed_form", "batched"):
+            assert name in captured
+        assert "algorithm1" in captured
+
+    def test_run_unsupported_backend_reports_error(self, capsys):
+        code = main(
+            ["run", "--algorithm", "spiral", "--backend", "batched"]
+        )
+        assert code == 2
+        assert "does not support" in capsys.readouterr().err
+
 
 @pytest.mark.parametrize(
     "script",

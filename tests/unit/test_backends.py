@@ -1,0 +1,264 @@
+"""Unit tests for the simulation service layer: specs, registry, backends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.sim import simulate
+from repro.sim.backends import (
+    AlgorithmSpec,
+    BackendError,
+    KNOWN_ALGORITHMS,
+    SimulationRequest,
+    get_backend,
+    registered_backends,
+    resolve_backend,
+)
+from repro.sim.fast import fast_algorithm1
+from repro.sim.rng import derive_seed
+
+
+def _request(spec=None, **overrides):
+    defaults = dict(
+        algorithm=spec or AlgorithmSpec.algorithm1(8),
+        n_agents=2,
+        target=(5, 3),
+        move_budget=100_000,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return SimulationRequest(**defaults)
+
+
+class TestAlgorithmSpec:
+    def test_constructors_validate(self):
+        with pytest.raises(InvalidParameterError):
+            AlgorithmSpec.algorithm1(1)
+        with pytest.raises(InvalidParameterError):
+            AlgorithmSpec.nonuniform(8, 0)
+        with pytest.raises(InvalidParameterError):
+            AlgorithmSpec.uniform(0)
+
+    def test_uniform_defaults_to_calibrated_K(self):
+        from repro.core.uniform import calibrated_K
+
+        assert AlgorithmSpec.uniform(2).K == calibrated_K(2)
+
+    def test_build_constructs_the_right_classes(self):
+        from repro.baselines.feinerman import FeinermanSearch
+        from repro.core.algorithm1 import Algorithm1
+        from repro.core.nonuniform import NonUniformSearch
+        from repro.core.uniform import UniformSearch
+
+        assert isinstance(AlgorithmSpec.algorithm1(8).build(2), Algorithm1)
+        assert isinstance(AlgorithmSpec.nonuniform(8, 1).build(2), NonUniformSearch)
+        built = AlgorithmSpec.uniform(1).build(4)
+        assert isinstance(built, UniformSearch)
+        assert built.n_agents == 4
+        assert isinstance(AlgorithmSpec.feinerman().build(3), FeinermanSearch)
+
+    def test_specs_are_hashable_and_picklable(self):
+        import pickle
+
+        spec = AlgorithmSpec.nonuniform(16, 2)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        assert hash(spec) == hash(AlgorithmSpec.nonuniform(16, 2))
+
+
+class TestRequestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            _request(n_agents=0)
+        with pytest.raises(InvalidParameterError):
+            _request(move_budget=0)
+        with pytest.raises(InvalidParameterError):
+            _request(n_trials=0)
+        with pytest.raises(InvalidParameterError):
+            _request(seed=-1)
+
+    def test_distance_bound_defaults(self):
+        assert _request().effective_distance_bound == 8
+        assert _request(target=(40, 3)).effective_distance_bound == 40
+        assert _request(distance_bound=64).effective_distance_bound == 64
+
+    def test_trial_seed_matches_derive_seed(self):
+        request = _request(seed=9, seed_keys=(3, 4))
+        ours = np.random.default_rng(request.trial_seed(5)).random()
+        direct = np.random.default_rng(derive_seed(9, 3, 4, 5)).random()
+        assert ours == direct
+
+
+class TestRegistry:
+    def test_three_backends_registered(self):
+        names = set(registered_backends())
+        assert {"reference", "closed_form", "batched"} <= names
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(BackendError):
+            get_backend("warp-drive")
+
+    def test_auto_prefers_batched_for_trial_batches(self):
+        assert resolve_backend(_request(n_trials=50)).name == "batched"
+
+    def test_auto_prefers_closed_form_for_single_trials(self):
+        assert resolve_backend(_request()).name == "closed_form"
+
+    def test_auto_falls_back_to_reference(self):
+        assert resolve_backend(_request(AlgorithmSpec.spiral())).name == "reference"
+        assert (
+            resolve_backend(_request(step_budget=10_000)).name == "reference"
+        )
+
+    def test_explicit_unsupported_backend_errors(self):
+        with pytest.raises(BackendError):
+            resolve_backend(_request(AlgorithmSpec.spiral()), "batched")
+
+    def test_get_backend_works_in_fresh_interpreter(self):
+        """Built-ins must load lazily on *any* first registry call."""
+        import os
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.sim.backends import get_backend; "
+            "print(get_backend('reference').name)"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, env=dict(os.environ),
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == "reference"
+
+    def test_custom_backend_registration_keeps_builtins(self):
+        """Registering a custom backend first must not suppress defaults."""
+        import os
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.sim.backends import register_backend, "
+            "registered_backends\n"
+            "from repro.sim.backends.base import SimulationBackend\n"
+            "class Null(SimulationBackend):\n"
+            "    name = 'null-test'\n"
+            "    def supports(self, request): return False\n"
+            "    def run(self, request, trial_indices=None): return ()\n"
+            "register_backend(Null())\n"
+            "print(sorted(registered_backends()))\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, env=dict(os.environ),
+        )
+        assert result.returncode == 0, result.stderr
+        for name in ("reference", "closed_form", "batched", "null-test"):
+            assert name in result.stdout
+
+    def test_coverage_report_shape(self):
+        coverage = get_backend("reference").coverage()
+        assert set(coverage) == set(KNOWN_ALGORITHMS)
+        assert all(coverage.values())
+        batched = get_backend("batched").coverage()
+        assert batched["algorithm1"] and not batched["spiral"]
+
+
+class TestBackendsRun:
+    def test_closed_form_bit_identical_to_direct_fast_call(self):
+        request = _request(n_trials=4, seed=11, seed_keys=(2,))
+        facade = simulate(request, backend="closed_form")
+        direct = [
+            fast_algorithm1(
+                8, 2, (5, 3),
+                np.random.default_rng(derive_seed(11, 2, trial)),
+                100_000,
+            ).moves_or_budget
+            for trial in range(4)
+        ]
+        assert list(facade.moves_or_budget()) == direct
+
+    def test_reference_backend_reports_steps_and_agents(self):
+        result = simulate(_request(move_budget=500_000), backend="reference")
+        outcome = result.outcome
+        assert outcome.found
+        assert outcome.m_steps is not None
+        assert len(outcome.per_agent) == 2
+
+    def test_batched_backend_runs_all_supported_algorithms(self):
+        for spec in (
+            AlgorithmSpec.algorithm1(8),
+            AlgorithmSpec.nonuniform(8, 1),
+            AlgorithmSpec.uniform(1),
+        ):
+            result = simulate(
+                _request(spec, n_trials=8, move_budget=500_000), backend="batched"
+            )
+            assert len(result.outcomes) == 8
+            assert result.find_rate > 0
+            for outcome in result.outcomes:
+                if outcome.found:
+                    assert 0 < outcome.m_moves <= 500_000
+                    assert 0 <= outcome.finder < 2
+
+    def test_batched_deterministic_per_request(self):
+        request = _request(n_trials=6, seed=123)
+        a = simulate(request, backend="batched").moves_or_budget()
+        b = simulate(request, backend="batched").moves_or_budget()
+        assert list(a) == list(b)
+
+    def test_batched_empty_shard_returns_empty(self):
+        backend = get_backend("batched")
+        assert backend.run(_request(n_trials=4), trial_indices=[]) == ()
+
+    def test_batched_origin_target(self):
+        result = simulate(
+            _request(target=(0, 0), n_trials=3), backend="batched"
+        )
+        assert all(o.found and o.m_moves == 0 for o in result.outcomes)
+
+    def test_workers_shard_is_bit_identical_for_per_trial_backends(self):
+        request = _request(n_trials=10, seed=5)
+        serial = simulate(request, backend="closed_form", workers=1)
+        sharded = simulate(request, backend="closed_form", workers=3)
+        assert list(serial.moves_or_budget()) == list(sharded.moves_or_budget())
+        assert [o.finder for o in serial.outcomes] == [
+            o.finder for o in sharded.outcomes
+        ]
+
+    def test_simulation_result_accessors(self):
+        result = simulate(_request(n_trials=5))
+        assert result.outcome is result.outcomes[0]
+        assert 0.0 <= result.find_rate <= 1.0
+        assert result.moves_or_budget().shape == (5,)
+
+
+class TestFastRunStats:
+    def test_closed_form_outcomes_carry_stats(self):
+        result = simulate(_request(n_trials=2), backend="closed_form")
+        for outcome in result.outcomes:
+            assert outcome.stats is not None
+            assert outcome.stats.iterations_executed > 0
+            assert outcome.stats.rounds_executed > 0
+
+    def test_batched_outcomes_carry_batch_stats(self):
+        result = simulate(_request(n_trials=4), backend="batched")
+        stats = result.outcome.stats
+        assert stats is not None
+        # At least one sortie per (trial, agent) pair.
+        assert stats.iterations_executed >= 4 * 2
+        assert stats.rounds_executed > 0
+
+    def test_uniform_and_walk_simulators_populate_stats(self):
+        from repro.sim.fast import fast_random_walk, fast_uniform
+
+        rng = np.random.default_rng(0)
+        walk = fast_random_walk(2, (2, 1), rng, 10_000)
+        assert walk.stats is not None and walk.stats.rounds_executed >= 1
+        uni = fast_uniform(2, 1, 2, (3, 3), np.random.default_rng(1), 500_000)
+        assert uni.stats is not None and uni.stats.iterations_executed > 0
+
+    def test_reference_outcomes_have_no_stats(self):
+        result = simulate(_request(), backend="reference")
+        assert result.outcome.stats is None

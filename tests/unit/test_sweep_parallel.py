@@ -1,0 +1,83 @@
+"""Job compilation and parallel execution of Sweep (bit-identity)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.sim.runner import Sweep, SweepJob, grid_product
+
+# Module-level so it pickles across the process boundary.
+def _noisy_trial(params, rng):
+    return float(params["base"]) + rng.standard_normal() * float(params["spread"])
+
+
+GRID = grid_product(base=[1.0, 10.0, 100.0], spread=[0.5])
+
+
+class TestJobCompilation:
+    def test_serial_compiles_one_job_per_point(self):
+        jobs = Sweep(_noisy_trial, GRID, trials=7, seed=1).compile_jobs()
+        assert len(jobs) == len(GRID)
+        assert all(job.trial_count == 7 for job in jobs)
+
+    def test_jobs_partition_the_trial_square_exactly(self):
+        sweep = Sweep(_noisy_trial, GRID, trials=10, seed=1, workers=4)
+        jobs = sweep.compile_jobs()
+        covered = {}
+        for job in jobs:
+            for trial in job.trial_indices:
+                key = (job.point_index, trial)
+                assert key not in covered, "trial covered twice"
+                covered[key] = True
+        assert len(covered) == len(GRID) * 10
+
+    def test_explicit_job_size(self):
+        jobs = Sweep(
+            _noisy_trial, GRID, trials=10, seed=1, job_size=4
+        ).compile_jobs()
+        assert [j.trial_count for j in jobs if j.point_index == 0] == [4, 4, 2]
+
+    def test_job_metadata(self):
+        job = SweepJob(point_index=2, params={"a": 1}, trial_start=6, trial_count=3)
+        assert list(job.trial_indices) == [6, 7, 8]
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            Sweep(_noisy_trial, GRID, trials=1, seed=1, workers=0)
+        with pytest.raises(InvalidParameterError):
+            Sweep(_noisy_trial, GRID, trials=1, seed=1, job_size=0)
+
+
+class TestParallelBitIdentity:
+    def test_workers_4_reproduces_serial_rows_exactly(self):
+        serial = Sweep(_noisy_trial, GRID, trials=12, seed=42, workers=1).run()
+        parallel = Sweep(_noisy_trial, GRID, trials=12, seed=42, workers=4).run()
+        assert len(serial) == len(parallel)
+        for row_s, row_p in zip(serial, parallel):
+            assert row_s.params == row_p.params
+            # Bit-identical, not approximately equal.
+            assert row_s.estimate == row_p.estimate
+
+    def test_odd_job_sizes_still_bit_identical(self):
+        serial = Sweep(_noisy_trial, GRID, trials=9, seed=3).run()
+        chopped = Sweep(
+            _noisy_trial, GRID, trials=9, seed=3, workers=2, job_size=2
+        ).run()
+        for row_s, row_p in zip(serial, chopped):
+            assert row_s.estimate == row_p.estimate
+
+    def test_unpicklable_trial_falls_back_to_serial(self):
+        offset = 5.0
+        closure = lambda params, rng: offset + rng.random()  # noqa: E731
+        rows = Sweep(closure, [{"p": 1}], trials=4, seed=9, workers=4).run()
+        reference = Sweep(closure, [{"p": 1}], trials=4, seed=9).run()
+        assert rows[0].estimate == reference[0].estimate
+
+    def test_seed_streams_are_job_independent(self):
+        """Trial (i, t) draws the same numbers whatever job holds it."""
+        single_jobs = Sweep(_noisy_trial, GRID, trials=8, seed=7, job_size=8).run()
+        tiny_jobs = Sweep(_noisy_trial, GRID, trials=8, seed=7, job_size=1).run()
+        for row_a, row_b in zip(single_jobs, tiny_jobs):
+            assert row_a.estimate == row_b.estimate
