@@ -1,4 +1,4 @@
-"""Backend throughput benchmark — writes ``BENCH_sim_backends.json``.
+"""Backend throughput benchmark — updates ``BENCH_sim_backends.json``.
 
 Runs the same workload (Algorithm 1 colonies hunting the corner target)
 through every registered backend, measures colonies/sec, and records
@@ -6,6 +6,11 @@ the numbers next to this file so the performance trajectory is tracked
 from PR to PR.  The acceptance floor — the ``batched`` backend at least
 10x the ``reference`` engine — is asserted, with the measured margin in
 the JSON (typically two to three orders of magnitude).
+
+Timing runs bypass the result cache (``cache=False``): a cached replay
+would measure the cache, not the backend.  The sweep-compilation
+companion lives in ``bench_sweep_compile.py``; both write disjoint
+sections of the shared JSON record.
 """
 
 from __future__ import annotations
@@ -31,6 +36,27 @@ WORKLOAD = {
 _TRIALS = {"reference": 5, "closed_form": 100, "batched": 400}
 
 
+def update_record(section: str, payload: dict) -> dict:
+    """Merge one benchmark's section into the shared JSON record."""
+    record = {}
+    if RECORD_PATH.exists():
+        try:
+            record = json.loads(RECORD_PATH.read_text())
+        except json.JSONDecodeError:
+            record = {}
+    if not isinstance(record, dict) or not all(
+        isinstance(value, dict) for value in record.values()
+    ):
+        # Upgrade pre-section layouts (flat keys like
+        # "colonies_per_second" at top level) by starting over; a
+        # section-shaped record is preserved regardless of which
+        # benchmark runs first.
+        record = {}
+    record[section] = payload
+    RECORD_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return record
+
+
 def _colonies_per_second(backend: str) -> float:
     n_trials = _TRIALS[backend]
     request = SimulationRequest(
@@ -42,7 +68,7 @@ def _colonies_per_second(backend: str) -> float:
         seed=20140507,
     )
     start = time.perf_counter()
-    result = simulate(request, backend=backend)
+    result = simulate(request, backend=backend, cache=False)
     elapsed = time.perf_counter() - start
     assert len(result.outcomes) == n_trials
     return n_trials / elapsed
@@ -51,15 +77,15 @@ def _colonies_per_second(backend: str) -> float:
 def test_backend_throughput_record():
     rates = {name: _colonies_per_second(name) for name in sorted(_TRIALS)}
     speedup = rates["batched"] / rates["reference"]
-    record = {
+    payload = {
         "workload": WORKLOAD,
         "colonies_per_second": {name: round(rate, 2) for name, rate in rates.items()},
         "speedup_batched_vs_reference": round(speedup, 1),
         "trials_timed": _TRIALS,
     }
-    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    record = update_record("backends", payload)
     print()
-    print(json.dumps(record, indent=2))
+    print(json.dumps(record, indent=2, sort_keys=True))
     assert speedup >= 10.0, (
         f"batched backend must beat reference by >= 10x colonies/sec, "
         f"got {speedup:.1f}x"

@@ -1,0 +1,103 @@
+"""Sweep-compilation benchmark — updates ``BENCH_sim_backends.json``.
+
+Times the same experiment sweep (Algorithm 1 grid points at several
+colony sizes, the repo's hottest workload shape) two ways:
+
+* **per-trial path** — a plain ``trial(params, rng)`` function, one
+  closed-form colony per trial, sharded as ``SweepJob`` tasks across a
+  ``ProcessPoolExecutor`` (the pre-compilation execution model);
+* **compiled path** — the same grid as ``SimulationTrial`` factories,
+  each grid point compiled into one vectorized ``batched``-backend
+  call.
+
+The regression gate asserts the compiled path at least 5x the
+per-trial ProcessPool path; the measured margin lands in the shared
+JSON record next to the backend throughput numbers.  Both paths bypass
+the result cache — the point is simulation throughput, not replay.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from bench_sim_backends import update_record
+from repro.sim import AlgorithmSpec, SimulationRequest, SimulationTrial, Sweep
+from repro.sim.fast import fast_algorithm1
+
+WORKLOAD = {
+    "algorithm": "algorithm1",
+    "distance": 32,
+    "target": (32, 32),
+    "move_budget": 100_000,
+    "n_values": (2, 4, 8, 16),
+    "trials": 100,
+    "pool_workers": 2,
+}
+
+_SEED = 20140507
+
+
+def _per_trial(params, rng):
+    """One closed-form colony per trial — the pre-compilation model."""
+    return float(
+        fast_algorithm1(
+            WORKLOAD["distance"],
+            int(params["n"]),
+            WORKLOAD["target"],
+            rng,
+            WORKLOAD["move_budget"],
+        ).moves_or_budget
+    )
+
+
+def _compiled_request(params) -> SimulationRequest:
+    return SimulationRequest(
+        algorithm=AlgorithmSpec.algorithm1(WORKLOAD["distance"]),
+        n_agents=int(params["n"]),
+        target=WORKLOAD["target"],
+        move_budget=WORKLOAD["move_budget"],
+    )
+
+
+def test_sweep_compilation_record():
+    grid = [{"n": n} for n in WORKLOAD["n_values"]]
+    trials = WORKLOAD["trials"]
+
+    start = time.perf_counter()
+    baseline_rows = Sweep(
+        _per_trial, grid, trials=trials, seed=_SEED,
+        workers=WORKLOAD["pool_workers"],
+    ).run()
+    per_trial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    compiled_rows = Sweep(
+        SimulationTrial(_compiled_request, backend="batched", cache=False),
+        grid, trials=trials, seed=_SEED,
+    ).run()
+    compiled_seconds = time.perf_counter() - start
+
+    # Sanity: both paths measured the same workload (equal in
+    # distribution; the batched pass pools each point's stream).
+    for base, compiled in zip(baseline_rows, compiled_rows):
+        assert base.params == compiled.params
+        assert np.isfinite(compiled.estimate.mean)
+        assert compiled.estimate.mean > 0
+
+    speedup = per_trial_seconds / compiled_seconds
+    payload = {
+        "workload": WORKLOAD,
+        "per_trial_pool_seconds": round(per_trial_seconds, 3),
+        "compiled_batched_seconds": round(compiled_seconds, 3),
+        "speedup_compiled_vs_per_trial": round(speedup, 1),
+    }
+    record = update_record("sweep_compilation", payload)
+    print()
+    print(json.dumps(record["sweep_compilation"], indent=2, sort_keys=True))
+    assert speedup >= 5.0, (
+        f"compiled sweeps must beat the per-trial ProcessPool path by "
+        f">= 5x wall-clock, got {speedup:.1f}x"
+    )

@@ -10,8 +10,21 @@ entire experiment suite.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    """Keep benchmark runs out of the developer's real result cache."""
+    from repro.sim.cache import configure_cache
+
+    directory = tmp_path_factory.mktemp("repro-ants-cache")
+    os.environ["REPRO_ANTS_CACHE_DIR"] = str(directory)
+    configure_cache(directory=directory)
+    yield
 
 
 @pytest.fixture

@@ -3,7 +3,8 @@
 Subcommands::
 
     run        simulate searches through the backend service layer
-    backends   list registered simulation backends and their coverage
+    backends   list registered simulation backends, coverage, priorities
+    cache      inspect or clear the content-addressed result cache
     certify    print the lower-bound certificate for an automaton family
     coverage   simulate a below-threshold colony and render its coverage
     experiment run one registered experiment (E01..E16)
@@ -13,7 +14,10 @@ Examples::
     repro-ants run --algorithm uniform --distance 64 --agents 8
     repro-ants run --algorithm algorithm1 --trials 200 --backend batched
     repro-ants run --algorithm nonuniform --trials 64 --workers 4
+    repro-ants run --algorithm feinerman --trials 200 --no-cache
     repro-ants backends
+    repro-ants cache info
+    repro-ants cache clear
     repro-ants certify --family random --bits 3 --ell 2 --distance 128
     repro-ants coverage --family uniform-walk --distance 48 --agents 16
     repro-ants experiment E04
@@ -31,7 +35,9 @@ from repro.sim.backends import (
     AlgorithmSpec,
     KNOWN_ALGORITHMS,
     SimulationRequest,
+    probe_request,
     registered_backends,
+    resolve_backend,
 )
 from repro.sim.service import simulate
 
@@ -91,7 +97,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         distance_bound=max(args.distance, abs(target[0]), abs(target[1])),
     )
-    result = simulate(request, backend=args.backend, workers=args.workers)
+    result = simulate(
+        request, backend=args.backend, workers=args.workers, cache=args.cache
+    )
     algorithm = spec.build(args.agents)
     print(f"algorithm : {algorithm.name}")
     print(f"backend   : {result.backend}")
@@ -117,6 +125,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if result.find_rate > 0 else 1
 
 
+_PROBE_BATCH_TRIALS = 100
+
+
 def _cmd_backends(args: argparse.Namespace) -> int:
     backends = registered_backends()
     header = ["backend", *KNOWN_ALGORITHMS]
@@ -125,16 +136,50 @@ def _cmd_backends(args: argparse.Namespace) -> int:
         "|" + "|".join("---" for _ in header) + "|",
     ]
     for name in sorted(backends):
-        coverage = backends[name].coverage()
-        cells = ["yes" if coverage[algo] else "-" for algo in KNOWN_ALGORITHMS]
+        backend = backends[name]
+        cells = []
+        for algo in KNOWN_ALGORITHMS:
+            single = probe_request(algo)
+            batch = probe_request(algo, n_trials=_PROBE_BATCH_TRIALS)
+            if single is None or not backend.supports(single):
+                cells.append("-")
+                continue
+            cells.append(
+                f"p{backend.auto_priority(single)}/"
+                f"p{backend.auto_priority(batch)}"
+            )
         lines.append("| " + " | ".join([name, *cells]) + " |")
-    print("registered simulation backends and supports() coverage:")
+    print("registered simulation backends: supports() coverage and "
+          "auto_priority (single trial / trial batch; higher wins):")
     print()
     print("\n".join(lines))
     print()
-    print('resolve order for "auto": batched (trial batches) > '
-          "closed_form (single trials) > reference (universal fallback; "
-          "step budgets).")
+    print('what "auto" resolves to for each algorithm:')
+    for algo in KNOWN_ALGORITHMS:
+        single = probe_request(algo)
+        batch = probe_request(algo, n_trials=_PROBE_BATCH_TRIALS)
+        picked_single = resolve_backend(single).name
+        picked_batch = resolve_backend(batch).name
+        print(f"  {algo:15s} single trial -> {picked_single}, "
+              f"trial batch -> {picked_batch}")
+    print()
+    print("(requests with a step budget always resolve to reference, the "
+          "only backend honoring M_steps accounting.)")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.sim.cache import get_cache
+
+    cache = get_cache()
+    if args.action == "info":
+        print("content-addressed simulation result cache:")
+        for line in cache.info().summary_lines():
+            print(line)
+        return 0
+    removed = cache.clear()
+    print(f"cache cleared: {removed} disk entries removed "
+          f"({cache.directory})")
     return 0
 
 
@@ -215,12 +260,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="worker processes to shard trials across (default: 1)",
     )
+    run_parser.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=None,
+        help="force the result cache on/off for this run "
+             "(default: process setting, normally on)",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     backends_parser = sub.add_parser(
         "backends", help="list registered simulation backends"
     )
     backends_parser.set_defaults(func=_cmd_backends)
+
+    cache_parser = sub.add_parser(
+        "cache", help="inspect or clear the simulation result cache"
+    )
+    cache_parser.add_argument(
+        "action", choices=("info", "clear"),
+        help="info: configuration + counters; clear: drop all entries",
+    )
+    cache_parser.set_defaults(func=_cmd_cache)
 
     certify_parser = sub.add_parser(
         "certify", help="lower-bound certificate for an automaton"

@@ -8,16 +8,27 @@ Two sweeps: over ``D`` at fixed ``n`` (fitting the scaling exponent,
 which should fall from ~2 toward ~1 as ``n`` approaches ``D``), and
 over ``n`` at fixed ``D`` (the speed-up curve, which should track
 ``min{n, D}`` up to constants).
+
+Both sweeps are *compiled*: the grid points are
+``SimulationRequest`` factories, so the runner turns each point into
+one vectorized ``batched``-backend call (and the result cache serves
+re-runs without simulating).
 """
 
 from __future__ import annotations
 
+from typing import Mapping
+
 from repro.core import theory
 from repro.experiments.base import DEFAULT_SEED, ExperimentResult, check_scale
 from repro.sim.backends import AlgorithmSpec, SimulationRequest
-from repro.sim.runner import ExperimentRow, rows_to_markdown
-from repro.sim.service import simulate
-from repro.sim.stats import fit_loglog_slope, mean_ci
+from repro.sim.runner import (
+    ExperimentRow,
+    SimulationTrial,
+    Sweep,
+    rows_to_markdown,
+)
+from repro.sim.stats import fit_loglog_slope
 
 _SCALES = {
     "smoke": {
@@ -37,45 +48,57 @@ _SCALES = {
 }
 
 
-def mean_moves(
-    distance: int, n_agents: int, trials: int, seed: int, tag: int
-) -> float:
-    """Mean colony M_moves over trials for the corner target.
-
-    Uses the closed_form backend: per-trial seed streams match the
-    historical hand-rolled loop bit for bit.
-    """
+def corner_request(params: Mapping[str, object]) -> SimulationRequest:
+    """Algorithm 1 hunting the corner target at one ``(D, n)`` point."""
+    distance = int(params["D"])
+    n_agents = int(params["n"])
     budget = 64 * int(theory.expected_moves_upper_bound(distance, n_agents)) + 10_000
-    request = SimulationRequest(
+    return SimulationRequest(
         algorithm=AlgorithmSpec.algorithm1(distance),
         n_agents=n_agents,
         target=(distance, distance),
         move_budget=budget,
-        n_trials=trials,
-        seed=seed,
-        seed_keys=(tag, distance, n_agents),
     )
-    return float(simulate(request, backend="closed_form").moves_or_budget().mean())
 
 
-def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
+def run(
+    scale: str = "smoke", seed: int = DEFAULT_SEED, workers: int = 1
+) -> ExperimentResult:
     params = _SCALES[check_scale(scale)]
     checks = {}
     notes = []
 
+    grid_d = [
+        {"n": n_agents, "D": distance}
+        for n_agents in params["n_for_d_sweep"]
+        for distance in params["distances"]
+    ]
+    sweep_d = Sweep(
+        SimulationTrial(corner_request),
+        grid_d,
+        trials=params["trials"],
+        seed=seed,
+        seed_keys=(0,),
+        workers=workers,
+    ).run()
+
     rows_d = []
     slopes = {}
+    means_by_point = {
+        (row.params["n"], row.params["D"]): row for row in sweep_d
+    }
     for n_agents in params["n_for_d_sweep"]:
         means = []
         for distance in params["distances"]:
-            mean = mean_moves(distance, n_agents, params["trials"], seed, 0)
+            row = means_by_point[(n_agents, distance)]
+            mean = row.estimate.mean
             means.append(mean)
             envelope = theory.expected_moves_upper_bound(distance, n_agents)
             shape = theory.expected_moves_shape(distance, n_agents)
             rows_d.append(
                 ExperimentRow(
                     params={"n": n_agents, "D": distance},
-                    estimate=mean_ci([mean]),
+                    estimate=row.estimate,
                     extras={
                         "shape D^2/n+D": shape,
                         "proof envelope": envelope,
@@ -95,19 +118,28 @@ def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
         )
     checks["single agent scales ~ D^2"] = 1.7 <= slopes[1] <= 2.2
 
-    rows_n = []
-    base_moves = None
     distance = params["d_for_n_sweep"]
-    for n_agents in params["n_values"]:
-        mean = mean_moves(distance, n_agents, params["trials"], seed, 1)
-        if base_moves is None:
-            base_moves = mean
+    grid_n = [{"D": distance, "n": n_agents} for n_agents in params["n_values"]]
+    sweep_n = Sweep(
+        SimulationTrial(corner_request),
+        grid_n,
+        trials=params["trials"],
+        seed=seed,
+        seed_keys=(1,),
+        workers=workers,
+    ).run()
+
+    rows_n = []
+    base_moves = sweep_n[0].estimate.mean
+    for row in sweep_n:
+        n_agents = int(row.params["n"])
+        mean = row.estimate.mean
         measured_speedup = base_moves / mean
         cap = theory.speedup_upper_bound(distance, n_agents)
         rows_n.append(
             ExperimentRow(
                 params={"D": distance, "n": n_agents},
-                estimate=mean_ci([mean]),
+                estimate=row.estimate,
                 extras={
                     "speed-up": measured_speedup,
                     "cap min(n,D)": cap,
@@ -129,9 +161,7 @@ def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
                 mean >= 2.0 * distance
             )
     largest_n = params["n_values"][-1]
-    speedup_at_largest = base_moves / mean_moves(
-        distance, largest_n, params["trials"], seed, 1
-    )
+    speedup_at_largest = base_moves / sweep_n[-1].estimate.mean
     checks["speed-up grows substantially with n"] = speedup_at_largest >= min(
         largest_n, distance
     ) / 16

@@ -13,9 +13,14 @@ target within (unknown) distance ``D`` after expected
 :func:`repro.core.uniform.calibrated_K`; the resulting ``2^{K l}``
 constant (~2^8) is the concrete value of the theorem's "sufficiently
 large constant" and dominates the measured overshoot.
+
+Both sweeps are compiled grid-point -> batched-backend calls via
+:class:`~repro.sim.runner.SimulationTrial`.
 """
 
 from __future__ import annotations
+
+from typing import Mapping
 
 import numpy as np
 
@@ -23,9 +28,13 @@ from repro.core import theory
 from repro.core.uniform import calibrated_K
 from repro.experiments.base import DEFAULT_SEED, ExperimentResult, check_scale
 from repro.sim.backends import AlgorithmSpec, SimulationRequest
-from repro.sim.runner import ExperimentRow, rows_to_markdown
-from repro.sim.service import simulate
-from repro.sim.stats import fit_loglog_slope, mean_ci
+from repro.sim.runner import (
+    ExperimentRow,
+    SimulationTrial,
+    Sweep,
+    rows_to_markdown,
+)
+from repro.sim.stats import fit_loglog_slope
 
 _SCALES = {
     "smoke": {
@@ -45,47 +54,55 @@ _SCALES = {
 }
 
 
-def mean_uniform_moves(
-    distance: int,
-    n_agents: int,
-    ell: int,
-    trials: int,
-    seed: int,
-    tag: int,
-) -> float:
-    """Mean colony M_moves of Algorithm 5 for the corner target."""
+def uniform_corner_request(params: Mapping[str, object]) -> SimulationRequest:
+    """Algorithm 5 hunting the corner target at one ``(D, n, l)`` point."""
+    distance = int(params["D"])
+    n_agents = int(params["n"])
+    ell = int(params["l"])
     K = calibrated_K(ell)
     budget = int(
         64.0 * 2.0 ** (K * ell) * theory.expected_moves_shape(distance, n_agents)
     ) + 100_000
-    request = SimulationRequest(
+    return SimulationRequest(
         algorithm=AlgorithmSpec.uniform(ell, K),
         n_agents=n_agents,
         target=(distance, distance),
         move_budget=budget,
-        n_trials=trials,
-        seed=seed,
-        seed_keys=(tag, distance, ell),
     )
-    return float(simulate(request, backend="closed_form").moves_or_budget().mean())
 
 
-def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
+def run(
+    scale: str = "smoke", seed: int = DEFAULT_SEED, workers: int = 1
+) -> ExperimentResult:
     params = _SCALES[check_scale(scale)]
     n_agents = params["n_agents"]
     checks = {}
     notes = []
 
+    grid_d = [
+        {"D": distance, "n": n_agents, "l": 1}
+        for distance in params["distances"]
+    ]
+    sweep_d = Sweep(
+        SimulationTrial(uniform_corner_request),
+        grid_d,
+        trials=params["trials"],
+        seed=seed,
+        seed_keys=(0,),
+        workers=workers,
+    ).run()
+
     rows_d = []
     means = []
-    for distance in params["distances"]:
-        mean = mean_uniform_moves(distance, n_agents, 1, params["trials"], seed, 0)
+    for row in sweep_d:
+        distance = int(row.params["D"])
+        mean = row.estimate.mean
         means.append(mean)
         shape = theory.expected_moves_shape(distance, n_agents)
         rows_d.append(
             ExperimentRow(
                 params={"D": distance},
-                estimate=mean_ci([mean]),
+                estimate=row.estimate,
                 extras={"shape D^2/n+D": shape, "ratio/shape": mean / shape},
             )
         )
@@ -101,13 +118,26 @@ def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
     )
     checks["D-sweep exponent in [0.8, 2.3]"] = 0.8 <= slope <= 2.3
 
-    rows_ell = []
     distance = params["ell_distance"]
+    grid_ell = [
+        {"D": distance, "n": n_agents, "l": ell} for ell in params["ells"]
+    ]
+    sweep_ell = Sweep(
+        SimulationTrial(uniform_corner_request),
+        grid_ell,
+        trials=params["trials"],
+        seed=seed,
+        seed_keys=(1,),
+        workers=workers,
+    ).run()
+
+    rows_ell = []
     base = None
     overshoots = []
-    for ell in params["ells"]:
+    for row in sweep_ell:
+        ell = int(row.params["l"])
         K = calibrated_K(ell)
-        mean = mean_uniform_moves(distance, n_agents, ell, params["trials"], seed, 1)
+        mean = row.estimate.mean
         if base is None:
             base = mean
         overshoot = mean / theory.expected_moves_shape(distance, n_agents)
@@ -115,7 +145,7 @@ def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
         rows_ell.append(
             ExperimentRow(
                 params={"l": ell},
-                estimate=mean_ci([mean]),
+                estimate=row.estimate,
                 extras={
                     "K(l)": float(K),
                     "overshoot vs shape": overshoot,

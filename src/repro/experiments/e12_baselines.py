@@ -4,41 +4,69 @@ Places the paper's algorithms next to the comparators its introduction
 cites: the Feinerman et al. style search (optimal but chi = Theta(log
 D)) and the uniform random walk (chi = 4 but speed-up capped at
 ``min{log n, D}``).  Everything runs at the same ``(D, n)`` with the
-same corner target and per-trial seeds.
+same corner target, as one compiled sweep — every (algorithm, n) grid
+point is a single batched-backend call, which is precisely the
+coverage the batched backend gained for the baseline families.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from typing import Mapping
 
 from repro.baselines.feinerman import FeinermanSearch
 from repro.baselines.random_walk import RandomWalkSearch
 from repro.baselines.spiral import spiral_index
 from repro.core import theory
 from repro.core.nonuniform import NonUniformSearch
-from repro.core.uniform import UniformSearch
+from repro.core.uniform import UniformSearch, calibrated_K
 from repro.experiments.base import DEFAULT_SEED, ExperimentResult, check_scale
 from repro.sim.backends import AlgorithmSpec, SimulationRequest
-from repro.sim.runner import ExperimentRow, rows_to_markdown
-from repro.sim.service import simulate
-from repro.sim.stats import mean_ci
+from repro.sim.runner import (
+    ExperimentRow,
+    SimulationTrial,
+    Sweep,
+    rows_to_markdown,
+)
 
 _SCALES = {
     "smoke": {"distance": 32, "n_values": (1, 8), "trials": 40},
     "paper": {"distance": 64, "n_values": (1, 4, 16, 64), "trials": 200},
 }
 
+_ALGORITHMS = ("algorithm1", "nonuniform(l=1)", "uniform(l=1)", "feinerman", "random-walk")
 
-def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
+
+def _spec_for(name: str, distance: int) -> AlgorithmSpec:
+    if name == "algorithm1":
+        return AlgorithmSpec.algorithm1(distance)
+    if name == "nonuniform(l=1)":
+        return AlgorithmSpec.nonuniform(distance, 1)
+    if name == "uniform(l=1)":
+        return AlgorithmSpec.uniform(1, calibrated_K(1))
+    if name == "feinerman":
+        return AlgorithmSpec.feinerman()
+    return AlgorithmSpec.random_walk()
+
+
+def baseline_request(params: Mapping[str, object]) -> SimulationRequest:
+    """One comparator at one colony size, corner target, shared budget."""
+    distance = int(params["D"])
+    return SimulationRequest(
+        algorithm=_spec_for(str(params["algorithm"]), distance),
+        n_agents=int(params["n"]),
+        target=(distance, distance),
+        move_budget=600 * distance * distance,  # ~600x the single-spiral optimum
+    )
+
+
+def run(
+    scale: str = "smoke", seed: int = DEFAULT_SEED, workers: int = 1
+) -> ExperimentResult:
     params = _SCALES[check_scale(scale)]
     distance = params["distance"]
     target = (distance, distance)
-    budget = 600 * distance * distance  # ~600x the single-spiral optimum
     rows = []
     checks = {}
-    from repro.core.uniform import calibrated_K
-
-    K = calibrated_K(1)
 
     chi_values = {
         "algorithm1": None,
@@ -55,40 +83,38 @@ def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
 
     chi_values["algorithm1"] = Algorithm1(distance).selection_complexity().chi
 
-    spec_for = {
-        "algorithm1": AlgorithmSpec.algorithm1(distance),
-        "nonuniform(l=1)": AlgorithmSpec.nonuniform(distance, 1),
-        "uniform(l=1)": AlgorithmSpec.uniform(1, K),
-        "feinerman": AlgorithmSpec.feinerman(),
-        "random-walk": AlgorithmSpec.random_walk(),
-    }
+    grid = [
+        {"algorithm": name, "n": n_agents, "D": distance}
+        for n_agents in params["n_values"]
+        for name in _ALGORITHMS
+    ]
+    sweep = Sweep(
+        SimulationTrial(baseline_request),
+        grid,
+        trials=params["trials"],
+        seed=seed,
+        seed_keys=(12,),
+        workers=workers,
+    ).run()
+
     means = {}
-    for n_agents in params["n_values"]:
-        for name in chi_values:
-            request = SimulationRequest(
-                algorithm=spec_for[name],
-                n_agents=n_agents,
-                target=target,
-                move_budget=budget,
-                n_trials=params["trials"],
-                seed=seed,
-                seed_keys=(12, n_agents),
+    for point, row in zip(grid, sweep):
+        name = str(point["algorithm"])
+        n_agents = int(point["n"])
+        mean = row.estimate.mean
+        means[(name, n_agents)] = mean
+        rows.append(
+            ExperimentRow(
+                params={"algorithm": name, "n": n_agents},
+                estimate=row.estimate,
+                extras={
+                    "chi": chi_values[name] or 0.0,
+                    "shape D^2/n+D": theory.expected_moves_shape(
+                        distance, n_agents
+                    ),
+                },
             )
-            samples = simulate(request, backend="closed_form").moves_or_budget()
-            mean = float(np.mean(samples))
-            means[(name, n_agents)] = mean
-            rows.append(
-                ExperimentRow(
-                    params={"algorithm": name, "n": n_agents},
-                    estimate=mean_ci(samples),
-                    extras={
-                        "chi": chi_values[name] or 0.0,
-                        "shape D^2/n+D": theory.expected_moves_shape(
-                            distance, n_agents
-                        ),
-                    },
-                )
-            )
+        )
 
     spiral_optimum = spiral_index(target)
     n_large = params["n_values"][-1]

@@ -11,20 +11,24 @@ estimates overshoot by up to a factor ``2^l``.
 The experiment fixes ``(D, n)`` and sweeps ``l``, tabulating the
 declared bits, chi, and measured moves — the quantitative version of
 the paper's "more bits of memory might be of greater utility than
-having access to smaller probabilities".
+having access to smaller probabilities".  Both the calibrated-K and
+fixed-K sweeps compile to single batched-backend calls per ``l``.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from typing import Mapping
 
 from repro.core import theory
-from repro.core.uniform import UniformSearch
+from repro.core.uniform import UniformSearch, calibrated_K
 from repro.experiments.base import DEFAULT_SEED, ExperimentResult, check_scale
 from repro.sim.backends import AlgorithmSpec, SimulationRequest
-from repro.sim.runner import ExperimentRow, rows_to_markdown
-from repro.sim.service import simulate
-from repro.sim.stats import mean_ci
+from repro.sim.runner import (
+    ExperimentRow,
+    SimulationTrial,
+    Sweep,
+    rows_to_markdown,
+)
 
 _SCALES = {
     # The distances are chosen so the phase grid 2^{i0 l} genuinely
@@ -36,44 +40,61 @@ _SCALES = {
 }
 
 
-def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
-    from repro.core.uniform import calibrated_K
+def ablation_request(params: Mapping[str, object]) -> SimulationRequest:
+    """Algorithm 5 with an explicit ``(l, K)`` at the corner target."""
+    distance = int(params["D"])
+    n_agents = int(params["n"])
+    ell = int(params["l"])
+    K = int(params["K"])
+    budget = int(
+        64.0
+        * 2.0 ** (K * ell)
+        * theory.uniform_expected_moves_shape(distance, n_agents, ell, 2.0)
+    ) + 100_000
+    return SimulationRequest(
+        algorithm=AlgorithmSpec.uniform(ell, K),
+        n_agents=n_agents,
+        target=(distance, distance),
+        move_budget=budget,
+    )
 
+
+def run(
+    scale: str = "smoke", seed: int = DEFAULT_SEED, workers: int = 1
+) -> ExperimentResult:
     params = _SCALES[check_scale(scale)]
     distance, n_agents = params["distance"], params["n_agents"]
-    target = (distance, distance)
     rows = []
     checks = {}
     notes = []
 
+    grid = [
+        {"D": distance, "n": n_agents, "l": ell, "K": calibrated_K(ell)}
+        for ell in params["ells"]
+    ]
+    sweep = Sweep(
+        SimulationTrial(ablation_request),
+        grid,
+        trials=params["trials"],
+        seed=seed,
+        seed_keys=(15,),
+        workers=workers,
+    ).run()
+
     bits_list = []
     means = []
-    for ell in params["ells"]:
-        K = calibrated_K(ell)
+    for point, row in zip(grid, sweep):
+        ell = int(point["l"])
+        K = int(point["K"])
         algorithm = UniformSearch(n_agents, ell, K)
         complexity = algorithm.selection_complexity_for_distance(distance)
         bits_list.append(complexity.bits)
-        budget = int(
-            64.0
-            * 2.0 ** (K * ell)
-            * theory.uniform_expected_moves_shape(distance, n_agents, ell, 2.0)
-        ) + 100_000
-        request = SimulationRequest(
-            algorithm=AlgorithmSpec.uniform(ell, K),
-            n_agents=n_agents,
-            target=target,
-            move_budget=budget,
-            n_trials=params["trials"],
-            seed=seed,
-            seed_keys=(15, ell),
-        )
-        samples = simulate(request, backend="closed_form").moves_or_budget()
-        mean = float(np.mean(samples))
+        mean = row.estimate.mean
         means.append(mean)
         rows.append(
             ExperimentRow(
                 params={"l": ell},
-                estimate=mean_ci(samples),
+                estimate=row.estimate,
                 extras={
                     "K(l)": float(K),
                     "bits b": float(complexity.bits),
@@ -105,31 +126,30 @@ def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
     # earlier phases' sunk sortie counts scale like 4^{Kl} in wall time.
     fixed_K = calibrated_K(1)
     fixed_distance = 32
-    fixed_target = (fixed_distance, fixed_distance)
+    fixed_grid = [
+        {"D": fixed_distance, "n": n_agents, "l": ell, "K": fixed_K}
+        for ell in (1, 2)
+    ]
+    fixed_sweep = Sweep(
+        SimulationTrial(ablation_request),
+        fixed_grid,
+        trials=max(10, params["trials"] // 3),
+        seed=seed,
+        seed_keys=(16,),
+        workers=workers,
+    ).run()
     fixed_rows = []
     fixed_means = []
-    for ell in (1, 2):
-        budget = int(
-            64.0
-            * 2.0 ** (fixed_K * ell)
-            * theory.uniform_expected_moves_shape(fixed_distance, n_agents, ell, 2.0)
-        ) + 100_000
-        request = SimulationRequest(
-            algorithm=AlgorithmSpec.uniform(ell, fixed_K),
-            n_agents=n_agents,
-            target=fixed_target,
-            move_budget=budget,
-            n_trials=max(10, params["trials"] // 3),
-            seed=seed,
-            seed_keys=(16, ell),
-        )
-        samples = simulate(request, backend="closed_form").moves_or_budget()
-        fixed_means.append(float(np.mean(samples)))
+    for point, row in zip(fixed_grid, fixed_sweep):
+        fixed_means.append(row.estimate.mean)
         fixed_rows.append(
             ExperimentRow(
-                params={"l": ell},
-                estimate=mean_ci(samples),
-                extras={"K": float(fixed_K), "ratio vs l=1": fixed_means[-1] / fixed_means[0]},
+                params={"l": int(point["l"])},
+                estimate=row.estimate,
+                extras={
+                    "K": float(fixed_K),
+                    "ratio vs l=1": fixed_means[-1] / fixed_means[0],
+                },
             )
         )
     fixed_growth = fixed_means[-1] / fixed_means[0]

@@ -13,10 +13,16 @@ seed stream) and let the backend registry dispatch it:
 * ``batched`` (:mod:`repro.sim.backends.batched`) — many colonies and
   many trials in one vectorized pass; the high-throughput batch path.
 
+In front of the backends sits a content-addressed result cache
+(:mod:`repro.sim.cache`): repeated requests are served from memory or
+``~/.cache/repro-ants/`` without resimulation, keyed by (request hash,
+backend, code version).
+
 Shared result records live in :mod:`repro.sim.metrics`; deterministic
 seeding utilities in :mod:`repro.sim.rng`; estimators and scaling fits
 in :mod:`repro.sim.stats`; sweep orchestration (with parallel
-``workers=N`` sharding) in :mod:`repro.sim.runner`.
+``workers=N`` sharding and grid-point -> batched-call compilation via
+:class:`SimulationTrial`) in :mod:`repro.sim.runner`.
 """
 
 from repro.sim.backends import (
@@ -31,11 +37,26 @@ from repro.sim.backends import (
     registered_backends,
     resolve_backend,
 )
+from repro.sim.cache import (
+    CacheInfo,
+    SimulationCache,
+    cache_enabled,
+    configure_cache,
+    get_cache,
+    request_fingerprint,
+)
 from repro.sim.engine import SearchEngine, EngineConfig
 from repro.sim.metrics import AgentOutcome, FastRunStats, SearchOutcome, speedup
 from repro.sim.rng import generator_from, spawn_generators
-from repro.sim.runner import ExperimentRow, Sweep, SweepJob, rows_to_markdown
-from repro.sim.service import simulate
+from repro.sim.runner import (
+    ExperimentRow,
+    SimulationTrial,
+    Sweep,
+    SweepJob,
+    censored_moves,
+    rows_to_markdown,
+)
+from repro.sim.service import backend_run_count, simulate
 from repro.sim.stats import (
     Estimate,
     bootstrap_mean_ci,
@@ -59,6 +80,13 @@ __all__ = [
     "registered_backends",
     "resolve_backend",
     "simulate",
+    "backend_run_count",
+    "CacheInfo",
+    "SimulationCache",
+    "cache_enabled",
+    "configure_cache",
+    "get_cache",
+    "request_fingerprint",
     "SearchEngine",
     "EngineConfig",
     "AgentOutcome",
@@ -68,8 +96,10 @@ __all__ = [
     "generator_from",
     "spawn_generators",
     "ExperimentRow",
+    "SimulationTrial",
     "Sweep",
     "SweepJob",
+    "censored_moves",
     "rows_to_markdown",
     "Estimate",
     "bootstrap_mean_ci",

@@ -20,6 +20,7 @@ from repro.sim.backends.base import (
     SimulationBackend,
     SimulationRequest,
     SimulationResult,
+    probe_request,
 )
 from repro.sim.backends.registry import (
     backend_names,
@@ -38,6 +39,7 @@ __all__ = [
     "SimulationResult",
     "backend_names",
     "get_backend",
+    "probe_request",
     "register_backend",
     "registered_backends",
     "resolve_backend",

@@ -291,13 +291,21 @@ class SimulationBackend(ABC):
         """Which algorithm families this backend supports (for the CLI)."""
         report: Dict[str, bool] = {}
         for name in KNOWN_ALGORITHMS:
-            probe = _probe_request(name)
+            probe = probe_request(name)
             report[name] = probe is not None and self.supports(probe)
         return report
 
 
-def _probe_request(algorithm_name: str) -> Optional[SimulationRequest]:
-    """A representative request per algorithm family for coverage reports."""
+def probe_request(
+    algorithm_name: str, n_trials: int = 1
+) -> Optional[SimulationRequest]:
+    """A representative request per algorithm family.
+
+    Coverage reports probe with the default single trial; the CLI also
+    probes with a trial batch to show each backend's
+    ``auto_priority`` for the batch case — the number that explains
+    what ``auto`` picks for sweeps.
+    """
     builders = {
         "algorithm1": lambda: AlgorithmSpec.algorithm1(8),
         "nonuniform": lambda: AlgorithmSpec.nonuniform(8, 1),
@@ -312,5 +320,9 @@ def _probe_request(algorithm_name: str) -> Optional[SimulationRequest]:
     if builder is None:
         return None
     return SimulationRequest(
-        algorithm=builder(), n_agents=2, target=(4, 3), move_budget=1000
+        algorithm=builder(),
+        n_agents=2,
+        target=(4, 3),
+        move_budget=1000,
+        n_trials=n_trials,
     )

@@ -4,9 +4,12 @@ Backends register under a short name (``reference``, ``closed_form``,
 ``batched``).  Callers address them by name or pass ``"auto"`` and let
 :func:`resolve_backend` pick the best supporting backend: each backend
 reports an :meth:`~repro.sim.backends.base.SimulationBackend.auto_priority`
-for the concrete request, so the vectorized multi-trial backend wins
-batch jobs, the closed-form simulators win single trials, and the
-faithful engine is the universal fallback.
+for the concrete request, so the vectorized whole-batch backend (p30)
+wins trial batches of every family it covers — all six simulable
+algorithms since the coverage extension — the closed-form simulators
+(p10) win single trials, and the faithful engine is the universal
+fallback (p100 when a step budget demands it, p0 otherwise).
+``repro-ants backends`` prints these numbers per probed request.
 """
 
 from __future__ import annotations

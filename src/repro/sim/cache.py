@@ -1,0 +1,370 @@
+"""Content-addressed result cache in front of :func:`repro.sim.simulate`.
+
+``SimulationRequest`` is frozen and fully value-determined, so the
+outcomes of ``(request, backend)`` are a pure function of the request's
+fields, the backend's sampling scheme, and the simulator code itself.
+This module addresses results by exactly that triple:
+
+    key = sha256(request fingerprint · backend name · CODE_VERSION)
+
+Two layers sit behind one :class:`SimulationCache`:
+
+* an in-memory LRU (per process, bounded entry count) serving repeated
+  sweep points and re-run experiments within one session, and
+* an on-disk store of pickled outcome tuples under
+  ``~/.cache/repro-ants/`` (override with ``REPRO_ANTS_CACHE_DIR``)
+  serving repeated CLI invocations and cross-process sweeps.
+
+Invalidation is by construction: mutate any request field, pick a
+different backend, or bump :data:`CODE_VERSION` (done whenever a
+simulator's sampling scheme changes) and the key changes.  Stale disk
+entries are never read — they are garbage-collected by ``repro-ants
+cache clear``.
+
+The cache key deliberately excludes the ``workers`` execution detail:
+per-trial backends produce bit-identical outcomes for any worker
+count, and the batched backend's per-shard re-anchoring is an
+execution artifact of the same distribution, so cached results
+normalize it away.
+
+Disk failures (read-only home, concurrent writers, corrupt files) are
+never fatal — the disk layer degrades to memory-only and records the
+reason in :meth:`SimulationCache.info`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.sim.backends.base import SimulationRequest
+from repro.sim.metrics import SearchOutcome
+
+#: Version tag of the simulator code baked into every cache key.  Bump
+#: whenever any backend's sampling scheme changes, so stale entries
+#: can never be served for new semantics.
+CODE_VERSION = "sim-v2"
+
+#: Disk payload layout version (independent of the simulator version).
+_FORMAT_VERSION = 1
+
+_DEFAULT_MAX_MEMORY_ENTRIES = 256
+
+
+def default_cache_dir() -> Path:
+    """The on-disk cache root: ``$REPRO_ANTS_CACHE_DIR`` or XDG default."""
+    override = os.environ.get("REPRO_ANTS_CACHE_DIR")
+    if override:
+        return Path(override).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    root = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return root / "repro-ants"
+
+
+def request_fingerprint(request: SimulationRequest) -> str:
+    """A stable content hash of every value-bearing request field."""
+    spec = request.algorithm
+    payload = {
+        "algorithm": {
+            "name": spec.name,
+            "distance": spec.distance,
+            "ell": spec.ell,
+            "K": spec.K,
+            "max_phase": spec.max_phase,
+        },
+        "n_agents": request.n_agents,
+        "target": [int(request.target[0]), int(request.target[1])],
+        "move_budget": request.move_budget,
+        "step_budget": request.step_budget,
+        "n_trials": request.n_trials,
+        "seed": request.seed,
+        "seed_keys": [int(key) for key in request.seed_keys],
+        "distance_bound": request.distance_bound,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def cache_key(request: SimulationRequest, backend_name: str) -> str:
+    """The full content address: request x backend x code version."""
+    fingerprint = request_fingerprint(request)
+    composite = f"{fingerprint}:{backend_name}:{CODE_VERSION}"
+    return hashlib.sha256(composite.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """A snapshot of one cache's configuration and counters."""
+
+    directory: str
+    disk_enabled: bool
+    disk_error: Optional[str]
+    memory_entries: int
+    max_memory_entries: int
+    disk_files: int
+    disk_bytes: int
+    hits_memory: int
+    hits_disk: int
+    misses: int
+    stores: int
+    code_version: str
+
+    def summary_lines(self) -> Tuple[str, ...]:
+        """Human-readable report for the CLI."""
+        disk = "enabled" if self.disk_enabled else f"disabled ({self.disk_error})"
+        return (
+            f"directory    : {self.directory}",
+            f"disk layer   : {disk}",
+            f"code version : {self.code_version}",
+            f"memory       : {self.memory_entries}/{self.max_memory_entries} entries",
+            f"disk         : {self.disk_files} files, {self.disk_bytes} bytes",
+            f"hits         : {self.hits_memory} memory, {self.hits_disk} disk",
+            f"misses       : {self.misses}",
+            f"stores       : {self.stores}",
+        )
+
+
+class SimulationCache:
+    """Memory-LRU + on-disk store of simulation outcome tuples."""
+
+    def __init__(
+        self,
+        directory: Optional[Path] = None,
+        max_memory_entries: int = _DEFAULT_MAX_MEMORY_ENTRIES,
+        disk: bool = True,
+    ) -> None:
+        if max_memory_entries < 1:
+            raise InvalidParameterError(
+                f"max_memory_entries must be >= 1, got {max_memory_entries}"
+            )
+        self._directory = Path(directory) if directory else default_cache_dir()
+        self._max_memory_entries = max_memory_entries
+        # `_disk_configured` is the caller's intent; `_disk_enabled` may
+        # later degrade at runtime (unwritable directory) without
+        # rewriting that intent — reconfiguration starts from intent.
+        self._disk_configured = disk
+        self._disk_enabled = disk
+        self._disk_error: Optional[str] = None if disk else "disk layer off"
+        self._memory: OrderedDict[str, Tuple[SearchOutcome, ...]] = OrderedDict()
+        self._hits_memory = 0
+        self._hits_disk = 0
+        self._misses = 0
+        self._stores = 0
+
+    @property
+    def directory(self) -> Path:
+        """The on-disk root this cache reads and writes."""
+        return self._directory
+
+    def lookup(
+        self, request: SimulationRequest, backend_name: str
+    ) -> Optional[Tuple[SearchOutcome, ...]]:
+        """The cached outcomes for ``(request, backend)``, or ``None``."""
+        key = cache_key(request, backend_name)
+        cached = self._memory.get(key)
+        if cached is not None:
+            self._memory.move_to_end(key)
+            self._hits_memory += 1
+            return cached
+        outcomes = self._read_disk(key, request, backend_name)
+        if outcomes is not None:
+            self._remember(key, outcomes)
+            self._hits_disk += 1
+            return outcomes
+        self._misses += 1
+        return None
+
+    def store(
+        self,
+        request: SimulationRequest,
+        backend_name: str,
+        outcomes: Tuple[SearchOutcome, ...],
+    ) -> None:
+        """Record the outcomes of one executed request."""
+        key = cache_key(request, backend_name)
+        self._remember(key, outcomes)
+        self._write_disk(key, request, backend_name, outcomes)
+        self._stores += 1
+
+    def clear(self, memory: bool = True, disk: bool = True) -> int:
+        """Drop cached entries; returns the number of disk files removed."""
+        if memory:
+            self._memory.clear()
+        removed = 0
+        if disk and self._directory.is_dir():
+            for path in self._directory.glob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def info(self) -> CacheInfo:
+        """Configuration + hit/miss counters + disk usage."""
+        disk_files = 0
+        disk_bytes = 0
+        if self._directory.is_dir():
+            for path in self._directory.glob("*.pkl"):
+                try:
+                    disk_bytes += path.stat().st_size
+                    disk_files += 1
+                except OSError:
+                    pass
+        return CacheInfo(
+            directory=str(self._directory),
+            disk_enabled=self._disk_enabled,
+            disk_error=self._disk_error,
+            memory_entries=len(self._memory),
+            max_memory_entries=self._max_memory_entries,
+            disk_files=disk_files,
+            disk_bytes=disk_bytes,
+            hits_memory=self._hits_memory,
+            hits_disk=self._hits_disk,
+            misses=self._misses,
+            stores=self._stores,
+            code_version=CODE_VERSION,
+        )
+
+    def _remember(self, key: str, outcomes: Tuple[SearchOutcome, ...]) -> None:
+        self._memory[key] = outcomes
+        self._memory.move_to_end(key)
+        while len(self._memory) > self._max_memory_entries:
+            self._memory.popitem(last=False)
+
+    def _path_for(self, key: str) -> Path:
+        return self._directory / f"{key}.pkl"
+
+    def _read_disk(
+        self, key: str, request: SimulationRequest, backend_name: str
+    ) -> Optional[Tuple[SearchOutcome, ...]]:
+        if not self._disk_enabled:
+            return None
+        path = self._path_for(key)
+        try:
+            with path.open("rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            # Corrupt or unreadable entry: drop it and resimulate.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("format") != _FORMAT_VERSION:
+            return None
+        if payload.get("code_version") != CODE_VERSION:
+            return None
+        if payload.get("backend") != backend_name:
+            return None
+        if payload.get("fingerprint") != request_fingerprint(request):
+            return None
+        outcomes = payload.get("outcomes")
+        if not isinstance(outcomes, tuple):
+            return None
+        return outcomes
+
+    def _write_disk(
+        self,
+        key: str,
+        request: SimulationRequest,
+        backend_name: str,
+        outcomes: Tuple[SearchOutcome, ...],
+    ) -> None:
+        if not self._disk_enabled:
+            return
+        payload = {
+            "format": _FORMAT_VERSION,
+            "code_version": CODE_VERSION,
+            "backend": backend_name,
+            "fingerprint": request_fingerprint(request),
+            "outcomes": outcomes,
+        }
+        try:
+            self._directory.mkdir(parents=True, exist_ok=True)
+            # Atomic publish: a concurrent reader sees the old file or
+            # the complete new one, never a torn write.
+            fd, temp_name = tempfile.mkstemp(
+                dir=self._directory, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(temp_name, self._path_for(key))
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError as error:
+            # Read-only or missing home: degrade to memory-only.
+            self._disk_enabled = False
+            self._disk_error = str(error)
+
+
+_GLOBAL_CACHE: Optional[SimulationCache] = None
+
+
+def _default_enabled() -> bool:
+    return os.environ.get("REPRO_ANTS_CACHE", "1") != "0"
+
+
+_CACHE_ENABLED = _default_enabled()
+
+
+def get_cache() -> SimulationCache:
+    """The process-wide cache instance (created lazily)."""
+    global _GLOBAL_CACHE
+    if _GLOBAL_CACHE is None:
+        _GLOBAL_CACHE = SimulationCache()
+    return _GLOBAL_CACHE
+
+
+def cache_enabled() -> bool:
+    """Whether ``simulate()`` consults the cache by default."""
+    return _CACHE_ENABLED
+
+
+def configure_cache(
+    enabled: Optional[bool] = None,
+    directory: Optional[Path] = None,
+    max_memory_entries: Optional[int] = None,
+    disk: Optional[bool] = None,
+) -> SimulationCache:
+    """Reconfigure the process-wide cache; returns the new instance.
+
+    Passing ``directory``/``max_memory_entries``/``disk`` replaces the
+    instance (dropping in-memory entries); passing only ``enabled``
+    flips the default-consultation switch without touching stored data.
+    """
+    global _GLOBAL_CACHE, _CACHE_ENABLED
+    if enabled is not None:
+        _CACHE_ENABLED = enabled
+    if directory is not None or max_memory_entries is not None or disk is not None:
+        current = get_cache()
+        _GLOBAL_CACHE = SimulationCache(
+            directory=directory if directory is not None else current.directory,
+            max_memory_entries=(
+                max_memory_entries
+                if max_memory_entries is not None
+                else current._max_memory_entries
+            ),
+            # Inherit the configured intent, not any runtime-degraded
+            # state: pointing the cache at a new (writable) directory
+            # must bring the disk layer back.
+            disk=disk if disk is not None else current._disk_configured,
+        )
+    return get_cache()

@@ -1,32 +1,91 @@
 """Experiment sweeps: parameter grids, repetitions, tables.
 
 The benchmark harness and EXPERIMENTS.md both consume this module: a
-:class:`Sweep` compiles a parameter grid x trials into
-:class:`SweepJob` batches, executes them — serially, or sharded across
-a :class:`~concurrent.futures.ProcessPoolExecutor` with ``workers=N``
-— aggregates each grid point into an :class:`ExperimentRow`, and
+:class:`Sweep` runs a trial over a parameter grid x trials square,
+aggregates each grid point into an :class:`ExperimentRow`, and
 :func:`rows_to_markdown` renders the tables recorded in
 EXPERIMENTS.md.
 
-Trial ``t`` of point ``i`` always draws from ``derive_seed(seed, i,
-t)`` regardless of job partitioning or worker count, so parallel runs
-reproduce the serial rows bit for bit.
+Two trial forms exist, with two execution strategies:
+
+* a plain ``trial(params, rng) -> float`` callable is compiled into
+  :class:`SweepJob` trial slices — serially, or sharded across a
+  :class:`~concurrent.futures.ProcessPoolExecutor` with ``workers=N``;
+* a :class:`SimulationTrial` declares that the trial is *really a
+  SimulationRequest factory*; the sweep then compiles each grid point
+  into **one** :func:`repro.sim.simulate` call (one vectorized
+  batched-backend pass per point), sharding whole points — not
+  individual trials — across workers.  Each compiled call also passes
+  through the content-addressed result cache, so repeated points and
+  re-run sweeps simulate nothing.
+
+Trial ``t`` of point ``i`` always draws from ``derive_seed(seed,
+*seed_keys, i, t)`` regardless of trial form, job partitioning, or
+worker count — for per-trial execution (plain functions, or compiled
+points on a per-trial backend) runs therefore reproduce the serial
+rows bit for bit; compiled points on the ``batched`` backend pool the
+point's trials into one stream anchored at trial 0's address and are
+equal in distribution instead.
 """
 
 from __future__ import annotations
 
 import pickle
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
 from repro.errors import InvalidParameterError
+from repro.sim.backends.base import SimulationRequest
+from repro.sim.metrics import SearchOutcome
 from repro.sim.rng import derive_seed
 from repro.sim.stats import Estimate, mean_ci
 
 TrialFunction = Callable[[Mapping[str, object], np.random.Generator], float]
+RequestFactory = Callable[[Mapping[str, object]], SimulationRequest]
+OutcomeMetric = Callable[[SearchOutcome], float]
+
+
+def censored_moves(outcome: SearchOutcome) -> float:
+    """The default compiled-sweep metric: per-trial ``moves_or_budget``."""
+    return float(outcome.moves_or_budget)
+
+
+@dataclass(frozen=True)
+class SimulationTrial:
+    """Marks a sweep trial as *really a SimulationRequest factory*.
+
+    ``factory(params)`` returns a request template for one grid point;
+    the sweep owns the trial-batch fields and overwrites them —
+    ``n_trials`` with the sweep's repetition count and ``seed`` /
+    ``seed_keys`` with the sweep's addressing ``(seed, *seed_keys,
+    point_index)`` — so the template's own values for those fields are
+    irrelevant.  ``metric`` maps each trial's
+    :class:`~repro.sim.metrics.SearchOutcome` to the measured float.
+
+    ``backend`` defaults to ``"auto"``, which resolves trial batches to
+    the vectorized ``batched`` backend for every algorithm it covers;
+    name a per-trial backend (``closed_form``, ``reference``) to keep
+    the historical bit-exact per-trial streams.  ``cache`` forwards to
+    :func:`repro.sim.simulate` (``None`` = process default).
+    """
+
+    factory: RequestFactory
+    metric: OutcomeMetric = censored_moves
+    backend: str = "auto"
+    cache: Optional[bool] = None
 
 
 @dataclass(frozen=True)
@@ -58,19 +117,22 @@ class SweepJob:
 
 
 def _execute_job(
-    trial: TrialFunction, job: SweepJob, seed: int
+    trial: TrialFunction, job: SweepJob, seed: int, seed_keys: Tuple[int, ...]
 ) -> Tuple[int, int, List[float]]:
     """Run one job; also the worker-process entry point.
 
     The per-trial stream is derived from the trial's *global* address
-    ``(seed, point_index, trial_index)``, never from the job boundaries,
-    which is what makes any partitioning reproduce the serial samples.
+    ``(seed, *seed_keys, point_index, trial_index)``, never from the
+    job boundaries, which is what makes any partitioning reproduce the
+    serial samples.
     """
     samples = [
         float(
             trial(
                 job.params,
-                np.random.default_rng(derive_seed(seed, job.point_index, t)),
+                np.random.default_rng(
+                    derive_seed(seed, *seed_keys, job.point_index, t)
+                ),
             )
         )
         for t in job.trial_indices
@@ -78,14 +140,34 @@ def _execute_job(
     return job.point_index, job.trial_start, samples
 
 
+def _execute_point(
+    request: SimulationRequest,
+    backend: str,
+    metric: OutcomeMetric,
+    cache: Optional[bool],
+) -> Tuple[List[float], float]:
+    """Run one compiled grid point; also the worker-process entry point.
+
+    Returns the per-trial metric samples plus the point's find rate
+    (every compiled row carries it as a standard extra).
+    """
+    from repro.sim.service import simulate
+
+    result = simulate(request, backend=backend, cache=cache)
+    samples = [metric(outcome) for outcome in result.outcomes]
+    return samples, result.find_rate
+
+
 class Sweep:
-    """Run a trial function over a parameter grid, trials times per point.
+    """Run a trial over a parameter grid, trials times per point.
 
     Parameters
     ----------
     trial:
-        ``trial(params, rng) -> float`` — one measurement; must draw all
-        randomness from ``rng``.
+        Either ``trial(params, rng) -> float`` — one measurement,
+        drawing all randomness from ``rng`` — or a
+        :class:`SimulationTrial`, in which case each grid point is
+        compiled into a single batched :func:`repro.sim.simulate` call.
     grid:
         Sequence of parameter dictionaries (one per grid point).  Use
         :func:`grid_product` to build Cartesian grids.
@@ -93,27 +175,34 @@ class Sweep:
         Repetitions per point.
     seed:
         Master seed; point ``i``, trial ``t`` gets the independent
-        stream ``derive_seed(seed, i, t)`` so any single trial is
-        reproducible in isolation.
+        stream ``derive_seed(seed, *seed_keys, i, t)`` so any single
+        trial is reproducible in isolation.
     workers:
         Number of worker processes.  ``1`` (default) executes in
-        process; ``N > 1`` shards the compiled jobs across a process
-        pool.  Rows are bit-identical either way.  Trial functions that
-        cannot be pickled (lambdas, closures) silently fall back to the
-        serial path.
+        process; ``N > 1`` shards the compiled jobs (plain trials) or
+        whole grid points (simulation trials) across a process pool.
+        Rows are bit-identical either way for per-trial execution.
+        Work that cannot be pickled (lambdas, closures) silently falls
+        back to the serial path.
     job_size:
-        Trials per compiled job.  Defaults to the whole point serially
-        or to balanced shards (4 jobs per worker) when parallel.
+        Trials per compiled job (plain trials only).  Defaults to the
+        whole point serially or to balanced shards (4 jobs per worker)
+        when parallel.
+    seed_keys:
+        Optional address prefix, letting several sweeps share one
+        master seed without stream collisions (point ``i`` of a sweep
+        tagged ``(7,)`` draws from ``derive_seed(seed, 7, i, t)``).
     """
 
     def __init__(
         self,
-        trial: TrialFunction,
+        trial: Union[TrialFunction, SimulationTrial],
         grid: Sequence[Mapping[str, object]],
         trials: int,
         seed: int,
         workers: int = 1,
         job_size: Optional[int] = None,
+        seed_keys: Tuple[int, ...] = (),
     ) -> None:
         if trials < 1:
             raise InvalidParameterError(f"trials must be >= 1, got {trials}")
@@ -129,10 +218,23 @@ class Sweep:
         self._seed = seed
         self._workers = workers
         self._job_size = job_size
+        self._seed_keys = tuple(int(key) for key in seed_keys)
+
+    @property
+    def compiled(self) -> bool:
+        """Whether this sweep compiles points into batched simulate calls."""
+        return isinstance(self._trial, SimulationTrial)
 
     def compile_jobs(self) -> List[SweepJob]:
-        """Compile the grid x trials square into executable jobs."""
-        if self._job_size is not None:
+        """Compile the grid x trials square into executable jobs.
+
+        A compiled (simulation-trial) sweep always produces exactly one
+        job per grid point — the whole point is one vectorized
+        backend call.
+        """
+        if self.compiled:
+            job_size = self._trials
+        elif self._job_size is not None:
             job_size = self._job_size
         elif self._workers == 1:
             job_size = self._trials
@@ -154,13 +256,41 @@ class Sweep:
                 )
         return jobs
 
+    def compile_requests(self) -> List[SimulationRequest]:
+        """The per-point requests a compiled sweep will execute.
+
+        Each factory template is rebound to the sweep's addressing:
+        ``n_trials`` becomes the repetition count and trial ``t`` of
+        point ``i`` draws from ``derive_seed(seed, *seed_keys, i, t)``
+        — exactly the stream the per-trial job path uses, which is what
+        keeps per-trial backends bit-identical under compilation.
+        """
+        if not self.compiled:
+            raise InvalidParameterError(
+                "compile_requests() requires a SimulationTrial sweep"
+            )
+        return [
+            replace(
+                self._trial.factory(params),
+                n_trials=self._trials,
+                seed=self._seed,
+                seed_keys=(*self._seed_keys, point_index),
+            )
+            for point_index, params in enumerate(self._grid)
+        ]
+
     def run(self) -> List[ExperimentRow]:
         """Execute the sweep and aggregate each point."""
+        if self.compiled:
+            return self._run_compiled()
         jobs = self.compile_jobs()
-        if self._workers > 1 and self._picklable():
+        if self._workers > 1 and self._picklable(self._trial):
             results = self._run_parallel(jobs)
         else:
-            results = [_execute_job(self._trial, job, self._seed) for job in jobs]
+            results = [
+                _execute_job(self._trial, job, self._seed, self._seed_keys)
+                for job in jobs
+            ]
         # Reassemble in (point, trial) order — jobs may complete in any
         # order, the samples may not.
         per_point: Dict[int, List[Tuple[int, List[float]]]] = {}
@@ -173,20 +303,54 @@ class Sweep:
             rows.append(ExperimentRow(params=params, estimate=mean_ci(samples)))
         return rows
 
+    def _run_compiled(self) -> List[ExperimentRow]:
+        """One batched simulate call per point, points sharded if asked."""
+        trial = self._trial
+        requests = self.compile_requests()
+        if self._workers > 1 and len(requests) > 1 and self._picklable(trial):
+            with ProcessPoolExecutor(max_workers=self._workers) as pool:
+                futures = [
+                    pool.submit(
+                        _execute_point,
+                        request,
+                        trial.backend,
+                        trial.metric,
+                        trial.cache,
+                    )
+                    for request in requests
+                ]
+                results = [future.result() for future in futures]
+        else:
+            results = [
+                _execute_point(request, trial.backend, trial.metric, trial.cache)
+                for request in requests
+            ]
+        return [
+            ExperimentRow(
+                params=params,
+                estimate=mean_ci(samples),
+                extras={"find_rate": find_rate},
+            )
+            for params, (samples, find_rate) in zip(self._grid, results)
+        ]
+
     def _run_parallel(
         self, jobs: List[SweepJob]
     ) -> List[Tuple[int, int, List[float]]]:
         with ProcessPoolExecutor(max_workers=self._workers) as pool:
             futures = [
-                pool.submit(_execute_job, self._trial, job, self._seed)
+                pool.submit(
+                    _execute_job, self._trial, job, self._seed, self._seed_keys
+                )
                 for job in jobs
             ]
             return [future.result() for future in futures]
 
-    def _picklable(self) -> bool:
-        """Whether the trial function can cross a process boundary."""
+    @staticmethod
+    def _picklable(work: object) -> bool:
+        """Whether the trial (or factory+metric) can cross processes."""
         try:
-            pickle.dumps(self._trial)
+            pickle.dumps(work)
             return True
         except Exception:
             return False

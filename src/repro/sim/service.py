@@ -9,12 +9,21 @@ processes.  Sharding preserves the per-trial seed contract
 backends the outcomes are bit-identical whatever ``workers`` is; the
 batched backend re-anchors its pooled stream per shard and is equal in
 distribution instead.
+
+In front of the backends sits the content-addressed result cache
+(:mod:`repro.sim.cache`): when enabled, a request already served for
+the same ``(request hash, backend, code version)`` returns its stored
+outcomes without touching a backend — repeated sweep points, re-run
+experiments, and repeated CLI invocations cost one lookup.  The
+module-level :func:`backend_run_count` counter records how many
+backend executions this process actually performed, which is how the
+tests prove a cached re-run simulates nothing.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import InvalidParameterError
 from repro.sim.backends.base import (
@@ -22,13 +31,32 @@ from repro.sim.backends.base import (
     SimulationResult,
 )
 from repro.sim.backends.registry import AUTO, resolve_backend
+from repro.sim.cache import cache_enabled, get_cache
 from repro.sim.metrics import SearchOutcome
+
+_BACKEND_RUNS = 0
+
+
+def backend_run_count() -> int:
+    """Backend executions performed by this process's ``simulate`` calls.
+
+    Cache hits do not increment the counter; sharded runs count one
+    execution per worker chunk.  (Worker *processes* keep their own
+    counters — the parent records the chunks it dispatched.)
+    """
+    return _BACKEND_RUNS
+
+
+def _count_backend_runs(count: int) -> None:
+    global _BACKEND_RUNS
+    _BACKEND_RUNS += count
 
 
 def simulate(
     request: SimulationRequest,
     backend: str = AUTO,
     workers: int = 1,
+    cache: Optional[bool] = None,
 ) -> SimulationResult:
     """Execute a simulation request on the best (or named) backend.
 
@@ -43,15 +71,39 @@ def simulate(
     workers:
         When > 1 and the request has several trials, shard the trial
         range across a :class:`~concurrent.futures.ProcessPoolExecutor`.
+    cache:
+        ``True``/``False`` forces the result cache on/off for this
+        call; ``None`` (default) follows the process-wide setting
+        (:func:`repro.sim.cache.configure_cache`, default on).  The
+        cache key is ``(request hash, resolved backend, code
+        version)`` — ``workers`` is an execution detail and does not
+        participate.
     """
     if workers < 1:
         raise InvalidParameterError(f"workers must be >= 1, got {workers}")
     chosen = resolve_backend(request, backend)
+    use_cache = cache_enabled() if cache is None else cache
+    if use_cache:
+        cached = get_cache().lookup(request, chosen.name)
+        if cached is not None:
+            return SimulationResult(
+                request=request, backend=chosen.name, outcomes=cached
+            )
+    outcomes = _execute(request, chosen, workers)
+    if use_cache:
+        get_cache().store(request, chosen.name, outcomes)
+    return SimulationResult(request=request, backend=chosen.name, outcomes=outcomes)
+
+
+def _execute(
+    request: SimulationRequest, chosen, workers: int
+) -> Tuple[SearchOutcome, ...]:
+    """Run the request on the resolved backend, sharding if asked."""
     if workers == 1 or request.n_trials == 1:
-        return SimulationResult(
-            request=request, backend=chosen.name, outcomes=chosen.run(request)
-        )
+        _count_backend_runs(1)
+        return chosen.run(request)
     chunks = _chunk_trials(request.n_trials, workers)
+    _count_backend_runs(len(chunks))
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [
             pool.submit(_run_chunk, request, chosen.name, chunk) for chunk in chunks
@@ -62,9 +114,7 @@ def simulate(
     outcomes: List[SearchOutcome] = []
     for chunk_outcomes in gathered:
         outcomes.extend(chunk_outcomes)
-    return SimulationResult(
-        request=request, backend=chosen.name, outcomes=tuple(outcomes)
-    )
+    return tuple(outcomes)
 
 
 def _chunk_trials(n_trials: int, workers: int) -> List[range]:

@@ -2,8 +2,27 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    """Point the simulation result cache at a throwaway directory.
+
+    The env var (not just ``configure_cache``) matters: worker
+    processes spawned by parallel sweeps build their own cache from the
+    environment, and must not write into the developer's real
+    ``~/.cache`` during a test run.
+    """
+    from repro.sim.cache import configure_cache
+
+    directory = tmp_path_factory.mktemp("repro-ants-cache")
+    os.environ["REPRO_ANTS_CACHE_DIR"] = str(directory)
+    configure_cache(directory=directory)
+    yield
 
 
 @pytest.fixture

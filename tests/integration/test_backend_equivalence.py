@@ -1,11 +1,13 @@
 """Statistical equivalence of the batched backend against the reference.
 
-The batched backend samples sorties from exactly the process
+The batched backend samples iterations from exactly the process
 distribution, so its colony ``M_moves`` must be equal in distribution
 to the faithful engine's.  These tests check that with a two-sample KS
 test (Algorithm 1) and mean comparisons (Non-Uniform-Search,
 Algorithm 5), mirroring the closed-form equivalence suite in
-``test_equivalence.py``.
+``test_equivalence.py`` — plus KS checks against both ``reference``
+and ``closed_form`` for the three algorithm families the batch pass
+gained: ``doubly-uniform``, ``random-walk``, and ``feinerman``.
 """
 
 from __future__ import annotations
@@ -65,6 +67,71 @@ class TestBatchedVsReference:
         via_batched = _moves(spec, 2, (5, 3), 500_000, trials, 8, "batched")
         distance = ks_statistic(via_closed, via_batched)
         assert distance <= ks_two_sample_threshold(trials, trials, alpha=0.001)
+
+
+class TestNewlyBatchedAlgorithms:
+    """Equivalence for the families the batch pass gained in this PR."""
+
+    def _ks_vs_reference(self, spec, target, budget, ref_trials, batch_trials, seed):
+        via_reference = _moves(spec, 2, target, budget, ref_trials, seed, "reference")
+        via_batched = _moves(
+            spec, 2, target, budget, batch_trials, seed + 1, "batched"
+        )
+        distance = ks_statistic(via_reference, via_batched)
+        # alpha = 0.001, as above: flake-resistant yet sensitive to any
+        # systematic mismatch.
+        assert distance <= ks_two_sample_threshold(
+            ref_trials, batch_trials, alpha=0.001
+        )
+
+    def test_random_walk_vs_reference_ks(self):
+        self._ks_vs_reference(
+            AlgorithmSpec.random_walk(), (3, 2), 20_000, 250, 500, 51
+        )
+
+    def test_feinerman_vs_reference_ks(self):
+        self._ks_vs_reference(
+            AlgorithmSpec.feinerman(), (5, 3), 100_000, 300, 900, 61
+        )
+
+    def test_doubly_uniform_vs_reference_ks(self):
+        self._ks_vs_reference(
+            AlgorithmSpec.doubly_uniform(1), (3, 3), 1_000_000, 250, 750, 71
+        )
+
+    def test_doubly_uniform_means_match_reference(self):
+        spec = AlgorithmSpec.doubly_uniform(1)
+        via_reference = _moves(spec, 2, (3, 3), 1_000_000, 250, 81, "reference")
+        via_batched = _moves(spec, 2, (3, 3), 1_000_000, 750, 82, "batched")
+        assert via_reference.mean() == pytest.approx(
+            via_batched.mean(), rel=0.25
+        )
+
+    def test_random_walk_find_rates_match_reference(self):
+        """Censored-at-budget mass agrees (the walk's mean is a budget
+        artifact, so the find rate is the robust comparison)."""
+        budget = 20_000
+        spec = AlgorithmSpec.random_walk()
+        via_reference = _moves(spec, 2, (3, 2), budget, 250, 91, "reference")
+        via_batched = _moves(spec, 2, (3, 2), budget, 750, 92, "batched")
+        rate_reference = float((via_reference < budget).mean())
+        rate_batched = float((via_batched < budget).mean())
+        assert rate_reference == pytest.approx(rate_batched, abs=0.1)
+
+    def test_batched_matches_closed_form_ks_all_new_families(self):
+        """Vectorized-vs-vectorized, cheap enough for tight sample sizes."""
+        cases = [
+            (AlgorithmSpec.doubly_uniform(1), (3, 3), 1_000_000, 1000, 101),
+            (AlgorithmSpec.random_walk(), (3, 2), 20_000, 1000, 111),
+            (AlgorithmSpec.feinerman(), (5, 3), 100_000, 1500, 121),
+        ]
+        for spec, target, budget, trials, seed in cases:
+            via_closed = _moves(spec, 2, target, budget, trials, seed, "closed_form")
+            via_batched = _moves(spec, 2, target, budget, trials, seed + 1, "batched")
+            distance = ks_statistic(via_closed, via_batched)
+            assert distance <= ks_two_sample_threshold(
+                trials, trials, alpha=0.001
+            ), spec.name
 
 
 class TestParallelSweepBitIdentity:

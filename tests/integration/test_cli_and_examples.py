@@ -114,12 +114,52 @@ class TestCli:
             assert name in captured
         assert "algorithm1" in captured
 
+    def test_backends_subcommand_shows_priorities_and_resolution(self, capsys):
+        code = main(["backends"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        # The batched backend's raised batch priority is visible...
+        assert "p5/p30" in captured
+        # ...and the resolution report explains what auto picks.
+        assert "trial batch -> batched" in captured
+        assert "single trial -> closed_form" in captured
+        assert "single trial -> reference" in captured  # spiral/levy
+
     def test_run_unsupported_backend_reports_error(self, capsys):
         code = main(
             ["run", "--algorithm", "spiral", "--backend", "batched"]
         )
         assert code == 2
         assert "does not support" in capsys.readouterr().err
+
+    def test_run_cache_flags_parse_and_execute(self, capsys):
+        args = [
+            "run", "--algorithm", "algorithm1", "--distance", "16",
+            "--budget", "5000000", "--trials", "8", "--seed", "99",
+        ]
+        assert main([*args, "--no-cache"]) == 0
+        assert main([*args, "--cache"]) == 0
+        assert main([*args, "--cache"]) == 0  # served from cache
+        assert "find rate" in capsys.readouterr().out
+
+    def test_cache_subcommand_info_and_clear(self, capsys):
+        from repro.sim import AlgorithmSpec, SimulationRequest, simulate
+
+        simulate(
+            SimulationRequest(
+                algorithm=AlgorithmSpec.algorithm1(8), n_agents=2,
+                target=(5, 3), move_budget=100_000, n_trials=4, seed=1,
+            )
+        )
+        code = main(["cache", "info"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "directory" in captured
+        assert "code version" in captured
+        code = main(["cache", "clear"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "cache cleared" in captured
 
 
 @pytest.mark.parametrize(

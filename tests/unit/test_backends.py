@@ -102,6 +102,20 @@ class TestRegistry:
     def test_auto_prefers_batched_for_trial_batches(self):
         assert resolve_backend(_request(n_trials=50)).name == "batched"
 
+    def test_auto_prefers_batched_for_every_covered_algorithm_batch(self):
+        """Trial batches of all six families resolve to the batch pass."""
+        specs = (
+            AlgorithmSpec.algorithm1(8),
+            AlgorithmSpec.nonuniform(8, 1),
+            AlgorithmSpec.uniform(1),
+            AlgorithmSpec.doubly_uniform(1),
+            AlgorithmSpec.random_walk(),
+            AlgorithmSpec.feinerman(),
+        )
+        for spec in specs:
+            assert resolve_backend(_request(spec, n_trials=50)).name == "batched"
+            assert resolve_backend(_request(spec)).name == "closed_form"
+
     def test_auto_prefers_closed_form_for_single_trials(self):
         assert resolve_backend(_request()).name == "closed_form"
 
@@ -162,7 +176,12 @@ class TestRegistry:
         assert set(coverage) == set(KNOWN_ALGORITHMS)
         assert all(coverage.values())
         batched = get_backend("batched").coverage()
-        assert batched["algorithm1"] and not batched["spiral"]
+        for name in (
+            "algorithm1", "nonuniform", "uniform",
+            "doubly-uniform", "random-walk", "feinerman",
+        ):
+            assert batched[name], f"batched must cover {name}"
+        assert not batched["spiral"] and not batched["levy"]
 
 
 class TestBackendsRun:
@@ -191,6 +210,9 @@ class TestBackendsRun:
             AlgorithmSpec.algorithm1(8),
             AlgorithmSpec.nonuniform(8, 1),
             AlgorithmSpec.uniform(1),
+            AlgorithmSpec.doubly_uniform(1),
+            AlgorithmSpec.random_walk(),
+            AlgorithmSpec.feinerman(),
         ):
             result = simulate(
                 _request(spec, n_trials=8, move_budget=500_000), backend="batched"
@@ -242,13 +264,35 @@ class TestFastRunStats:
             assert outcome.stats.iterations_executed > 0
             assert outcome.stats.rounds_executed > 0
 
-    def test_batched_outcomes_carry_batch_stats(self):
-        result = simulate(_request(n_trials=4), backend="batched")
-        stats = result.outcome.stats
-        assert stats is not None
-        # At least one sortie per (trial, agent) pair.
-        assert stats.iterations_executed >= 4 * 2
-        assert stats.rounds_executed > 0
+    def test_batched_outcomes_carry_per_trial_stats(self):
+        result = simulate(_request(n_trials=16, seed=3), backend="batched")
+        for outcome in result.outcomes:
+            stats = outcome.stats
+            assert stats is not None
+            # Every colony executed at least one round of its own pairs.
+            assert stats.rounds_executed >= 1
+            assert stats.iterations_executed >= stats.rounds_executed
+            # A colony's pairs can't execute more than agents-per-round.
+            assert stats.iterations_executed <= 2 * stats.rounds_executed
+        # Per colony, not one shared batch record: colonies that retire
+        # early must show fewer rounds than long-running ones.
+        rounds = {o.stats.rounds_executed for o in result.outcomes}
+        assert len(rounds) > 1
+
+    def test_batched_per_trial_stats_for_every_algorithm(self):
+        for spec in (
+            AlgorithmSpec.doubly_uniform(1),
+            AlgorithmSpec.random_walk(),
+            AlgorithmSpec.feinerman(),
+        ):
+            result = simulate(
+                _request(spec, n_trials=6, move_budget=200_000),
+                backend="batched",
+            )
+            for outcome in result.outcomes:
+                assert outcome.stats is not None
+                assert outcome.stats.iterations_executed > 0
+                assert outcome.stats.rounds_executed > 0
 
     def test_uniform_and_walk_simulators_populate_stats(self):
         from repro.sim.fast import fast_random_walk, fast_uniform

@@ -1,0 +1,236 @@
+"""Unit tests for the content-addressed simulation result cache.
+
+Correctness contract: a hit must be indistinguishable from a fresh
+simulation (bit for bit), and a key must change whenever the request,
+the backend, or the simulator code version changes — those are the
+only three inputs a result depends on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+import pytest
+
+import repro.sim.cache as cache_module
+from repro.sim import AlgorithmSpec, SimulationRequest, simulate
+from repro.sim.cache import (
+    SimulationCache,
+    cache_key,
+    configure_cache,
+    get_cache,
+    request_fingerprint,
+)
+from repro.sim.service import backend_run_count
+
+
+def _request(**overrides):
+    defaults = dict(
+        algorithm=AlgorithmSpec.algorithm1(8),
+        n_agents=2,
+        target=(5, 3),
+        move_budget=100_000,
+        n_trials=6,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return SimulationRequest(**defaults)
+
+
+@pytest.fixture
+def fresh_cache(tmp_path):
+    """A private cache instance installed as the process default."""
+    cache = configure_cache(directory=tmp_path, max_memory_entries=8)
+    cache.clear()
+    yield cache
+    # Restore the session-isolated default (see tests/conftest.py).
+    configure_cache(
+        directory=cache_module.default_cache_dir(), max_memory_entries=256
+    )
+
+
+class TestFingerprint:
+    def test_stable_across_equal_requests(self):
+        assert request_fingerprint(_request()) == request_fingerprint(_request())
+
+    def test_every_field_mutation_changes_the_fingerprint(self):
+        base = request_fingerprint(_request())
+        mutations = [
+            _request(algorithm=AlgorithmSpec.algorithm1(9)),
+            _request(algorithm=AlgorithmSpec.nonuniform(8, 1)),
+            _request(n_agents=3),
+            _request(target=(5, 4)),
+            _request(move_budget=100_001),
+            _request(n_trials=7),
+            _request(seed=8),
+            _request(seed_keys=(1,)),
+            _request(distance_bound=64),
+            _request(step_budget=1000),
+        ]
+        fingerprints = {request_fingerprint(m) for m in mutations}
+        assert base not in fingerprints
+        assert len(fingerprints) == len(mutations)
+
+    def test_backend_and_code_version_enter_the_key(self, monkeypatch):
+        request = _request()
+        assert cache_key(request, "batched") != cache_key(request, "closed_form")
+        before = cache_key(request, "batched")
+        monkeypatch.setattr(cache_module, "CODE_VERSION", "sim-vNEXT")
+        assert cache_key(request, "batched") != before
+
+
+class TestMemoryLayer:
+    def test_hit_returns_stored_outcomes(self, fresh_cache):
+        request = _request()
+        result = simulate(request, backend="batched", cache=False)
+        fresh_cache.store(request, "batched", result.outcomes)
+        assert fresh_cache.lookup(request, "batched") == result.outcomes
+
+    def test_miss_on_request_mutation_and_backend_change(self, fresh_cache):
+        request = _request()
+        result = simulate(request, backend="batched", cache=False)
+        fresh_cache.store(request, "batched", result.outcomes)
+        assert fresh_cache.lookup(_request(seed=8), "batched") is None
+        assert fresh_cache.lookup(request, "closed_form") is None
+
+    def test_lru_eviction_bounds_memory(self, fresh_cache):
+        outcomes = simulate(_request(), backend="batched", cache=False).outcomes
+        for seed in range(20):
+            fresh_cache.store(_request(seed=seed), "batched", outcomes)
+        info = fresh_cache.info()
+        assert info.memory_entries <= info.max_memory_entries == 8
+        # The most recent stores survive; disk still holds everything.
+        assert fresh_cache.lookup(_request(seed=19), "batched") is not None
+        assert info.stores == 20
+
+    def test_code_version_bump_invalidates(self, fresh_cache, monkeypatch):
+        request = _request()
+        outcomes = simulate(request, backend="batched", cache=False).outcomes
+        fresh_cache.store(request, "batched", outcomes)
+        monkeypatch.setattr(cache_module, "CODE_VERSION", "sim-vNEXT")
+        assert fresh_cache.lookup(request, "batched") is None
+
+
+class TestDiskLayer:
+    def test_round_trip_equals_fresh_simulation_bit_for_bit(self, tmp_path):
+        request = _request(n_trials=10)
+        writer = SimulationCache(directory=tmp_path)
+        fresh = simulate(request, backend="closed_form", cache=False)
+        writer.store(request, "closed_form", fresh.outcomes)
+        # A separate instance sees only the disk layer, like a new
+        # process would.
+        reader = SimulationCache(directory=tmp_path)
+        loaded = reader.lookup(request, "closed_form")
+        assert loaded == fresh.outcomes
+        again = simulate(request, backend="closed_form", cache=False)
+        assert loaded == again.outcomes
+        assert reader.info().hits_disk == 1
+
+    def test_corrupt_disk_entry_is_dropped_not_fatal(self, tmp_path):
+        request = _request()
+        cache = SimulationCache(directory=tmp_path)
+        outcomes = simulate(request, backend="batched", cache=False).outcomes
+        cache.store(request, "batched", outcomes)
+        for path in tmp_path.glob("*.pkl"):
+            path.write_bytes(b"not a pickle")
+        reader = SimulationCache(directory=tmp_path)
+        assert reader.lookup(request, "batched") is None
+        assert list(tmp_path.glob("*.pkl")) == []
+
+    def test_disk_payload_validates_fingerprint(self, tmp_path):
+        """A hash collision cannot serve the wrong request's outcomes."""
+        request = _request()
+        cache = SimulationCache(directory=tmp_path)
+        outcomes = simulate(request, backend="batched", cache=False).outcomes
+        cache.store(request, "batched", outcomes)
+        other = _request(seed=99)
+        path = cache._path_for(cache_key(request, "batched"))
+        payload = pickle.loads(path.read_bytes())
+        payload["fingerprint"] = request_fingerprint(other)
+        path.write_bytes(pickle.dumps(payload))
+        reader = SimulationCache(directory=tmp_path)
+        assert reader.lookup(request, "batched") is None
+
+    def test_unwritable_directory_degrades_to_memory_only(self, tmp_path):
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file, not a directory")
+        cache = SimulationCache(directory=blocked / "sub")
+        request = _request()
+        outcomes = simulate(request, backend="batched", cache=False).outcomes
+        cache.store(request, "batched", outcomes)
+        assert cache.lookup(request, "batched") == outcomes
+        info = cache.info()
+        assert not info.disk_enabled
+        assert info.disk_error
+
+    def test_reconfiguring_after_degradation_restores_the_disk_layer(
+        self, tmp_path, fresh_cache
+    ):
+        """Runtime degradation is state, not intent: a new directory
+        must bring disk caching back."""
+        blocked = tmp_path / "blocked-file"
+        blocked.write_text("a file, not a directory")
+        degraded = configure_cache(directory=blocked / "sub")
+        request = _request()
+        outcomes = simulate(request, backend="batched", cache=False).outcomes
+        degraded.store(request, "batched", outcomes)
+        assert not degraded.info().disk_enabled
+        writable = tmp_path / "writable"
+        recovered = configure_cache(directory=writable)
+        recovered.store(request, "batched", outcomes)
+        assert recovered.info().disk_enabled
+        assert len(list(writable.glob("*.pkl"))) == 1
+
+    def test_clear_removes_disk_entries(self, tmp_path):
+        cache = SimulationCache(directory=tmp_path)
+        outcomes = simulate(_request(), backend="batched", cache=False).outcomes
+        cache.store(_request(), "batched", outcomes)
+        assert cache.clear() == 1
+        assert list(tmp_path.glob("*.pkl")) == []
+
+
+class TestSimulateIntegration:
+    def test_second_invocation_performs_zero_simulations(self, fresh_cache):
+        request = _request(seed=1234)
+        before = backend_run_count()
+        first = simulate(request, backend="batched")
+        after_first = backend_run_count()
+        second = simulate(request, backend="batched")
+        after_second = backend_run_count()
+        assert after_first == before + 1
+        assert after_second == after_first  # served from cache
+        assert list(first.moves_or_budget()) == list(second.moves_or_budget())
+
+    def test_auto_and_explicit_batched_share_entries(self, fresh_cache):
+        """The key uses the *resolved* backend, not the request string."""
+        request = _request(seed=4321)  # n_trials > 1 -> auto = batched
+        before = backend_run_count()
+        simulate(request, backend="batched")
+        simulate(request, backend="auto")
+        assert backend_run_count() == before + 1
+
+    def test_cache_false_forces_execution(self, fresh_cache):
+        request = _request(seed=777)
+        before = backend_run_count()
+        simulate(request, backend="batched")
+        simulate(request, backend="batched", cache=False)
+        assert backend_run_count() == before + 2
+
+    def test_enabled_flag_gates_default_consultation(self, fresh_cache):
+        request = _request(seed=888)
+        configure_cache(enabled=False)
+        try:
+            before = backend_run_count()
+            simulate(request, backend="batched")
+            simulate(request, backend="batched")
+            assert backend_run_count() == before + 2
+        finally:
+            configure_cache(enabled=True)
+        simulate(request, backend="batched")
+        before = backend_run_count()
+        simulate(request, backend="batched")
+        assert backend_run_count() == before
+
+    def test_get_cache_is_process_wide(self, fresh_cache):
+        assert get_cache() is fresh_cache

@@ -1,0 +1,193 @@
+"""Sweep -> batched compilation: factory recognition, addressing, caching.
+
+The load-bearing invariant: a compiled grid point's trial ``t`` draws
+from ``derive_seed(seed, *seed_keys, point_index, t)`` — exactly the
+address the per-trial job path uses — so compilation onto a per-trial
+backend is bit-identical to the historical execution model, and the
+batched backend changes only the stream pooling, not the addressing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.sim import AlgorithmSpec, SimulationRequest
+from repro.sim.fast import fast_algorithm1
+from repro.sim.rng import derive_seed
+from repro.sim.runner import SimulationTrial, Sweep, censored_moves
+from repro.sim.service import backend_run_count
+
+GRID = [{"D": 8}, {"D": 12}]
+
+
+def _factory(params):
+    """Module-level request factory (picklable for the process pool)."""
+    distance = int(params["D"])
+    return SimulationRequest(
+        algorithm=AlgorithmSpec.algorithm1(distance),
+        n_agents=2,
+        target=(distance, distance),
+        move_budget=100_000,
+    )
+
+
+def _per_trial(params, rng):
+    """The same workload as a plain per-trial function."""
+    distance = int(params["D"])
+    return float(
+        fast_algorithm1(
+            distance, 2, (distance, distance), rng, 100_000
+        ).moves_or_budget
+    )
+
+
+def _found_metric(outcome):
+    """Module-level metric override (picklable)."""
+    return 1.0 if outcome.found else 0.0
+
+
+class TestCompilation:
+    def test_compiled_sweep_is_recognized(self):
+        sweep = Sweep(SimulationTrial(_factory), GRID, trials=3, seed=1)
+        assert sweep.compiled
+        assert not Sweep(_per_trial, GRID, trials=3, seed=1).compiled
+
+    def test_one_job_per_point(self):
+        jobs = Sweep(
+            SimulationTrial(_factory), GRID, trials=7, seed=1, workers=4
+        ).compile_jobs()
+        assert len(jobs) == len(GRID)
+        assert all(job.trial_count == 7 for job in jobs)
+
+    def test_compile_requests_rebinds_addressing(self):
+        sweep = Sweep(
+            SimulationTrial(_factory), GRID, trials=5, seed=17, seed_keys=(3,)
+        )
+        requests = sweep.compile_requests()
+        assert [r.n_trials for r in requests] == [5, 5]
+        assert [r.seed for r in requests] == [17, 17]
+        assert [r.seed_keys for r in requests] == [(3, 0), (3, 1)]
+
+    def test_compile_requests_rejects_plain_sweeps(self):
+        with pytest.raises(InvalidParameterError):
+            Sweep(_per_trial, GRID, trials=3, seed=1).compile_requests()
+
+
+class TestBitIdentity:
+    def test_compiled_on_per_trial_backend_matches_plain_sweep(self):
+        """Compilation must not change the derive_seed(seed, i, t) streams."""
+        plain = Sweep(_per_trial, GRID, trials=6, seed=17).run()
+        compiled = Sweep(
+            SimulationTrial(_factory, backend="closed_form"),
+            GRID, trials=6, seed=17,
+        ).run()
+        for row_p, row_c in zip(plain, compiled):
+            assert row_p.params == row_c.params
+            assert row_p.estimate == row_c.estimate
+
+    def test_compiled_matches_manual_derive_seed_addressing(self):
+        rows = Sweep(
+            SimulationTrial(_factory, backend="closed_form"),
+            GRID, trials=4, seed=23, seed_keys=(9,),
+        ).run()
+        for index, point in enumerate(GRID):
+            distance = int(point["D"])
+            manual = [
+                float(
+                    fast_algorithm1(
+                        distance, 2, (distance, distance),
+                        np.random.default_rng(derive_seed(23, 9, index, t)),
+                        100_000,
+                    ).moves_or_budget
+                )
+                for t in range(4)
+            ]
+            assert rows[index].estimate.mean == pytest.approx(
+                float(np.mean(manual)), abs=0
+            )
+
+    def test_point_sharding_across_workers_is_bit_identical(self):
+        serial = Sweep(
+            SimulationTrial(_factory, backend="closed_form"),
+            GRID, trials=4, seed=17,
+        ).run()
+        sharded = Sweep(
+            SimulationTrial(_factory, backend="closed_form"),
+            GRID, trials=4, seed=17, workers=2,
+        ).run()
+        assert [r.estimate for r in serial] == [r.estimate for r in sharded]
+
+    def test_unpicklable_factory_falls_back_to_serial(self):
+        offset = 8
+        trial = SimulationTrial(
+            lambda params: _factory({"D": int(params["D"]) + offset - 8})
+        )
+        rows = Sweep(trial, GRID, trials=3, seed=5, workers=4).run()
+        reference = Sweep(trial, GRID, trials=3, seed=5).run()
+        assert [r.estimate for r in rows] == [r.estimate for r in reference]
+
+
+class TestBatchedCompilation:
+    def test_batched_rows_carry_find_rate_extras(self):
+        rows = Sweep(
+            SimulationTrial(_factory), GRID, trials=10, seed=3
+        ).run()
+        for row in rows:
+            assert 0.0 <= row.extras["find_rate"] <= 1.0
+            assert row.estimate.mean > 0
+
+    def test_metric_override(self):
+        rows = Sweep(
+            SimulationTrial(_factory, metric=_found_metric),
+            GRID, trials=10, seed=3,
+        ).run()
+        for row in rows:
+            # The found metric's mean IS the find rate.
+            assert row.estimate.mean == pytest.approx(row.extras["find_rate"])
+
+    def test_default_metric_is_censored_moves(self):
+        from repro.sim import simulate
+
+        outcome = simulate(
+            _factory({"D": 8}), backend="closed_form", cache=False
+        ).outcome
+        assert censored_moves(outcome) == float(outcome.moves_or_budget)
+
+    def test_compiled_batched_equals_plain_sweep_in_distribution(self):
+        """Means agree within Monte-Carlo noise (streams differ by design).
+
+        Coarse by necessity — colony M_moves is heavy-tailed, so two
+        independent 1000-trial means can differ by ~20%; the tight KS
+        equivalence checks live in
+        tests/integration/test_backend_equivalence.py.
+        """
+        trials = 1000
+        plain = Sweep(_per_trial, [{"D": 8}], trials=trials, seed=101).run()
+        compiled = Sweep(
+            SimulationTrial(_factory), [{"D": 8}], trials=trials, seed=303
+        ).run()
+        assert compiled.pop().estimate.mean == pytest.approx(
+            plain.pop().estimate.mean, rel=0.35
+        )
+
+    def test_repeated_sweep_points_are_served_from_cache(self):
+        sweep = Sweep(SimulationTrial(_factory), GRID, trials=8, seed=42)
+        before = backend_run_count()
+        first = sweep.run()
+        after_first = backend_run_count()
+        second = sweep.run()
+        after_second = backend_run_count()
+        assert after_first == before + len(GRID)
+        assert after_second == after_first  # zero simulations
+        assert [r.estimate for r in first] == [r.estimate for r in second]
+
+    def test_cache_false_trial_forces_execution(self):
+        sweep = Sweep(
+            SimulationTrial(_factory, cache=False), GRID, trials=8, seed=43
+        )
+        before = backend_run_count()
+        sweep.run()
+        sweep.run()
+        assert backend_run_count() == before + 2 * len(GRID)
