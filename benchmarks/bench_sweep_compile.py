@@ -4,8 +4,8 @@ Times the same experiment sweep (Algorithm 1 grid points at several
 colony sizes, the repo's hottest workload shape) two ways:
 
 * **per-trial path** — a plain ``trial(params, rng)`` function, one
-  closed-form colony per trial, sharded as ``SweepJob`` tasks across a
-  ``ProcessPoolExecutor`` (the pre-compilation execution model);
+  closed-form colony per trial, sharded as ``SweepShard`` tasks across
+  a ``ProcessPoolExecutor`` (the pre-compilation execution model);
 * **compiled path** — the same grid as ``SimulationTrial`` factories,
   each grid point compiled into one vectorized ``batched``-backend
   call.

@@ -17,6 +17,7 @@ from repro import (
     simulate,
 )
 from repro.core.uniform import calibrated_K
+from repro.sim import simulate_async
 
 DISTANCE = 16  # the (known or unknown) bound D on the target's distance
 N_AGENTS = 4
@@ -65,6 +66,30 @@ def main() -> None:
         "middle one does it\nwith chi = log log D + O(1) — and Section 4 "
         "proves nothing much smaller can."
     )
+
+    # The same request can run asynchronously: submit through the job
+    # layer, stream trial shards as they land, and let completed shards
+    # persist in the result cache so interrupted runs resume for free.
+    # (CLI equivalent: repro-ants run ... --async --watch)
+    batch = SimulationRequest(
+        algorithm=AlgorithmSpec.algorithm1(DISTANCE),
+        n_agents=N_AGENTS,
+        target=TARGET,
+        move_budget=5_000_000,
+        n_trials=40,
+        seed=SEED,
+        distance_bound=DISTANCE,
+    )
+    job = simulate_async(batch, workers=2)
+    print(f"\nasync batch {job.job_id}: {batch.n_trials} trials, "
+          f"backend {job.backend}")
+    for shard in job.iter_results():
+        progress = job.progress()
+        source = "cache" if shard.from_cache else "simulated"
+        print(f"  trials {shard.trial_start}.."
+              f"{shard.trial_start + shard.trial_count - 1} done ({source}) "
+              f"— {progress.done_trials}/{progress.total_trials}")
+    print(f"find rate: {job.result().find_rate:.0%}")
 
 
 if __name__ == "__main__":

@@ -70,9 +70,11 @@ from repro.sim import (
     EngineConfig,
     SearchEngine,
     SearchOutcome,
+    SimulationJob,
     SimulationRequest,
     SimulationResult,
     simulate,
+    simulate_async,
     spawn_generators,
     speedup,
 )
@@ -103,9 +105,11 @@ __all__ = [
     "EngineConfig",
     "SearchEngine",
     "SearchOutcome",
+    "SimulationJob",
     "SimulationRequest",
     "SimulationResult",
     "simulate",
+    "simulate_async",
     "spawn_generators",
     "speedup",
     "__version__",

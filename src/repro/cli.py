@@ -4,7 +4,8 @@ Subcommands::
 
     run        simulate searches through the backend service layer
     backends   list registered simulation backends, coverage, priorities
-    cache      inspect or clear the content-addressed result cache
+    cache      inspect, clear, or LRU-prune the result cache
+    jobs       list, inspect, or cancel recorded simulation jobs
     certify    print the lower-bound certificate for an automaton family
     coverage   simulate a below-threshold colony and render its coverage
     experiment run one registered experiment (E01..E16)
@@ -13,19 +14,23 @@ Examples::
 
     repro-ants run --algorithm uniform --distance 64 --agents 8
     repro-ants run --algorithm algorithm1 --trials 200 --backend batched
-    repro-ants run --algorithm nonuniform --trials 64 --workers 4
+    repro-ants run --algorithm nonuniform --trials 64 --workers 4 --async --watch
     repro-ants run --algorithm feinerman --trials 200 --no-cache
     repro-ants backends
     repro-ants cache info
-    repro-ants cache clear
+    repro-ants cache prune --max-bytes 100000000
+    repro-ants jobs list
+    repro-ants jobs cancel job-0123456789ab
     repro-ants certify --family random --bits 3 --ell 2 --distance 128
     repro-ants coverage --family uniform-walk --distance 48 --agents 16
     repro-ants experiment E04
+    repro-ants experiment E03 --workers 4 --watch
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 
 import numpy as np
@@ -97,9 +102,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         distance_bound=max(args.distance, abs(target[0]), abs(target[1])),
     )
-    result = simulate(
-        request, backend=args.backend, workers=args.workers, cache=args.cache
-    )
+    if args.async_submit or args.watch:
+        from repro.sim.jobs import simulate_async
+
+        job = simulate_async(
+            request, backend=args.backend, workers=args.workers,
+            cache=args.cache,
+        )
+        snapshot = job.progress()
+        print(f"job       : {job.job_id} ({job.backend}) — "
+              f"{request.n_trials} trials in {snapshot.total_shards} shard(s)")
+        for shard in job.iter_results():
+            source = "cache" if shard.from_cache else "simulated"
+            print(f"  shard {shard.shard_index}: trials "
+                  f"[{shard.trial_start}, "
+                  f"{shard.trial_start + shard.trial_count}) — {source}")
+            if args.watch:
+                snapshot = job.progress()
+                print(f"  progress: {snapshot.done_shards}/"
+                      f"{snapshot.total_shards} shards, "
+                      f"{snapshot.done_trials}/{snapshot.total_trials} "
+                      f"trials ({snapshot.fraction:.0%})", flush=True)
+        result = job.result()
+    else:
+        result = simulate(
+            request, backend=args.backend, workers=args.workers,
+            cache=args.cache,
+        )
     algorithm = spec.build(args.agents)
     print(f"algorithm : {algorithm.name}")
     print(f"backend   : {result.backend}")
@@ -177,10 +206,86 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         for line in cache.info().summary_lines():
             print(line)
         return 0
+    if args.action == "prune":
+        if args.max_bytes is None:
+            print("error: cache prune requires --max-bytes N",
+                  file=sys.stderr)
+            return 2
+        pruned = cache.prune(args.max_bytes)
+        print(f"cache pruned: {pruned.removed_files} entries "
+              f"({pruned.freed_bytes} bytes) evicted, "
+              f"{pruned.remaining_files} entries "
+              f"({pruned.remaining_bytes} bytes) remain within the "
+              f"{args.max_bytes}-byte budget ({cache.directory})")
+        return 0
     removed = cache.clear()
     print(f"cache cleared: {removed} disk entries removed "
           f"({cache.directory})")
     return 0
+
+
+def _format_age(timestamp) -> str:
+    if not isinstance(timestamp, (int, float)):
+        return "?"
+    import time
+
+    seconds = max(0.0, time.time() - timestamp)
+    if seconds < 120:
+        return f"{seconds:.0f}s"
+    if seconds < 7200:
+        return f"{seconds / 60:.0f}m"
+    return f"{seconds / 3600:.1f}h"
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.sim import jobs as jobs_module
+
+    if args.action == "list":
+        records = jobs_module.read_job_records()
+        if not records:
+            print(f"no recorded jobs ({jobs_module.ledger_dir()})")
+            return 0
+        header = (f"{'job id':<18} {'state':<10} {'algorithm':<15} "
+                  f"{'backend':<12} {'trials':>6} {'shards':>7} {'age':>6}")
+        print(header)
+        print("-" * len(header))
+        for record in records:
+            shards = (f"{record.get('done_shards', 0)}"
+                      f"/{record.get('total_shards', '?')}")
+            print(f"{record.get('job_id', '?'):<18} "
+                  f"{record.get('state', '?'):<10} "
+                  f"{record.get('algorithm', '?'):<15} "
+                  f"{record.get('backend', '?'):<12} "
+                  f"{record.get('n_trials', '?'):>6} "
+                  f"{shards:>7} "
+                  f"{_format_age(record.get('submitted_at')):>6}")
+        return 0
+    if args.action == "clear":
+        removed = jobs_module.prune_job_records(max_records=0)
+        print(f"jobs ledger cleared: {removed} terminal records/markers "
+              f"removed ({jobs_module.ledger_dir()})")
+        return 0
+    if args.job_id is None:
+        print(f"error: jobs {args.action} requires a job id", file=sys.stderr)
+        return 2
+    if args.action == "cancel":
+        if jobs_module.request_cancel(args.job_id):
+            print(f"cancellation requested for {args.job_id} (the owning "
+                  f"process honors it at the next shard boundary)")
+            return 0
+        print(f"error: job {args.job_id!r} is unknown or already finished",
+              file=sys.stderr)
+        return 2
+    # status
+    for record in jobs_module.read_job_records():
+        if record.get("job_id") == args.job_id:
+            for key in ("job_id", "state", "algorithm", "backend", "n_agents",
+                        "n_trials", "seed", "total_shards", "done_shards",
+                        "done_trials", "cached_shards", "pid", "error"):
+                print(f"{key:13s}: {record.get(key)}")
+            return 0
+    print(f"error: no record for job {args.job_id!r}", file=sys.stderr)
+    return 2
 
 
 def _cmd_certify(args: argparse.Namespace) -> int:
@@ -214,6 +319,13 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
     return 0
 
 
+def _watch_progress(progress) -> None:
+    """Live point-level progress line for ``experiment --watch``."""
+    print(f"  [sweep] {progress.done_points}/{progress.total_points} points "
+          f"— {progress.done_trials}/{progress.total_trials} trials "
+          f"({progress.fraction:.0%})", flush=True)
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import REGISTRY
 
@@ -222,7 +334,22 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(f"unknown experiment {key!r}; known: {', '.join(sorted(REGISTRY))}",
               file=sys.stderr)
         return 2
-    result = REGISTRY[key](scale=args.scale, seed=args.seed)
+    runner = REGISTRY[key]
+    parameters = inspect.signature(runner).parameters
+    kwargs = {}
+    if args.workers != 1:
+        if "workers" in parameters:
+            kwargs["workers"] = args.workers
+        else:
+            print(f"note: {key} does not take --workers; running serially",
+                  file=sys.stderr)
+    if args.watch:
+        if "on_progress" in parameters:
+            kwargs["on_progress"] = _watch_progress
+        else:
+            print(f"note: {key} does not report live progress",
+                  file=sys.stderr)
+    result = runner(scale=args.scale, seed=args.seed, **kwargs)
     print(result.to_markdown())
     return 0 if result.all_passed else 1
 
@@ -265,6 +392,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="force the result cache on/off for this run "
              "(default: process setting, normally on)",
     )
+    run_parser.add_argument(
+        "--async", dest="async_submit", action="store_true",
+        help="submit through the job layer and stream trial shards "
+             "as they complete",
+    )
+    run_parser.add_argument(
+        "--watch", action="store_true",
+        help="print live shard/trial progress (implies --async)",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     backends_parser = sub.add_parser(
@@ -273,13 +409,36 @@ def build_parser() -> argparse.ArgumentParser:
     backends_parser.set_defaults(func=_cmd_backends)
 
     cache_parser = sub.add_parser(
-        "cache", help="inspect or clear the simulation result cache"
+        "cache", help="inspect, clear, or LRU-prune the result cache"
     )
     cache_parser.add_argument(
-        "action", choices=("info", "clear"),
-        help="info: configuration + counters; clear: drop all entries",
+        "action", choices=("info", "clear", "prune"),
+        help="info: configuration + counters; clear: drop all entries; "
+             "prune: evict least-recently-used disk entries to fit "
+             "--max-bytes",
+    )
+    cache_parser.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="disk budget for prune: evict LRU entries until the "
+             "cache directory fits",
     )
     cache_parser.set_defaults(func=_cmd_cache)
+
+    jobs_parser = sub.add_parser(
+        "jobs", help="list, inspect, or cancel recorded simulation jobs"
+    )
+    jobs_parser.add_argument(
+        "action", choices=("list", "status", "cancel", "clear"),
+        help="list: all recorded jobs; status: one job's record; "
+             "cancel: request cancellation (honored at the next shard "
+             "boundary, completed shards stay cached); clear: drop "
+             "terminal records and stale cancel markers",
+    )
+    jobs_parser.add_argument(
+        "job_id", nargs="?", default=None,
+        help="job id for status/cancel (see `jobs list`)",
+    )
+    jobs_parser.set_defaults(func=_cmd_jobs)
 
     certify_parser = sub.add_parser(
         "certify", help="lower-bound certificate for an automaton"
@@ -316,6 +475,16 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_parser.add_argument("id", help="experiment id, e.g. E04")
     experiment_parser.add_argument("--scale", default="smoke", choices=("smoke", "paper"))
     experiment_parser.add_argument("--seed", type=int, default=20140507)
+    experiment_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the experiment's sweeps (forwarded "
+             "to experiments that support it)",
+    )
+    experiment_parser.add_argument(
+        "--watch", action="store_true",
+        help="print live point-level sweep progress while the "
+             "experiment runs",
+    )
     experiment_parser.set_defaults(func=_cmd_experiment)
 
     return parser

@@ -36,6 +36,17 @@ class SimulationBudgetExceeded(ReproError, RuntimeError):
         self.consumed = consumed
 
 
+class JobCancelledError(ReproError, RuntimeError):
+    """An asynchronous simulation job was cancelled before completing.
+
+    Raised by :meth:`repro.sim.jobs.SimulationJob.result` (and the
+    sweep handle's equivalent) when the caller asks for the result of a
+    job whose execution was cancelled.  Shards that completed before the
+    cancellation remain in the result cache, so resubmitting the same
+    request resumes instead of restarting.
+    """
+
+
 class AnalysisError(ReproError, RuntimeError):
     """A Markov-chain analysis could not be completed.
 

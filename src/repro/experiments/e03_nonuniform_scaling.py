@@ -17,7 +17,7 @@ re-runs without simulating).
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Callable, Mapping, Optional
 
 from repro.core import theory
 from repro.experiments.base import DEFAULT_SEED, ExperimentResult, check_scale
@@ -62,7 +62,10 @@ def corner_request(params: Mapping[str, object]) -> SimulationRequest:
 
 
 def run(
-    scale: str = "smoke", seed: int = DEFAULT_SEED, workers: int = 1
+    scale: str = "smoke",
+    seed: int = DEFAULT_SEED,
+    workers: int = 1,
+    on_progress: Optional[Callable] = None,
 ) -> ExperimentResult:
     params = _SCALES[check_scale(scale)]
     checks = {}
@@ -80,7 +83,7 @@ def run(
         seed=seed,
         seed_keys=(0,),
         workers=workers,
-    ).run()
+    ).run(progress=on_progress)
 
     rows_d = []
     slopes = {}
@@ -127,7 +130,7 @@ def run(
         seed=seed,
         seed_keys=(1,),
         workers=workers,
-    ).run()
+    ).run(progress=on_progress)
 
     rows_n = []
     base_moves = sweep_n[0].estimate.mean

@@ -20,7 +20,7 @@ Both sweeps are compiled grid-point -> batched-backend calls via
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Callable, Mapping, Optional
 
 import numpy as np
 
@@ -72,7 +72,10 @@ def uniform_corner_request(params: Mapping[str, object]) -> SimulationRequest:
 
 
 def run(
-    scale: str = "smoke", seed: int = DEFAULT_SEED, workers: int = 1
+    scale: str = "smoke",
+    seed: int = DEFAULT_SEED,
+    workers: int = 1,
+    on_progress: Optional[Callable] = None,
 ) -> ExperimentResult:
     params = _SCALES[check_scale(scale)]
     n_agents = params["n_agents"]
@@ -90,7 +93,7 @@ def run(
         seed=seed,
         seed_keys=(0,),
         workers=workers,
-    ).run()
+    ).run(progress=on_progress)
 
     rows_d = []
     means = []
@@ -129,7 +132,7 @@ def run(
         seed=seed,
         seed_keys=(1,),
         workers=workers,
-    ).run()
+    ).run(progress=on_progress)
 
     rows_ell = []
     base = None

@@ -11,7 +11,7 @@ coverage the batched backend gained for the baseline families.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Callable, Mapping, Optional
 
 from repro.baselines.feinerman import FeinermanSearch
 from repro.baselines.random_walk import RandomWalkSearch
@@ -60,7 +60,10 @@ def baseline_request(params: Mapping[str, object]) -> SimulationRequest:
 
 
 def run(
-    scale: str = "smoke", seed: int = DEFAULT_SEED, workers: int = 1
+    scale: str = "smoke",
+    seed: int = DEFAULT_SEED,
+    workers: int = 1,
+    on_progress: Optional[Callable] = None,
 ) -> ExperimentResult:
     params = _SCALES[check_scale(scale)]
     distance = params["distance"]
@@ -95,7 +98,7 @@ def run(
         seed=seed,
         seed_keys=(12,),
         workers=workers,
-    ).run()
+    ).run(progress=on_progress)
 
     means = {}
     for point, row in zip(grid, sweep):

@@ -33,7 +33,7 @@ stated over horizons.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Callable, Mapping, Optional
 
 import numpy as np
 
@@ -88,7 +88,10 @@ def frontier_request(params: Mapping[str, object]) -> SimulationRequest:
 
 
 def run(
-    scale: str = "smoke", seed: int = DEFAULT_SEED, workers: int = 1
+    scale: str = "smoke",
+    seed: int = DEFAULT_SEED,
+    workers: int = 1,
+    on_progress: Optional[Callable] = None,
 ) -> ExperimentResult:
     params = _SCALES[check_scale(scale)]
     distance = params["distance"]
@@ -143,7 +146,7 @@ def run(
         seed=seed,
         seed_keys=(13,),
         workers=workers,
-    ).run()
+    ).run(progress=on_progress)
 
     adversary_rng = np.random.default_rng(derive_seed(seed, 999))
     random_machine = random_bounded_automaton(adversary_rng, bits=3, ell=2)

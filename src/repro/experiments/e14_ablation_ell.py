@@ -17,7 +17,7 @@ fixed-K sweeps compile to single batched-backend calls per ``l``.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Callable, Mapping, Optional
 
 from repro.core import theory
 from repro.core.uniform import UniformSearch, calibrated_K
@@ -60,7 +60,10 @@ def ablation_request(params: Mapping[str, object]) -> SimulationRequest:
 
 
 def run(
-    scale: str = "smoke", seed: int = DEFAULT_SEED, workers: int = 1
+    scale: str = "smoke",
+    seed: int = DEFAULT_SEED,
+    workers: int = 1,
+    on_progress: Optional[Callable] = None,
 ) -> ExperimentResult:
     params = _SCALES[check_scale(scale)]
     distance, n_agents = params["distance"], params["n_agents"]
@@ -79,7 +82,7 @@ def run(
         seed=seed,
         seed_keys=(15,),
         workers=workers,
-    ).run()
+    ).run(progress=on_progress)
 
     bits_list = []
     means = []
@@ -137,7 +140,7 @@ def run(
         seed=seed,
         seed_keys=(16,),
         workers=workers,
-    ).run()
+    ).run(progress=on_progress)
     fixed_rows = []
     fixed_means = []
     for point, row in zip(fixed_grid, fixed_sweep):

@@ -16,13 +16,22 @@ seed stream) and let the backend registry dispatch it:
 In front of the backends sits a content-addressed result cache
 (:mod:`repro.sim.cache`): repeated requests are served from memory or
 ``~/.cache/repro-ants/`` without resimulation, keyed by (request hash,
-backend, code version).
+backend, code version) — with per-shard entries so interrupted jobs
+resume, and an LRU-prunable disk layer.
+
+Execution itself lives in the job layer (:mod:`repro.sim.jobs`):
+:func:`simulate` is a blocking view over
+:meth:`~repro.sim.jobs.JobManager.submit`, and :func:`simulate_async`
+returns the :class:`~repro.sim.jobs.SimulationJob` handle directly —
+states, per-shard progress, incremental result streaming, and
+cancellation with cache-backed resumption.
 
 Shared result records live in :mod:`repro.sim.metrics`; deterministic
 seeding utilities in :mod:`repro.sim.rng`; estimators and scaling fits
 in :mod:`repro.sim.stats`; sweep orchestration (with parallel
-``workers=N`` sharding and grid-point -> batched-call compilation via
-:class:`SimulationTrial`) in :mod:`repro.sim.runner`.
+``workers=N`` sharding, grid-point -> batched-call compilation via
+:class:`SimulationTrial`, and async :class:`SweepJob` handles) in
+:mod:`repro.sim.runner`.
 """
 
 from repro.sim.backends import (
@@ -39,6 +48,7 @@ from repro.sim.backends import (
 )
 from repro.sim.cache import (
     CacheInfo,
+    PruneResult,
     SimulationCache,
     cache_enabled,
     configure_cache,
@@ -46,6 +56,14 @@ from repro.sim.cache import (
     request_fingerprint,
 )
 from repro.sim.engine import SearchEngine, EngineConfig
+from repro.sim.jobs import (
+    JobManager,
+    JobProgress,
+    JobState,
+    ShardResult,
+    SimulationJob,
+    get_manager,
+)
 from repro.sim.metrics import AgentOutcome, FastRunStats, SearchOutcome, speedup
 from repro.sim.rng import generator_from, spawn_generators
 from repro.sim.runner import (
@@ -53,10 +71,12 @@ from repro.sim.runner import (
     SimulationTrial,
     Sweep,
     SweepJob,
+    SweepProgress,
+    SweepShard,
     censored_moves,
     rows_to_markdown,
 )
-from repro.sim.service import backend_run_count, simulate
+from repro.sim.service import backend_run_count, simulate, simulate_async
 from repro.sim.stats import (
     Estimate,
     bootstrap_mean_ci,
@@ -80,8 +100,16 @@ __all__ = [
     "registered_backends",
     "resolve_backend",
     "simulate",
+    "simulate_async",
     "backend_run_count",
+    "JobManager",
+    "JobProgress",
+    "JobState",
+    "ShardResult",
+    "SimulationJob",
+    "get_manager",
     "CacheInfo",
+    "PruneResult",
     "SimulationCache",
     "cache_enabled",
     "configure_cache",
@@ -99,6 +127,8 @@ __all__ = [
     "SimulationTrial",
     "Sweep",
     "SweepJob",
+    "SweepProgress",
+    "SweepShard",
     "censored_moves",
     "rows_to_markdown",
     "Estimate",

@@ -30,6 +30,19 @@ normalize it away.
 Disk failures (read-only home, concurrent writers, corrupt files) are
 never fatal — the disk layer degrades to memory-only and records the
 reason in :meth:`SimulationCache.info`.
+
+Two extensions serve the job layer (:mod:`repro.sim.jobs`):
+
+* **shard entries** — a contiguous trial range of a request can be
+  stored and looked up on its own (:func:`shard_cache_key`,
+  :meth:`SimulationCache.store_shard` /
+  :meth:`~SimulationCache.lookup_shard`); the async executor writes
+  every finished shard through as it lands, so a killed job resumes
+  from its completed shards;
+* **size-bounded disk** — every disk hit refreshes the entry's mtime
+  (``last_used``), and :meth:`SimulationCache.prune` evicts
+  least-recently-used entries until the directory fits a byte budget
+  (``repro-ants cache prune --max-bytes N``).
 """
 
 from __future__ import annotations
@@ -39,10 +52,11 @@ import json
 import os
 import pickle
 import tempfile
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import InvalidParameterError
 from repro.sim.backends.base import SimulationRequest
@@ -100,6 +114,38 @@ def cache_key(request: SimulationRequest, backend_name: str) -> str:
     return hashlib.sha256(composite.encode("utf-8")).hexdigest()
 
 
+def shard_cache_key(
+    request: SimulationRequest, backend_name: str, trial_start: int,
+    trial_count: int,
+) -> str:
+    """The content address of one trial shard of a request.
+
+    Shard entries let the job layer resume a killed or cancelled run:
+    each completed contiguous trial range is stored under its own key,
+    addressable without the rest of the request having finished.  The
+    shard's identity is the same triple as the full key plus the
+    ``[start, start+count)`` trial range — per-trial seeds depend only
+    on the trial index, never on shard boundaries, so a shard's
+    outcomes are a pure function of this address.
+    """
+    fingerprint = request_fingerprint(request)
+    composite = (
+        f"{fingerprint}:{backend_name}:{CODE_VERSION}"
+        f":shard:{trial_start}:{trial_count}"
+    )
+    return hashlib.sha256(composite.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class PruneResult:
+    """Outcome of one LRU disk-prune pass."""
+
+    removed_files: int
+    freed_bytes: int
+    remaining_files: int
+    remaining_bytes: int
+
+
 @dataclass(frozen=True)
 class CacheInfo:
     """A snapshot of one cache's configuration and counters."""
@@ -154,6 +200,10 @@ class SimulationCache:
         self._disk_enabled = disk
         self._disk_error: Optional[str] = None if disk else "disk layer off"
         self._memory: OrderedDict[str, Tuple[SearchOutcome, ...]] = OrderedDict()
+        # The job layer reads and writes from concurrent driver
+        # threads; the lock guards the memory OrderedDict and counters
+        # (disk publication is already atomic via os.replace).
+        self._lock = threading.RLock()
         self._hits_memory = 0
         self._hits_disk = 0
         self._misses = 0
@@ -168,19 +218,46 @@ class SimulationCache:
         self, request: SimulationRequest, backend_name: str
     ) -> Optional[Tuple[SearchOutcome, ...]]:
         """The cached outcomes for ``(request, backend)``, or ``None``."""
-        key = cache_key(request, backend_name)
-        cached = self._memory.get(key)
-        if cached is not None:
-            self._memory.move_to_end(key)
-            self._hits_memory += 1
-            return cached
-        outcomes = self._read_disk(key, request, backend_name)
-        if outcomes is not None:
-            self._remember(key, outcomes)
-            self._hits_disk += 1
-            return outcomes
-        self._misses += 1
-        return None
+        return self._lookup(
+            cache_key(request, backend_name), request, backend_name, None
+        )
+
+    def lookup_shard(
+        self,
+        request: SimulationRequest,
+        backend_name: str,
+        trial_indices: Sequence[int],
+    ) -> Optional[Tuple[SearchOutcome, ...]]:
+        """The cached outcomes of one trial shard, or ``None``.
+
+        ``trial_indices`` must be the contiguous range the shard was
+        stored under (the job layer's deterministic chunking).
+        """
+        start, count = int(trial_indices[0]), len(trial_indices)
+        key = shard_cache_key(request, backend_name, start, count)
+        return self._lookup(key, request, backend_name, (start, count))
+
+    def _lookup(
+        self,
+        key: str,
+        request: SimulationRequest,
+        backend_name: str,
+        shard: Optional[Tuple[int, int]],
+    ) -> Optional[Tuple[SearchOutcome, ...]]:
+        with self._lock:
+            cached = self._memory.get(key)
+            if cached is not None:
+                self._memory.move_to_end(key)
+                self._hits_memory += 1
+                return cached
+        outcomes = self._read_disk(key, request, backend_name, shard)
+        with self._lock:
+            if outcomes is not None:
+                self._remember(key, outcomes)
+                self._hits_disk += 1
+                return outcomes
+            self._misses += 1
+            return None
 
     def store(
         self,
@@ -190,14 +267,35 @@ class SimulationCache:
     ) -> None:
         """Record the outcomes of one executed request."""
         key = cache_key(request, backend_name)
-        self._remember(key, outcomes)
-        self._write_disk(key, request, backend_name, outcomes)
-        self._stores += 1
+        with self._lock:
+            self._remember(key, outcomes)
+            self._stores += 1
+        self._write_disk(key, request, backend_name, outcomes, None)
+
+    def store_shard(
+        self,
+        request: SimulationRequest,
+        backend_name: str,
+        trial_indices: Sequence[int],
+        outcomes: Tuple[SearchOutcome, ...],
+    ) -> None:
+        """Record the outcomes of one completed trial shard.
+
+        The job layer writes every finished shard through here as it
+        lands, which is what makes killed jobs resumable.
+        """
+        start, count = int(trial_indices[0]), len(trial_indices)
+        key = shard_cache_key(request, backend_name, start, count)
+        with self._lock:
+            self._remember(key, outcomes)
+            self._stores += 1
+        self._write_disk(key, request, backend_name, outcomes, (start, count))
 
     def clear(self, memory: bool = True, disk: bool = True) -> int:
         """Drop cached entries; returns the number of disk files removed."""
         if memory:
-            self._memory.clear()
+            with self._lock:
+                self._memory.clear()
         removed = 0
         if disk and self._directory.is_dir():
             for path in self._directory.glob("*.pkl"):
@@ -207,6 +305,49 @@ class SimulationCache:
                 except OSError:
                     pass
         return removed
+
+    def prune(self, max_bytes: int) -> PruneResult:
+        """Evict least-recently-used disk entries down to ``max_bytes``.
+
+        "Recently used" is the file's modification time: stores write
+        it and every disk hit refreshes it (``os.utime``), so eviction
+        order follows actual access order across processes.  The
+        memory layer is untouched — it is already entry-bounded.
+        """
+        if max_bytes < 0:
+            raise InvalidParameterError(
+                f"max_bytes must be >= 0, got {max_bytes}"
+            )
+        entries: List[Tuple[float, int, Path]] = []
+        if self._directory.is_dir():
+            for path in self._directory.glob("*.pkl"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()  # oldest last_used first
+        total = sum(size for _, size, _ in entries)
+        remaining_files = len(entries)
+        removed = 0
+        freed = 0
+        for _, size, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            freed += size
+            removed += 1
+            remaining_files -= 1
+        return PruneResult(
+            removed_files=removed,
+            freed_bytes=freed,
+            remaining_files=remaining_files,
+            remaining_bytes=total,
+        )
 
     def info(self) -> CacheInfo:
         """Configuration + hit/miss counters + disk usage."""
@@ -219,20 +360,21 @@ class SimulationCache:
                     disk_files += 1
                 except OSError:
                     pass
-        return CacheInfo(
-            directory=str(self._directory),
-            disk_enabled=self._disk_enabled,
-            disk_error=self._disk_error,
-            memory_entries=len(self._memory),
-            max_memory_entries=self._max_memory_entries,
-            disk_files=disk_files,
-            disk_bytes=disk_bytes,
-            hits_memory=self._hits_memory,
-            hits_disk=self._hits_disk,
-            misses=self._misses,
-            stores=self._stores,
-            code_version=CODE_VERSION,
-        )
+        with self._lock:
+            return CacheInfo(
+                directory=str(self._directory),
+                disk_enabled=self._disk_enabled,
+                disk_error=self._disk_error,
+                memory_entries=len(self._memory),
+                max_memory_entries=self._max_memory_entries,
+                disk_files=disk_files,
+                disk_bytes=disk_bytes,
+                hits_memory=self._hits_memory,
+                hits_disk=self._hits_disk,
+                misses=self._misses,
+                stores=self._stores,
+                code_version=CODE_VERSION,
+            )
 
     def _remember(self, key: str, outcomes: Tuple[SearchOutcome, ...]) -> None:
         self._memory[key] = outcomes
@@ -244,7 +386,11 @@ class SimulationCache:
         return self._directory / f"{key}.pkl"
 
     def _read_disk(
-        self, key: str, request: SimulationRequest, backend_name: str
+        self,
+        key: str,
+        request: SimulationRequest,
+        backend_name: str,
+        shard: Optional[Tuple[int, int]] = None,
     ) -> Optional[Tuple[SearchOutcome, ...]]:
         if not self._disk_enabled:
             return None
@@ -271,9 +417,17 @@ class SimulationCache:
             return None
         if payload.get("fingerprint") != request_fingerprint(request):
             return None
+        stored_shard = payload.get("shard")
+        if (None if stored_shard is None else tuple(stored_shard)) != shard:
+            return None
         outcomes = payload.get("outcomes")
         if not isinstance(outcomes, tuple):
             return None
+        # Record last_used for LRU pruning; best-effort.
+        try:
+            os.utime(path)
+        except OSError:
+            pass
         return outcomes
 
     def _write_disk(
@@ -282,6 +436,7 @@ class SimulationCache:
         request: SimulationRequest,
         backend_name: str,
         outcomes: Tuple[SearchOutcome, ...],
+        shard: Optional[Tuple[int, int]] = None,
     ) -> None:
         if not self._disk_enabled:
             return
@@ -290,6 +445,7 @@ class SimulationCache:
             "code_version": CODE_VERSION,
             "backend": backend_name,
             "fingerprint": request_fingerprint(request),
+            "shard": None if shard is None else list(shard),
             "outcomes": outcomes,
         }
         try:

@@ -1,0 +1,885 @@
+"""The asynchronous job layer: one execution core under sync and async.
+
+Since PR 3 every simulation — blocking or not — runs through this
+module.  :meth:`JobManager.submit` turns a
+:class:`~repro.sim.backends.base.SimulationRequest` into a
+:class:`SimulationJob` executing the canonical pipeline::
+
+    resolve backend -> cache lookup -> shard trials -> run -> store
+
+and :func:`repro.sim.simulate` is nothing but
+``submit(...).result()``.  The async view adds three things on top of
+the same core:
+
+* **states and progress** — a job moves ``PENDING -> RUNNING ->
+  DONE/FAILED/CANCELLED``; :meth:`SimulationJob.progress` reports
+  per-shard and per-trial completion while the job runs;
+* **streaming** — :meth:`SimulationJob.iter_results` yields each
+  completed trial shard as it lands (including shards served from the
+  cache), so long sweeps deliver results incrementally instead of all
+  at the end;
+* **resume** — every finished shard is written through to the
+  content-addressed result cache (shard-addressed entries next to the
+  full-request entry), so a killed or cancelled job resumes from its
+  completed shards on resubmission with zero re-simulation, proven by
+  :func:`backend_run_count`.
+
+Sharding preserves the per-trial seed contract: shard boundaries never
+enter ``derive_seed(seed, *seed_keys, trial)``, so per-trial backends
+produce bit-identical outcomes whatever the shard layout — which is
+also what makes shard-level cache entries composable into the full
+result.
+
+The :class:`JobManager` owns the worker :class:`ProcessPoolExecutor`
+(created lazily, grown on demand, shared across jobs) and mirrors
+every job's state into a small JSON ledger under the cache directory
+(``<cache>/jobs/<job_id>.json``), which is what ``repro-ants jobs
+list|status|cancel`` reads — including from a different process, where
+cancellation is requested through a ``<job_id>.cancel`` marker file
+the driver polls at shard boundaries.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import tempfile
+import threading
+import time
+import uuid
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from enum import Enum
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import InvalidParameterError, JobCancelledError
+from repro.sim.backends.base import (
+    SimulationBackend,
+    SimulationRequest,
+    SimulationResult,
+)
+from repro.sim.backends.registry import AUTO, resolve_backend
+from repro.sim.cache import cache_enabled, get_cache
+from repro.sim.metrics import SearchOutcome
+
+_RUNS_LOCK = threading.Lock()
+_BACKEND_RUNS = 0
+
+#: How often a driver waiting on pool shards re-checks for cancellation
+#: (in-process event or cross-process marker file).
+_CANCEL_POLL_SECONDS = 0.1
+
+
+def backend_run_count() -> int:
+    """Backend executions performed by this process's jobs.
+
+    Cache hits — full-request or shard-level — do not increment the
+    counter; sharded runs count one execution per shard actually run.
+    (Worker *processes* keep their own counters — the parent records
+    the shards it dispatched and saw complete.)  The tests use this to
+    prove that cached re-runs and resumed jobs simulate nothing they
+    already have.
+    """
+    return _BACKEND_RUNS
+
+
+def _count_backend_runs(count: int) -> None:
+    global _BACKEND_RUNS
+    with _RUNS_LOCK:
+        _BACKEND_RUNS += count
+
+
+class JobState(str, Enum):
+    """Lifecycle of a :class:`SimulationJob`."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+#: The states a job can settle in; shared with the sweep handle.
+TERMINAL_STATES = frozenset(
+    {JobState.DONE, JobState.FAILED, JobState.CANCELLED}
+)
+_TERMINAL_STATES = TERMINAL_STATES
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """One completed trial shard of a job, streamed as it lands."""
+
+    shard_index: int
+    trial_start: int
+    trial_count: int
+    outcomes: Tuple[SearchOutcome, ...]
+    from_cache: bool
+
+    @property
+    def trial_indices(self) -> range:
+        """The trial indices this shard covers."""
+        return range(self.trial_start, self.trial_start + self.trial_count)
+
+
+@dataclass(frozen=True)
+class JobProgress:
+    """A snapshot of one job's completion state."""
+
+    state: JobState
+    total_shards: int
+    done_shards: int
+    total_trials: int
+    done_trials: int
+    cached_shards: int
+
+    @property
+    def fraction(self) -> float:
+        """Completed trials as a fraction of the total."""
+        if self.total_trials == 0:
+            return 1.0
+        return self.done_trials / self.total_trials
+
+
+def _chunk_trials(n_trials: int, workers: int) -> List[range]:
+    """Contiguous trial-index ranges, one per worker (possibly fewer).
+
+    Deterministic in ``(n_trials, workers)`` — the shard layout is part
+    of what makes resumed jobs hit their own shard cache entries.
+    """
+    n_chunks = min(workers, n_trials)
+    base, remainder = divmod(n_trials, n_chunks)
+    chunks: List[range] = []
+    start = 0
+    for index in range(n_chunks):
+        size = base + (1 if index < remainder else 0)
+        chunks.append(range(start, start + size))
+        start += size
+    return chunks
+
+
+def _run_shard_task(
+    request: SimulationRequest,
+    backend_name: str,
+    trial_indices: Optional[Sequence[int]],
+) -> Tuple[SearchOutcome, ...]:
+    """Worker-process entry point: run one shard of a request."""
+    backend = resolve_backend(request, backend_name)
+    if trial_indices is None:
+        return backend.run(request)
+    return backend.run(request, trial_indices=trial_indices)
+
+
+class SimulationJob:
+    """Handle for one submitted simulation request.
+
+    Created by :meth:`JobManager.submit`; never constructed directly.
+    The job executes on a background driver thread owned by the
+    manager; this handle is the thread-safe view — poll
+    :meth:`progress`, stream :meth:`iter_results`, block on
+    :meth:`result`, or :meth:`cancel`.
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        request: SimulationRequest,
+        backend_name: str,
+        shards: List[Optional[range]],
+        use_cache: bool,
+        pool_workers: int,
+        ledger: bool = True,
+    ) -> None:
+        self.job_id = job_id
+        self.request = request
+        self.backend = backend_name
+        self._shards = shards
+        self._use_cache = use_cache
+        self._pool_workers = pool_workers
+        self._lock = threading.Lock()
+        self._condition = threading.Condition(self._lock)
+        self._state = JobState.PENDING
+        self._shard_outcomes: List[Optional[Tuple[SearchOutcome, ...]]] = [
+            None for _ in shards
+        ]
+        self._emitted: List[ShardResult] = []
+        self._cached_shards = 0
+        self._error: Optional[BaseException] = None
+        self._cancel_event = threading.Event()
+        self._submitted_at = time.time()
+        self._finished_at: Optional[float] = None
+        # Jobs served entirely from the result cache skip the ledger —
+        # no disk I/O for replays that simulated nothing.
+        self._served_from_cache = False
+        # The blocking facade submits with ledger=False: its jobs are
+        # settled before the caller could ever inspect them, so the
+        # per-call disk writes would be pure overhead.
+        self._ledger_enabled = ledger
+
+    # -- read side -------------------------------------------------------
+
+    @property
+    def state(self) -> JobState:
+        """The job's current lifecycle state."""
+        with self._lock:
+            return self._state
+
+    def done(self) -> bool:
+        """Whether the job reached a terminal state."""
+        return self.state in _TERMINAL_STATES
+
+    def cancel_requested(self) -> bool:
+        """Whether cancellation has been requested (state may lag)."""
+        return self._cancel_event.is_set()
+
+    def exception(self) -> Optional[BaseException]:
+        """The failure cause for a ``FAILED`` job, else ``None``."""
+        with self._lock:
+            return self._error
+
+    def progress(self) -> JobProgress:
+        """Per-shard / per-trial completion snapshot."""
+        with self._lock:
+            done_shards = sum(
+                1 for outcomes in self._shard_outcomes if outcomes is not None
+            )
+            done_trials = sum(
+                len(outcomes)
+                for outcomes in self._shard_outcomes
+                if outcomes is not None
+            )
+            return JobProgress(
+                state=self._state,
+                total_shards=len(self._shards),
+                done_shards=done_shards,
+                total_trials=self.request.n_trials,
+                done_trials=done_trials,
+                cached_shards=self._cached_shards,
+            )
+
+    def iter_results(self) -> Iterator[ShardResult]:
+        """Yield completed shards as they land, in landing order.
+
+        Cache-served shards are yielded too (``from_cache=True``), so a
+        fully cached job still streams its results.  Iteration ends
+        when the job reaches a terminal state; a ``FAILED`` job raises
+        its error after the shards that did complete, a ``CANCELLED``
+        one raises :class:`~repro.errors.JobCancelledError`.  Safe to
+        call multiple times (each iterator replays from the start) and
+        after completion.
+        """
+        index = 0
+        while True:
+            with self._condition:
+                while (
+                    index >= len(self._emitted)
+                    and self._state not in _TERMINAL_STATES
+                ):
+                    self._condition.wait()
+                if index < len(self._emitted):
+                    shard = self._emitted[index]
+                else:
+                    if self._state is JobState.FAILED:
+                        raise self._error  # noqa: raise-from — original error
+                    if self._state is JobState.CANCELLED:
+                        raise JobCancelledError(
+                            f"job {self.job_id} was cancelled after "
+                            f"{len(self._emitted)}/{len(self._shards)} shards"
+                        )
+                    return
+            index += 1
+            yield shard
+
+    def result(self, timeout: Optional[float] = None) -> SimulationResult:
+        """Block until terminal and return the assembled result.
+
+        Raises the job's error for ``FAILED``,
+        :class:`~repro.errors.JobCancelledError` for ``CANCELLED``, and
+        ``TimeoutError`` if ``timeout`` elapses first.
+        """
+        with self._condition:
+            if not self._condition.wait_for(
+                lambda: self._state in _TERMINAL_STATES, timeout=timeout
+            ):
+                raise TimeoutError(
+                    f"job {self.job_id} still {self._state.value} "
+                    f"after {timeout}s"
+                )
+            if self._state is JobState.FAILED:
+                raise self._error
+            if self._state is JobState.CANCELLED:
+                raise JobCancelledError(f"job {self.job_id} was cancelled")
+            outcomes: List[SearchOutcome] = []
+            for shard_outcomes in self._shard_outcomes:
+                outcomes.extend(shard_outcomes or ())
+            return SimulationResult(
+                request=self.request,
+                backend=self.backend,
+                outcomes=tuple(outcomes),
+            )
+
+    # -- control side ----------------------------------------------------
+
+    def cancel(self) -> bool:
+        """Request cancellation; returns ``False`` if already terminal.
+
+        Pending shards are abandoned; shards already running are
+        allowed to finish and are still written through to the cache
+        (so a cancelled job's completed work is never lost), after
+        which the job settles in ``CANCELLED``.
+        """
+        with self._lock:
+            if self._state in _TERMINAL_STATES:
+                return False
+        self._cancel_event.set()
+        return True
+
+    # -- driver-internal mutations --------------------------------------
+
+    def _mark_running(self) -> None:
+        with self._condition:
+            if self._state is JobState.PENDING:
+                self._state = JobState.RUNNING
+            self._condition.notify_all()
+
+    def _record_shard(
+        self,
+        shard_index: int,
+        outcomes: Tuple[SearchOutcome, ...],
+        from_cache: bool,
+    ) -> None:
+        shard = self._shards[shard_index]
+        trial_start = shard.start if shard is not None else 0
+        with self._condition:
+            self._shard_outcomes[shard_index] = outcomes
+            if from_cache:
+                self._cached_shards += 1
+            self._emitted.append(
+                ShardResult(
+                    shard_index=shard_index,
+                    trial_start=trial_start,
+                    trial_count=len(outcomes),
+                    outcomes=outcomes,
+                    from_cache=from_cache,
+                )
+            )
+            self._condition.notify_all()
+
+    def _finish(
+        self, state: JobState, error: Optional[BaseException] = None
+    ) -> None:
+        with self._condition:
+            if self._state in _TERMINAL_STATES:
+                return
+            self._state = state
+            self._error = error
+            self._finished_at = time.time()
+            self._condition.notify_all()
+
+    def _complete_from_cache(self, outcomes: Tuple[SearchOutcome, ...]) -> None:
+        """Full-request cache hit: collapse to one cached shard, DONE."""
+        with self._condition:
+            self._served_from_cache = True
+            self._shards = [None]
+            self._shard_outcomes = [outcomes]
+            self._cached_shards = 1
+            self._emitted.append(
+                ShardResult(
+                    shard_index=0,
+                    trial_start=0,
+                    trial_count=len(outcomes),
+                    outcomes=outcomes,
+                    from_cache=True,
+                )
+            )
+            self._state = JobState.DONE
+            self._finished_at = time.time()
+            self._condition.notify_all()
+
+
+def ledger_dir() -> Path:
+    """Where job records live: ``<cache dir>/jobs``.
+
+    Computed per call (not cached) so it follows the active cache
+    configuration — both ``REPRO_ANTS_CACHE_DIR`` and
+    ``configure_cache(directory=...)`` redirections move the ledger
+    with the cache.
+    """
+    return get_cache().directory / "jobs"
+
+
+def _cancel_marker(job_id: str) -> Path:
+    return ledger_dir() / f"{job_id}.cancel"
+
+
+_TERMINAL_RECORD_STATES = frozenset(
+    state.value for state in _TERMINAL_STATES
+)
+
+
+def request_cancel(job_id: str) -> bool:
+    """Ask a possibly-foreign process to cancel ``job_id``.
+
+    Writes the ``<job_id>.cancel`` marker the owning driver polls at
+    shard boundaries; if the job lives in *this* process it is also
+    cancelled directly.  Returns ``False`` — and leaves no marker
+    behind — when the job is unknown or already terminal.
+    """
+    job = get_manager().get(job_id)
+    if job is not None:
+        if not job.cancel():
+            return False
+    else:
+        record = next(
+            (r for r in read_job_records() if r.get("job_id") == job_id),
+            None,
+        )
+        if record is None or record.get("state") in _TERMINAL_RECORD_STATES:
+            return False
+        if not _owner_alive(record):
+            return False  # crashed owner: nothing left to cancel
+    try:
+        ledger_dir().mkdir(parents=True, exist_ok=True)
+        _cancel_marker(job_id).touch()
+    except OSError:
+        pass
+    return True
+
+
+def read_job_records() -> List[dict]:
+    """All persisted job records, newest submission first.
+
+    Best-effort: unreadable or corrupt records are skipped.  Records
+    describe jobs from any process sharing the cache directory.
+    """
+    directory = ledger_dir()
+    records: List[dict] = []
+    if not directory.is_dir():
+        return records
+    for path in directory.glob("*.json"):
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(record, dict) and "job_id" in record:
+            records.append(record)
+    records.sort(key=lambda record: record.get("submitted_at", 0), reverse=True)
+    return records
+
+
+#: Retention bound: the ledger keeps at most this many records; older
+#: terminal ones are dropped by the per-process prune pass.
+_MAX_LEDGER_RECORDS = 500
+
+
+def _owner_alive(record: dict) -> bool:
+    """Whether the process that wrote this record still exists.
+
+    Same-host check (the ledger lives in a local cache directory): a
+    record whose owner died — kill -9, crash — can never progress, so
+    pruning treats it as terminal.
+    """
+    pid = record.get("pid")
+    if not isinstance(pid, int) or pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+        return True
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True  # exists but not ours (EPERM)
+
+
+def prune_job_records(max_records: int = _MAX_LEDGER_RECORDS) -> int:
+    """Drop the oldest settled ledger records beyond ``max_records``.
+
+    "Settled" means terminal state *or* a non-terminal record whose
+    owning process is dead (a crashed run can never progress).  Also
+    removes orphaned ``.cancel`` markers whose job record is settled
+    or gone.  Runs automatically once per process on the first
+    submission, and behind ``repro-ants jobs clear``.  Returns the
+    number of files removed.
+    """
+    directory = ledger_dir()
+    if not directory.is_dir():
+        return 0
+    records = read_job_records()  # newest first
+    removed = 0
+    terminal = {
+        r["job_id"] for r in records
+        if r.get("state") in _TERMINAL_RECORD_STATES or not _owner_alive(r)
+    }
+    known = {r["job_id"] for r in records}
+    for record in records[max_records:]:
+        if record["job_id"] not in terminal:
+            continue
+        try:
+            (directory / f"{record['job_id']}.json").unlink()
+            removed += 1
+        except OSError:
+            pass
+    for marker in directory.glob("*.cancel"):
+        job_id = marker.name[: -len(".cancel")]
+        if job_id not in known or job_id in terminal:
+            try:
+                marker.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed
+
+
+class JobManager:
+    """Owns job execution: driver threads, the process pool, the ledger.
+
+    One manager per process (see :func:`get_manager`).  ``submit``
+    validates and resolves synchronously — bad parameters and
+    unsupported backends fail at the call site — then hands the job to
+    a daemon driver thread so the caller gets the handle immediately.
+    """
+
+    #: In-process registry bound: terminal jobs beyond this are evicted
+    #: (their outcomes would otherwise accumulate for the process's
+    #: lifetime); their ledger records and cache entries survive.
+    MAX_RETAINED_JOBS = 256
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, SimulationJob] = {}
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_size = 0
+        self._retired_pools: List[ProcessPoolExecutor] = []
+        self._ledger_pruned = False
+
+    def submit(
+        self,
+        request: SimulationRequest,
+        backend: str = AUTO,
+        workers: int = 1,
+        cache: Optional[bool] = None,
+        run_in_pool: bool = False,
+        pool_size: Optional[int] = None,
+        ledger: bool = True,
+    ) -> SimulationJob:
+        """Start a simulation job and return its handle.
+
+        Parameters mirror :func:`repro.sim.simulate`; additionally
+        ``run_in_pool`` forces even a single-shard job onto the shared
+        process pool (sized ``pool_size``) instead of the driver
+        thread — the sweep executor uses this to run whole grid points
+        in parallel worker processes — and ``ledger=False`` keeps the
+        job out of the persistent jobs ledger (used by the blocking
+        facade, whose jobs settle before anyone could observe them).
+        """
+        if workers < 1:
+            raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+        chosen = resolve_backend(request, backend)
+        use_cache = cache_enabled() if cache is None else cache
+        if workers == 1 or request.n_trials == 1:
+            shards: List[Optional[range]] = [None]
+        else:
+            shards = list(_chunk_trials(request.n_trials, workers))
+        job = SimulationJob(
+            job_id=f"job-{uuid.uuid4().hex[:12]}",
+            request=request,
+            backend_name=chosen.name,
+            shards=shards,
+            use_cache=use_cache,
+            pool_workers=(pool_size or workers) if (run_in_pool or len(shards) > 1) else 0,
+            ledger=ledger,
+        )
+        with self._lock:
+            self._jobs[job.job_id] = job
+            if len(self._jobs) > self.MAX_RETAINED_JOBS:
+                overflow = len(self._jobs) - self.MAX_RETAINED_JOBS
+                for stale_id in [
+                    job_id for job_id, stale in self._jobs.items()
+                    if stale.done()
+                ][:overflow]:
+                    del self._jobs[stale_id]
+            prune_now = not self._ledger_pruned
+            self._ledger_pruned = True
+        if prune_now:
+            # Bound ledger growth: once per process, drop old terminal
+            # records and orphaned cancel markers.
+            prune_job_records()
+        thread = threading.Thread(
+            target=self._drive,
+            args=(job, chosen),
+            name=f"repro-job-{job.job_id}",
+            daemon=True,
+        )
+        thread.start()
+        return job
+
+    def get(self, job_id: str) -> Optional[SimulationJob]:
+        """The in-process job with this id, if any."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[SimulationJob]:
+        """All jobs submitted through this manager, oldest first."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel an in-process job by id."""
+        job = self.get(job_id)
+        return job.cancel() if job is not None else False
+
+    def close(self) -> None:
+        """Shut the process pool down (idempotent).
+
+        Also flushes terminal ledger records: driver threads are
+        daemons, so a process exiting right after ``result()`` returns
+        can kill the driver before its final write — this runs at
+        ``atexit`` and settles the records.
+        """
+        for job in self.jobs():
+            if job.done() and not job._served_from_cache:
+                self._write_ledger(job)
+        with self._lock:
+            pool, self._pool, self._pool_size = self._pool, None, 0
+            retired, self._retired_pools = self._retired_pools, []
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        for old in retired:
+            old.shutdown(wait=False, cancel_futures=True)
+
+    # -- execution -------------------------------------------------------
+
+    def _ensure_pool(
+        self, workers: int, requester: Optional[SimulationJob] = None
+    ) -> ProcessPoolExecutor:
+        """The shared pool, grown (never shrunk) to ``workers``.
+
+        Keeping the current pool warm across jobs is deliberate —
+        worker spawn cost is amortized over a sweep's many points.
+        """
+        with self._lock:
+            if self._pool is None or self._pool_size < workers:
+                old = self._pool
+                self._pool = ProcessPoolExecutor(max_workers=workers)
+                self._pool_size = workers
+                if old is not None:
+                    # A concurrent job may still be submitting shards to
+                    # its captured reference, and submit-after-shutdown
+                    # raises.  Only reclaim the old workers immediately
+                    # when no *other* job is live; otherwise park the
+                    # pool for close() to settle at exit.
+                    others_live = any(
+                        job is not requester and not job.done()
+                        for job in self._jobs.values()
+                    )
+                    if others_live:
+                        self._retired_pools.append(old)
+                    else:
+                        old.shutdown(wait=False)
+            return self._pool
+
+    def _cancel_requested(self, job: SimulationJob) -> bool:
+        if job.cancel_requested():
+            return True
+        try:
+            if _cancel_marker(job.job_id).exists():
+                job.cancel()
+                return True
+        except OSError:
+            pass
+        return False
+
+    def _drive(self, job: SimulationJob, backend: SimulationBackend) -> None:
+        """Driver-thread body: the canonical execution pipeline."""
+        try:
+            job._mark_running()
+            cache = get_cache() if job._use_cache else None
+            request = job.request
+
+            if cache is not None:
+                full = cache.lookup(request, job.backend)
+                if full is not None:
+                    # Served entirely from memory/disk cache: skip the
+                    # ledger altogether — a replay that simulated
+                    # nothing is not worth disk I/O per call, and the
+                    # original run's record already exists.
+                    job._complete_from_cache(full)
+                    return
+            self._write_ledger(job)
+
+            pending: List[int] = []
+            for shard_index, indices in enumerate(job._shards):
+                hit = None
+                if cache is not None and indices is not None:
+                    hit = cache.lookup_shard(request, job.backend, indices)
+                if hit is not None:
+                    job._record_shard(shard_index, hit, from_cache=True)
+                else:
+                    pending.append(shard_index)
+
+            if self._cancel_requested(job):
+                job._finish(JobState.CANCELLED)
+                return
+
+            if pending and job._pool_workers == 0:
+                # Single shard, no pool requested: run inline on this
+                # driver thread — the same in-process execution the
+                # blocking facade always had.
+                _count_backend_runs(1)
+                outcomes = backend.run(request)
+                job._record_shard(pending[0], outcomes, from_cache=False)
+                if cache is not None:
+                    cache.store(request, job.backend, outcomes)
+            elif pending:
+                cancelled = self._run_pooled(job, cache, pending)
+                if cancelled:
+                    job._finish(JobState.CANCELLED)
+                    return
+
+            if cache is not None and len(job._shards) > 1:
+                # Publish the assembled full-request entry next to the
+                # shard entries so future lookups hit in one probe.
+                outcomes = []
+                for shard_outcomes in job._shard_outcomes:
+                    outcomes.extend(shard_outcomes or ())
+                cache.store(request, job.backend, tuple(outcomes))
+            job._finish(JobState.DONE)
+        except BaseException as error:  # noqa: BLE001 — surfaced via result()
+            job._finish(JobState.FAILED, error)
+        finally:
+            if not job._served_from_cache:
+                self._write_ledger(job)
+                try:
+                    _cancel_marker(job.job_id).unlink()
+                except OSError:
+                    pass
+
+    def _run_pooled(
+        self,
+        job: SimulationJob,
+        cache,
+        pending: List[int],
+    ) -> bool:
+        """Run the pending shards on the shared pool; True if cancelled.
+
+        On cancellation, not-yet-started shards are dropped but
+        in-flight ones are awaited and written through to the cache —
+        completed work survives for resumption.
+        """
+        pool = self._ensure_pool(job._pool_workers, requester=job)
+        request = job.request
+        futures: Dict[Future, int] = {}
+        for shard_index in pending:
+            indices = job._shards[shard_index]
+            future = pool.submit(
+                _run_shard_task,
+                request,
+                job.backend,
+                None if indices is None else list(indices),
+            )
+            futures[future] = shard_index
+        cancelled = False
+        while futures:
+            if not cancelled and self._cancel_requested(job):
+                cancelled = True
+                for future in list(futures):
+                    if future.cancel():
+                        del futures[future]
+            done, _ = wait(
+                futures, timeout=_CANCEL_POLL_SECONDS,
+                return_when=FIRST_COMPLETED,
+            )
+            for future in done:
+                shard_index = futures.pop(future)
+                try:
+                    outcomes = future.result()
+                except BaseException:
+                    # One shard failing fails the job; don't leave the
+                    # rest burning pool capacity.
+                    for remaining in futures:
+                        remaining.cancel()
+                    raise
+                _count_backend_runs(1)
+                job._record_shard(shard_index, outcomes, from_cache=False)
+                if cache is not None:
+                    indices = job._shards[shard_index]
+                    if indices is None:
+                        cache.store(request, job.backend, outcomes)
+                    else:
+                        cache.store_shard(
+                            request, job.backend, indices, outcomes
+                        )
+                self._write_ledger(job)
+        return cancelled
+
+    # -- ledger ----------------------------------------------------------
+
+    def _write_ledger(self, job: SimulationJob) -> None:
+        """Best-effort persisted job record for the CLI."""
+        if not job._ledger_enabled:
+            return
+        progress = job.progress()
+        record = {
+            "job_id": job.job_id,
+            "state": progress.state.value,
+            "algorithm": job.request.algorithm.name,
+            "backend": job.backend,
+            "n_trials": job.request.n_trials,
+            "n_agents": job.request.n_agents,
+            "seed": job.request.seed,
+            "total_shards": progress.total_shards,
+            "done_shards": progress.done_shards,
+            "done_trials": progress.done_trials,
+            "cached_shards": progress.cached_shards,
+            "submitted_at": job._submitted_at,
+            "finished_at": job._finished_at,
+            "updated_at": time.time(),
+            "pid": os.getpid(),
+            "error": (
+                str(job.exception()) if job.exception() is not None else None
+            ),
+        }
+        try:
+            directory = ledger_dir()
+            directory.mkdir(parents=True, exist_ok=True)
+            fd, temp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle)
+            os.replace(temp_name, directory / f"{job.job_id}.json")
+        except OSError:
+            pass
+
+
+_GLOBAL_MANAGER: Optional[JobManager] = None
+_MANAGER_LOCK = threading.Lock()
+
+
+def get_manager() -> JobManager:
+    """The process-wide :class:`JobManager` (created lazily)."""
+    global _GLOBAL_MANAGER
+    with _MANAGER_LOCK:
+        if _GLOBAL_MANAGER is None:
+            _GLOBAL_MANAGER = JobManager()
+            atexit.register(_GLOBAL_MANAGER.close)
+        return _GLOBAL_MANAGER
+
+
+def simulate_async(
+    request: SimulationRequest,
+    backend: str = AUTO,
+    workers: int = 1,
+    cache: Optional[bool] = None,
+) -> SimulationJob:
+    """Submit a request for asynchronous execution.
+
+    Returns immediately with a :class:`SimulationJob`; stream shards
+    with :meth:`~SimulationJob.iter_results`, poll
+    :meth:`~SimulationJob.progress`, or block on
+    :meth:`~SimulationJob.result` — which is exactly what the blocking
+    :func:`repro.sim.simulate` facade does.
+    """
+    return get_manager().submit(
+        request, backend=backend, workers=workers, cache=cache
+    )

@@ -9,15 +9,25 @@ EXPERIMENTS.md.
 Two trial forms exist, with two execution strategies:
 
 * a plain ``trial(params, rng) -> float`` callable is compiled into
-  :class:`SweepJob` trial slices — serially, or sharded across a
+  :class:`SweepShard` trial slices — serially, or sharded across a
   :class:`~concurrent.futures.ProcessPoolExecutor` with ``workers=N``;
 * a :class:`SimulationTrial` declares that the trial is *really a
   SimulationRequest factory*; the sweep then compiles each grid point
-  into **one** :func:`repro.sim.simulate` call (one vectorized
-  batched-backend pass per point), sharding whole points — not
-  individual trials — across workers.  Each compiled call also passes
-  through the content-addressed result cache, so repeated points and
-  re-run sweeps simulate nothing.
+  into **one** batched backend call, submitted as a child job of the
+  process-wide :class:`~repro.sim.jobs.JobManager` (whole points — not
+  individual trials — run in parallel worker processes).  Each
+  compiled call also passes through the content-addressed result
+  cache, so repeated points and re-run sweeps simulate nothing.
+
+Compiled sweeps can also run *asynchronously*: :meth:`Sweep.submit`
+returns a :class:`SweepJob` handle streaming
+:class:`ExperimentRow` objects as grid points complete
+(:meth:`SweepJob.iter_rows`), reporting live point/trial progress
+(:meth:`SweepJob.progress`), and supporting cancellation.  Because
+every completed point lands in the result cache the moment it
+finishes, a killed or cancelled sweep resumes from its completed
+points on resubmission — zero re-simulation, proven by
+:func:`repro.sim.jobs.backend_run_count`.
 
 Trial ``t`` of point ``i`` always draws from ``derive_seed(seed,
 *seed_keys, i, t)`` regardless of trial form, job partitioning, or
@@ -31,12 +41,14 @@ equal in distribution instead.
 from __future__ import annotations
 
 import pickle
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import (
     Callable,
     Dict,
     Iterable,
+    Iterator,
     List,
     Mapping,
     Optional,
@@ -47,8 +59,15 @@ from typing import (
 
 import numpy as np
 
-from repro.errors import InvalidParameterError
+from repro.errors import InvalidParameterError, JobCancelledError
 from repro.sim.backends.base import SimulationRequest
+from repro.sim.jobs import (
+    TERMINAL_STATES,
+    JobManager,
+    JobState,
+    SimulationJob,
+    get_manager,
+)
 from repro.sim.metrics import SearchOutcome
 from repro.sim.rng import derive_seed
 from repro.sim.stats import Estimate, mean_ci
@@ -102,7 +121,7 @@ class ExperimentRow:
 
 
 @dataclass(frozen=True)
-class SweepJob:
+class SweepShard:
     """One executable shard of a sweep: a trial slice of one grid point."""
 
     point_index: int
@@ -112,12 +131,12 @@ class SweepJob:
 
     @property
     def trial_indices(self) -> range:
-        """The trial indices this job covers."""
+        """The trial indices this shard covers."""
         return range(self.trial_start, self.trial_start + self.trial_count)
 
 
 def _execute_job(
-    trial: TrialFunction, job: SweepJob, seed: int, seed_keys: Tuple[int, ...]
+    trial: TrialFunction, job: SweepShard, seed: int, seed_keys: Tuple[int, ...]
 ) -> Tuple[int, int, List[float]]:
     """Run one job; also the worker-process entry point.
 
@@ -140,22 +159,207 @@ def _execute_job(
     return job.point_index, job.trial_start, samples
 
 
-def _execute_point(
-    request: SimulationRequest,
-    backend: str,
-    metric: OutcomeMetric,
-    cache: Optional[bool],
-) -> Tuple[List[float], float]:
-    """Run one compiled grid point; also the worker-process entry point.
+@dataclass(frozen=True)
+class SweepProgress:
+    """A snapshot of a submitted sweep's completion state."""
 
-    Returns the per-trial metric samples plus the point's find rate
-    (every compiled row carries it as a standard extra).
+    state: JobState
+    total_points: int
+    done_points: int
+    total_trials: int
+    done_trials: int
+
+    @property
+    def fraction(self) -> float:
+        """Completed trials as a fraction of the total."""
+        if self.total_trials == 0:
+            return 1.0
+        return self.done_trials / self.total_trials
+
+
+class SweepJob:
+    """Handle for a submitted compiled sweep.
+
+    Created by :meth:`Sweep.submit`.  Each grid point runs as a child
+    :class:`~repro.sim.jobs.SimulationJob` of the process-wide
+    :class:`~repro.sim.jobs.JobManager` — at most ``workers`` points in
+    flight, in worker processes when ``workers > 1`` and inline on the
+    coordinator thread otherwise.  Rows stream in grid order through
+    :meth:`iter_rows`; :meth:`progress` aggregates the children's
+    trial-level progress; :meth:`cancel` stops the sweep while keeping
+    every already-completed point in the result cache, so resubmitting
+    the same sweep resumes instead of restarting.
     """
-    from repro.sim.service import simulate
 
-    result = simulate(request, backend=backend, cache=cache)
-    samples = [metric(outcome) for outcome in result.outcomes]
-    return samples, result.find_rate
+    def __init__(
+        self,
+        trial: "SimulationTrial",
+        entries: List[Tuple[Dict[str, object], SimulationRequest]],
+        trials: int,
+        workers: int,
+        manager: JobManager,
+        progress_callback: Optional[Callable[["SweepProgress"], None]] = None,
+    ) -> None:
+        self._trial = trial
+        self._entries = entries
+        self._trials = trials
+        self._workers = max(1, workers)
+        self._manager = manager
+        self._progress_callback = progress_callback
+        self._lock = threading.Lock()
+        self._condition = threading.Condition(self._lock)
+        self._rows: List[Optional[ExperimentRow]] = [None] * len(entries)
+        self._children: Dict[int, SimulationJob] = {}
+        self._state = JobState.PENDING
+        self._error: Optional[BaseException] = None
+        self._cancel_event = threading.Event()
+        self._thread = threading.Thread(
+            target=self._drive, name="repro-sweep", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def state(self) -> JobState:
+        """The sweep's current lifecycle state."""
+        with self._lock:
+            return self._state
+
+    def done(self) -> bool:
+        """Whether the sweep reached a terminal state."""
+        return self.state in TERMINAL_STATES
+
+    def progress(self) -> SweepProgress:
+        """Live point- and trial-level completion snapshot."""
+        with self._lock:
+            state = self._state
+            done_points = sum(1 for row in self._rows if row is not None)
+            children = dict(self._children)
+        done_trials = sum(
+            child.progress().done_trials for child in children.values()
+        )
+        return SweepProgress(
+            state=state,
+            total_points=len(self._entries),
+            done_points=done_points,
+            total_trials=len(self._entries) * self._trials,
+            done_trials=done_trials,
+        )
+
+    def iter_rows(self) -> Iterator[Tuple[int, ExperimentRow]]:
+        """Yield ``(point_index, row)`` pairs incrementally, in grid order.
+
+        Blocks until each point completes; raises the sweep's error if
+        it fails, or :class:`~repro.errors.JobCancelledError` once the
+        remaining points will never arrive after a cancellation.
+        """
+        for index in range(len(self._entries)):
+            with self._condition:
+                self._condition.wait_for(
+                    lambda: self._rows[index] is not None
+                    or self._state in TERMINAL_STATES
+                )
+                row = self._rows[index]
+                if row is None:
+                    if self._state is JobState.FAILED:
+                        raise self._error
+                    raise JobCancelledError(
+                        f"sweep cancelled after {index} of "
+                        f"{len(self._entries)} points"
+                    )
+            yield index, row
+
+    def result(self, timeout: Optional[float] = None) -> List[ExperimentRow]:
+        """Block until terminal; the aggregated rows in grid order."""
+        with self._condition:
+            if not self._condition.wait_for(
+                lambda: self._state in TERMINAL_STATES,
+                timeout=timeout,
+            ):
+                raise TimeoutError(f"sweep still {self._state.value}")
+            if self._state is JobState.FAILED:
+                raise self._error
+            if self._state is JobState.CANCELLED:
+                done = sum(1 for row in self._rows if row is not None)
+                raise JobCancelledError(
+                    f"sweep cancelled after {done} of "
+                    f"{len(self._entries)} points"
+                )
+            return [row for row in self._rows if row is not None]
+
+    def cancel(self) -> bool:
+        """Stop the sweep; completed points stay cached for resumption."""
+        with self._lock:
+            if self._state in TERMINAL_STATES:
+                return False
+            children = dict(self._children)
+        self._cancel_event.set()
+        for child in children.values():
+            child.cancel()
+        return True
+
+    def _drive(self) -> None:
+        trial = self._trial
+        use_pool = self._workers > 1 and len(self._entries) > 1
+        try:
+            with self._condition:
+                self._state = JobState.RUNNING
+                self._condition.notify_all()
+            # Pooled points are bounded by the pool itself, so submit
+            # them all upfront and let the executor queue keep every
+            # worker saturated (no head-of-line blocking on the
+            # in-order consumer below).  Inline points run on their
+            # driver threads, so there the window must stay 1 to keep
+            # execution serial.
+            window = len(self._entries) if use_pool else 1
+            submitted = 0
+            for completed in range(len(self._entries)):
+                if self._cancel_event.is_set():
+                    raise JobCancelledError("sweep cancelled")
+                while submitted < len(self._entries) and (
+                    submitted < completed + window
+                ):
+                    _, request = self._entries[submitted]
+                    child = self._manager.submit(
+                        request,
+                        backend=trial.backend,
+                        workers=1,
+                        cache=trial.cache,
+                        run_in_pool=use_pool,
+                        pool_size=self._workers,
+                    )
+                    with self._lock:
+                        self._children[submitted] = child
+                    submitted += 1
+                params, _ = self._entries[completed]
+                result = self._children[completed].result()
+                samples = [trial.metric(o) for o in result.outcomes]
+                row = ExperimentRow(
+                    params=params,
+                    estimate=mean_ci(samples),
+                    extras={"find_rate": result.find_rate},
+                )
+                with self._condition:
+                    self._rows[completed] = row
+                    self._condition.notify_all()
+                if self._progress_callback is not None:
+                    self._progress_callback(self.progress())
+            with self._condition:
+                self._state = JobState.DONE
+                self._condition.notify_all()
+        except JobCancelledError as error:
+            self._settle(JobState.CANCELLED, error)
+        except BaseException as error:  # noqa: BLE001 — surfaced via result()
+            self._settle(JobState.FAILED, error)
+
+    def _settle(self, state: JobState, error: BaseException) -> None:
+        with self._lock:
+            children = dict(self._children)
+        for child in children.values():
+            child.cancel()
+        with self._condition:
+            self._state = state
+            self._error = error
+            self._condition.notify_all()
 
 
 class Sweep:
@@ -179,11 +383,13 @@ class Sweep:
         trial is reproducible in isolation.
     workers:
         Number of worker processes.  ``1`` (default) executes in
-        process; ``N > 1`` shards the compiled jobs (plain trials) or
-        whole grid points (simulation trials) across a process pool.
-        Rows are bit-identical either way for per-trial execution.
-        Work that cannot be pickled (lambdas, closures) silently falls
-        back to the serial path.
+        process; ``N > 1`` shards the compiled shards (plain trials) or
+        whole grid points (simulation trials) across the job manager's
+        process pool.  Rows are bit-identical either way for per-trial
+        execution.  Plain trial functions that cannot be pickled
+        (lambdas, closures) silently fall back to the serial path;
+        compiled sweeps ship only the requests, so any factory works
+        in parallel.
     job_size:
         Trials per compiled job (plain trials only).  Defaults to the
         whole point serially or to balanced shards (4 jobs per worker)
@@ -225,11 +431,11 @@ class Sweep:
         """Whether this sweep compiles points into batched simulate calls."""
         return isinstance(self._trial, SimulationTrial)
 
-    def compile_jobs(self) -> List[SweepJob]:
-        """Compile the grid x trials square into executable jobs.
+    def compile_jobs(self) -> List[SweepShard]:
+        """Compile the grid x trials square into executable shards.
 
         A compiled (simulation-trial) sweep always produces exactly one
-        job per grid point — the whole point is one vectorized
+        shard per grid point — the whole point is one vectorized
         backend call.
         """
         if self.compiled:
@@ -243,11 +449,11 @@ class Sweep:
             total = len(self._grid) * self._trials
             job_size = max(1, total // (self._workers * 4) or 1)
             job_size = min(job_size, self._trials)
-        jobs: List[SweepJob] = []
+        jobs: List[SweepShard] = []
         for point_index, params in enumerate(self._grid):
             for trial_start in range(0, self._trials, job_size):
                 jobs.append(
-                    SweepJob(
+                    SweepShard(
                         point_index=point_index,
                         params=params,
                         trial_start=trial_start,
@@ -279,10 +485,47 @@ class Sweep:
             for point_index, params in enumerate(self._grid)
         ]
 
-    def run(self) -> List[ExperimentRow]:
-        """Execute the sweep and aggregate each point."""
+    def submit(
+        self,
+        manager: Optional[JobManager] = None,
+        progress: Optional[Callable[[SweepProgress], None]] = None,
+    ) -> SweepJob:
+        """Submit a compiled sweep for asynchronous execution.
+
+        Returns the :class:`SweepJob` handle immediately; each grid
+        point becomes a child job of ``manager`` (the process-wide one
+        by default).  ``progress`` is invoked on the coordinator thread
+        after every completed point.  Plain trial-function sweeps have
+        no request representation to submit — they raise.
+        """
+        if not self.compiled:
+            raise InvalidParameterError(
+                "submit() requires a SimulationTrial sweep"
+            )
+        requests = self.compile_requests()
+        entries = list(zip(self._grid, requests))
+        return SweepJob(
+            trial=self._trial,
+            entries=entries,
+            trials=self._trials,
+            workers=self._workers,
+            manager=manager if manager is not None else get_manager(),
+            progress_callback=progress,
+        )
+
+    def run(
+        self,
+        progress: Optional[Callable[[SweepProgress], None]] = None,
+    ) -> List[ExperimentRow]:
+        """Execute the sweep and aggregate each point.
+
+        ``progress`` (compiled sweeps only) is called after each
+        completed grid point with a :class:`SweepProgress` snapshot —
+        the hook the experiment CLI's ``--watch`` uses for live
+        point-level reporting.
+        """
         if self.compiled:
-            return self._run_compiled()
+            return self.submit(progress=progress).result()
         jobs = self.compile_jobs()
         if self._workers > 1 and self._picklable(self._trial):
             results = self._run_parallel(jobs)
@@ -303,39 +546,8 @@ class Sweep:
             rows.append(ExperimentRow(params=params, estimate=mean_ci(samples)))
         return rows
 
-    def _run_compiled(self) -> List[ExperimentRow]:
-        """One batched simulate call per point, points sharded if asked."""
-        trial = self._trial
-        requests = self.compile_requests()
-        if self._workers > 1 and len(requests) > 1 and self._picklable(trial):
-            with ProcessPoolExecutor(max_workers=self._workers) as pool:
-                futures = [
-                    pool.submit(
-                        _execute_point,
-                        request,
-                        trial.backend,
-                        trial.metric,
-                        trial.cache,
-                    )
-                    for request in requests
-                ]
-                results = [future.result() for future in futures]
-        else:
-            results = [
-                _execute_point(request, trial.backend, trial.metric, trial.cache)
-                for request in requests
-            ]
-        return [
-            ExperimentRow(
-                params=params,
-                estimate=mean_ci(samples),
-                extras={"find_rate": find_rate},
-            )
-            for params, (samples, find_rate) in zip(self._grid, results)
-        ]
-
     def _run_parallel(
-        self, jobs: List[SweepJob]
+        self, jobs: List[SweepShard]
     ) -> List[Tuple[int, int, List[float]]]:
         with ProcessPoolExecutor(max_workers=self._workers) as pool:
             futures = [

@@ -10,46 +10,33 @@ backends the outcomes are bit-identical whatever ``workers`` is; the
 batched backend re-anchors its pooled stream per shard and is equal in
 distribution instead.
 
-In front of the backends sits the content-addressed result cache
-(:mod:`repro.sim.cache`): when enabled, a request already served for
-the same ``(request hash, backend, code version)`` returns its stored
-outcomes without touching a backend — repeated sweep points, re-run
-experiments, and repeated CLI invocations cost one lookup.  The
-module-level :func:`backend_run_count` counter records how many
-backend executions this process actually performed, which is how the
-tests prove a cached re-run simulates nothing.
+Since PR 3 the facade owns no execution logic: the resolve -> cache ->
+shard -> run -> store pipeline lives in :mod:`repro.sim.jobs`, and
+:func:`simulate` is literally ``submit(...).result()`` on the
+process-wide :class:`~repro.sim.jobs.JobManager`.  :func:`simulate_async`
+is the same submission without the blocking wait — it returns the
+:class:`~repro.sim.jobs.SimulationJob` handle for progress polling,
+incremental shard streaming, and cancellation.  Both views share the
+content-addressed result cache (full-request and per-shard entries),
+and :func:`backend_run_count` still counts the backend executions this
+process actually performed — how the tests prove cached re-runs and
+resumed jobs simulate nothing.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional
 
-from repro.errors import InvalidParameterError
-from repro.sim.backends.base import (
-    SimulationRequest,
-    SimulationResult,
+from repro.sim.backends.base import SimulationRequest, SimulationResult
+from repro.sim.backends.registry import AUTO
+from repro.sim.jobs import (
+    SimulationJob,
+    backend_run_count,
+    get_manager,
+    simulate_async,
 )
-from repro.sim.backends.registry import AUTO, resolve_backend
-from repro.sim.cache import cache_enabled, get_cache
-from repro.sim.metrics import SearchOutcome
 
-_BACKEND_RUNS = 0
-
-
-def backend_run_count() -> int:
-    """Backend executions performed by this process's ``simulate`` calls.
-
-    Cache hits do not increment the counter; sharded runs count one
-    execution per worker chunk.  (Worker *processes* keep their own
-    counters — the parent records the chunks it dispatched.)
-    """
-    return _BACKEND_RUNS
-
-
-def _count_backend_runs(count: int) -> None:
-    global _BACKEND_RUNS
-    _BACKEND_RUNS += count
+__all__ = ["simulate", "simulate_async", "backend_run_count", "SimulationJob"]
 
 
 def simulate(
@@ -59,6 +46,10 @@ def simulate(
     cache: Optional[bool] = None,
 ) -> SimulationResult:
     """Execute a simulation request on the best (or named) backend.
+
+    A thin blocking view over the job layer: submits to the
+    process-wide :class:`~repro.sim.jobs.JobManager` and waits for the
+    result.  Use :func:`simulate_async` for the non-blocking handle.
 
     Parameters
     ----------
@@ -70,7 +61,7 @@ def simulate(
         priority backend supporting the request.
     workers:
         When > 1 and the request has several trials, shard the trial
-        range across a :class:`~concurrent.futures.ProcessPoolExecutor`.
+        range across the manager's worker process pool.
     cache:
         ``True``/``False`` forces the result cache on/off for this
         call; ``None`` (default) follows the process-wide setting
@@ -79,60 +70,8 @@ def simulate(
         version)`` — ``workers`` is an execution detail and does not
         participate.
     """
-    if workers < 1:
-        raise InvalidParameterError(f"workers must be >= 1, got {workers}")
-    chosen = resolve_backend(request, backend)
-    use_cache = cache_enabled() if cache is None else cache
-    if use_cache:
-        cached = get_cache().lookup(request, chosen.name)
-        if cached is not None:
-            return SimulationResult(
-                request=request, backend=chosen.name, outcomes=cached
-            )
-    outcomes = _execute(request, chosen, workers)
-    if use_cache:
-        get_cache().store(request, chosen.name, outcomes)
-    return SimulationResult(request=request, backend=chosen.name, outcomes=outcomes)
-
-
-def _execute(
-    request: SimulationRequest, chosen, workers: int
-) -> Tuple[SearchOutcome, ...]:
-    """Run the request on the resolved backend, sharding if asked."""
-    if workers == 1 or request.n_trials == 1:
-        _count_backend_runs(1)
-        return chosen.run(request)
-    chunks = _chunk_trials(request.n_trials, workers)
-    _count_backend_runs(len(chunks))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [
-            pool.submit(_run_chunk, request, chosen.name, chunk) for chunk in chunks
-        ]
-        gathered: List[Tuple[SearchOutcome, ...]] = [
-            future.result() for future in futures
-        ]
-    outcomes: List[SearchOutcome] = []
-    for chunk_outcomes in gathered:
-        outcomes.extend(chunk_outcomes)
-    return tuple(outcomes)
-
-
-def _chunk_trials(n_trials: int, workers: int) -> List[range]:
-    """Contiguous trial-index ranges, one per worker (possibly fewer)."""
-    n_chunks = min(workers, n_trials)
-    base, remainder = divmod(n_trials, n_chunks)
-    chunks: List[range] = []
-    start = 0
-    for index in range(n_chunks):
-        size = base + (1 if index < remainder else 0)
-        chunks.append(range(start, start + size))
-        start += size
-    return chunks
-
-
-def _run_chunk(
-    request: SimulationRequest, backend_name: str, trial_indices: Sequence[int]
-) -> Tuple[SearchOutcome, ...]:
-    """Worker-process entry point: run a contiguous slice of trials."""
-    backend = resolve_backend(request, backend_name)
-    return backend.run(request, trial_indices=trial_indices)
+    # ledger=False: a blocking job is settled before the caller could
+    # inspect it through the jobs CLI, so skip the per-call disk writes.
+    return get_manager().submit(
+        request, backend=backend, workers=workers, cache=cache, ledger=False
+    ).result()

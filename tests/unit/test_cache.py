@@ -13,6 +13,9 @@ import pickle
 
 import pytest
 
+import os
+import time
+
 import repro.sim.cache as cache_module
 from repro.sim import AlgorithmSpec, SimulationRequest, simulate
 from repro.sim.cache import (
@@ -21,6 +24,7 @@ from repro.sim.cache import (
     configure_cache,
     get_cache,
     request_fingerprint,
+    shard_cache_key,
 )
 from repro.sim.service import backend_run_count
 
@@ -188,6 +192,110 @@ class TestDiskLayer:
         cache.store(_request(), "batched", outcomes)
         assert cache.clear() == 1
         assert list(tmp_path.glob("*.pkl")) == []
+
+
+class TestShardEntries:
+    """Per-shard entries: the job layer's resume substrate."""
+
+    def test_shard_round_trip(self, tmp_path):
+        request = _request(n_trials=6)
+        cache = SimulationCache(directory=tmp_path)
+        outcomes = simulate(request, backend="closed_form", cache=False).outcomes
+        shard = range(0, 3)
+        cache.store_shard(request, "closed_form", shard, outcomes[:3])
+        reader = SimulationCache(directory=tmp_path)
+        assert reader.lookup_shard(request, "closed_form", shard) == outcomes[:3]
+
+    def test_shard_key_is_disjoint_from_full_key(self, tmp_path):
+        request = _request(n_trials=6)
+        assert shard_cache_key(request, "closed_form", 0, 6) != cache_key(
+            request, "closed_form"
+        )
+        cache = SimulationCache(directory=tmp_path)
+        outcomes = simulate(request, backend="closed_form", cache=False).outcomes
+        cache.store_shard(request, "closed_form", range(0, 6), outcomes)
+        # A full-request lookup must not be satisfied by a shard entry,
+        # even one covering every trial.
+        assert cache.lookup(request, "closed_form") is None
+
+    def test_different_ranges_are_different_entries(self, tmp_path):
+        request = _request(n_trials=6)
+        cache = SimulationCache(directory=tmp_path)
+        outcomes = simulate(request, backend="closed_form", cache=False).outcomes
+        cache.store_shard(request, "closed_form", range(0, 3), outcomes[:3])
+        assert cache.lookup_shard(request, "closed_form", range(3, 6)) is None
+        assert cache.lookup_shard(request, "closed_form", range(0, 2)) is None
+
+
+class TestPrune:
+    """LRU disk pruning: eviction order and bound enforcement."""
+
+    def _populate(self, tmp_path, count):
+        cache = SimulationCache(directory=tmp_path)
+        outcomes = simulate(_request(), backend="batched", cache=False).outcomes
+        paths = []
+        for seed in range(count):
+            request = _request(seed=seed)
+            cache.store(request, "batched", outcomes)
+            paths.append(cache._path_for(cache_key(request, "batched")))
+        return cache, paths
+
+    def test_prune_enforces_the_byte_bound(self, tmp_path):
+        cache, paths = self._populate(tmp_path, 6)
+        entry_size = paths[0].stat().st_size
+        budget = int(entry_size * 2.5)  # room for exactly two entries
+        result = cache.prune(budget)
+        assert result.remaining_bytes <= budget
+        assert result.remaining_files == 2
+        assert result.removed_files == 4
+        assert result.freed_bytes == 4 * entry_size
+        assert len(list(tmp_path.glob("*.pkl"))) == 2
+
+    def test_prune_evicts_least_recently_used_first(self, tmp_path):
+        cache, paths = self._populate(tmp_path, 4)
+        # Hand-set last_used: entry 2 oldest, then 0, then 3, then 1.
+        now = time.time()
+        ages = {2: 400, 0: 300, 3: 200, 1: 100}
+        for index, age in ages.items():
+            os.utime(paths[index], (now - age, now - age))
+        entry_size = paths[0].stat().st_size
+        result = cache.prune(int(entry_size * 2.5))
+        assert result.removed_files == 2
+        survivors = {path for path in tmp_path.glob("*.pkl")}
+        assert paths[2] not in survivors and paths[0] not in survivors
+        assert paths[3] in survivors and paths[1] in survivors
+
+    def test_disk_hit_refreshes_last_used(self, tmp_path):
+        request = _request(seed=5)
+        cache = SimulationCache(directory=tmp_path)
+        outcomes = simulate(request, backend="batched", cache=False).outcomes
+        cache.store(request, "batched", outcomes)
+        path = cache._path_for(cache_key(request, "batched"))
+        stale = time.time() - 10_000
+        os.utime(path, (stale, stale))
+        reader = SimulationCache(directory=tmp_path)  # disk hit, not memory
+        assert reader.lookup(request, "batched") == outcomes
+        assert path.stat().st_mtime > stale + 5_000
+
+    def test_prune_to_zero_clears_the_disk(self, tmp_path):
+        cache, _ = self._populate(tmp_path, 3)
+        result = cache.prune(0)
+        assert result.remaining_files == 0
+        assert result.remaining_bytes == 0
+        assert list(tmp_path.glob("*.pkl")) == []
+
+    def test_prune_under_budget_is_a_no_op(self, tmp_path):
+        cache, _ = self._populate(tmp_path, 3)
+        result = cache.prune(10**12)
+        assert result.removed_files == 0
+        assert result.remaining_files == 3
+
+    def test_prune_rejects_negative_budget(self, tmp_path):
+        from repro.errors import InvalidParameterError
+
+        cache = SimulationCache(directory=tmp_path)
+        with pytest.raises(InvalidParameterError):
+            cache.prune(-1)
 
 
 class TestSimulateIntegration:

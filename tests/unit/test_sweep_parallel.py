@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.errors import InvalidParameterError
-from repro.sim.runner import Sweep, SweepJob, grid_product
+from repro.sim.runner import Sweep, SweepShard, grid_product
 
 # Module-level so it pickles across the process boundary.
 def _noisy_trial(params, rng):
@@ -40,7 +40,7 @@ class TestJobCompilation:
         assert [j.trial_count for j in jobs if j.point_index == 0] == [4, 4, 2]
 
     def test_job_metadata(self):
-        job = SweepJob(point_index=2, params={"a": 1}, trial_start=6, trial_count=3)
+        job = SweepShard(point_index=2, params={"a": 1}, trial_start=6, trial_count=3)
         assert list(job.trial_indices) == [6, 7, 8]
 
     def test_validation(self):
