@@ -6,6 +6,7 @@ Subcommands::
     backends   list registered simulation backends, coverage, priorities
     cache      inspect, clear, or LRU-prune the result cache
     jobs       list, inspect, or cancel recorded simulation jobs
+    serve      HTTP/SSE server for remote job submission
     certify    print the lower-bound certificate for an automaton family
     coverage   simulate a below-threshold colony and render its coverage
     experiment run one registered experiment (E01..E16)
@@ -13,6 +14,7 @@ Subcommands::
 Examples::
 
     repro-ants run --algorithm uniform --distance 64 --agents 8
+    repro-ants serve --host 0.0.0.0 --port 8642 --max-jobs 16
     repro-ants run --algorithm algorithm1 --trials 200 --backend batched
     repro-ants run --algorithm nonuniform --trials 64 --workers 4 --async --watch
     repro-ants run --algorithm feinerman --trials 200 --no-cache
@@ -276,16 +278,37 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
         print(f"error: job {args.job_id!r} is unknown or already finished",
               file=sys.stderr)
         return 2
-    # status
-    for record in jobs_module.read_job_records():
-        if record.get("job_id") == args.job_id:
-            for key in ("job_id", "state", "algorithm", "backend", "n_agents",
-                        "n_trials", "seed", "total_shards", "done_shards",
-                        "done_trials", "cached_shards", "pid", "error"):
-                print(f"{key:13s}: {record.get(key)}")
-            return 0
+    # status — live in-process handle first, then the JSON ledger, so
+    # finished jobs evicted from the manager's registry still answer.
+    record = jobs_module.job_status_record(args.job_id)
+    if record is not None:
+        for key in ("job_id", "state", "algorithm", "backend", "n_agents",
+                    "n_trials", "seed", "total_shards", "done_shards",
+                    "done_trials", "cached_shards", "pid", "error"):
+            print(f"{key:13s}: {record.get(key)}")
+        return 0
     print(f"error: no record for job {args.job_id!r}", file=sys.stderr)
     return 2
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server.app import SimulationServer
+
+    server = SimulationServer(
+        host=args.host, port=args.port, max_jobs=args.max_jobs
+    )
+    print(f"repro-ants serving on {server.url} "
+          f"(max {args.max_jobs} concurrent jobs)")
+    print("routes: POST /v1/jobs · GET /v1/jobs[/{id}[/result|/events]] · "
+          "DELETE /v1/jobs/{id} · POST /v1/sweeps · GET /v1/backends · "
+          "GET /v1/stats", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.close()
+    return 0
 
 
 def _cmd_certify(args: argparse.Namespace) -> int:
@@ -439,6 +462,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="job id for status/cancel (see `jobs list`)",
     )
     jobs_parser.set_defaults(func=_cmd_jobs)
+
+    serve_parser = sub.add_parser(
+        "serve", help="HTTP/SSE server for remote job submission"
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1; 0.0.0.0 for remote "
+             "clients)",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8642,
+        help="bind port (default: 8642; 0 picks an ephemeral port)",
+    )
+    serve_parser.add_argument(
+        "--max-jobs", type=int, default=8,
+        help="concurrent limit on live jobs + sweeps; submissions "
+             "beyond it get 429 + Retry-After (default: 8)",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
 
     certify_parser = sub.add_parser(
         "certify", help="lower-bound certificate for an automaton"

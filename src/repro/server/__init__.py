@@ -1,0 +1,61 @@
+"""HTTP/SSE serving layer: remote submission over the job manager.
+
+Three modules, no third-party dependencies:
+
+* :mod:`repro.server.wire` — the versioned JSON schema; round-trip
+  exact for requests (seeds included), outcomes, results, and shard
+  events.
+* :mod:`repro.server.app` — :class:`~repro.server.app.SimulationServer`,
+  a ``ThreadingHTTPServer`` exposing REST routes plus Server-Sent-Events
+  streams over :class:`~repro.sim.jobs.JobManager` and
+  :class:`~repro.sim.runner.SweepJob`.
+* :mod:`repro.server.client` — :class:`~repro.server.client.RemoteClient`,
+  the ``simulate()``/``simulate_async()`` facade over HTTP with
+  retry/backoff (including the 429 concurrency-limit path).
+
+Start a server with ``repro-ants serve --host H --port P --max-jobs N``
+or programmatically::
+
+    from repro.server import RemoteClient, SimulationServer
+
+    with SimulationServer(port=0) as server:
+        client = RemoteClient(server.url)
+        result = client.simulate(request)   # == local simulate(request)
+
+The submodules import lazily through ``__getattr__`` so importing
+:mod:`repro` never pays for the HTTP stack.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "SimulationServer",
+    "RemoteClient",
+    "RemoteJob",
+    "RemoteSweep",
+    "RemoteServerError",
+    "WIRE_VERSION",
+    "WireError",
+]
+
+_EXPORTS = {
+    "SimulationServer": ("repro.server.app", "SimulationServer"),
+    "RemoteClient": ("repro.server.client", "RemoteClient"),
+    "RemoteJob": ("repro.server.client", "RemoteJob"),
+    "RemoteSweep": ("repro.server.client", "RemoteSweep"),
+    "RemoteServerError": ("repro.server.client", "RemoteServerError"),
+    "WIRE_VERSION": ("repro.server.wire", "WIRE_VERSION"),
+    "WireError": ("repro.server.wire", "WireError"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attribute = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro.server' has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attribute)

@@ -1,0 +1,511 @@
+"""``RemoteClient`` — the ``simulate()`` facade over HTTP.
+
+A dependency-free (stdlib ``urllib``) client for
+:class:`~repro.server.app.SimulationServer` mirroring the in-process
+facade: :meth:`RemoteClient.simulate` blocks for a full
+:class:`~repro.sim.backends.base.SimulationResult`,
+:meth:`RemoteClient.simulate_async` returns a :class:`RemoteJob`
+handle with the same surface as a local
+:class:`~repro.sim.jobs.SimulationJob` — ``iter_results()`` streams
+shard completions over SSE, ``result()`` long-polls, ``progress()``
+snapshots, ``cancel()`` requests cancellation.
+
+Because the wire schema round-trips requests exactly (seeds included)
+and the server executes through the same job pipeline, a remote
+``simulate(request)`` on a per-trial backend returns outcomes
+**identical** to the local call — the property the integration tests
+pin down over a real socket.
+
+Transient failures are retried with exponential backoff: a ``429 Too
+Many Requests`` honors the server's ``Retry-After`` header (the
+concurrency-limit path), and connection errors (server still booting,
+blip) back off geometrically up to ``max_attempts``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.errors import InvalidParameterError, JobCancelledError, ReproError
+from repro.sim.backends.base import SimulationRequest, SimulationResult
+from repro.sim.backends.registry import AUTO
+from repro.sim.jobs import JobState, ShardResult
+from repro.server import wire
+from repro.server.wire import WIRE_VERSION
+
+#: Per-request socket timeout nothing else overrides.
+_DEFAULT_TIMEOUT = 30.0
+
+#: How long one result long-poll asks the server to wait.
+_RESULT_WAIT = 30.0
+
+
+class RemoteServerError(ReproError):
+    """The server answered with an error status (or never answered)."""
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _iter_sse(stream) -> Iterator[Tuple[str, Dict[str, Any], Optional[str]]]:
+    """Parse a ``text/event-stream`` body into (event, data, id) tuples."""
+    event: Optional[str] = None
+    event_id: Optional[str] = None
+    data_lines: List[str] = []
+    for raw in stream:
+        line = raw.decode("utf-8").rstrip("\r\n")
+        if not line:
+            if data_lines:
+                yield (
+                    event or "message",
+                    json.loads("\n".join(data_lines)),
+                    event_id,
+                )
+            event, event_id, data_lines = None, None, []
+            continue
+        if line.startswith(":"):
+            continue
+        field, _, value = line.partition(":")
+        value = value.removeprefix(" ")
+        if field == "event":
+            event = value
+        elif field == "data":
+            data_lines.append(value)
+        elif field == "id":
+            event_id = value
+
+
+class RemoteClient:
+    """Talk to one :class:`~repro.server.app.SimulationServer`.
+
+    Parameters
+    ----------
+    base_url:
+        ``http://host:port`` of the server.
+    timeout:
+        Socket timeout per request (SSE streams are exempt — they stay
+        open for the job's lifetime).
+    max_attempts:
+        Total tries per logical request before giving up.
+    backoff_seconds / backoff_cap:
+        Geometric backoff for connection errors; 429 responses use the
+        server's ``Retry-After`` instead (clamped to the cap).
+    sleep:
+        Injection point for the tests; defaults to :func:`time.sleep`.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = _DEFAULT_TIMEOUT,
+        max_attempts: int = 8,
+        backoff_seconds: float = 0.2,
+        backoff_cap: float = 5.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if max_attempts < 1:
+            raise InvalidParameterError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        self.base_url = base_url.rstrip("/")
+        self._timeout = timeout
+        self._max_attempts = max_attempts
+        self._backoff = backoff_seconds
+        self._backoff_cap = backoff_cap
+        self._sleep = sleep
+        #: Diagnostics: how many 429 rejections / connection errors this
+        #: client has absorbed by backing off.
+        self.retries_429 = 0
+        self.retries_connect = 0
+
+    # -- transport -------------------------------------------------------
+
+    def _open(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Mapping[str, Any]] = None,
+        stream: bool = False,
+        retry: bool = True,
+        timeout: Optional[float] = None,
+    ):
+        """One HTTP exchange with backoff; returns the open response.
+
+        ``stream=True`` disables the socket timeout and hands back the
+        live response object (SSE); otherwise callers use
+        :meth:`_call`, which reads and decodes the JSON body.
+        ``timeout`` overrides the client default for this exchange
+        (the result long-poll must outlast its own ``wait``).
+
+        Retry policy: a 429 is always safe to retry (the server
+        rejected before admitting).  Connection errors are retried for
+        idempotent methods only — a POST whose connection dropped may
+        already have been admitted server-side, and resubmitting would
+        duplicate the job.
+        """
+        url = f"{self.base_url}{path}"
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        attempts = self._max_attempts if retry else 1
+        retry_connect = retry and method in ("GET", "DELETE")
+        last_error: Optional[BaseException] = None
+        for attempt in range(attempts):
+            request = urllib.request.Request(
+                url,
+                data=body,
+                method=method,
+                headers={"Content-Type": "application/json"},
+            )
+            try:
+                return urllib.request.urlopen(
+                    request,
+                    timeout=None if stream else (timeout or self._timeout),
+                )
+            except urllib.error.HTTPError as error:
+                if error.code == 429 and attempt + 1 < attempts:
+                    # The server is at --max-jobs capacity; honor its
+                    # Retry-After, with a floor of the geometric backoff
+                    # so a herd of clients still spreads out.
+                    retry_after = self._retry_after(error)
+                    error.close()
+                    self.retries_429 += 1
+                    self._sleep(
+                        min(
+                            max(retry_after, self._backoff * 2**attempt),
+                            self._backoff_cap,
+                        )
+                    )
+                    continue
+                detail = self._error_detail(error)
+                error.close()
+                raise RemoteServerError(
+                    f"{method} {path} -> {error.code}: {detail}",
+                    status=error.code,
+                ) from None
+            except urllib.error.URLError as error:
+                last_error = error
+                if retry_connect and attempt + 1 < attempts:
+                    self.retries_connect += 1
+                    self._sleep(
+                        min(self._backoff * 2**attempt, self._backoff_cap)
+                    )
+                    continue
+                break
+        raise RemoteServerError(
+            f"{method} {path} failed after "
+            f"{attempt + 1} attempt(s): {last_error}"
+        )
+
+    @staticmethod
+    def _retry_after(error: urllib.error.HTTPError) -> float:
+        try:
+            return float(error.headers.get("Retry-After", "0"))
+        except (TypeError, ValueError):
+            return 0.0
+
+    @staticmethod
+    def _error_detail(error: urllib.error.HTTPError) -> str:
+        try:
+            payload = json.loads(error.read())
+            return str(payload.get("error", payload))
+        except (OSError, ValueError):
+            return error.reason if isinstance(error.reason, str) else "error"
+
+    def _call(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Mapping[str, Any]] = None,
+        retry: bool = True,
+        timeout: Optional[float] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        """JSON request -> (status, decoded body)."""
+        response = self._open(
+            method, path, payload=payload, retry=retry, timeout=timeout
+        )
+        with response:
+            status = response.status
+            body = json.loads(response.read() or b"{}")
+        return status, body
+
+    # -- the facade mirror -----------------------------------------------
+
+    def simulate(
+        self,
+        request: SimulationRequest,
+        backend: str = AUTO,
+        workers: int = 1,
+        cache: Optional[bool] = None,
+    ) -> SimulationResult:
+        """Execute remotely and block for the result.
+
+        Mirrors :func:`repro.sim.simulate`: same parameters, same
+        outcome values for a fixed seed on per-trial backends.
+        """
+        return self.submit(
+            request, backend=backend, workers=workers, cache=cache
+        ).result()
+
+    def simulate_async(
+        self,
+        request: SimulationRequest,
+        backend: str = AUTO,
+        workers: int = 1,
+        cache: Optional[bool] = None,
+    ) -> "RemoteJob":
+        """Submit remotely; returns the job handle immediately."""
+        return self.submit(
+            request, backend=backend, workers=workers, cache=cache
+        )
+
+    def submit(
+        self,
+        request: SimulationRequest,
+        backend: str = AUTO,
+        workers: int = 1,
+        cache: Optional[bool] = None,
+    ) -> "RemoteJob":
+        """``POST /v1/jobs`` with 429 backoff; returns a :class:`RemoteJob`."""
+        _, body = self._call(
+            "POST",
+            "/v1/jobs",
+            payload={
+                "wire": WIRE_VERSION,
+                "request": wire.request_to_wire(request),
+                "backend": backend,
+                "workers": workers,
+                "cache": cache,
+            },
+        )
+        return RemoteJob(self, body["job_id"], submitted=body)
+
+    def submit_sweep(
+        self,
+        template: SimulationRequest,
+        grid: List[Mapping[str, Any]],
+        trials: int,
+        seed: int,
+        seed_keys: Tuple[int, ...] = (),
+        backend: str = AUTO,
+        workers: int = 1,
+        cache: Optional[bool] = None,
+    ) -> "RemoteSweep":
+        """``POST /v1/sweeps``: a template + grid, compiled server-side."""
+        _, body = self._call(
+            "POST",
+            "/v1/sweeps",
+            payload={
+                "wire": WIRE_VERSION,
+                "template": wire.request_to_wire(template),
+                "grid": [dict(point) for point in grid],
+                "trials": trials,
+                "seed": seed,
+                "seed_keys": list(seed_keys),
+                "backend": backend,
+                "workers": workers,
+                "cache": cache,
+            },
+        )
+        return RemoteSweep(self, body["sweep_id"])
+
+    # -- inspection ------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """``GET /v1/health``."""
+        return self._call("GET", "/v1/health")[1]
+
+    def backends(self) -> Dict[str, Any]:
+        """``GET /v1/backends``."""
+        return self._call("GET", "/v1/backends")[1]
+
+    def stats(self) -> Dict[str, Any]:
+        """``GET /v1/stats``."""
+        return self._call("GET", "/v1/stats")[1]
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        """``GET /v1/jobs`` — recent jobs, newest first."""
+        return self._call("GET", "/v1/jobs")[1]["jobs"]
+
+
+class RemoteJob:
+    """Remote counterpart of :class:`~repro.sim.jobs.SimulationJob`."""
+
+    def __init__(
+        self,
+        client: RemoteClient,
+        job_id: str,
+        submitted: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self._client = client
+        self.job_id = job_id
+        #: The submission response (initial status), for convenience.
+        self.submitted = submitted
+
+    def status(self) -> Dict[str, Any]:
+        """``GET /v1/jobs/{id}`` — the raw status payload."""
+        return self._client._call("GET", f"/v1/jobs/{self.job_id}")[1]
+
+    @property
+    def state(self) -> JobState:
+        """The job's current state (one HTTP round trip)."""
+        return wire.state_from_wire(self.status()["state"])
+
+    def done(self) -> bool:
+        """Whether the job reached a terminal state."""
+        from repro.sim.jobs import TERMINAL_STATES
+
+        return self.state in TERMINAL_STATES
+
+    def progress(self) -> Dict[str, Any]:
+        """The status route's progress snapshot."""
+        return self.status()["progress"]
+
+    def iter_events(self) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        """Raw SSE events: ``(event, data)`` in stream order.
+
+        Events: one initial ``progress``, one ``shard`` per completed
+        trial shard, then a terminal ``done``/``failed``/``cancelled``.
+        """
+        response = self._client._open(
+            "GET", f"/v1/jobs/{self.job_id}/events", stream=True
+        )
+        with response:
+            for event, data, _ in _iter_sse(response):
+                yield event, data
+
+    def iter_results(self) -> Iterator[ShardResult]:
+        """Stream :class:`ShardResult` values as shards complete.
+
+        The remote mirror of
+        :meth:`~repro.sim.jobs.SimulationJob.iter_results`: raises
+        :class:`~repro.errors.JobCancelledError` on cancellation,
+        :class:`RemoteServerError` if the job failed — or if the SSE
+        stream closed before a terminal event (dropped connection,
+        server restart), so truncated results are never mistaken for
+        success.
+        """
+        terminal = False
+        for event, data in self.iter_events():
+            if event == "shard":
+                yield wire.shard_from_wire(data)
+            elif event == "done":
+                terminal = True
+            elif event == "cancelled":
+                raise JobCancelledError(
+                    data.get("error") or f"job {self.job_id} was cancelled"
+                )
+            elif event == "failed":
+                raise RemoteServerError(
+                    f"job {self.job_id} failed: {data.get('error')}"
+                )
+        if not terminal:
+            raise RemoteServerError(
+                f"event stream for job {self.job_id} ended before a "
+                f"terminal event; results may be incomplete"
+            )
+
+    def result(self, timeout: Optional[float] = None) -> SimulationResult:
+        """Long-poll ``/result`` until terminal; decode the full result."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            wait = _RESULT_WAIT
+            if deadline is not None:
+                wait = min(wait, deadline - time.monotonic())
+                if wait <= 0:
+                    raise TimeoutError(
+                        f"remote job {self.job_id} still running after "
+                        f"{timeout}s"
+                    )
+            try:
+                # Socket timeout strictly above the server-side park so
+                # the long-poll answer (a 202 at t = wait) always beats
+                # the client's own read timeout.
+                status, body = self._client._call(
+                    "GET",
+                    f"/v1/jobs/{self.job_id}/result?wait={wait:g}",
+                    timeout=wait + 15.0,
+                )
+            except RemoteServerError as error:
+                if error.status == 410:
+                    raise JobCancelledError(str(error)) from None
+                raise
+            if status == 200:
+                return wire.result_from_wire(body)
+            # 202: still running — poll again.
+
+    def cancel(self) -> bool:
+        """``DELETE /v1/jobs/{id}``; ``True`` if accepted."""
+        _, body = self._client._call("DELETE", f"/v1/jobs/{self.job_id}")
+        return bool(body.get("cancelled"))
+
+
+class RemoteSweep:
+    """Remote counterpart of :class:`~repro.sim.runner.SweepJob`."""
+
+    def __init__(self, client: RemoteClient, sweep_id: str) -> None:
+        self._client = client
+        self.sweep_id = sweep_id
+
+    def status(self) -> Dict[str, Any]:
+        """``GET /v1/sweeps/{id}`` — progress plus completed rows."""
+        return self._client._call("GET", f"/v1/sweeps/{self.sweep_id}")[1]
+
+    def iter_rows(self) -> Iterator[Tuple[int, Dict[str, Any]]]:
+        """Stream ``(point_index, row)`` as grid points complete."""
+        response = self._client._open(
+            "GET", f"/v1/sweeps/{self.sweep_id}/events", stream=True
+        )
+        terminal = False
+        with response:
+            for event, data, _ in _iter_sse(response):
+                if event == "row":
+                    yield data["point_index"], data
+                elif event == "done":
+                    terminal = True
+                elif event == "cancelled":
+                    raise JobCancelledError(
+                        data.get("error")
+                        or f"sweep {self.sweep_id} was cancelled"
+                    )
+                elif event == "failed":
+                    raise RemoteServerError(
+                        f"sweep {self.sweep_id} failed: {data.get('error')}"
+                    )
+        if not terminal:
+            raise RemoteServerError(
+                f"event stream for sweep {self.sweep_id} ended before a "
+                f"terminal event; rows may be incomplete"
+            )
+
+    def result(
+        self, poll_seconds: float = 0.2, timeout: Optional[float] = None
+    ) -> List[Dict[str, Any]]:
+        """Poll until terminal; the completed rows in grid order."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = self.status()
+            state = wire.state_from_wire(status["state"])
+            if state is JobState.DONE:
+                return status["rows"]
+            if state is JobState.CANCELLED:
+                raise JobCancelledError(
+                    f"sweep {self.sweep_id} was cancelled"
+                )
+            if state is JobState.FAILED:
+                raise RemoteServerError(f"sweep {self.sweep_id} failed")
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"remote sweep {self.sweep_id} still {state.value}"
+                )
+            self._client._sleep(poll_seconds)
+
+    def cancel(self) -> bool:
+        """``DELETE /v1/sweeps/{id}``; ``True`` if accepted."""
+        _, body = self._client._call(
+            "DELETE", f"/v1/sweeps/{self.sweep_id}"
+        )
+        return bool(body.get("cancelled"))

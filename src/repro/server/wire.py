@@ -1,0 +1,341 @@
+"""The JSON wire schema of the serving layer.
+
+Every value that crosses the HTTP boundary — requests submitted by a
+remote client, results returned by the server, shard events streamed
+over SSE — is encoded by the functions in this module and decoded by
+their ``*_from_wire`` counterparts.  The schema is versioned
+(:data:`WIRE_VERSION`, embedded in every envelope) and **round-trip
+exact**: a :class:`~repro.sim.backends.base.SimulationRequest` decoded
+from its own encoding compares equal to the original, including the
+seed stream (``seed``/``seed_keys``), which is what makes remote
+execution reproduce local execution bit for bit on the per-trial
+backends.
+
+All request and outcome fields are integers (or ``None``), so JSON
+represents them exactly — there is no float rounding anywhere in the
+schema.  Numpy integer scalars that backends may leave in outcomes are
+normalized to Python ints on encode.
+
+Decoding is strict: a payload with the wrong wire version, a missing
+field, or a value outside the request's validated domain raises
+:class:`WireError` (the server maps it to HTTP 400).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.sim.backends.base import (
+    AlgorithmSpec,
+    SimulationRequest,
+    SimulationResult,
+)
+from repro.sim.jobs import JobProgress, JobState, ShardResult
+from repro.sim.metrics import AgentOutcome, FastRunStats, SearchOutcome
+
+#: Version of the JSON schema; bumped on any incompatible change.  The
+#: server rejects payloads carrying a different version, so a stale
+#: client fails loudly instead of silently misinterpreting fields.
+WIRE_VERSION = 1
+
+
+class WireError(ReproError):
+    """A wire payload could not be decoded (malformed or wrong version)."""
+
+
+def opt_int(value: Any, field: str) -> Optional[int]:
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise WireError(f"{field} must be an integer or null, got {value!r}")
+    return int(value)
+
+
+def req_int(value: Any, field: str) -> int:
+    result = opt_int(value, field)
+    if result is None:
+        raise WireError(f"{field} is required")
+    return result
+
+
+def point(value: Any, field: str) -> Tuple[int, int]:
+    if not isinstance(value, Sequence) or len(value) != 2:
+        raise WireError(f"{field} must be a two-element [x, y] pair")
+    return (req_int(value[0], f"{field}[0]"), req_int(value[1], f"{field}[1]"))
+
+
+def check_version(payload: Mapping[str, Any]) -> None:
+    """Reject payloads from a different schema version."""
+    version = payload.get("wire")
+    if version != WIRE_VERSION:
+        raise WireError(
+            f"unsupported wire version {version!r} (this build speaks "
+            f"{WIRE_VERSION})"
+        )
+
+
+# -- algorithm spec ------------------------------------------------------
+
+
+def algorithm_to_wire(spec: AlgorithmSpec) -> Dict[str, Any]:
+    """Encode an :class:`AlgorithmSpec` field for field."""
+    return {
+        "name": spec.name,
+        "distance": spec.distance,
+        "ell": spec.ell,
+        "K": spec.K,
+        "max_phase": spec.max_phase,
+    }
+
+
+def algorithm_from_wire(payload: Any) -> AlgorithmSpec:
+    """Decode an algorithm spec, preserving the exact field values.
+
+    Construction is direct (not through the classmethod constructors)
+    so a calibrated ``K`` chosen by the submitter round-trips verbatim;
+    domain validation still happens when the request is built.
+    """
+    if not isinstance(payload, Mapping):
+        raise WireError("algorithm must be an object")
+    name = payload.get("name")
+    if not isinstance(name, str) or not name:
+        raise WireError("algorithm.name must be a non-empty string")
+    return AlgorithmSpec(
+        name=name,
+        distance=opt_int(payload.get("distance"), "algorithm.distance"),
+        ell=opt_int(payload.get("ell"), "algorithm.ell"),
+        K=opt_int(payload.get("K"), "algorithm.K"),
+        max_phase=opt_int(payload.get("max_phase"), "algorithm.max_phase"),
+    )
+
+
+# -- simulation request --------------------------------------------------
+
+
+def request_to_wire(request: SimulationRequest) -> Dict[str, Any]:
+    """Encode a :class:`SimulationRequest`, seeds included."""
+    return {
+        "wire": WIRE_VERSION,
+        "algorithm": algorithm_to_wire(request.algorithm),
+        "n_agents": int(request.n_agents),
+        "target": [int(request.target[0]), int(request.target[1])],
+        "move_budget": int(request.move_budget),
+        "step_budget": (
+            None if request.step_budget is None else int(request.step_budget)
+        ),
+        "n_trials": int(request.n_trials),
+        "seed": int(request.seed),
+        "seed_keys": [int(key) for key in request.seed_keys],
+        "distance_bound": (
+            None
+            if request.distance_bound is None
+            else int(request.distance_bound)
+        ),
+    }
+
+
+def request_from_wire(payload: Any) -> SimulationRequest:
+    """Decode a request; raises :class:`WireError` on malformed input.
+
+    The request's own ``__post_init__`` validation runs afterwards, so
+    out-of-domain values (``n_agents < 1``, unknown algorithm name) are
+    rejected at the boundary rather than deep inside a backend.
+    """
+    if not isinstance(payload, Mapping):
+        raise WireError("request must be an object")
+    check_version(payload)
+    seed_keys = payload.get("seed_keys", [])
+    if not isinstance(seed_keys, Sequence) or isinstance(seed_keys, str):
+        raise WireError("seed_keys must be an array of integers")
+    try:
+        return SimulationRequest(
+            algorithm=algorithm_from_wire(payload.get("algorithm")),
+            n_agents=req_int(payload.get("n_agents"), "n_agents"),
+            target=point(payload.get("target"), "target"),
+            move_budget=req_int(payload.get("move_budget"), "move_budget"),
+            step_budget=opt_int(payload.get("step_budget"), "step_budget"),
+            n_trials=req_int(payload.get("n_trials", 1), "n_trials"),
+            seed=req_int(payload.get("seed", 0), "seed"),
+            seed_keys=tuple(
+                req_int(key, "seed_keys[]") for key in seed_keys
+            ),
+            distance_bound=opt_int(
+                payload.get("distance_bound"), "distance_bound"
+            ),
+        )
+    except ReproError:
+        raise
+    except (TypeError, ValueError) as error:
+        raise WireError(f"malformed request: {error}") from error
+
+
+# -- outcomes ------------------------------------------------------------
+
+
+def _agent_to_wire(agent: AgentOutcome) -> Dict[str, Any]:
+    return {
+        "agent_id": int(agent.agent_id),
+        "found": bool(agent.found),
+        "moves_at_find": (
+            None if agent.moves_at_find is None else int(agent.moves_at_find)
+        ),
+        "steps_at_find": (
+            None if agent.steps_at_find is None else int(agent.steps_at_find)
+        ),
+        "total_moves": int(agent.total_moves),
+        "total_steps": int(agent.total_steps),
+        "final_position": [
+            int(agent.final_position[0]),
+            int(agent.final_position[1]),
+        ],
+    }
+
+
+def _agent_from_wire(payload: Any) -> AgentOutcome:
+    if not isinstance(payload, Mapping):
+        raise WireError("per_agent entries must be objects")
+    return AgentOutcome(
+        agent_id=req_int(payload.get("agent_id"), "agent_id"),
+        found=bool(payload.get("found")),
+        moves_at_find=opt_int(payload.get("moves_at_find"), "moves_at_find"),
+        steps_at_find=opt_int(payload.get("steps_at_find"), "steps_at_find"),
+        total_moves=req_int(payload.get("total_moves"), "total_moves"),
+        total_steps=req_int(payload.get("total_steps"), "total_steps"),
+        final_position=point(payload.get("final_position"), "final_position"),
+    )
+
+
+def outcome_to_wire(outcome: SearchOutcome) -> Dict[str, Any]:
+    """Encode one :class:`SearchOutcome`, per-agent details included."""
+    return {
+        "found": bool(outcome.found),
+        "m_moves": None if outcome.m_moves is None else int(outcome.m_moves),
+        "m_steps": None if outcome.m_steps is None else int(outcome.m_steps),
+        "finder": None if outcome.finder is None else int(outcome.finder),
+        "n_agents": int(outcome.n_agents),
+        "move_budget": (
+            None if outcome.move_budget is None else int(outcome.move_budget)
+        ),
+        "per_agent": [_agent_to_wire(agent) for agent in outcome.per_agent],
+        "stats": (
+            None
+            if outcome.stats is None
+            else {
+                "iterations_executed": int(outcome.stats.iterations_executed),
+                "rounds_executed": int(outcome.stats.rounds_executed),
+            }
+        ),
+    }
+
+
+def outcome_from_wire(payload: Any) -> SearchOutcome:
+    """Decode one outcome record."""
+    if not isinstance(payload, Mapping):
+        raise WireError("outcome must be an object")
+    stats = payload.get("stats")
+    if stats is not None and not isinstance(stats, Mapping):
+        raise WireError("stats must be an object or null")
+    per_agent = payload.get("per_agent", [])
+    if not isinstance(per_agent, Sequence):
+        raise WireError("per_agent must be an array")
+    return SearchOutcome(
+        found=bool(payload.get("found")),
+        m_moves=opt_int(payload.get("m_moves"), "m_moves"),
+        m_steps=opt_int(payload.get("m_steps"), "m_steps"),
+        finder=opt_int(payload.get("finder"), "finder"),
+        n_agents=req_int(payload.get("n_agents"), "n_agents"),
+        move_budget=opt_int(payload.get("move_budget"), "move_budget"),
+        per_agent=[_agent_from_wire(agent) for agent in per_agent],
+        stats=(
+            None
+            if stats is None
+            else FastRunStats(
+                iterations_executed=req_int(
+                    stats.get("iterations_executed"), "stats.iterations_executed"
+                ),
+                rounds_executed=req_int(
+                    stats.get("rounds_executed"), "stats.rounds_executed"
+                ),
+            )
+        ),
+    )
+
+
+# -- results, shards, progress -------------------------------------------
+
+
+def result_to_wire(result: SimulationResult) -> Dict[str, Any]:
+    """Encode a full :class:`SimulationResult` (request + outcomes)."""
+    return {
+        "wire": WIRE_VERSION,
+        "request": request_to_wire(result.request),
+        "backend": result.backend,
+        "outcomes": [outcome_to_wire(outcome) for outcome in result.outcomes],
+    }
+
+
+def result_from_wire(payload: Any) -> SimulationResult:
+    """Decode a full result."""
+    if not isinstance(payload, Mapping):
+        raise WireError("result must be an object")
+    check_version(payload)
+    backend = payload.get("backend")
+    if not isinstance(backend, str):
+        raise WireError("result.backend must be a string")
+    outcomes = payload.get("outcomes")
+    if not isinstance(outcomes, Sequence):
+        raise WireError("result.outcomes must be an array")
+    return SimulationResult(
+        request=request_from_wire(payload.get("request")),
+        backend=backend,
+        outcomes=tuple(outcome_from_wire(outcome) for outcome in outcomes),
+    )
+
+
+def shard_to_wire(shard: ShardResult) -> Dict[str, Any]:
+    """Encode one streamed shard completion (an SSE ``shard`` event)."""
+    return {
+        "shard_index": int(shard.shard_index),
+        "trial_start": int(shard.trial_start),
+        "trial_count": int(shard.trial_count),
+        "from_cache": bool(shard.from_cache),
+        "outcomes": [outcome_to_wire(outcome) for outcome in shard.outcomes],
+    }
+
+
+def shard_from_wire(payload: Any) -> ShardResult:
+    """Decode one shard event back into a :class:`ShardResult`."""
+    if not isinstance(payload, Mapping):
+        raise WireError("shard must be an object")
+    outcomes = payload.get("outcomes")
+    if not isinstance(outcomes, Sequence):
+        raise WireError("shard.outcomes must be an array")
+    return ShardResult(
+        shard_index=req_int(payload.get("shard_index"), "shard_index"),
+        trial_start=req_int(payload.get("trial_start"), "trial_start"),
+        trial_count=req_int(payload.get("trial_count"), "trial_count"),
+        outcomes=tuple(outcome_from_wire(outcome) for outcome in outcomes),
+        from_cache=bool(payload.get("from_cache")),
+    )
+
+
+def progress_to_wire(progress: JobProgress) -> Dict[str, Any]:
+    """Encode a progress snapshot (embedded in status and SSE events)."""
+    return {
+        "state": progress.state.value,
+        "total_shards": progress.total_shards,
+        "done_shards": progress.done_shards,
+        "total_trials": progress.total_trials,
+        "done_trials": progress.done_trials,
+        "cached_shards": progress.cached_shards,
+        "fraction": progress.fraction,
+    }
+
+
+def state_from_wire(value: Any) -> JobState:
+    """Decode a job state string."""
+    try:
+        return JobState(value)
+    except ValueError:
+        raise WireError(f"unknown job state {value!r}") from None

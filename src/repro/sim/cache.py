@@ -162,6 +162,13 @@ class CacheInfo:
     misses: int
     stores: int
     code_version: str
+    # Shard-level sub-counters (the job layer's resume path).  Shard
+    # lookups also count in the aggregate hit/miss numbers above; these
+    # break out how much of the traffic the per-shard entries carry —
+    # surfaced in `repro-ants cache info` and the server's /v1/stats.
+    hits_shard: int = 0
+    misses_shard: int = 0
+    stores_shard: int = 0
 
     def summary_lines(self) -> Tuple[str, ...]:
         """Human-readable report for the CLI."""
@@ -175,6 +182,8 @@ class CacheInfo:
             f"hits         : {self.hits_memory} memory, {self.hits_disk} disk",
             f"misses       : {self.misses}",
             f"stores       : {self.stores}",
+            f"shard level  : {self.hits_shard} hits, {self.misses_shard} "
+            f"misses, {self.stores_shard} stores",
         )
 
 
@@ -208,6 +217,9 @@ class SimulationCache:
         self._hits_disk = 0
         self._misses = 0
         self._stores = 0
+        self._hits_shard = 0
+        self._misses_shard = 0
+        self._stores_shard = 0
 
     @property
     def directory(self) -> Path:
@@ -249,14 +261,20 @@ class SimulationCache:
             if cached is not None:
                 self._memory.move_to_end(key)
                 self._hits_memory += 1
+                if shard is not None:
+                    self._hits_shard += 1
                 return cached
         outcomes = self._read_disk(key, request, backend_name, shard)
         with self._lock:
             if outcomes is not None:
                 self._remember(key, outcomes)
                 self._hits_disk += 1
+                if shard is not None:
+                    self._hits_shard += 1
                 return outcomes
             self._misses += 1
+            if shard is not None:
+                self._misses_shard += 1
             return None
 
     def store(
@@ -289,6 +307,7 @@ class SimulationCache:
         with self._lock:
             self._remember(key, outcomes)
             self._stores += 1
+            self._stores_shard += 1
         self._write_disk(key, request, backend_name, outcomes, (start, count))
 
     def clear(self, memory: bool = True, disk: bool = True) -> int:
@@ -374,6 +393,9 @@ class SimulationCache:
                 misses=self._misses,
                 stores=self._stores,
                 code_version=CODE_VERSION,
+                hits_shard=self._hits_shard,
+                misses_shard=self._misses_shard,
+                stores_shard=self._stores_shard,
             )
 
     def _remember(self, key: str, outcomes: Tuple[SearchOutcome, ...]) -> None:

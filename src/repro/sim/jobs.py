@@ -448,6 +448,68 @@ def request_cancel(job_id: str) -> bool:
     return True
 
 
+def job_record(job: SimulationJob) -> dict:
+    """The ledger-shaped record of one live in-process job.
+
+    The same dict the manager persists to ``<cache>/jobs/<id>.json``,
+    built from the job's current progress — shared by the ledger
+    writer, ``repro-ants jobs status``, and the HTTP status route.
+    """
+    progress = job.progress()
+    return {
+        "job_id": job.job_id,
+        "state": progress.state.value,
+        "algorithm": job.request.algorithm.name,
+        "backend": job.backend,
+        "n_trials": job.request.n_trials,
+        "n_agents": job.request.n_agents,
+        "seed": job.request.seed,
+        "total_shards": progress.total_shards,
+        "done_shards": progress.done_shards,
+        "done_trials": progress.done_trials,
+        "cached_shards": progress.cached_shards,
+        "submitted_at": job._submitted_at,
+        "finished_at": job._finished_at,
+        "updated_at": time.time(),
+        "pid": os.getpid(),
+        "error": (
+            str(job.exception()) if job.exception() is not None else None
+        ),
+    }
+
+
+def find_job_record(job_id: str) -> Optional[dict]:
+    """The persisted ledger record for ``job_id``, or ``None``.
+
+    A direct single-file read — no directory scan — so status lookups
+    stay cheap however many records the ledger holds.
+    """
+    path = ledger_dir() / f"{job_id}.json"
+    try:
+        record = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if isinstance(record, dict) and record.get("job_id") == job_id:
+        return record
+    return None
+
+
+def job_status_record(job_id: str) -> Optional[dict]:
+    """The freshest status view of a job: live handle, then ledger.
+
+    A job still registered with this process's manager reports its live
+    progress; a finished job that was evicted from the in-process
+    registry (:attr:`JobManager.MAX_RETAINED_JOBS`) — or one owned by a
+    different process entirely — falls back to its JSON ledger record
+    instead of being reported unknown.  ``None`` only when neither
+    exists.
+    """
+    job = get_manager().get(job_id)
+    if job is not None:
+        return job_record(job)
+    return find_job_record(job_id)
+
+
 def read_job_records() -> List[dict]:
     """All persisted job records, newest submission first.
 
@@ -820,27 +882,7 @@ class JobManager:
         """Best-effort persisted job record for the CLI."""
         if not job._ledger_enabled:
             return
-        progress = job.progress()
-        record = {
-            "job_id": job.job_id,
-            "state": progress.state.value,
-            "algorithm": job.request.algorithm.name,
-            "backend": job.backend,
-            "n_trials": job.request.n_trials,
-            "n_agents": job.request.n_agents,
-            "seed": job.request.seed,
-            "total_shards": progress.total_shards,
-            "done_shards": progress.done_shards,
-            "done_trials": progress.done_trials,
-            "cached_shards": progress.cached_shards,
-            "submitted_at": job._submitted_at,
-            "finished_at": job._finished_at,
-            "updated_at": time.time(),
-            "pid": os.getpid(),
-            "error": (
-                str(job.exception()) if job.exception() is not None else None
-            ),
-        }
+        record = job_record(job)
         try:
             directory = ledger_dir()
             directory.mkdir(parents=True, exist_ok=True)

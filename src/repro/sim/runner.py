@@ -245,6 +245,20 @@ class SweepJob:
             done_trials=done_trials,
         )
 
+    def completed_rows(self) -> List[Tuple[int, ExperimentRow]]:
+        """Non-blocking snapshot: the completed points, in grid order.
+
+        The partial view a status poller wants while the sweep runs
+        (the HTTP status route serves it); :meth:`result` is the
+        blocking full set, :meth:`iter_rows` the streaming one.
+        """
+        with self._lock:
+            return [
+                (index, row)
+                for index, row in enumerate(self._rows)
+                if row is not None
+            ]
+
     def iter_rows(self) -> Iterator[Tuple[int, ExperimentRow]]:
         """Yield ``(point_index, row)`` pairs incrementally, in grid order.
 

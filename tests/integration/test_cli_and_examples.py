@@ -162,12 +162,76 @@ class TestCli:
         assert "cache cleared" in captured
 
 
+class TestJobsStatusFallback:
+    def test_status_of_evicted_finished_job_reads_the_ledger(self, capsys):
+        """`jobs status` answers from the JSON ledger once the live
+        SimulationJob has been evicted from the in-process registry."""
+        import time
+
+        from repro.sim import AlgorithmSpec, SimulationRequest
+        from repro.sim.jobs import find_job_record, get_manager, simulate_async
+
+        request = SimulationRequest(
+            algorithm=AlgorithmSpec.algorithm1(8),
+            n_agents=2,
+            target=(8, 8),
+            move_budget=200_000,
+            n_trials=2,
+            seed=616,
+        )
+        job = simulate_async(request, backend="closed_form", cache=False)
+        job.result()
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            record = find_job_record(job.job_id)
+            if record is not None and record.get("state") == "done":
+                break
+            time.sleep(0.02)
+        manager = get_manager()
+        with manager._lock:
+            manager._jobs.pop(job.job_id, None)
+        assert manager.get(job.job_id) is None
+
+        code = main(["jobs", "status", job.job_id])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "state        : done" in captured
+        assert job.job_id in captured
+
+    def test_status_of_unknown_job_still_errors(self, capsys):
+        code = main(["jobs", "status", "job-never-existed"])
+        assert code == 2
+        assert "no record" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_serve_parser_wiring(self):
+        from repro.cli import _cmd_serve, build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--max-jobs", "2"]
+        )
+        assert args.func is _cmd_serve
+        assert args.host == "127.0.0.1"
+        assert args.port == 0
+        assert args.max_jobs == 2
+
+    def test_cache_info_reports_shard_counters(self, capsys):
+        code = main(["cache", "info"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "shard level" in captured
+
+
 @pytest.mark.parametrize(
     "script",
     [
         "quickstart.py",
         "state_machine_tour.py",
         "lowerbound_demo.py",
+        # remote_quickstart.py is exercised by CI's dedicated serving
+        # smoke step (and its behavior by tests/integration/
+        # test_server.py) — not repeated here.
     ],
 )
 def test_example_scripts_run(script):
@@ -183,13 +247,14 @@ def test_example_scripts_run(script):
 
 
 def test_examples_directory_complete():
-    """All five documented examples exist and are non-trivial."""
+    """All six documented examples exist and are non-trivial."""
     expected = {
         "quickstart.py",
         "foraging_colony.py",
         "tradeoff_explorer.py",
         "lowerbound_demo.py",
         "state_machine_tour.py",
+        "remote_quickstart.py",
     }
     present = {path.name for path in EXAMPLES_DIR.glob("*.py")}
     assert expected <= present

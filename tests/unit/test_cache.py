@@ -226,6 +226,31 @@ class TestShardEntries:
         assert cache.lookup_shard(request, "closed_form", range(3, 6)) is None
         assert cache.lookup_shard(request, "closed_form", range(0, 2)) is None
 
+    def test_shard_counters_break_out_shard_traffic(self, tmp_path):
+        """Shard lookups count in both aggregate and shard counters."""
+        request = _request(n_trials=6)
+        cache = SimulationCache(directory=tmp_path)
+        outcomes = simulate(request, backend="closed_form", cache=False).outcomes
+
+        assert cache.lookup_shard(request, "closed_form", range(0, 3)) is None
+        cache.store_shard(request, "closed_form", range(0, 3), outcomes[:3])
+        assert cache.lookup_shard(
+            request, "closed_form", range(0, 3)
+        ) == outcomes[:3]
+        cache.store(request, "closed_form", outcomes)
+        assert cache.lookup(request, "closed_form") == outcomes
+
+        info = cache.info()
+        assert info.hits_shard == 1
+        assert info.misses_shard == 1
+        assert info.stores_shard == 1
+        # Aggregates include the shard traffic plus the full-request
+        # lookup/store pair.
+        assert info.hits_memory + info.hits_disk == 2
+        assert info.misses == 1
+        assert info.stores == 2
+        assert any("shard level" in line for line in info.summary_lines())
+
 
 class TestPrune:
     """LRU disk pruning: eviction order and bound enforcement."""
