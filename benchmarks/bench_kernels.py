@@ -1,0 +1,290 @@
+"""Per-family kernel throughput benchmark and regression gate.
+
+Measures colonies/sec through the ``batched`` backend (the NumPy
+binding of the shared kernel core) for every family the kernels cover,
+plus one **long-tail** lshape workload — a large move budget with a
+distant target, so the pair pool drains to a few survivors that grind
+thousands of rounds.  That tail is exactly what the blocked-round
+optimization targets, and the gate proves it on the same machine, in
+the same run: an in-file copy of the pre-extraction per-round kernel
+(``_legacy_batch_lshape``, reproducing the PR-4-era backend's per-round
+work including its bincount diagnostics) is timed against the same
+workload and the new kernel must beat it by >= 1.3x.
+
+Numbers land in the ``kernels`` section of ``BENCH_sim_backends.json``
+(and the dated ``BENCH_history.jsonl`` trail).  Running with
+``--check`` additionally compares each family against the committed
+record with a coarse cross-machine floor — catching
+order-of-magnitude regressions (a de-vectorized op, an accidental
+object-dtype array) without flaking on hardware differences.
+
+Run as pytest (CI's perf step) or directly::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from bench_sim_backends import RECORD_PATH, update_record
+from repro.sim import AlgorithmSpec, SimulationRequest, simulate
+
+#: New kernel must beat the in-file legacy kernel by this factor on the
+#: long-tail workload (same machine, same run — hardware-independent).
+SPEEDUP_FLOOR = 1.3
+
+#: ``--check`` floor against the committed record: coarse on purpose,
+#: CI machines are not the machine that wrote the record.
+CROSS_MACHINE_FLOOR = 0.35
+
+#: Large budget + distant target: most colonies find early, the tail
+#: grinds — the regime where per-round overhead used to dominate.
+LONG_TAIL = {
+    "algorithm": "algorithm1",
+    "distance": 32,
+    "n_agents": 8,
+    "target": (32, 32),
+    "move_budget": 2_000_000,
+    "n_trials": 256,
+}
+
+#: One representative workload per kernel family (trial counts scaled
+#: so each measurement covers a comparable wall-clock slice).
+FAMILY_WORKLOADS = {
+    "algorithm1": (AlgorithmSpec.algorithm1(32), 400, 100_000, (32, 32)),
+    "nonuniform": (AlgorithmSpec.nonuniform(32, 2), 400, 100_000, (32, 32)),
+    "uniform": (AlgorithmSpec.uniform(1), 128, 500_000, (16, 16)),
+    "doubly-uniform": (AlgorithmSpec.doubly_uniform(1), 128, 500_000, (16, 16)),
+    "random-walk": (AlgorithmSpec.random_walk(), 64, 200_000, (12, 9)),
+    "feinerman": (AlgorithmSpec.feinerman(), 512, 500_000, (16, 16)),
+}
+
+N_AGENTS = 8
+SEED = 20140507
+REPEATS = 2
+
+
+def _family_request(family: str) -> SimulationRequest:
+    spec, n_trials, move_budget, target = FAMILY_WORKLOADS[family]
+    return SimulationRequest(
+        algorithm=spec, n_agents=N_AGENTS, target=target,
+        move_budget=move_budget, n_trials=n_trials, seed=SEED,
+    )
+
+
+def _rate(request: SimulationRequest) -> float:
+    """Best-of-N colonies/sec through the batched backend, cache off."""
+    best = 0.0
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = simulate(request, backend="batched", cache=False)
+        elapsed = time.perf_counter() - start
+        assert len(result.outcomes) == request.n_trials
+        best = max(best, request.n_trials / elapsed)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# The pre-extraction lshape kernel, kept as the speedup reference: one
+# round per RNG draw, two compaction passes per round, per-round
+# bincount diagnostics — the same work the PR-4-era backend did (only
+# the facade/outcome-construction shell is omitted, which makes the
+# measured speedup conservative: the new path is timed *through* the
+# facade).
+# ---------------------------------------------------------------------------
+
+_SENTINEL = np.iinfo(np.int64).max
+
+
+def _legacy_sample_sorties(rng, stop_probability, count):
+    signs_v = rng.integers(0, 2, size=count) * 2 - 1
+    signs_h = rng.integers(0, 2, size=count) * 2 - 1
+    lengths_v = rng.geometric(stop_probability, size=count) - 1
+    lengths_h = rng.geometric(stop_probability, size=count) - 1
+    return signs_v, lengths_v, signs_h, lengths_h
+
+
+def _legacy_sortie_hits(target, signs_v, lengths_v, signs_h, lengths_h):
+    x, y = target
+    hit_vertical = (x == 0) & (signs_v * y >= 0) & (lengths_v >= abs(y))
+    hit_horizontal = (
+        (signs_v * lengths_v == y) & (signs_h * x >= 0) & (lengths_h >= abs(x))
+    )
+    hit = hit_vertical | hit_horizontal
+    moves_at_hit = np.where(hit_vertical, abs(y), lengths_v + abs(x))
+    return hit, moves_at_hit
+
+
+def _legacy_batch_lshape(
+    stop_probability, n_agents, n_trials, target, rng, move_budget
+):
+    pair_trial = np.repeat(np.arange(n_trials), n_agents)
+    pair_agent = np.tile(np.arange(n_agents), n_trials)
+    best = np.full(n_trials, _SENTINEL, dtype=np.int64)
+    best_finder = np.full(n_trials, -1, dtype=np.int64)
+    trial_iterations = np.zeros(n_trials, dtype=np.int64)
+    trial_rounds = np.zeros(n_trials, dtype=np.int64)
+    cumulative = np.zeros(n_trials * n_agents, dtype=np.int64)
+
+    expected_len = max(1.0, 2.0 * (1.0 / stop_probability - 1.0))
+    max_rounds = int(200 * (move_budget / expected_len + 1)) + 10_000
+    for _ in range(max_rounds):
+        if pair_trial.size == 0:
+            break
+        counts = np.bincount(pair_trial, minlength=n_trials)
+        trial_iterations += counts
+        trial_rounds += counts > 0
+        sv, lv, sh, lh = _legacy_sample_sorties(
+            rng, stop_probability, pair_trial.size
+        )
+        hit, moves_at_hit = _legacy_sortie_hits(target, sv, lv, sh, lh)
+        totals = cumulative + moves_at_hit
+        eligible = hit & (totals <= move_budget) & (totals < best[pair_trial])
+        if np.any(eligible):
+            np.minimum.at(best, pair_trial[eligible], totals[eligible])
+            improved = eligible & (totals == best[pair_trial])
+            best_finder[pair_trial[improved]] = pair_agent[improved]
+        survivors = ~hit
+        cumulative = (cumulative + lv + lh)[survivors]
+        pair_trial = pair_trial[survivors]
+        pair_agent = pair_agent[survivors]
+        limit = np.minimum(move_budget, best[pair_trial])
+        keep = cumulative < limit
+        cumulative = cumulative[keep]
+        pair_trial = pair_trial[keep]
+        pair_agent = pair_agent[keep]
+    return best, best_finder, trial_iterations, trial_rounds
+
+
+def _legacy_long_tail_rate() -> float:
+    best = 0.0
+    for _ in range(REPEATS):
+        rng = np.random.default_rng(SEED)
+        start = time.perf_counter()
+        _legacy_batch_lshape(
+            1.0 / LONG_TAIL["distance"], LONG_TAIL["n_agents"],
+            LONG_TAIL["n_trials"], LONG_TAIL["target"], rng,
+            LONG_TAIL["move_budget"],
+        )
+        elapsed = time.perf_counter() - start
+        best = max(best, LONG_TAIL["n_trials"] / elapsed)
+    return best
+
+
+def _long_tail_rate() -> float:
+    request = SimulationRequest(
+        algorithm=AlgorithmSpec.algorithm1(LONG_TAIL["distance"]),
+        n_agents=LONG_TAIL["n_agents"], target=LONG_TAIL["target"],
+        move_budget=LONG_TAIL["move_budget"], n_trials=LONG_TAIL["n_trials"],
+        seed=SEED,
+    )
+    return _rate(request)
+
+
+def measure() -> dict:
+    """Run every measurement and return the ``kernels`` section payload."""
+    per_family = {
+        family: round(_rate(_family_request(family)), 2)
+        for family in sorted(FAMILY_WORKLOADS)
+    }
+    long_tail = _long_tail_rate()
+    legacy = _legacy_long_tail_rate()
+    return {
+        "long_tail_workload": {
+            key: list(value) if isinstance(value, tuple) else value
+            for key, value in LONG_TAIL.items()
+        },
+        "long_tail_colonies_per_second": round(long_tail, 2),
+        "legacy_long_tail_colonies_per_second": round(legacy, 2),
+        "speedup_vs_legacy_long_tail": round(long_tail / legacy, 2),
+        "colonies_per_second": per_family,
+        "speedup_floor": SPEEDUP_FLOOR,
+    }
+
+
+def assert_gates(payload: dict) -> None:
+    speedup = payload["speedup_vs_legacy_long_tail"]
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"blocked kernels must beat the pre-extraction per-round kernel "
+        f"by >= {SPEEDUP_FLOOR}x on the long-tail workload, got {speedup}x"
+    )
+
+
+def check_against_record(payload: dict, recorded: dict) -> list:
+    """Coarse regression check vs the committed record; returns failures."""
+    failures = []
+    baseline = recorded.get("colonies_per_second", {})
+    for family, rate in payload["colonies_per_second"].items():
+        floor = baseline.get(family, 0.0) * CROSS_MACHINE_FLOOR
+        if rate < floor:
+            failures.append(
+                f"{family}: {rate} colonies/sec < {floor:.1f} "
+                f"({CROSS_MACHINE_FLOOR}x the recorded "
+                f"{baseline[family]})"
+            )
+    return failures
+
+
+def test_kernel_throughput_record():
+    """Pytest entry: measure, gate, and record the kernels section."""
+    recorded = {}
+    if RECORD_PATH.exists():
+        try:
+            recorded = json.loads(RECORD_PATH.read_text()).get("kernels", {})
+        except json.JSONDecodeError:
+            recorded = {}
+    payload = measure()
+    record = update_record("kernels", payload)
+    print()
+    print(json.dumps(record.get("kernels", {}), indent=2, sort_keys=True))
+    assert_gates(payload)
+    failures = check_against_record(payload, recorded)
+    assert not failures, "kernel throughput regressed: " + "; ".join(failures)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail (exit 1) on gate violations or regressions vs the "
+        "committed record",
+    )
+    args = parser.parse_args(argv)
+
+    recorded = {}
+    if RECORD_PATH.exists():
+        try:
+            recorded = json.loads(RECORD_PATH.read_text()).get("kernels", {})
+        except json.JSONDecodeError:
+            recorded = {}
+    payload = measure()
+    update_record("kernels", payload)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if not args.check:
+        return 0
+    try:
+        assert_gates(payload)
+    except AssertionError as error:
+        print(f"GATE FAILED: {error}", file=sys.stderr)
+        return 1
+    failures = check_against_record(payload, recorded)
+    if failures:
+        print("REGRESSION vs recorded baseline:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"kernel gates OK: {payload['speedup_vs_legacy_long_tail']}x vs "
+        f"legacy (floor {SPEEDUP_FLOOR}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

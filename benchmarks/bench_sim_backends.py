@@ -15,6 +15,7 @@ sections of the shared JSON record.
 
 from __future__ import annotations
 
+import datetime
 import json
 import pathlib
 import time
@@ -22,6 +23,7 @@ import time
 from repro.sim import AlgorithmSpec, SimulationRequest, simulate
 
 RECORD_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_sim_backends.json"
+HISTORY_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_history.jsonl"
 
 WORKLOAD = {
     "algorithm": "algorithm1",
@@ -37,7 +39,14 @@ _TRIALS = {"reference": 5, "closed_form": 100, "batched": 400}
 
 
 def update_record(section: str, payload: dict) -> dict:
-    """Merge one benchmark's section into the shared JSON record."""
+    """Merge one benchmark's section into the shared JSON record.
+
+    Every call also appends a dated snapshot line to
+    ``BENCH_history.jsonl`` — the in-place JSON holds only the latest
+    numbers, the JSONL holds the whole perf trajectory across PRs in a
+    machine-readable form (one ``{"recorded_at", "section", "payload"}``
+    object per line).
+    """
     record = {}
     if RECORD_PATH.exists():
         try:
@@ -54,6 +63,15 @@ def update_record(section: str, payload: dict) -> dict:
         record = {}
     record[section] = payload
     RECORD_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    snapshot = {
+        "recorded_at": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "section": section,
+        "payload": payload,
+    }
+    with HISTORY_PATH.open("a") as history:
+        history.write(json.dumps(snapshot, sort_keys=True) + "\n")
     return record
 
 

@@ -34,9 +34,11 @@ GOLDEN_DIR = pathlib.Path(__file__).resolve().parents[1] / "tests" / "golden"
 #: The backend whose samples are frozen: per-trial, seed-exact.
 GENERATOR_BACKEND = "closed_form"
 
-#: One entry per recorded algorithm family.  Modest D keeps generation
-#: around a second per family; 400 samples give the KS test power
-#: without bloating the repository.
+#: One entry per recorded algorithm family — all six batched-covered
+#: families since the kernel extraction (ROADMAP "more golden
+#: families" item).  Modest D keeps generation around a second per
+#: family; 400 samples give the KS test power without bloating the
+#: repository.
 FAMILIES = {
     "algorithm1": SimulationRequest(
         algorithm=AlgorithmSpec.algorithm1(8),
@@ -46,6 +48,23 @@ FAMILIES = {
         n_trials=400,
         seed=20140507,
     ),
+    "nonuniform": SimulationRequest(
+        algorithm=AlgorithmSpec.nonuniform(8, 2),
+        n_agents=4,
+        target=(8, 8),
+        move_budget=500_000,
+        n_trials=400,
+        seed=20140507,
+    ),
+    "uniform": SimulationRequest(
+        algorithm=AlgorithmSpec.uniform(1),
+        n_agents=4,
+        target=(6, 5),
+        move_budget=500_000,
+        n_trials=400,
+        seed=20140507,
+        distance_bound=8,
+    ),
     "doubly_uniform": SimulationRequest(
         algorithm=AlgorithmSpec.doubly_uniform(1),
         n_agents=4,
@@ -54,6 +73,23 @@ FAMILIES = {
         n_trials=400,
         seed=20140507,
         distance_bound=8,
+    ),
+    "random_walk": SimulationRequest(
+        algorithm=AlgorithmSpec.random_walk(),
+        n_agents=4,
+        target=(6, 5),
+        move_budget=200_000,
+        n_trials=400,
+        seed=20140507,
+        distance_bound=8,
+    ),
+    "feinerman": SimulationRequest(
+        algorithm=AlgorithmSpec.feinerman(),
+        n_agents=4,
+        target=(8, 8),
+        move_budget=500_000,
+        n_trials=400,
+        seed=20140507,
     ),
 }
 

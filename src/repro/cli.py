@@ -48,7 +48,7 @@ from repro.sim.backends import (
 )
 from repro.sim.service import simulate
 
-BACKEND_CHOICES = ("auto", "reference", "closed_form", "batched")
+BACKEND_CHOICES = ("auto", "reference", "closed_form", "batched", "accelerator")
 
 
 def _build_spec(name: str, distance: int, ell: int) -> AlgorithmSpec:
@@ -185,6 +185,7 @@ def _cmd_backends(args: argparse.Namespace) -> int:
     print()
     print("\n".join(lines))
     print()
+    _print_kernel_binding(backends)
     print('what "auto" resolves to for each algorithm:')
     for algo in KNOWN_ALGORITHMS:
         single = probe_request(algo)
@@ -194,9 +195,37 @@ def _cmd_backends(args: argparse.Namespace) -> int:
         print(f"  {algo:15s} single trial -> {picked_single}, "
               f"trial batch -> {picked_batch}")
     print()
+    print("why backends decline (supports() gating reasons):")
+    for name in sorted(backends):
+        reasons = backends[name].decline_reasons()
+        if not reasons:
+            continue
+        # Group families sharing one reason to keep the report short.
+        by_reason = {}
+        for algo, reason in reasons.items():
+            by_reason.setdefault(reason, []).append(algo)
+        for reason, algos in sorted(by_reason.items()):
+            print(f"  {name:12s} {', '.join(algos)}: {reason}")
+    print()
     print("(requests with a step budget always resolve to reference, the "
           "only backend honoring M_steps accounting.)")
     return 0
+
+
+def _print_kernel_binding(backends) -> None:
+    """One line on what the kernel namespaces are bound to."""
+    from repro.sim.kernels import available_namespace_names
+
+    accelerator = backends.get("accelerator")
+    device = (
+        accelerator.device_description()
+        if accelerator is not None and hasattr(accelerator, "device_description")
+        else "unregistered"
+    )
+    print(f"kernel namespaces importable: "
+          f"{', '.join(available_namespace_names())}; "
+          f"batched -> numpy:cpu, accelerator -> {device}")
+    print()
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:

@@ -12,7 +12,7 @@ returns outcomes identical to in-process :func:`repro.sim.simulate`.
 Routes (all JSON unless noted)::
 
     GET    /v1/health              liveness probe
-    GET    /v1/backends            registry coverage + auto priorities
+    GET    /v1/backends            registry coverage, decline reasons, auto picks
     GET    /v1/stats               server, job, and cache counters
     POST   /v1/jobs                submit a request; 429 over --max-jobs
     GET    /v1/jobs                recent jobs (live + ledger records)
@@ -652,12 +652,23 @@ class SimulationServer:
         }
 
     def backends_payload(self) -> Dict[str, Any]:
-        """Registry coverage and auto-resolution, as JSON."""
+        """Registry coverage, decline reasons and auto-resolution, as JSON."""
         from repro.sim.backends.base import KNOWN_ALGORITHMS, probe_request
+        from repro.sim.kernels import available_namespace_names
 
         backends = {}
         for name, backend in sorted(registered_backends().items()):
-            backends[name] = {"algorithms": backend.coverage()}
+            coverage, declines = backend.coverage_and_reasons()
+            entry: Dict[str, Any] = {
+                "algorithms": coverage,
+                # Why each declined family is declined — "no device",
+                # "step_budget set", ... — so a remote operator can
+                # tell a missing GPU from a missing kernel.
+                "declines": declines,
+            }
+            if hasattr(backend, "device_description"):
+                entry["device"] = backend.device_description()
+            backends[name] = entry
         auto: Dict[str, Optional[str]] = {}
         for algorithm in KNOWN_ALGORITHMS:
             probe = probe_request(algorithm)
@@ -669,6 +680,7 @@ class SimulationServer:
             "wire": WIRE_VERSION,
             "backends": backends,
             "auto_resolution": auto,
+            "kernel_namespaces": list(available_namespace_names()),
         }
 
     def stats_payload(self) -> Dict[str, Any]:

@@ -271,6 +271,18 @@ class SimulationBackend(ABC):
     def supports(self, request: SimulationRequest) -> bool:
         """Whether this backend can serve ``request`` faithfully."""
 
+    def support_reason(self, request: SimulationRequest) -> Optional[str]:
+        """Why :meth:`supports` declines ``request`` (None when it doesn't).
+
+        Backends override this with specific gating reasons ("no
+        device", "step_budget set", ...) so the CLI ``backends`` table
+        and the ``/v1/backends`` route can explain declines instead of
+        printing a bare dash.
+        """
+        if self.supports(request):
+            return None
+        return f"algorithm {request.algorithm.name!r} not supported"
+
     @abstractmethod
     def run(
         self,
@@ -287,13 +299,43 @@ class SimulationBackend(ABC):
         """Ranking used by ``backend="auto"``; higher wins."""
         return 0
 
-    def coverage(self) -> Dict[str, bool]:
-        """Which algorithm families this backend supports (for the CLI)."""
-        report: Dict[str, bool] = {}
+    def cache_name(self) -> str:
+        """The identity the result cache keys this backend under.
+
+        Defaults to the registry name.  Backends whose output stream
+        depends on more than their code — the accelerator's depends on
+        which array namespace/device is bound — must fold that binding
+        in, so a host whose binding changes can never replay another
+        binding's cached stream.
+        """
+        return self.name
+
+    def coverage_and_reasons(self) -> Tuple[Dict[str, bool], Dict[str, str]]:
+        """One probe pass: (family -> supported?, family -> decline reason).
+
+        Introspection surfaces (CLI table, ``/v1/backends``) want both;
+        a single loop keeps each probe request built and gated once.
+        """
+        coverage: Dict[str, bool] = {}
+        reasons: Dict[str, str] = {}
         for name in KNOWN_ALGORITHMS:
             probe = probe_request(name)
-            report[name] = probe is not None and self.supports(probe)
-        return report
+            if probe is None:
+                coverage[name] = False
+                continue
+            reason = self.support_reason(probe)
+            coverage[name] = reason is None
+            if reason is not None:
+                reasons[name] = reason
+        return coverage, reasons
+
+    def coverage(self) -> Dict[str, bool]:
+        """Which algorithm families this backend supports (for the CLI)."""
+        return self.coverage_and_reasons()[0]
+
+    def decline_reasons(self) -> Dict[str, str]:
+        """Per-family :meth:`support_reason` strings for declined probes."""
+        return self.coverage_and_reasons()[1]
 
 
 def probe_request(

@@ -1,96 +1,88 @@
-"""The ``batched`` backend: many colonies x many trials in one NumPy pass.
+"""The ``batched`` backend: many colonies x many trials in one kernel pass.
 
 The closed-form simulators vectorize over one colony's agents; this
 backend flattens the whole request — ``n_trials`` colonies of
 ``n_agents`` agents — into one pool of (trial, agent) pairs and samples
-*every active pair's next iteration in a single draw*.  For the sortie
-algorithms, each round:
-
-1. sample one L-sortie per active pair (vectorized geometric legs),
-2. closed-form hit test against the target,
-3. scatter per-colony minima (``np.minimum.at``) to update each
-   trial's running best find,
-4. retire pairs that found the target, exhausted the budget, or can no
-   longer beat their own colony's best (the engine's
-   retire-when-unimprovable policy, applied per colony).
-
-The same pooled-pair scheme covers every trial-batch algorithm family:
-
-* ``algorithm1`` / ``nonuniform`` — constant stop-probability sorties;
-* ``uniform`` — per-pair phase state with vectorized phase-coin refills;
-* ``doubly-uniform`` — per-pair (epoch, phase) state implementing the
-  guess-``n``-by-doubling lift;
-* ``random-walk`` — lockstep unit steps for the whole batch (every
-  step is a move, so the first find in simulated time is the exact
-  colony minimum per trial);
-* ``feinerman`` — per-pair stage counters with closed-form spiral-index
-  hit tests against each stage's quota.
+*every active pair's next iteration in a single draw*.  Since the
+kernel extraction the actual math lives in :mod:`repro.sim.kernels`:
+six per-family kernels written against the array-namespace shim, which
+this backend binds to **NumPy**.  (The ``accelerator`` backend binds
+the same kernels to a device namespace; see
+:mod:`repro.sim.backends.accelerator`.)
 
 Iterations are drawn from exactly the process distribution, so outcomes
 are equal in distribution to the ``reference`` engine — the
-integration tests check this statistically for every supported
-algorithm.  Unlike the per-trial backends, the whole batch shares one
-generator stream, so individual trials are not separately re-seedable
-(request-level determinism still holds).
+integration tests and the golden KS gates check this statistically for
+every supported algorithm.  Unlike the per-trial backends, the whole
+batch shares one generator stream, so individual trials are not
+separately re-seedable (request-level determinism still holds).
 
 Diagnostics are per colony: each trial's outcome carries its own
 :class:`~repro.sim.metrics.FastRunStats` — the iterations its own
-pairs executed and the rounds in which it still had active pairs —
-aggregated with ``np.bincount`` scatter-adds per round.
+pairs executed and the rounds in which it still had active pairs.
 """
 
 from __future__ import annotations
 
-import math
 from typing import Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.sim.backends.base import SimulationBackend, SimulationRequest
-from repro.sim.fast import _sample_sorties, _sortie_hits
+from repro.sim.kernels import SENTINEL, numpy_namespace, run_family
+from repro.sim.kernels.xp import ArrayNamespace
 from repro.sim.metrics import FastRunStats, SearchOutcome
 
-_SENTINEL = np.iinfo(np.int64).max
-_DEFAULT_MAX_PHASE = 50
-_DEFAULT_MAX_EPOCH = 40
-_DEFAULT_MAX_STAGE = 40
-_FEINERMAN_C = 4.0
-# Cap on trajectory elements per random-walk block, keeping the
-# (pairs x block) scratch arrays memory-bounded for large batches.
-_WALK_BLOCK_ELEMENTS = 1 << 19
+_SENTINEL = SENTINEL
+
+#: Families with a batch kernel (see :func:`repro.sim.kernels.run_family`).
+BATCHED_ALGORITHMS = (
+    "algorithm1",
+    "nonuniform",
+    "uniform",
+    "doubly-uniform",
+    "random-walk",
+    "feinerman",
+)
 
 
-class BatchedBackend(SimulationBackend):
-    """Whole-batch vectorized simulation of the paper's algorithms."""
+class KernelBackendMixin:
+    """Shared request -> kernel -> outcome plumbing for kernel backends.
 
-    name = "batched"
+    Subclasses provide :meth:`namespace`; everything else — the
+    request-gating reasons, seeding the pooled stream, dispatching to
+    the family kernel, converting the result arrays into per-trial
+    :class:`SearchOutcome` records — is identical between the NumPy
+    and device bindings.
+    """
 
-    _SUPPORTED = (
-        "algorithm1",
-        "nonuniform",
-        "uniform",
-        "doubly-uniform",
-        "random-walk",
-        "feinerman",
-    )
+    _SUPPORTED = BATCHED_ALGORITHMS
+
+    def namespace(self) -> ArrayNamespace:
+        raise NotImplementedError
+
+    def _kernel_support_reason(
+        self, request: SimulationRequest
+    ) -> Optional[str]:
+        """The request-shaped gating shared by every kernel binding."""
+        if request.step_budget is not None:
+            return "step_budget set (only reference tracks M_steps)"
+        if request.algorithm.name not in self._SUPPORTED:
+            return f"no batch kernel for algorithm {request.algorithm.name!r}"
+        return None
 
     def supports(self, request: SimulationRequest) -> bool:
-        return request.step_budget is None and (
-            request.algorithm.name in self._SUPPORTED
-        )
-
-    def auto_priority(self, request: SimulationRequest) -> int:
-        # The batch pass amortizes across trials, so it outranks every
-        # per-trial backend for trial batches of any supported
-        # algorithm; a single trial is better served by the closed-form
-        # per-colony simulators.  (The reference engine still wins
-        # requests with a step budget via supports() gating.)
-        return 30 if request.n_trials > 1 else 5
+        return self.support_reason(request) is None
 
     def run(
         self,
         request: SimulationRequest,
         trial_indices: Optional[Sequence[int]] = None,
+    ) -> Tuple[SearchOutcome, ...]:
+        return self._run_kernels(request, trial_indices)
+
+    def _run_kernels(
+        self,
+        request: SimulationRequest,
+        trial_indices: Optional[Sequence[int]],
     ) -> Tuple[SearchOutcome, ...]:
         indices = (
             list(range(request.n_trials))
@@ -99,75 +91,43 @@ class BatchedBackend(SimulationBackend):
         )
         if not indices:
             return ()
+        xp = self.namespace()
         # One pooled stream for the whole batch, anchored at the first
         # trial's address so sharded runs stay deterministic.
-        rng = np.random.default_rng(request.trial_seed(indices[0]))
+        rng = xp.rng(request.trial_seed(indices[0]))
         n_trials = len(indices)
-        spec = request.algorithm
-        if spec.name in ("algorithm1", "nonuniform"):
-            stop_probability = self._stop_probability(request)
-            best, finder, iters, rounds = _batch_lshape(
-                stop_probability,
-                request.n_agents,
-                n_trials,
-                request.target,
-                rng,
-                request.move_budget,
-            )
-        elif spec.name == "uniform":
-            best, finder, iters, rounds = _batch_uniform(
-                request.n_agents,
-                spec.ell or 1,
-                spec.K,
-                n_trials,
-                request.target,
-                rng,
-                request.move_budget,
-                spec.max_phase or _DEFAULT_MAX_PHASE,
-            )
-        elif spec.name == "doubly-uniform":
-            best, finder, iters, rounds = _batch_doubly_uniform(
-                request.n_agents,
-                spec.ell or 1,
-                spec.K,
-                n_trials,
-                request.target,
-                rng,
-                request.move_budget,
-            )
-        elif spec.name == "random-walk":
-            best, finder, iters, rounds = _batch_random_walk(
-                request.n_agents,
-                n_trials,
-                request.target,
-                rng,
-                request.move_budget,
-            )
-        else:  # feinerman
-            best, finder, iters, rounds = _batch_feinerman(
-                request.n_agents,
-                n_trials,
-                request.target,
-                rng,
-                request.move_budget,
-            )
+        best, finder, iters, rounds = (
+            xp.to_numpy(array)
+            for array in run_family(xp, rng, request, n_trials)
+        )
         return tuple(
             _outcome(
                 int(best[i]), int(finder[i]), request.n_agents,
-                request.move_budget, FastRunStats(int(iters[i]), int(rounds[i])),
+                request.move_budget,
+                FastRunStats(int(iters[i]), int(rounds[i])),
             )
             for i in range(n_trials)
         )
 
-    @staticmethod
-    def _stop_probability(request: SimulationRequest) -> float:
-        if request.algorithm.name == "algorithm1":
-            return 1.0 / request.algorithm.distance
-        from repro.core.nonuniform import NonUniformSearch
 
-        return NonUniformSearch(
-            request.algorithm.distance, request.algorithm.ell or 1
-        ).stop_probability
+class BatchedBackend(KernelBackendMixin, SimulationBackend):
+    """Whole-batch vectorized simulation on the NumPy namespace."""
+
+    name = "batched"
+
+    def namespace(self) -> ArrayNamespace:
+        return numpy_namespace()
+
+    def support_reason(self, request: SimulationRequest) -> Optional[str]:
+        return self._kernel_support_reason(request)
+
+    def auto_priority(self, request: SimulationRequest) -> int:
+        # The batch pass amortizes across trials, so it outranks every
+        # per-trial backend for trial batches of any supported
+        # algorithm; a single trial is better served by the closed-form
+        # per-colony simulators.  (The reference engine still wins
+        # requests with a step budget via supports() gating.)
+        return 30 if request.n_trials > 1 else 5
 
 
 def _outcome(
@@ -182,377 +142,3 @@ def _outcome(
         found=True, m_moves=best, m_steps=0 if best == 0 else None,
         finder=finder, n_agents=n_agents, move_budget=move_budget, stats=stats,
     )
-
-
-def _batch_state(n_trials: int, n_agents: int):
-    """Fresh pooled-pair bookkeeping shared by every kernel."""
-    pair_trial = np.repeat(np.arange(n_trials), n_agents)
-    pair_agent = np.tile(np.arange(n_agents), n_trials)
-    best = np.full(n_trials, _SENTINEL, dtype=np.int64)
-    best_finder = np.full(n_trials, -1, dtype=np.int64)
-    trial_iterations = np.zeros(n_trials, dtype=np.int64)
-    trial_rounds = np.zeros(n_trials, dtype=np.int64)
-    return pair_trial, pair_agent, best, best_finder, trial_iterations, trial_rounds
-
-
-def _origin_batch(n_trials: int):
-    """Every colony finds an origin target after zero moves."""
-    zeros = np.zeros(n_trials, dtype=np.int64)
-    return zeros, zeros.copy(), zeros.copy(), zeros.copy()
-
-
-def _count_round(trial_iterations, trial_rounds, pair_trial, n_trials, weight=1):
-    """Per-colony diagnostics: scatter-add this round's active pairs."""
-    counts = np.bincount(pair_trial, minlength=n_trials)
-    trial_iterations += counts * weight
-    trial_rounds += counts > 0
-
-
-def _score_hits(best, best_finder, pair_trial, pair_agent, totals, eligible):
-    """Fold eligible finds into each colony's running minimum."""
-    if np.any(eligible):
-        np.minimum.at(best, pair_trial[eligible], totals[eligible])
-        improved = eligible & (totals == best[pair_trial])
-        best_finder[pair_trial[improved]] = pair_agent[improved]
-
-
-def _batch_lshape(
-    stop_probability: float,
-    n_agents: int,
-    n_trials: int,
-    target,
-    rng: np.random.Generator,
-    move_budget: int,
-):
-    """All trials of a constant-stop-probability sortie algorithm at once."""
-    if target == (0, 0):
-        return _origin_batch(n_trials)
-    (pair_trial, pair_agent, best, best_finder,
-     trial_iterations, trial_rounds) = _batch_state(n_trials, n_agents)
-    cumulative = np.zeros(n_trials * n_agents, dtype=np.int64)
-
-    expected_len = max(1.0, 2.0 * (1.0 / stop_probability - 1.0))
-    max_rounds = int(200 * (move_budget / expected_len + 1)) + 10_000
-    for _ in range(max_rounds):
-        if pair_trial.size == 0:
-            break
-        _count_round(trial_iterations, trial_rounds, pair_trial, n_trials)
-        sv, lv, sh, lh = _sample_sorties(rng, stop_probability, pair_trial.size)
-        hit, moves_at_hit = _sortie_hits(target, sv, lv, sh, lh)
-        totals = cumulative + moves_at_hit
-        eligible = hit & (totals <= move_budget) & (totals < best[pair_trial])
-        _score_hits(best, best_finder, pair_trial, pair_agent, totals, eligible)
-        survivors = ~hit
-        cumulative = (cumulative + lv + lh)[survivors]
-        pair_trial = pair_trial[survivors]
-        pair_agent = pair_agent[survivors]
-        limit = np.minimum(move_budget, best[pair_trial])
-        keep = cumulative < limit
-        cumulative = cumulative[keep]
-        pair_trial = pair_trial[keep]
-        pair_agent = pair_agent[keep]
-    return best, best_finder, trial_iterations, trial_rounds
-
-
-def _batch_uniform(
-    n_agents: int,
-    ell: int,
-    K: int,
-    n_trials: int,
-    target,
-    rng: np.random.Generator,
-    move_budget: int,
-    max_phase: int,
-):
-    """All trials of Algorithm 5 at once.
-
-    Per-pair state is ``(phase, calls_left, cumulative)``; phase coins
-    are redrawn vectorized (``Geometric(1/rho_i) - 1`` sortie calls per
-    phase) whenever a pair exhausts its calls, and every active pair
-    contributes one sortie per round with its own phase's stop
-    probability — ``_sample_sorties`` accepts the per-pair vector.
-    """
-    if target == (0, 0):
-        return _origin_batch(n_trials)
-    discount = math.floor(math.log2(n_agents) / ell) if n_agents > 1 else 0
-    (pair_trial, pair_agent, best, best_finder,
-     trial_iterations, trial_rounds) = _batch_state(n_trials, n_agents)
-    cumulative = np.zeros(n_trials * n_agents, dtype=np.int64)
-    phase = np.zeros(n_trials * n_agents, dtype=np.int64)
-    calls_left = np.zeros(n_trials * n_agents, dtype=np.int64)
-
-    phase1_len = max(1.0, 2.0 * (2.0**ell - 1.0))
-    max_rounds = int(200 * (move_budget / phase1_len + 1)) + 10_000
-    for _ in range(max_rounds):
-        if pair_trial.size == 0:
-            break
-        # Refill exhausted phase coins; pairs that run out of phases
-        # retire below via the `alive` mask.
-        need = calls_left <= 0
-        while np.any(need):
-            phase[need] += 1
-            need &= phase <= max_phase
-            if not np.any(need):
-                break
-            exponent = K + np.maximum(phase[need] - discount, 0)
-            rho = np.exp2(exponent.astype(np.float64) * ell)
-            calls_left[need] = rng.geometric(1.0 / rho) - 1
-            need &= calls_left <= 0
-        alive = phase <= max_phase
-        if not np.all(alive):
-            pair_trial = pair_trial[alive]
-            pair_agent = pair_agent[alive]
-            cumulative = cumulative[alive]
-            phase = phase[alive]
-            calls_left = calls_left[alive]
-            if pair_trial.size == 0:
-                break
-        _count_round(trial_iterations, trial_rounds, pair_trial, n_trials)
-        stop_p = np.exp2(-(phase.astype(np.float64) * ell))
-        sv, lv, sh, lh = _sample_sorties(rng, stop_p, pair_trial.size)
-        hit, moves_at_hit = _sortie_hits(target, sv, lv, sh, lh)
-        totals = cumulative + moves_at_hit
-        eligible = hit & (totals <= move_budget) & (totals < best[pair_trial])
-        _score_hits(best, best_finder, pair_trial, pair_agent, totals, eligible)
-        survivors = ~hit
-        cumulative = (cumulative + lv + lh)[survivors]
-        calls_left = calls_left[survivors] - 1
-        phase = phase[survivors]
-        pair_trial = pair_trial[survivors]
-        pair_agent = pair_agent[survivors]
-        limit = np.minimum(move_budget, best[pair_trial])
-        keep = cumulative < limit
-        cumulative = cumulative[keep]
-        calls_left = calls_left[keep]
-        phase = phase[keep]
-        pair_trial = pair_trial[keep]
-        pair_agent = pair_agent[keep]
-    return best, best_finder, trial_iterations, trial_rounds
-
-
-def _batch_doubly_uniform(
-    n_agents: int,
-    ell: int,
-    K: int,
-    n_trials: int,
-    target,
-    rng: np.random.Generator,
-    move_budget: int,
-    max_epoch: int = _DEFAULT_MAX_EPOCH,
-):
-    """All trials of the doubly uniform search at once.
-
-    Mirrors :func:`repro.sim.fast.fast_doubly_uniform`: epoch ``j``
-    commits to the guess ``n_j = 2^j`` and runs phases ``1..j`` of
-    Algorithm 5 under that guess.  Per-pair state is ``(epoch, phase,
-    calls_left, cumulative)``; when a pair's phase coin runs out it
-    advances to the next phase, rolling over to ``(epoch + 1, phase 1)``
-    past the epoch's phase range.  The phase-coin exponent under guess
-    ``n_j`` is ``K + max(phase - floor(j / ell), 0)`` (the vectorized
-    form of :func:`repro.core.uniform.phase_coin_exponent` with
-    ``n = 2^j``).
-    """
-    if target == (0, 0):
-        return _origin_batch(n_trials)
-    (pair_trial, pair_agent, best, best_finder,
-     trial_iterations, trial_rounds) = _batch_state(n_trials, n_agents)
-    cumulative = np.zeros(n_trials * n_agents, dtype=np.int64)
-    epoch = np.ones(n_trials * n_agents, dtype=np.int64)
-    phase = np.zeros(n_trials * n_agents, dtype=np.int64)
-    calls_left = np.zeros(n_trials * n_agents, dtype=np.int64)
-
-    phase1_len = max(1.0, 2.0 * (2.0**ell - 1.0))
-    max_rounds = int(200 * (move_budget / phase1_len + 1)) + 10_000
-    for _ in range(max_rounds):
-        if pair_trial.size == 0:
-            break
-        need = calls_left <= 0
-        while np.any(need):
-            phase[need] += 1
-            rolled = need & (phase > epoch)
-            if np.any(rolled):
-                epoch[rolled] += 1
-                phase[rolled] = 1
-            need &= epoch <= max_epoch
-            if not np.any(need):
-                break
-            exponent = K + np.maximum(phase[need] - epoch[need] // ell, 0)
-            rho = np.exp2(exponent.astype(np.float64) * ell)
-            calls_left[need] = rng.geometric(1.0 / rho) - 1
-            need &= calls_left <= 0
-        alive = epoch <= max_epoch
-        if not np.all(alive):
-            pair_trial = pair_trial[alive]
-            pair_agent = pair_agent[alive]
-            cumulative = cumulative[alive]
-            epoch = epoch[alive]
-            phase = phase[alive]
-            calls_left = calls_left[alive]
-            if pair_trial.size == 0:
-                break
-        _count_round(trial_iterations, trial_rounds, pair_trial, n_trials)
-        stop_p = np.exp2(-(phase.astype(np.float64) * ell))
-        sv, lv, sh, lh = _sample_sorties(rng, stop_p, pair_trial.size)
-        hit, moves_at_hit = _sortie_hits(target, sv, lv, sh, lh)
-        totals = cumulative + moves_at_hit
-        eligible = hit & (totals <= move_budget) & (totals < best[pair_trial])
-        _score_hits(best, best_finder, pair_trial, pair_agent, totals, eligible)
-        survivors = ~hit
-        cumulative = (cumulative + lv + lh)[survivors]
-        calls_left = calls_left[survivors] - 1
-        epoch = epoch[survivors]
-        phase = phase[survivors]
-        pair_trial = pair_trial[survivors]
-        pair_agent = pair_agent[survivors]
-        limit = np.minimum(move_budget, best[pair_trial])
-        keep = cumulative < limit
-        cumulative = cumulative[keep]
-        calls_left = calls_left[keep]
-        epoch = epoch[keep]
-        phase = phase[keep]
-        pair_trial = pair_trial[keep]
-        pair_agent = pair_agent[keep]
-    return best, best_finder, trial_iterations, trial_rounds
-
-
-_WALK_STEPS = np.array([(0, 1), (0, -1), (-1, 0), (1, 0)], dtype=np.int64)
-
-
-def _batch_random_walk(
-    n_agents: int,
-    n_trials: int,
-    target,
-    rng: np.random.Generator,
-    move_budget: int,
-):
-    """All trials of the uniform random walk at once, in lockstep.
-
-    Every step is a move, so all pairs' move counts advance together
-    and the first find in simulated time is the exact colony minimum —
-    a trial retires the moment any of its pairs hits.  Steps are
-    simulated in blocks, with the block length bounded so the
-    ``(pairs x block)`` trajectory scratch stays memory-bounded.
-    """
-    if target == (0, 0):
-        return _origin_batch(n_trials)
-    (pair_trial, pair_agent, best, best_finder,
-     trial_iterations, trial_rounds) = _batch_state(n_trials, n_agents)
-    positions = np.zeros((n_trials * n_agents, 2), dtype=np.int64)
-    x, y = target
-    moves_done = 0
-    while moves_done < move_budget and pair_trial.size:
-        # The scratch is (pairs x block); bounding their product keeps
-        # even huge pooled batches at a few MB per round (block
-        # degrades to 1 step when the pair pool alone reaches the cap).
-        block = min(
-            move_budget - moves_done,
-            max(1, _WALK_BLOCK_ELEMENTS // pair_trial.size),
-        )
-        _count_round(
-            trial_iterations, trial_rounds, pair_trial, n_trials, weight=block
-        )
-        choices = rng.integers(0, 4, size=(pair_trial.size, block))
-        trajectory = positions[:, None, :] + np.cumsum(
-            _WALK_STEPS[choices], axis=1
-        )
-        hits = (trajectory[:, :, 0] == x) & (trajectory[:, :, 1] == y)
-        pair_hit = hits.any(axis=1)
-        if np.any(pair_hit):
-            step_of_hit = np.where(pair_hit, hits.argmax(axis=1), block)
-            totals = moves_done + step_of_hit + 1
-            _score_hits(
-                best, best_finder, pair_trial, pair_agent, totals, pair_hit
-            )
-        positions = trajectory[:, -1, :]
-        moves_done += block
-        # Lockstep: any later find is later in time, so finished
-        # colonies retire wholesale.
-        keep = best[pair_trial] == _SENTINEL
-        positions = positions[keep]
-        pair_trial = pair_trial[keep]
-        pair_agent = pair_agent[keep]
-    return best, best_finder, trial_iterations, trial_rounds
-
-
-def _spiral_indices(dx: np.ndarray, dy: np.ndarray) -> np.ndarray:
-    """Vectorized :func:`repro.baselines.spiral.spiral_index` in float64.
-
-    Float avoids int64 overflow for offsets beyond ring ~2^31 (late
-    Feinerman stages jump that far); any index too large for exact
-    float representation is far beyond every realistic quota/budget, so
-    the comparisons downstream stay exact where they matter.
-    """
-    fx = dx.astype(np.float64)
-    fy = dy.astype(np.float64)
-    r = np.maximum(np.abs(fx), np.abs(fy))
-    base = (2.0 * r - 1.0) ** 2
-    index = np.where(
-        (fx == r) & (fy > -r),
-        base + fy + r - 1.0,
-        np.where(
-            fy == r,
-            base + 2.0 * r + (r - 1.0 - fx),
-            np.where(
-                fx == -r,
-                base + 4.0 * r + (r - 1.0 - fy),
-                base + 6.0 * r + (fx + r - 1.0),
-            ),
-        ),
-    )
-    return np.where(r == 0, 0.0, index)
-
-
-def _batch_feinerman(
-    n_agents: int,
-    n_trials: int,
-    target,
-    rng: np.random.Generator,
-    move_budget: int,
-    c: float = _FEINERMAN_C,
-    max_stage: int = _DEFAULT_MAX_STAGE,
-):
-    """All trials of the Feinerman et al. baseline at once.
-
-    Mirrors :func:`repro.baselines.feinerman.fast_feinerman`: per
-    round, each active pair draws its stage's uniform center, and a
-    closed-form spiral-index test decides whether the quota-bounded
-    spiral around that center visits the target.  Quotas and spiral
-    indices are computed in float64 and clipped to ``move_budget + 1``
-    before the integer accounting: any clipped value already exceeds
-    every eligibility limit, so outcomes are unaffected while late
-    stages (whose raw quotas overflow int64) stay representable.
-    """
-    if target == (0, 0):
-        return _origin_batch(n_trials)
-    (pair_trial, pair_agent, best, best_finder,
-     trial_iterations, trial_rounds) = _batch_state(n_trials, n_agents)
-    cumulative = np.zeros(n_trials * n_agents, dtype=np.int64)
-    stages = np.ones(n_trials * n_agents, dtype=np.int64)
-
-    while pair_trial.size:
-        _count_round(trial_iterations, trial_rounds, pair_trial, n_trials)
-        radii = np.int64(2) ** stages  # max_stage <= 40 keeps this exact
-        scale = np.exp2(stages.astype(np.float64))
-        quota_f = np.ceil(c * (scale * scale / n_agents + scale))
-        quota = np.minimum(quota_f, move_budget + 1).astype(np.int64)
-        centers_x = rng.integers(-radii, radii + 1)
-        centers_y = rng.integers(-radii, radii + 1)
-        walk_moves = np.abs(centers_x) + np.abs(centers_y)
-        indices_f = _spiral_indices(target[0] - centers_x, target[1] - centers_y)
-        hit = indices_f <= quota_f
-        indices = np.minimum(indices_f, move_budget + 1).astype(np.int64)
-        totals = cumulative + walk_moves + indices
-        eligible = hit & (totals <= move_budget) & (totals < best[pair_trial])
-        _score_hits(best, best_finder, pair_trial, pair_agent, totals, eligible)
-        survivors = ~hit
-        cumulative = cumulative[survivors] + (walk_moves + quota)[survivors]
-        stages = stages[survivors] + 1
-        pair_trial = pair_trial[survivors]
-        pair_agent = pair_agent[survivors]
-        limit = np.minimum(move_budget, best[pair_trial])
-        keep = (cumulative < limit) & (stages <= max_stage)
-        cumulative = cumulative[keep]
-        stages = stages[keep]
-        pair_trial = pair_trial[keep]
-        pair_agent = pair_agent[keep]
-    return best, best_finder, trial_iterations, trial_rounds

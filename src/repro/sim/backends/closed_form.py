@@ -109,11 +109,19 @@ class ClosedFormBackend(SimulationBackend):
     name = "closed_form"
 
     def supports(self, request: SimulationRequest) -> bool:
+        return self.support_reason(request) is None
+
+    def support_reason(self, request: SimulationRequest) -> Optional[str]:
         if request.step_budget is not None:
             # The fast simulators advance whole iterations and cannot
             # enforce a Markov-step budget.
-            return False
-        return request.algorithm.name in _SIMULATORS
+            return "step_budget set (only reference tracks M_steps)"
+        if request.algorithm.name not in _SIMULATORS:
+            return (
+                f"no closed-form simulator for algorithm "
+                f"{request.algorithm.name!r}"
+            )
+        return None
 
     def auto_priority(self, request: SimulationRequest) -> int:
         # Best single-trial choice; multi-trial batches go to `batched`

@@ -1,15 +1,17 @@
 """Backend registry and ``auto`` resolution.
 
 Backends register under a short name (``reference``, ``closed_form``,
-``batched``).  Callers address them by name or pass ``"auto"`` and let
-:func:`resolve_backend` pick the best supporting backend: each backend
-reports an :meth:`~repro.sim.backends.base.SimulationBackend.auto_priority`
-for the concrete request, so the vectorized whole-batch backend (p30)
-wins trial batches of every family it covers — all six simulable
-algorithms since the coverage extension — the closed-form simulators
-(p10) win single trials, and the faithful engine is the universal
-fallback (p100 when a step budget demands it, p0 otherwise).
-``repro-ants backends`` prints these numbers per probed request.
+``batched``, ``accelerator``).  Callers address them by name or pass
+``"auto"`` and let :func:`resolve_backend` pick the best supporting
+backend: each backend reports an
+:meth:`~repro.sim.backends.base.SimulationBackend.auto_priority`
+for the concrete request, so the device-bound accelerator (p40, only
+when real hardware is present — otherwise its ``supports()`` declines
+outright) outranks the vectorized whole-batch backend (p30) on trial
+batches, the closed-form simulators (p10) win single trials, and the
+faithful engine is the universal fallback (p100 when a step budget
+demands it, p0 otherwise).  ``repro-ants backends`` prints these
+numbers per probed request, along with each backend's decline reasons.
 """
 
 from __future__ import annotations
@@ -72,9 +74,11 @@ def resolve_backend(request: SimulationRequest, name: str = AUTO) -> SimulationB
     if name != AUTO:
         backend = get_backend(name)
         if not backend.supports(request):
+            reason = backend.support_reason(request)
+            detail = f": {reason}" if reason else ""
             raise BackendError(
                 f"backend {name!r} does not support algorithm "
-                f"{request.algorithm.name!r} (try backend='auto')"
+                f"{request.algorithm.name!r}{detail} (try backend='auto')"
             )
         return backend
     candidates = [
@@ -88,7 +92,7 @@ def resolve_backend(request: SimulationRequest, name: str = AUTO) -> SimulationB
 
 
 def _ensure_default_backends() -> None:
-    """Idempotently register the three built-in backends.
+    """Idempotently register the four built-in backends.
 
     Import-cycle-safe lazy registration: the backend modules import the
     simulators, which import ``repro.sim.metrics``, so registration
@@ -100,6 +104,7 @@ def _ensure_default_backends() -> None:
     if _DEFAULTS_LOADED:
         return
     _DEFAULTS_LOADED = True
+    from repro.sim.backends.accelerator import AcceleratorBackend
     from repro.sim.backends.batched import BatchedBackend
     from repro.sim.backends.closed_form import ClosedFormBackend
     from repro.sim.backends.reference import ReferenceBackend
@@ -107,3 +112,4 @@ def _ensure_default_backends() -> None:
     register_backend(ReferenceBackend())
     register_backend(ClosedFormBackend())
     register_backend(BatchedBackend())
+    register_backend(AcceleratorBackend())

@@ -26,6 +26,8 @@ import numpy as np
 from repro.core.uniform import phase_coin_exponent
 from repro.errors import InvalidParameterError
 from repro.grid.geometry import Point
+from repro.sim.kernels import sample_sorties, sortie_hits
+from repro.sim.kernels.xp import _NumpyRNG, numpy_namespace
 from repro.sim.metrics import FastRunStats, SearchOutcome
 
 __all__ = [
@@ -44,32 +46,27 @@ def _sample_sorties(
 ):
     """Sample ``count`` independent sorties.
 
-    Returns ``(signs_v, lengths_v, signs_h, lengths_h)`` arrays.  The
-    stop probability may be scalar or per-sortie (the uniform algorithm
-    mixes phases in one batch).
+    Thin binding of :func:`repro.sim.kernels.sample_sorties` to the
+    NumPy namespace: the kernel keeps the historical draw order, so
+    these streams are byte-identical to the pre-extraction helper.
+    The stop probability may be scalar or per-sortie (the uniform
+    algorithm mixes phases in one batch).
     """
-    signs_v = rng.integers(0, 2, size=count) * 2 - 1
-    signs_h = rng.integers(0, 2, size=count) * 2 - 1
-    lengths_v = rng.geometric(stop_probability, size=count) - 1
-    lengths_h = rng.geometric(stop_probability, size=count) - 1
-    return signs_v, lengths_v, signs_h, lengths_h
+    return sample_sorties(
+        numpy_namespace(), _NumpyRNG(rng), stop_probability, count
+    )
 
 
 def _sortie_hits(target: Point, signs_v, lengths_v, signs_h, lengths_h):
     """Vectorized L-path hit test + moves-at-hit.
 
-    Mirrors :func:`repro.grid.geometry.l_path_hit_moves`: a target on
-    the vertical leg is reached after ``|y|`` moves; on the horizontal
-    leg after ``lengths_v + |x|`` moves.
+    Binding of :func:`repro.sim.kernels.sortie_hits` to the NumPy
+    namespace; see :func:`repro.grid.geometry.l_path_hit_moves` for the
+    closed form.
     """
-    x, y = target
-    hit_vertical = (x == 0) & (signs_v * y >= 0) & (lengths_v >= abs(y))
-    hit_horizontal = (
-        (signs_v * lengths_v == y) & (signs_h * x >= 0) & (lengths_h >= abs(x))
+    return sortie_hits(
+        numpy_namespace(), target, signs_v, lengths_v, signs_h, lengths_h
     )
-    hit = hit_vertical | hit_horizontal
-    moves_at_hit = np.where(hit_vertical, abs(y), lengths_v + abs(x))
-    return hit, moves_at_hit
 
 
 def lshape_first_find(

@@ -191,10 +191,15 @@ class SimulationJob:
         use_cache: bool,
         pool_workers: int,
         ledger: bool = True,
+        cache_backend: Optional[str] = None,
     ) -> None:
         self.job_id = job_id
         self.request = request
         self.backend = backend_name
+        # Cache identity: usually the registry name, but backends whose
+        # stream depends on a runtime binding (accelerator namespace/
+        # device) key their entries under the qualified form.
+        self.cache_backend = cache_backend or backend_name
         self._shards = shards
         self._use_cache = use_cache
         self._pool_workers = pool_workers
@@ -648,6 +653,7 @@ class JobManager:
             job_id=f"job-{uuid.uuid4().hex[:12]}",
             request=request,
             backend_name=chosen.name,
+            cache_backend=chosen.cache_name(),
             shards=shards,
             use_cache=use_cache,
             pool_workers=(pool_size or workers) if (run_in_pool or len(shards) > 1) else 0,
@@ -761,7 +767,7 @@ class JobManager:
             request = job.request
 
             if cache is not None:
-                full = cache.lookup(request, job.backend)
+                full = cache.lookup(request, job.cache_backend)
                 if full is not None:
                     # Served entirely from memory/disk cache: skip the
                     # ledger altogether — a replay that simulated
@@ -775,7 +781,7 @@ class JobManager:
             for shard_index, indices in enumerate(job._shards):
                 hit = None
                 if cache is not None and indices is not None:
-                    hit = cache.lookup_shard(request, job.backend, indices)
+                    hit = cache.lookup_shard(request, job.cache_backend, indices)
                 if hit is not None:
                     job._record_shard(shard_index, hit, from_cache=True)
                 else:
@@ -793,7 +799,7 @@ class JobManager:
                 outcomes = backend.run(request)
                 job._record_shard(pending[0], outcomes, from_cache=False)
                 if cache is not None:
-                    cache.store(request, job.backend, outcomes)
+                    cache.store(request, job.cache_backend, outcomes)
             elif pending:
                 cancelled = self._run_pooled(job, cache, pending)
                 if cancelled:
@@ -806,7 +812,7 @@ class JobManager:
                 outcomes = []
                 for shard_outcomes in job._shard_outcomes:
                     outcomes.extend(shard_outcomes or ())
-                cache.store(request, job.backend, tuple(outcomes))
+                cache.store(request, job.cache_backend, tuple(outcomes))
             job._finish(JobState.DONE)
         except BaseException as error:  # noqa: BLE001 — surfaced via result()
             job._finish(JobState.FAILED, error)
@@ -868,10 +874,10 @@ class JobManager:
                 if cache is not None:
                     indices = job._shards[shard_index]
                     if indices is None:
-                        cache.store(request, job.backend, outcomes)
+                        cache.store(request, job.cache_backend, outcomes)
                     else:
                         cache.store_shard(
-                            request, job.backend, indices, outcomes
+                            request, job.cache_backend, indices, outcomes
                         )
                 self._write_ledger(job)
         return cancelled

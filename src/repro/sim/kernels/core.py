@@ -1,0 +1,650 @@
+"""Device-portable batched kernels for the six simulable families.
+
+These are the whole-batch kernels the ``batched`` backend historically
+kept inline (one pool of (trial, agent) pairs, one vectorized draw per
+round, scatter-min colony folds) — extracted to run against *any*
+:class:`~repro.sim.kernels.xp.ArrayNamespace`, and optimized on the way
+out:
+
+* **Fused multi-round draws (lshape)** — the constant-stop-probability
+  families (``algorithm1``/``nonuniform``) sample *blocks* of rounds
+  per RNG call: a ``(pairs, block)`` matrix of sorties, closed-form
+  prefix-sum move accounting, and one scatter fold per block.  The
+  block length doubles as the pool drains, so the long tail — a few
+  unretired pairs grinding thousands of rounds — collapses from
+  thousands of tiny draws into a handful of big ones.  Folding extra
+  post-retirement hits is sound because every such total ``t``
+  satisfies ``t >= cumulative >= min(budget, best)`` at the pair's
+  original retirement point, so the scatter-min is unaffected.
+* **Fused per-round draws (uniform/doubly-uniform/feinerman)** — signs
+  and leg lengths (or center coordinates) for one round come from one
+  RNG call each instead of two to four.
+* **Single-pass compaction** — the hit-survivor prune and the
+  budget/best prune are merged into one boolean gather per state array
+  per round (previously two).
+* **int32 pair/agent indices** — via :func:`~repro.sim.kernels.xp.index_dtype`
+  where the pool size permits, halving gather/scatter index bandwidth.
+
+Outcome distributions are unchanged: iterations are still drawn from
+exactly the process distribution, and the golden KS gates
+(``tests/unit/test_golden_distributions.py``) hold for all six families
+on the default namespace.  Draw *order* differs from the pre-extraction
+kernels, so per-request streams moved once — recorded by the
+``CODE_VERSION`` bump that shipped with the extraction.
+
+Every kernel returns ``(best, best_finder, trial_iterations,
+trial_rounds)`` as namespace arrays; callers convert at the boundary
+with ``xp.to_numpy``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.sim.kernels.xp import ArrayNamespace, KernelRNG, index_dtype
+
+__all__ = [
+    "SENTINEL",
+    "batch_doubly_uniform",
+    "batch_feinerman",
+    "batch_lshape",
+    "batch_random_walk",
+    "batch_uniform",
+    "sample_sorties",
+    "sortie_hits",
+]
+
+#: "No find" marker in the per-trial ``best`` array (int64 max).
+SENTINEL = 2**63 - 1
+
+DEFAULT_MAX_PHASE = 50
+DEFAULT_MAX_EPOCH = 40
+DEFAULT_MAX_STAGE = 40
+FEINERMAN_C = 4.0
+
+# Cap on scratch elements per blocked draw: bounds the (pairs x block)
+# matrices to a few MB however large the pool or however long the tail.
+_BLOCK_ELEMENTS = 1 << 17
+#: Longest fused round-block (reached only once the pool is tiny).
+_MAX_BLOCK = 1 << 12
+# Cap on trajectory elements per random-walk block.
+_WALK_BLOCK_ELEMENTS = 1 << 19
+
+
+def sample_sorties(xp: ArrayNamespace, rng: KernelRNG, stop_probability, count):
+    """Sample ``count`` independent L-sorties, one draw per variable.
+
+    Returns ``(signs_v, lengths_v, signs_h, lengths_h)``.  The draw
+    order matches the historical ``repro.sim.fast`` helper exactly, so
+    the per-trial ``closed_form`` simulators keep their byte-identical
+    streams on the NumPy namespace.
+    """
+    signs_v = rng.integers(0, 2, size=count) * 2 - 1
+    signs_h = rng.integers(0, 2, size=count) * 2 - 1
+    lengths_v = rng.geometric(stop_probability, size=count) - 1
+    lengths_h = rng.geometric(stop_probability, size=count) - 1
+    return signs_v, lengths_v, signs_h, lengths_h
+
+
+def _sample_sorties_fused(
+    xp: ArrayNamespace, rng: KernelRNG, stop_probability, shape
+):
+    """Blocked sortie sampling: one sign draw and one length draw.
+
+    ``shape`` is the per-variable shape (e.g. ``(pairs,)`` or
+    ``(pairs, block)``); the fused draws stack the vertical/horizontal
+    variables on a leading axis of 2.  Same marginal distribution as
+    :func:`sample_sorties`, two RNG calls instead of four.
+    """
+    fused = (2, *shape) if isinstance(shape, tuple) else (2, shape)
+    signs = rng.integers(0, 2, size=fused) * 2 - 1
+    lengths = rng.geometric(stop_probability, size=fused) - 1
+    return signs[0], lengths[0], signs[1], lengths[1]
+
+
+def sortie_hits(xp: ArrayNamespace, target, signs_v, lengths_v, signs_h, lengths_h):
+    """Vectorized L-path hit test + moves-at-hit.
+
+    Mirrors :func:`repro.grid.geometry.l_path_hit_moves`: a target on
+    the vertical leg is reached after ``|y|`` moves; on the horizontal
+    leg after ``lengths_v + |x|`` moves.
+    """
+    x, y = target
+    hit_vertical = (x == 0) & (signs_v * y >= 0) & (lengths_v >= abs(y))
+    hit_horizontal = (
+        (signs_v * lengths_v == y) & (signs_h * x >= 0) & (lengths_h >= abs(x))
+    )
+    hit = hit_vertical | hit_horizontal
+    moves_at_hit = xp.where(hit_vertical, abs(y), lengths_v + abs(x))
+    return hit, moves_at_hit
+
+
+def _batch_state(xp: ArrayNamespace, n_trials: int, n_agents: int):
+    """Fresh pooled-pair bookkeeping shared by every kernel."""
+    pairs = n_trials * n_agents
+    idx = index_dtype(xp, pairs)
+    flat = xp.arange(pairs, dtype=idx)
+    pair_trial = flat // n_agents
+    pair_agent = flat % n_agents
+    best = xp.full(n_trials, SENTINEL, dtype=xp.int64)
+    best_finder = xp.full(n_trials, -1, dtype=xp.int64)
+    trial_iterations = xp.zeros(n_trials, dtype=xp.int64)
+    trial_rounds = xp.zeros(n_trials, dtype=xp.int64)
+    return pair_trial, pair_agent, best, best_finder, trial_iterations, trial_rounds
+
+
+def _origin_batch(xp: ArrayNamespace, n_trials: int):
+    """Every colony finds an origin target after zero moves."""
+    zeros = xp.zeros(n_trials, dtype=xp.int64)
+    return (
+        zeros,
+        xp.zeros(n_trials, dtype=xp.int64),
+        xp.zeros(n_trials, dtype=xp.int64),
+        xp.zeros(n_trials, dtype=xp.int64),
+    )
+
+
+def _count_round(
+    xp, trial_iterations, trial_rounds, pair_trial, n_trials, weight=1
+):
+    """Per-colony diagnostics: scatter-add this round's active pairs."""
+    counts = xp.bincount(pair_trial, minlength=n_trials)
+    trial_iterations += counts * weight
+    trial_rounds += xp.astype(counts > 0, xp.int64)
+
+
+def _score_hits(xp, best, best_finder, pair_trial, pair_agent, totals, eligible):
+    """Fold eligible finds into each colony's running minimum.
+
+    The finder is resolved with a scatter-min over agent ids (lowest
+    agent wins a same-round tie) rather than a plain scatter write:
+    duplicate-index writes are nondeterministic on CUDA, and the
+    backends promise per-request determinism per namespace.
+    """
+    if not xp.any(eligible):
+        return
+    xp.scatter_min(best, pair_trial[eligible], totals[eligible])
+    improved = eligible & (totals == xp.take(best, pair_trial))
+    if not xp.any(improved):
+        return
+    winner = xp.full(xp.size(best), SENTINEL, dtype=xp.int64)
+    xp.scatter_min(
+        winner, pair_trial[improved], xp.astype(pair_agent[improved], xp.int64)
+    )
+    decided = winner != SENTINEL
+    best_finder[decided] = winner[decided]
+
+
+def batch_lshape(
+    xp: ArrayNamespace,
+    rng: KernelRNG,
+    stop_probability: float,
+    n_agents: int,
+    n_trials: int,
+    target,
+    move_budget: int,
+):
+    """All trials of a constant-stop-probability sortie algorithm at once.
+
+    The hot kernel, and the one with the blocked-round optimization:
+    each RNG call covers a ``(pairs, block)`` matrix of sorties, the
+    per-pair first hit inside the block is located with a prefix-sum
+    scan, and the whole block folds into the colony minima with one
+    scatter.  The block length starts small (most pairs retire within a
+    few rounds of a fresh pool) and doubles per iteration up to the
+    scratch cap, so a near-drained pool simulates thousands of rounds
+    per call.
+
+    Diagnostics count the rounds this blocked execution actually
+    spent: a pair counts up to its first hit, or up to the round the
+    budget/best limit *as known at block start* would have retired it
+    (found by the same prefix scan), never the block tail beyond that.
+    When a sibling pair's find lands mid-block, the per-round original
+    would have pruned survivors a little earlier, so
+    ``FastRunStats`` here is a modest upper bound on the per-round
+    kernel's counts — outcomes (``best``/``finder``) are unaffected.
+    """
+    if target == (0, 0):
+        return _origin_batch(xp, n_trials)
+    (pair_trial, pair_agent, best, best_finder,
+     trial_iterations, trial_rounds) = _batch_state(xp, n_trials, n_agents)
+    cumulative = xp.zeros(n_trials * n_agents, dtype=xp.int64)
+
+    expected_len = max(1.0, 2.0 * (1.0 / stop_probability - 1.0))
+    rounds_left = int(200 * (move_budget / expected_len + 1)) + 10_000
+    block = 4
+    while xp.size(pair_trial) > 0 and rounds_left > 0:
+        pairs = xp.size(pair_trial)
+        block = min(
+            block * 2, rounds_left, max(1, _BLOCK_ELEMENTS // pairs), _MAX_BLOCK
+        )
+        rounds_left -= block
+        sv, lv, sh, lh = _sample_sorties_fused(
+            xp, rng, stop_probability, (pairs, block)
+        )
+        hit, moves_at_hit = sortie_hits(xp, target, sv, lv, sh, lh)
+        leg = lv + lh
+        prefix = xp.cumsum(leg, axis=1)               # moves after round j
+        cum_after = cumulative[:, None] + prefix      # (pairs, block)
+
+        hit_any = xp.astype(xp.sum(hit, axis=1), xp.bool_)
+        first = xp.first_true(hit, axis=1)            # 0 where no hit
+        moves_before = xp.take_along(cum_after, first) - xp.take_along(leg, first)
+        pair_total = moves_before + xp.take_along(moves_at_hit, first)
+
+        # Rounds each pair actually executed inside the block: until
+        # its first hit, or until the budget/best prune would have
+        # retired it.  The limit is the one known at block start; a
+        # sibling's mid-block find would have pruned slightly earlier
+        # in the per-round original, so these counts are a modest
+        # upper bound (see the kernel docstring).
+        limit = xp.minimum(move_budget, xp.take(best, pair_trial))
+        alive_rounds = (
+            xp.sum(xp.astype(cum_after[:, : block - 1] < limit[:, None],
+                             xp.int64), axis=1) + 1
+        )
+        hit_rounds = xp.where(hit_any, first + 1, block)
+        rounds_in_block = xp.minimum(hit_rounds, alive_rounds)
+        xp.scatter_add(trial_iterations, pair_trial, rounds_in_block)
+        block_rounds = xp.zeros(n_trials, dtype=xp.int64)
+        xp.scatter_max(block_rounds, pair_trial, rounds_in_block)
+        trial_rounds += block_rounds
+
+        eligible = hit_any & (pair_total <= move_budget) & (
+            pair_total < xp.take(best, pair_trial)
+        )
+        _score_hits(
+            xp, best, best_finder, pair_trial, pair_agent, pair_total, eligible
+        )
+
+        # Single-pass compaction: a pair survives the block iff it
+        # never hit and its end-of-block cumulative still beats the
+        # (freshly updated) budget/best limit.
+        keep = ~hit_any & (
+            cum_after[:, -1] < xp.minimum(move_budget, xp.take(best, pair_trial))
+        )
+        cumulative = cum_after[:, -1][keep]
+        pair_trial = pair_trial[keep]
+        pair_agent = pair_agent[keep]
+    return best, best_finder, trial_iterations, trial_rounds
+
+
+def batch_uniform(
+    xp: ArrayNamespace,
+    rng: KernelRNG,
+    n_agents: int,
+    ell: int,
+    K: int,
+    n_trials: int,
+    target,
+    move_budget: int,
+    max_phase: int,
+):
+    """All trials of Algorithm 5 at once.
+
+    Per-pair state is ``(phase, calls_left, cumulative)``; phase coins
+    are redrawn vectorized (``Geometric(1/rho_i) - 1`` sortie calls per
+    phase) whenever a pair exhausts its calls, and every active pair
+    contributes one sortie per round with its own phase's stop
+    probability.
+    """
+    if target == (0, 0):
+        return _origin_batch(xp, n_trials)
+    discount = math.floor(math.log2(n_agents) / ell) if n_agents > 1 else 0
+    (pair_trial, pair_agent, best, best_finder,
+     trial_iterations, trial_rounds) = _batch_state(xp, n_trials, n_agents)
+    pairs = n_trials * n_agents
+    cumulative = xp.zeros(pairs, dtype=xp.int64)
+    phase = xp.zeros(pairs, dtype=xp.int64)
+    calls_left = xp.zeros(pairs, dtype=xp.int64)
+
+    phase1_len = max(1.0, 2.0 * (2.0**ell - 1.0))
+    max_rounds = int(200 * (move_budget / phase1_len + 1)) + 10_000
+    for _ in range(max_rounds):
+        if xp.size(pair_trial) == 0:
+            break
+        # Refill exhausted phase coins; pairs that run out of phases
+        # retire below via the `alive` mask.
+        need = calls_left <= 0
+        while xp.any(need):
+            phase[need] += 1
+            need &= phase <= max_phase
+            if not xp.any(need):
+                break
+            exponent = K + xp.maximum(phase[need] - discount, 0)
+            rho = xp.exp2(xp.astype(exponent, xp.float64) * ell)
+            calls_left[need] = rng.geometric(1.0 / rho) - 1
+            need &= calls_left <= 0
+        alive = phase <= max_phase
+        if not xp.any(alive):
+            break
+        if xp.size(pair_trial) != int(xp.sum(xp.astype(alive, xp.int64))):
+            pair_trial = pair_trial[alive]
+            pair_agent = pair_agent[alive]
+            cumulative = cumulative[alive]
+            phase = phase[alive]
+            calls_left = calls_left[alive]
+        _count_round(xp, trial_iterations, trial_rounds, pair_trial, n_trials)
+        stop_p = xp.exp2(-(xp.astype(phase, xp.float64) * ell))
+        sv, lv, sh, lh = _sample_sorties_fused(
+            xp, rng, stop_p, (xp.size(pair_trial),)
+        )
+        hit, moves_at_hit = sortie_hits(xp, target, sv, lv, sh, lh)
+        totals = cumulative + moves_at_hit
+        eligible = hit & (totals <= move_budget) & (
+            totals < xp.take(best, pair_trial)
+        )
+        _score_hits(
+            xp, best, best_finder, pair_trial, pair_agent, totals, eligible
+        )
+        # Single-pass compaction: drop hit pairs and budget/best-
+        # retired pairs with one gather per state array.
+        new_cum = cumulative + lv + lh
+        keep = ~hit & (
+            new_cum < xp.minimum(move_budget, xp.take(best, pair_trial))
+        )
+        cumulative = new_cum[keep]
+        calls_left = calls_left[keep] - 1
+        phase = phase[keep]
+        pair_trial = pair_trial[keep]
+        pair_agent = pair_agent[keep]
+    return best, best_finder, trial_iterations, trial_rounds
+
+
+def batch_doubly_uniform(
+    xp: ArrayNamespace,
+    rng: KernelRNG,
+    n_agents: int,
+    ell: int,
+    K: int,
+    n_trials: int,
+    target,
+    move_budget: int,
+    max_epoch: int = DEFAULT_MAX_EPOCH,
+):
+    """All trials of the doubly uniform search at once.
+
+    Mirrors :func:`repro.sim.fast.fast_doubly_uniform`: epoch ``j``
+    commits to the guess ``n_j = 2^j`` and runs phases ``1..j`` of
+    Algorithm 5 under that guess.  Per-pair state is ``(epoch, phase,
+    calls_left, cumulative)``; when a pair's phase coin runs out it
+    advances to the next phase, rolling over to ``(epoch + 1, phase 1)``
+    past the epoch's phase range.
+    """
+    if target == (0, 0):
+        return _origin_batch(xp, n_trials)
+    (pair_trial, pair_agent, best, best_finder,
+     trial_iterations, trial_rounds) = _batch_state(xp, n_trials, n_agents)
+    pairs = n_trials * n_agents
+    cumulative = xp.zeros(pairs, dtype=xp.int64)
+    epoch = xp.full(pairs, 1, dtype=xp.int64)
+    phase = xp.zeros(pairs, dtype=xp.int64)
+    calls_left = xp.zeros(pairs, dtype=xp.int64)
+
+    phase1_len = max(1.0, 2.0 * (2.0**ell - 1.0))
+    max_rounds = int(200 * (move_budget / phase1_len + 1)) + 10_000
+    for _ in range(max_rounds):
+        if xp.size(pair_trial) == 0:
+            break
+        need = calls_left <= 0
+        while xp.any(need):
+            phase[need] += 1
+            rolled = need & (phase > epoch)
+            if xp.any(rolled):
+                epoch[rolled] += 1
+                phase[rolled] = 1
+            need &= epoch <= max_epoch
+            if not xp.any(need):
+                break
+            exponent = K + xp.maximum(phase[need] - epoch[need] // ell, 0)
+            rho = xp.exp2(xp.astype(exponent, xp.float64) * ell)
+            calls_left[need] = rng.geometric(1.0 / rho) - 1
+            need &= calls_left <= 0
+        alive = epoch <= max_epoch
+        if not xp.any(alive):
+            break
+        if xp.size(pair_trial) != int(xp.sum(xp.astype(alive, xp.int64))):
+            pair_trial = pair_trial[alive]
+            pair_agent = pair_agent[alive]
+            cumulative = cumulative[alive]
+            epoch = epoch[alive]
+            phase = phase[alive]
+            calls_left = calls_left[alive]
+        _count_round(xp, trial_iterations, trial_rounds, pair_trial, n_trials)
+        stop_p = xp.exp2(-(xp.astype(phase, xp.float64) * ell))
+        sv, lv, sh, lh = _sample_sorties_fused(
+            xp, rng, stop_p, (xp.size(pair_trial),)
+        )
+        hit, moves_at_hit = sortie_hits(xp, target, sv, lv, sh, lh)
+        totals = cumulative + moves_at_hit
+        eligible = hit & (totals <= move_budget) & (
+            totals < xp.take(best, pair_trial)
+        )
+        _score_hits(
+            xp, best, best_finder, pair_trial, pair_agent, totals, eligible
+        )
+        new_cum = cumulative + lv + lh
+        keep = ~hit & (
+            new_cum < xp.minimum(move_budget, xp.take(best, pair_trial))
+        )
+        cumulative = new_cum[keep]
+        calls_left = calls_left[keep] - 1
+        epoch = epoch[keep]
+        phase = phase[keep]
+        pair_trial = pair_trial[keep]
+        pair_agent = pair_agent[keep]
+    return best, best_finder, trial_iterations, trial_rounds
+
+
+def batch_random_walk(
+    xp: ArrayNamespace,
+    rng: KernelRNG,
+    n_agents: int,
+    n_trials: int,
+    target,
+    move_budget: int,
+):
+    """All trials of the uniform random walk at once, in lockstep.
+
+    Every step is a move, so all pairs' move counts advance together
+    and the first find in simulated time is the exact colony minimum —
+    a trial retires the moment any of its pairs hits.  Steps are
+    simulated in blocks, with the block length bounded so the
+    ``(pairs x block)`` trajectory scratch stays memory-bounded.
+    """
+    if target == (0, 0):
+        return _origin_batch(xp, n_trials)
+    (pair_trial, pair_agent, best, best_finder,
+     trial_iterations, trial_rounds) = _batch_state(xp, n_trials, n_agents)
+    steps_table = xp.asarray(
+        [(0, 1), (0, -1), (-1, 0), (1, 0)], dtype=xp.int64
+    )
+    positions = xp.zeros((n_trials * n_agents, 2), dtype=xp.int64)
+    x, y = target
+    moves_done = 0
+    while moves_done < move_budget and xp.size(pair_trial):
+        pairs = xp.size(pair_trial)
+        # The scratch is (pairs x block); bounding their product keeps
+        # even huge pooled batches at a few MB per round (block
+        # degrades to 1 step when the pair pool alone reaches the cap).
+        block = min(
+            move_budget - moves_done,
+            max(1, _WALK_BLOCK_ELEMENTS // pairs),
+        )
+        _count_round(
+            xp, trial_iterations, trial_rounds, pair_trial, n_trials,
+            weight=block,
+        )
+        choices = rng.integers(0, 4, size=(pairs, block))
+        trajectory = positions[:, None, :] + xp.cumsum(
+            steps_table[choices], axis=1
+        )
+        hits = (trajectory[:, :, 0] == x) & (trajectory[:, :, 1] == y)
+        pair_hit = xp.astype(xp.sum(hits, axis=1), xp.bool_)
+        if xp.any(pair_hit):
+            step_of_hit = xp.where(
+                pair_hit, xp.first_true(hits, axis=1), block
+            )
+            totals = moves_done + step_of_hit + 1
+            _score_hits(
+                xp, best, best_finder, pair_trial, pair_agent, totals, pair_hit
+            )
+        positions = trajectory[:, -1, :]
+        moves_done += block
+        # Lockstep: any later find is later in time, so finished
+        # colonies retire wholesale.
+        keep = xp.take(best, pair_trial) == SENTINEL
+        positions = positions[keep]
+        pair_trial = pair_trial[keep]
+        pair_agent = pair_agent[keep]
+    return best, best_finder, trial_iterations, trial_rounds
+
+
+def _spiral_indices(xp: ArrayNamespace, dx, dy):
+    """Vectorized :func:`repro.baselines.spiral.spiral_index` in float64.
+
+    Float avoids int64 overflow for offsets beyond ring ~2^31 (late
+    Feinerman stages jump that far); any index too large for exact
+    float representation is far beyond every realistic quota/budget, so
+    the comparisons downstream stay exact where they matter.
+    """
+    fx = xp.astype(dx, xp.float64)
+    fy = xp.astype(dy, xp.float64)
+    r = xp.maximum(xp.abs(fx), xp.abs(fy))
+    base = (2.0 * r - 1.0) ** 2
+    index = xp.where(
+        (fx == r) & (fy > -r),
+        base + fy + r - 1.0,
+        xp.where(
+            fy == r,
+            base + 2.0 * r + (r - 1.0 - fx),
+            xp.where(
+                fx == -r,
+                base + 4.0 * r + (r - 1.0 - fy),
+                base + 6.0 * r + (fx + r - 1.0),
+            ),
+        ),
+    )
+    return xp.where(r == 0, 0.0, index)
+
+
+def batch_feinerman(
+    xp: ArrayNamespace,
+    rng: KernelRNG,
+    n_agents: int,
+    n_trials: int,
+    target,
+    move_budget: int,
+    c: float = FEINERMAN_C,
+    max_stage: int = DEFAULT_MAX_STAGE,
+):
+    """All trials of the Feinerman et al. baseline at once.
+
+    Mirrors :func:`repro.baselines.feinerman.fast_feinerman`: per
+    round, each active pair draws its stage's uniform center, and a
+    closed-form spiral-index test decides whether the quota-bounded
+    spiral around that center visits the target.  Quotas and spiral
+    indices are computed in float64 and clipped to ``move_budget + 1``
+    before the integer accounting: any clipped value already exceeds
+    every eligibility limit, so outcomes are unaffected while late
+    stages (whose raw quotas overflow int64) stay representable.
+    """
+    if target == (0, 0):
+        return _origin_batch(xp, n_trials)
+    (pair_trial, pair_agent, best, best_finder,
+     trial_iterations, trial_rounds) = _batch_state(xp, n_trials, n_agents)
+    pairs = n_trials * n_agents
+    cumulative = xp.zeros(pairs, dtype=xp.int64)
+    stages = xp.full(pairs, 1, dtype=xp.int64)
+
+    while xp.size(pair_trial):
+        _count_round(xp, trial_iterations, trial_rounds, pair_trial, n_trials)
+        radii = 2 ** stages  # max_stage <= 40 keeps this exact in int64
+        scale = xp.exp2(xp.astype(stages, xp.float64))
+        quota_f = xp.ceil(c * (scale * scale / n_agents + scale))
+        quota = xp.astype(xp.minimum(quota_f, move_budget + 1), xp.int64)
+        # One fused draw for both center coordinates per pair.
+        centers = rng.integers(-radii, radii + 1, size=(2, xp.size(pair_trial)))
+        centers_x, centers_y = centers[0], centers[1]
+        walk_moves = xp.abs(centers_x) + xp.abs(centers_y)
+        indices_f = _spiral_indices(
+            xp, target[0] - centers_x, target[1] - centers_y
+        )
+        hit = indices_f <= quota_f
+        indices = xp.astype(xp.minimum(indices_f, move_budget + 1), xp.int64)
+        totals = cumulative + walk_moves + indices
+        eligible = hit & (totals <= move_budget) & (
+            totals < xp.take(best, pair_trial)
+        )
+        _score_hits(
+            xp, best, best_finder, pair_trial, pair_agent, totals, eligible
+        )
+        # Single-pass compaction across the hit + budget/best + stage
+        # retirement conditions.
+        new_cum = cumulative + walk_moves + quota
+        new_stages = stages + 1
+        keep = (
+            ~hit
+            & (new_cum < xp.minimum(move_budget, xp.take(best, pair_trial)))
+            & (new_stages <= max_stage)
+        )
+        cumulative = new_cum[keep]
+        stages = new_stages[keep]
+        pair_trial = pair_trial[keep]
+        pair_agent = pair_agent[keep]
+    return best, best_finder, trial_iterations, trial_rounds
+
+
+def run_family(
+    xp: ArrayNamespace,
+    rng: KernelRNG,
+    request,
+    n_trials: int,
+) -> Tuple:
+    """Dispatch one :class:`~repro.sim.backends.base.SimulationRequest`
+    batch to its family kernel.
+
+    Shared by the ``batched`` (NumPy) and ``accelerator`` (device)
+    backends — the only difference between them is the namespace bound
+    here.  Returns the four namespace arrays.
+    """
+    spec = request.algorithm
+    if spec.name in ("algorithm1", "nonuniform"):
+        return batch_lshape(
+            xp, rng, stop_probability_for(request), request.n_agents,
+            n_trials, request.target, request.move_budget,
+        )
+    if spec.name == "uniform":
+        return batch_uniform(
+            xp, rng, request.n_agents, spec.ell or 1, spec.K, n_trials,
+            request.target, request.move_budget,
+            spec.max_phase or DEFAULT_MAX_PHASE,
+        )
+    if spec.name == "doubly-uniform":
+        return batch_doubly_uniform(
+            xp, rng, request.n_agents, spec.ell or 1, spec.K, n_trials,
+            request.target, request.move_budget,
+        )
+    if spec.name == "random-walk":
+        return batch_random_walk(
+            xp, rng, request.n_agents, n_trials, request.target,
+            request.move_budget,
+        )
+    if spec.name == "feinerman":
+        return batch_feinerman(
+            xp, rng, request.n_agents, n_trials, request.target,
+            request.move_budget,
+        )
+    raise ValueError(f"no batch kernel for algorithm {spec.name!r}")
+
+
+def stop_probability_for(request) -> float:
+    """The constant stop probability of an lshape-family request."""
+    if request.algorithm.name == "algorithm1":
+        return 1.0 / request.algorithm.distance
+    from repro.core.nonuniform import NonUniformSearch
+
+    return NonUniformSearch(
+        request.algorithm.distance, request.algorithm.ell or 1
+    ).stop_probability

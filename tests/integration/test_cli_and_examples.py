@@ -125,6 +125,19 @@ class TestCli:
         assert "single trial -> closed_form" in captured
         assert "single trial -> reference" in captured  # spiral/levy
 
+    def test_backends_subcommand_shows_decline_reasons_and_binding(
+        self, capsys
+    ):
+        code = main(["backends"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        # The accelerator row exists, the kernel-binding summary names
+        # the namespaces, and declines come with their reasons.
+        assert "accelerator" in captured
+        assert "kernel namespaces importable" in captured
+        assert "why backends decline" in captured
+        assert "no batch kernel" in captured
+
     def test_run_unsupported_backend_reports_error(self, capsys):
         code = main(
             ["run", "--algorithm", "spiral", "--backend", "batched"]

@@ -445,10 +445,25 @@ class TestSweeps:
 class TestIntrospectionRoutes:
     def test_backends_route(self, client):
         payload = client.backends()
-        assert {"reference", "closed_form", "batched"} <= set(
+        assert {"reference", "closed_form", "batched", "accelerator"} <= set(
             payload["backends"]
         )
         assert payload["auto_resolution"]["algorithm1"] is not None
+        assert "numpy" in payload["kernel_namespaces"]
+
+    def test_backends_route_reports_decline_reasons(self, client):
+        """Declines carry the supports() gating reason over the wire."""
+        payload = client.backends()
+        batched = payload["backends"]["batched"]
+        assert "kernel" in batched["declines"]["spiral"]
+        accelerator = payload["backends"]["accelerator"]
+        assert "device" in accelerator
+        if not accelerator["algorithms"]["algorithm1"]:
+            # CPU-only host: every family declines with the probe's
+            # device reason, and the binding summary explains itself.
+            assert accelerator["declines"]["algorithm1"]
+        # Reference supports everything -> no decline entries at all.
+        assert payload["backends"]["reference"]["declines"] == {}
 
     def test_stats_route_includes_cache_counters(self, client):
         request = _request(seed=8080, n_trials=2)

@@ -13,6 +13,7 @@ from repro.sim.backends import (
     KNOWN_ALGORITHMS,
     SimulationRequest,
     get_backend,
+    probe_request,
     registered_backends,
     resolve_backend,
 )
@@ -91,9 +92,9 @@ class TestRequestValidation:
 
 
 class TestRegistry:
-    def test_three_backends_registered(self):
+    def test_four_backends_registered(self):
         names = set(registered_backends())
-        assert {"reference", "closed_form", "batched"} <= names
+        assert {"reference", "closed_form", "batched", "accelerator"} <= names
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(BackendError):
@@ -182,6 +183,113 @@ class TestRegistry:
         ):
             assert batched[name], f"batched must cover {name}"
         assert not batched["spiral"] and not batched["levy"]
+
+    def test_decline_reasons_explain_gating(self):
+        """supports() declines carry a human-readable reason string."""
+        batched = get_backend("batched")
+        reasons = batched.decline_reasons()
+        assert "spiral" in reasons and "kernel" in reasons["spiral"]
+        assert batched.support_reason(_request()) is None
+        budgeted = _request(step_budget=1000)
+        assert "step_budget" in batched.support_reason(budgeted)
+        # closed_form's step-budget decline names the actual gate, not
+        # a bogus unsupported-algorithm claim.
+        assert "step_budget" in get_backend("closed_form").support_reason(
+            budgeted
+        )
+        # The reference engine supports everything: no reasons at all.
+        assert get_backend("reference").decline_reasons() == {}
+
+    def test_supports_and_reason_agree_everywhere(self):
+        """Invariant: supports(r) <=> support_reason(r) is None."""
+        probes = [
+            probe_request(name) for name in KNOWN_ALGORITHMS
+        ] + [_request(), _request(step_budget=500), _request(n_trials=50)]
+        for backend in registered_backends().values():
+            for probe in probes:
+                if probe is None:
+                    continue
+                assert backend.supports(probe) == (
+                    backend.support_reason(probe) is None
+                ), (backend.name, probe.algorithm.name)
+
+
+class TestAcceleratorBackend:
+    """Device gating: decline cleanly without hardware, run with it."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_probe(self):
+        """Re-probe around each test; leave the process memo clean."""
+        from repro.sim.kernels.xp import _reset_accelerator_cache
+
+        _reset_accelerator_cache()
+        yield
+        _reset_accelerator_cache()
+
+    def test_declines_with_reason_when_no_device(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ANTS_ACCELERATOR", "off")
+        backend = get_backend("accelerator")
+        request = _request(n_trials=50)
+        assert not backend.supports(request)
+        reason = backend.support_reason(request)
+        assert reason is not None and "disabled" in reason
+
+    def test_auto_falls_back_to_batched_without_device(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ANTS_ACCELERATOR", "off")
+        assert resolve_backend(_request(n_trials=50)).name == "batched"
+
+    def test_explicit_selection_without_device_is_a_clear_error(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_ANTS_ACCELERATOR", "off")
+        with pytest.raises(BackendError) as excinfo:
+            resolve_backend(_request(n_trials=50), "accelerator")
+        assert "disabled" in str(excinfo.value)
+
+    def test_no_device_reason_names_the_missing_namespaces(self, monkeypatch):
+        """The default probe (no override) explains what's missing."""
+        monkeypatch.delenv("REPRO_ANTS_ACCELERATOR", raising=False)
+        backend = get_backend("accelerator")
+        request = _request(n_trials=50)
+        if backend.supports(request):  # pragma: no cover - GPU host
+            pytest.skip("host actually has a device")
+        assert "no device" in backend.support_reason(request)
+
+    def test_cache_identity_carries_the_binding(self, monkeypatch):
+        """Accelerator cache keys must name the bound namespace/device,
+        so flipping bindings can never replay another binding's stream."""
+        monkeypatch.setenv("REPRO_ANTS_ACCELERATOR", "off")
+        backend = get_backend("accelerator")
+        assert backend.cache_name() == "accelerator:unbound"
+        # Plain backends keep their registry name as the identity.
+        assert get_backend("batched").cache_name() == "batched"
+
+    def test_torch_cpu_override_cache_identity(self, monkeypatch):
+        pytest.importorskip("torch")
+        monkeypatch.setenv("REPRO_ANTS_ACCELERATOR", "torch-cpu")
+        assert (
+            get_backend("accelerator").cache_name()
+            == "accelerator:torch:cpu"
+        )
+
+    def test_torch_cpu_override_runs_end_to_end(self, monkeypatch):
+        """REPRO_ANTS_ACCELERATOR=torch-cpu makes the backend servable
+        (the CI parity leg) without outranking the NumPy batch path."""
+        pytest.importorskip("torch")
+        monkeypatch.setenv("REPRO_ANTS_ACCELERATOR", "torch-cpu")
+        backend = get_backend("accelerator")
+        request = _request(n_trials=16, move_budget=200_000)
+        assert backend.supports(request)
+        # Host binding never shadows the tuned NumPy path in auto mode.
+        assert resolve_backend(request).name == "batched"
+        result = simulate(request, backend="accelerator", cache=False)
+        assert len(result.outcomes) == 16
+        assert result.find_rate > 0
+        for outcome in result.outcomes:
+            assert outcome.stats is not None
+            if outcome.found:
+                assert 0 < outcome.m_moves <= 200_000
+        assert "torch:cpu" in backend.device_description()
 
 
 class TestBackendsRun:

@@ -35,11 +35,25 @@ def _load(path: pathlib.Path) -> dict:
     return json.loads(path.read_text())
 
 
+#: Every family the batched kernels cover must have a recording — the
+#: ROADMAP "more golden families" item, closed with the kernel
+#: extraction so no refactor of the shared kernels can drift a family
+#: silently.
+ALL_FAMILIES = {
+    "algorithm1",
+    "nonuniform",
+    "uniform",
+    "doubly_uniform",
+    "random_walk",
+    "feinerman",
+}
+
+
 def test_golden_directory_populated():
-    """Two algorithm families are recorded, as the roadmap item asks."""
-    assert len(GOLDEN_FILES) >= 2
+    """All six batched-covered families are recorded."""
+    assert len(GOLDEN_FILES) >= 6
     families = {_load(path)["family"] for path in GOLDEN_FILES}
-    assert {"algorithm1", "doubly_uniform"} <= families
+    assert ALL_FAMILIES <= families
 
 
 @pytest.mark.parametrize(
