@@ -65,7 +65,7 @@ from repro.sim.metrics import SearchOutcome
 #: Version tag of the simulator code baked into every cache key.  Bump
 #: whenever any backend's sampling scheme changes, so stale entries
 #: can never be served for new semantics.
-CODE_VERSION = "sim-v3"  # kernel extraction: batched draw order moved
+CODE_VERSION = "sim-v4"  # blocked kernels: fused draw order moved again
 
 #: Disk payload layout version (independent of the simulator version).
 _FORMAT_VERSION = 1

@@ -6,22 +6,33 @@ round, scatter-min colony folds) — extracted to run against *any*
 :class:`~repro.sim.kernels.xp.ArrayNamespace`, and optimized on the way
 out:
 
-* **Fused multi-round draws (lshape)** — the constant-stop-probability
-  families (``algorithm1``/``nonuniform``) sample *blocks* of rounds
-  per RNG call: a ``(pairs, block)`` matrix of sorties, closed-form
-  prefix-sum move accounting, and one scatter fold per block.  The
-  block length doubles as the pool drains, so the long tail — a few
-  unretired pairs grinding thousands of rounds — collapses from
-  thousands of tiny draws into a handful of big ones.  Folding extra
-  post-retirement hits is sound because every such total ``t``
-  satisfies ``t >= cumulative >= min(budget, best)`` at the pair's
-  original retirement point, so the scatter-min is unaffected.
-* **Fused per-round draws (uniform/doubly-uniform/feinerman)** — signs
-  and leg lengths (or center coordinates) for one round come from one
-  RNG call each instead of two to four.
+* **Blocked multi-round draws (lshape, uniform, doubly-uniform)** —
+  the sortie families sample *blocks* of rounds per RNG call: a
+  ``(pairs, block)`` matrix of sorties, closed-form prefix-sum move
+  accounting, and one scatter fold per block.  The block length
+  doubles as the pool drains, so the long tail — a few unretired pairs
+  grinding thousands of rounds — collapses from thousands of tiny
+  draws into a handful of big ones.  Folding extra post-retirement
+  hits is sound because every such total ``t`` satisfies
+  ``t >= cumulative >= min(budget, best)`` at the pair's original
+  retirement point, so the scatter-min is unaffected.  The
+  phase-driven families (``uniform``/``doubly-uniform``) additionally
+  carry a per-pair *validity* horizon — a pair's row is live only for
+  ``min(block, calls_left)`` columns, the rounds it has left in its
+  current phase — so one constant-``p``-per-row matrix draw serves a
+  pool whose members sit in different phases.
+* **Rotated-axis walk blocks (random-walk)** — in the rotated
+  coordinates ``u = x + y, v = x - y`` the 4-way unit step is two
+  *independent* fair ±1 coins, so a block of steps is two contiguous
+  int8→int16 prefix sums instead of a strided 3-D trajectory cumsum;
+  step choices are drawn as uint8 (2 bits used), and pairs whose
+  rotated Chebyshev distance exceeds the block length skip the hit
+  test entirely (their positions advance by two row sums).
+* **Fused per-round draws (feinerman)** — both center coordinates for
+  one round come from one RNG call instead of two.
 * **Single-pass compaction** — the hit-survivor prune and the
   budget/best prune are merged into one boolean gather per state array
-  per round (previously two).
+  per block (previously two per round).
 * **int32 pair/agent indices** — via :func:`~repro.sim.kernels.xp.index_dtype`
   where the pool size permits, halving gather/scatter index bandwidth.
 
@@ -63,13 +74,60 @@ DEFAULT_MAX_EPOCH = 40
 DEFAULT_MAX_STAGE = 40
 FEINERMAN_C = 4.0
 
-# Cap on scratch elements per blocked draw: bounds the (pairs x block)
-# matrices to a few MB however large the pool or however long the tail.
-_BLOCK_ELEMENTS = 1 << 17
+#: One scratch budget shared by every blocked kernel: the byte size of
+#: the largest ``(pairs, block)`` matrix a kernel may materialize per
+#: draw.  Expressed in bytes (not elements) so kernels with different
+#: scratch dtypes derive their own element counts from the same cap —
+#: the sortie kernels' int64 matrices get ``SCRATCH_BYTES // 8``
+#: elements, the walk's int16 prefix sums ``SCRATCH_BYTES // 2``.
+#: 512 KiB per matrix keeps a kernel's whole working set L2-resident
+#: however large the pool or however long the tail — measured 1.5-2.5x
+#: faster than 1-4 MB blocks on every family (the pipeline makes ~10
+#: elementwise passes over each matrix, so the matrix must outlive one
+#: pass in cache), while staying large enough that per-block Python
+#: dispatch overhead is noise.
+SCRATCH_BYTES = 1 << 19
 #: Longest fused round-block (reached only once the pool is tiny).
 _MAX_BLOCK = 1 << 12
-# Cap on trajectory elements per random-walk block.
-_WALK_BLOCK_ELEMENTS = 1 << 19
+#: Budgets below 2^23 let the sortie kernels run their whole
+#: (pairs x block) move accounting in float32: every total that can
+#: still matter (anything <= the budget/best limit) is an integer
+#: below the float32-exact ceiling 2^24, with headroom for one more
+#: round's comparison.  Beyond-limit sums may round, but they only
+#: ever feed ">= limit" comparisons their magnitude already decides.
+_FLOAT32_EXACT_BUDGET = 1 << 23
+#: Clamp before float -> int64 conversion of per-pair move totals:
+#: far above any admissible budget, far below int64 overflow (a
+#: float32 inf or 1e30-scale sum would otherwise wrap negative and
+#: masquerade as an eligible find).
+_TOTAL_CLAMP = 4.0e18
+
+
+def _move_dtype(xp: ArrayNamespace, move_budget: int):
+    """Accounting dtype for blocked move sums: float32 while exact.
+
+    float64 is the fallback for budgets >= 2^23 — same exactness
+    argument with a 2^53 ceiling, at int64-equivalent bandwidth.
+    """
+    return xp.float32 if move_budget < _FLOAT32_EXACT_BUDGET else xp.float64
+#: Walk-block cap: int16 prefix sums stay exact only while a block's
+#: displacement along one rotated axis (<= block) fits in int16.
+_MAX_WALK_BLOCK = 1 << 14
+
+
+def _block_len(pairs: int, itemsize: int, *caps: int) -> int:
+    """Rounds per blocked draw: the shared scratch budget over the pool.
+
+    ``itemsize`` is the widest scratch dtype the kernel materializes at
+    ``(pairs, block)`` shape; extra ``caps`` (doubling schedule, rounds
+    left, dtype-exactness bounds) clamp further.  Always >= 1 — block
+    length degrades gracefully to one round as the pool outgrows the
+    budget.
+    """
+    block = max(1, SCRATCH_BYTES // (itemsize * max(1, pairs)))
+    for cap in caps:
+        block = min(block, cap)
+    return max(1, block)
 
 
 def sample_sorties(xp: ArrayNamespace, rng: KernelRNG, stop_probability, count):
@@ -98,8 +156,40 @@ def _sample_sorties_fused(
     :func:`sample_sorties`, two RNG calls instead of four.
     """
     fused = (2, *shape) if isinstance(shape, tuple) else (2, shape)
-    signs = rng.integers(0, 2, size=fused) * 2 - 1
-    lengths = rng.geometric(stop_probability, size=fused) - 1
+    # One float32 uniform draw feeds both variables: for U ~ [0, 1),
+    # the integer and fractional parts of 2U are an independent fair
+    # bit (the sign) and a fresh uniform (the length's seed) —
+    # exactly, not approximately.  float32 halves the fill-and-
+    # transform bandwidth; its ~22-bit fraction granularity truncates
+    # the geometric tail only past the 1 - 2^-22 quantile, invisible
+    # to every distribution gate.
+    u = rng.random(size=fused, dtype=xp.float32)
+    u += u
+    signs = xp.floor(u)
+    u -= signs                         # u is now the fresh uniform
+    signs += signs
+    signs -= 1.0                       # {0, 1} -> {-1, +1}, exact
+    # Inverse-CDF geometric minus one: floor(log1p(-U) / log1p(-p)),
+    # the same scheme as the torch and cupy bindings' geometric(), so
+    # every namespace shares one sampling formula in the blocked
+    # kernels.  The clamp guards the p -> 0 corner where log1p(-p)
+    # underflows to -0.0 and the division would NaN (no realistic
+    # phase reaches it: sorties at such p overshoot any budget in one
+    # round).  The augmented-assignment spellings are deliberate —
+    # they recycle the block-sized scratch in place, and every binding
+    # (ndarray, tensor, cupy array) honors them.
+    denominator = xp.minimum(
+        xp.astype(xp.log1p(-stop_probability), xp.float32), -1e-30
+    )
+    u *= -1.0
+    lengths = xp.log1p(u)
+    lengths /= denominator
+    lengths = xp.floor(lengths)
+    # Signs and lengths stay float32: every integer a kernel compares
+    # or accumulates below the float32-exact ceiling (2^24) is exact,
+    # and the callers' whole (pairs x block) accounting pipeline runs
+    # at half the bandwidth of an int64 one.  See ``_move_dtype`` for
+    # how the callers keep move totals exact.
     return signs[0], lengths[0], signs[1], lengths[1]
 
 
@@ -111,6 +201,16 @@ def sortie_hits(xp: ArrayNamespace, target, signs_v, lengths_v, signs_h, lengths
     leg after ``lengths_v + |x|`` moves.
     """
     x, y = target
+    if x != 0:
+        # Scalar short-circuit: off-axis targets can never sit on the
+        # vertical leg, and ``signs_h * x >= 0`` collapses to a sign
+        # test — four fewer elementwise passes on the block matrix.
+        # The in-place &= chain reuses one bool buffer instead of
+        # allocating an intermediate per conjunction.
+        hit = signs_v * lengths_v == y
+        hit &= signs_h == (1 if x > 0 else -1)
+        hit &= lengths_h >= abs(x)
+        return hit, lengths_v + abs(x)
     hit_vertical = (x == 0) & (signs_v * y >= 0) & (lengths_v >= abs(y))
     hit_horizontal = (
         (signs_v * lengths_v == y) & (signs_h * x >= 0) & (lengths_h >= abs(x))
@@ -210,42 +310,67 @@ def batch_lshape(
     (pair_trial, pair_agent, best, best_finder,
      trial_iterations, trial_rounds) = _batch_state(xp, n_trials, n_agents)
     cumulative = xp.zeros(n_trials * n_agents, dtype=xp.int64)
+    acc = _move_dtype(xp, move_budget)
 
     expected_len = max(1.0, 2.0 * (1.0 / stop_probability - 1.0))
     rounds_left = int(200 * (move_budget / expected_len + 1)) + 10_000
     block = 4
     while xp.size(pair_trial) > 0 and rounds_left > 0:
         pairs = xp.size(pair_trial)
-        block = min(
-            block * 2, rounds_left, max(1, _BLOCK_ELEMENTS // pairs), _MAX_BLOCK
-        )
+        block = _block_len(pairs, 8, block * 2, rounds_left, _MAX_BLOCK)
         rounds_left -= block
         sv, lv, sh, lh = _sample_sorties_fused(
             xp, rng, stop_probability, (pairs, block)
         )
         hit, moves_at_hit = sortie_hits(xp, target, sv, lv, sh, lh)
-        leg = lv + lh
-        prefix = xp.cumsum(leg, axis=1)               # moves after round j
-        cum_after = cumulative[:, None] + prefix      # (pairs, block)
+        # Move accounting stays in the float accounting dtype end to
+        # end (see ``_move_dtype``): sums that still matter are exact,
+        # beyond-limit sums only feed comparisons their magnitude
+        # already decides.
+        if acc is xp.float32:
+            leg = lv
+            leg += lh
+        else:
+            leg = xp.astype(lv, acc)
+            leg += lh
+        cum_after = xp.cumsum(leg, axis=1)            # moves after round j
+        cum_after += xp.astype(cumulative, acc)[:, None]
 
         hit_any = xp.astype(xp.sum(hit, axis=1), xp.bool_)
         first = xp.first_true(hit, axis=1)            # 0 where no hit
         moves_before = xp.take_along(cum_after, first) - xp.take_along(leg, first)
-        pair_total = moves_before + xp.take_along(moves_at_hit, first)
+        pair_total = xp.astype(
+            xp.minimum(
+                moves_before + xp.take_along(moves_at_hit, first), _TOTAL_CLAMP
+            ),
+            xp.int64,
+        )
 
         # Rounds each pair actually executed inside the block: until
         # its first hit, or until the budget/best prune would have
         # retired it.  The limit is the one known at block start; a
         # sibling's mid-block find would have pruned slightly earlier
         # in the per-round original, so these counts are a modest
-        # upper bound (see the kernel docstring).
-        limit = xp.minimum(move_budget, xp.take(best, pair_trial))
-        alive_rounds = (
-            xp.sum(xp.astype(cum_after[:, : block - 1] < limit[:, None],
-                             xp.int64), axis=1) + 1
+        # upper bound (see the kernel docstring).  Rows of cum_after
+        # are nondecreasing, so the count of rounds under the limit is
+        # the first-exceed index — one comparison and one scan instead
+        # of a masked sum.
+        limit = xp.astype(
+            xp.minimum(move_budget, xp.take(best, pair_trial)), acc
         )
-        hit_rounds = xp.where(hit_any, first + 1, block)
-        rounds_in_block = xp.minimum(hit_rounds, alive_rounds)
+        end_cum_f = cum_after[:, -1]
+        rounds_in_block = xp.where(hit_any, first + 1, block)
+        exceeds = end_cum_f >= limit
+        if xp.any(exceeds):
+            # Only rows whose end-of-block cumulative reaches the
+            # limit can be cut short; the (pairs, block) comparison
+            # and scan run on that sparse subset alone.
+            fe = xp.first_true(
+                cum_after[exceeds] >= limit[exceeds][:, None], axis=1
+            )
+            rounds_in_block[exceeds] = xp.minimum(
+                rounds_in_block[exceeds], fe + 1
+            )
         xp.scatter_add(trial_iterations, pair_trial, rounds_in_block)
         block_rounds = xp.zeros(n_trials, dtype=xp.int64)
         xp.scatter_max(block_rounds, pair_trial, rounds_in_block)
@@ -260,14 +385,152 @@ def batch_lshape(
 
         # Single-pass compaction: a pair survives the block iff it
         # never hit and its end-of-block cumulative still beats the
-        # (freshly updated) budget/best limit.
+        # (freshly updated) budget/best limit.  Kept cumulatives sit
+        # below that limit, hence in the dtype's exact-integer range.
         keep = ~hit_any & (
-            cum_after[:, -1] < xp.minimum(move_budget, xp.take(best, pair_trial))
+            end_cum_f
+            < xp.astype(xp.minimum(move_budget, xp.take(best, pair_trial)), acc)
         )
-        cumulative = cum_after[:, -1][keep]
+        cumulative = xp.astype(end_cum_f[keep], xp.int64)
         pair_trial = pair_trial[keep]
         pair_agent = pair_agent[keep]
     return best, best_finder, trial_iterations, trial_rounds
+
+
+def _blocked_phase_rounds(
+    xp: ArrayNamespace,
+    rng: KernelRNG,
+    target,
+    move_budget: int,
+    best,
+    best_finder,
+    n_trials: int,
+    pair_trial,
+    pair_agent,
+    cumulative,
+    stop_p,
+    use,
+    block: int,
+    trial_iterations,
+    trial_rounds,
+):
+    """One blocked round-batch for a phase-driven sortie family.
+
+    Each pair executes up to ``use <= block`` rounds of L-sorties at
+    its own per-row stop probability ``stop_p`` — constant within the
+    block, because ``use`` never crosses the pair's phase boundary.  A
+    prefix-sum scan locates each pair's first in-block hit and its
+    cumulative moves there; columns past a pair's ``use`` horizon are
+    discarded draws (masked out of hits and move accounting), so every
+    *used* column is distributed exactly as a per-round draw at that
+    pair's phase.
+
+    Folds eligible finds and the block's diagnostics, then returns
+    ``(keep, end_cum)``: the single-pass compaction mask (no hit, and
+    end-of-horizon cumulative still below the refreshed budget/best
+    limit) and the cumulative moves at each pair's horizon.  The
+    caller gathers its own phase state with ``keep``.
+    """
+    pairs = xp.size(pair_trial)
+    acc = _move_dtype(xp, move_budget)
+    sv, lv, sh, lh = _sample_sorties_fused(
+        xp, rng, stop_p[None, :, None], (pairs, block)
+    )
+    hit, moves_at_hit = sortie_hits(xp, target, sv, lv, sh, lh)
+    if int(xp.sum(use)) != pairs * block:
+        # Columns past a row's horizon are discarded draws; mask them
+        # out of the hit test.  Skipped entirely when every row runs
+        # the full block (the common steady-state case).
+        cols = xp.arange(block, dtype=xp.int64)
+        hit &= cols[None, :] < use[:, None]
+    # No masking of legs: columns past a row's horizon pollute the
+    # prefix only at positions >= use, and every read below gathers at
+    # first-hit (< use) or at use - 1.  Move accounting stays in the
+    # float accounting dtype end to end (see ``_move_dtype``): sums
+    # that still matter are exact, beyond-limit sums only feed
+    # comparisons their magnitude already decides.  The float32 path
+    # accumulates into the sampler's own buffers (already consumed).
+    if acc is xp.float32:
+        leg = lv
+        leg += lh
+    else:
+        leg = xp.astype(lv, acc)
+        leg += lh
+    cum_after = xp.cumsum(leg, axis=1)                # moves after round j
+    cum_after += xp.astype(cumulative, acc)[:, None]
+
+    hit_any = xp.astype(xp.sum(hit, axis=1), xp.bool_)
+    first = xp.first_true(hit, axis=1)                # 0 where no hit
+    moves_before = xp.take_along(cum_after, first) - xp.take_along(leg, first)
+    pair_total = xp.astype(
+        xp.minimum(
+            moves_before + xp.take_along(moves_at_hit, first), _TOTAL_CLAMP
+        ),
+        xp.int64,
+    )
+
+    # Rounds each pair actually executed inside the block: until its
+    # first hit, or until the budget/best prune (as known at block
+    # start) would have retired it — same modest upper bound as the
+    # lshape kernel (see its docstring).
+    limit = xp.astype(xp.minimum(move_budget, xp.take(best, pair_trial)), acc)
+    end_cum_f = xp.take_along(cum_after, use - 1)
+    # Rows of cum_after are nondecreasing over the valid region, so
+    # "how many rounds stayed under the limit" is the first-exceed
+    # index.  Only rows whose horizon-end cumulative reaches the limit
+    # can be cut short, so the (pairs, block) comparison + scan runs
+    # on that sparse subset alone — by block start the surviving pool
+    # is dominated by rows nowhere near their limit.
+    rounds_in_block = xp.where(hit_any, first + 1, use)
+    exceeds = end_cum_f >= limit
+    if xp.any(exceeds):
+        fe = xp.first_true(cum_after[exceeds] >= limit[exceeds][:, None], axis=1)
+        alive_sub = xp.minimum(fe, use[exceeds] - 1) + 1
+        rounds_in_block[exceeds] = xp.minimum(rounds_in_block[exceeds], alive_sub)
+    xp.scatter_add(trial_iterations, pair_trial, rounds_in_block)
+    block_rounds = xp.zeros(n_trials, dtype=xp.int64)
+    xp.scatter_max(block_rounds, pair_trial, rounds_in_block)
+    trial_rounds += block_rounds
+
+    eligible = hit_any & (pair_total <= move_budget) & (
+        pair_total < xp.take(best, pair_trial)
+    )
+    _score_hits(
+        xp, best, best_finder, pair_trial, pair_agent, pair_total, eligible
+    )
+
+    # Kept cumulatives sit below the refreshed limit, hence in the
+    # accounting dtype's exact-integer range; the clamp only guards
+    # the int64 conversion of already-doomed rows.
+    keep = ~hit_any & (
+        end_cum_f
+        < xp.astype(xp.minimum(move_budget, xp.take(best, pair_trial)), acc)
+    )
+    end_cum = xp.astype(xp.minimum(end_cum_f, _TOTAL_CLAMP), xp.int64)
+    return keep, end_cum
+
+
+def _phase_block_len(
+    xp: ArrayNamespace, calls_left, pairs: int, prev_block: int,
+    rounds_left: int,
+) -> int:
+    """Block length for a phase-driven kernel's next fused draw.
+
+    Doubles the previous block up to the shared scratch cap (fresh
+    pools sit in short early phases; the long tail earns long blocks),
+    then halves while draw utilization — ``sum(min(calls_left, block))``
+    useful columns out of ``pairs * block`` drawn — would fall below
+    1/2, so the discarded tail of a ``(pairs, block)`` matrix never
+    costs more RNG than the rounds it retires.
+    """
+    block = _block_len(pairs, 8, prev_block * 2, rounds_left, _MAX_BLOCK,
+                       int(xp.max(calls_left)))
+    while block > 4:
+        used = int(xp.sum(xp.minimum(calls_left, block)))
+        if 2 * used >= pairs * block:
+            break
+        block //= 2
+    return block
 
 
 def batch_uniform(
@@ -281,13 +544,17 @@ def batch_uniform(
     move_budget: int,
     max_phase: int,
 ):
-    """All trials of Algorithm 5 at once.
+    """All trials of Algorithm 5 at once, in blocked rounds.
 
     Per-pair state is ``(phase, calls_left, cumulative)``; phase coins
     are redrawn vectorized (``Geometric(1/rho_i) - 1`` sortie calls per
-    phase) whenever a pair exhausts its calls, and every active pair
-    contributes one sortie per round with its own phase's stop
-    probability.
+    phase) whenever a pair exhausts its calls.  Each loop iteration
+    then simulates up to ``block`` rounds per pair in one fused draw
+    via :func:`_blocked_phase_rounds`, with the pair's validity horizon
+    ``min(block, calls_left)`` keeping every used draw inside its
+    current phase.  The block length starts small (fresh pools sit in
+    short early phases) and doubles per iteration up to the scratch
+    cap and the pool's largest remaining phase budget.
     """
     if target == (0, 0):
         return _origin_batch(xp, n_trials)
@@ -300,10 +567,9 @@ def batch_uniform(
     calls_left = xp.zeros(pairs, dtype=xp.int64)
 
     phase1_len = max(1.0, 2.0 * (2.0**ell - 1.0))
-    max_rounds = int(200 * (move_budget / phase1_len + 1)) + 10_000
-    for _ in range(max_rounds):
-        if xp.size(pair_trial) == 0:
-            break
+    rounds_left = int(200 * (move_budget / phase1_len + 1)) + 10_000
+    block = 4
+    while xp.size(pair_trial) > 0 and rounds_left > 0:
         # Refill exhausted phase coins; pairs that run out of phases
         # retire below via the `alive` mask.
         need = calls_left <= 0
@@ -325,27 +591,19 @@ def batch_uniform(
             cumulative = cumulative[alive]
             phase = phase[alive]
             calls_left = calls_left[alive]
-        _count_round(xp, trial_iterations, trial_rounds, pair_trial, n_trials)
+        block = _phase_block_len(
+            xp, calls_left, xp.size(pair_trial), block, rounds_left
+        )
+        rounds_left -= block
+        use = xp.minimum(calls_left, block)
         stop_p = xp.exp2(-(xp.astype(phase, xp.float64) * ell))
-        sv, lv, sh, lh = _sample_sorties_fused(
-            xp, rng, stop_p, (xp.size(pair_trial),)
+        keep, end_cum = _blocked_phase_rounds(
+            xp, rng, target, move_budget, best, best_finder, n_trials,
+            pair_trial, pair_agent, cumulative, stop_p, use, block,
+            trial_iterations, trial_rounds,
         )
-        hit, moves_at_hit = sortie_hits(xp, target, sv, lv, sh, lh)
-        totals = cumulative + moves_at_hit
-        eligible = hit & (totals <= move_budget) & (
-            totals < xp.take(best, pair_trial)
-        )
-        _score_hits(
-            xp, best, best_finder, pair_trial, pair_agent, totals, eligible
-        )
-        # Single-pass compaction: drop hit pairs and budget/best-
-        # retired pairs with one gather per state array.
-        new_cum = cumulative + lv + lh
-        keep = ~hit & (
-            new_cum < xp.minimum(move_budget, xp.take(best, pair_trial))
-        )
-        cumulative = new_cum[keep]
-        calls_left = calls_left[keep] - 1
+        cumulative = end_cum[keep]
+        calls_left = (calls_left - use)[keep]
         phase = phase[keep]
         pair_trial = pair_trial[keep]
         pair_agent = pair_agent[keep]
@@ -363,14 +621,18 @@ def batch_doubly_uniform(
     move_budget: int,
     max_epoch: int = DEFAULT_MAX_EPOCH,
 ):
-    """All trials of the doubly uniform search at once.
+    """All trials of the doubly uniform search at once, in blocked rounds.
 
     Mirrors :func:`repro.sim.fast.fast_doubly_uniform`: epoch ``j``
     commits to the guess ``n_j = 2^j`` and runs phases ``1..j`` of
     Algorithm 5 under that guess.  Per-pair state is ``(epoch, phase,
     calls_left, cumulative)``; when a pair's phase coin runs out it
     advances to the next phase, rolling over to ``(epoch + 1, phase 1)``
-    past the epoch's phase range.
+    past the epoch's phase range.  Between refills the pair executes
+    blocked rounds exactly as :func:`batch_uniform` — one fused
+    ``(pairs, block)`` draw, per-pair ``min(block, calls_left)``
+    validity horizons, prefix-sum first-hit scans, and one single-pass
+    compaction per block.
     """
     if target == (0, 0):
         return _origin_batch(xp, n_trials)
@@ -383,10 +645,9 @@ def batch_doubly_uniform(
     calls_left = xp.zeros(pairs, dtype=xp.int64)
 
     phase1_len = max(1.0, 2.0 * (2.0**ell - 1.0))
-    max_rounds = int(200 * (move_budget / phase1_len + 1)) + 10_000
-    for _ in range(max_rounds):
-        if xp.size(pair_trial) == 0:
-            break
+    rounds_left = int(200 * (move_budget / phase1_len + 1)) + 10_000
+    block = 4
+    while xp.size(pair_trial) > 0 and rounds_left > 0:
         need = calls_left <= 0
         while xp.any(need):
             phase[need] += 1
@@ -411,30 +672,51 @@ def batch_doubly_uniform(
             epoch = epoch[alive]
             phase = phase[alive]
             calls_left = calls_left[alive]
-        _count_round(xp, trial_iterations, trial_rounds, pair_trial, n_trials)
+        block = _phase_block_len(
+            xp, calls_left, xp.size(pair_trial), block, rounds_left
+        )
+        rounds_left -= block
+        use = xp.minimum(calls_left, block)
         stop_p = xp.exp2(-(xp.astype(phase, xp.float64) * ell))
-        sv, lv, sh, lh = _sample_sorties_fused(
-            xp, rng, stop_p, (xp.size(pair_trial),)
+        keep, end_cum = _blocked_phase_rounds(
+            xp, rng, target, move_budget, best, best_finder, n_trials,
+            pair_trial, pair_agent, cumulative, stop_p, use, block,
+            trial_iterations, trial_rounds,
         )
-        hit, moves_at_hit = sortie_hits(xp, target, sv, lv, sh, lh)
-        totals = cumulative + moves_at_hit
-        eligible = hit & (totals <= move_budget) & (
-            totals < xp.take(best, pair_trial)
-        )
-        _score_hits(
-            xp, best, best_finder, pair_trial, pair_agent, totals, eligible
-        )
-        new_cum = cumulative + lv + lh
-        keep = ~hit & (
-            new_cum < xp.minimum(move_budget, xp.take(best, pair_trial))
-        )
-        cumulative = new_cum[keep]
-        calls_left = calls_left[keep] - 1
+        cumulative = end_cum[keep]
+        calls_left = (calls_left - use)[keep]
         epoch = epoch[keep]
         phase = phase[keep]
         pair_trial = pair_trial[keep]
         pair_agent = pair_agent[keep]
     return best, best_finder, trial_iterations, trial_rounds
+
+
+def _build_walk_tables():
+    """Byte-level walk tables: each drawn byte packs four 2-bit steps.
+
+    For every byte value, ``pre_u[b][k]`` / ``pre_v[b][k]`` are the
+    rotated-coordinate displacements after the first ``k + 1`` packed
+    steps (field ``k`` uses bits ``2k`` for u and ``2k + 1`` for v, the
+    same layout the bit-sliced formulation used, so RNG streams are
+    unchanged).  Column 3 doubles as the whole-byte sum.
+    """
+    pre_u, pre_v = [], []
+    for byte in range(256):
+        cu = cv = 0
+        row_u, row_v = [], []
+        for k in range(4):
+            code = (byte >> (2 * k)) & 3
+            cu += 2 * (code & 1) - 1
+            cv += (code & 2) - 1
+            row_u.append(cu)
+            row_v.append(cv)
+        pre_u.append(row_u)
+        pre_v.append(row_v)
+    return pre_u, pre_v
+
+
+_WALK_PRE_U, _WALK_PRE_V = _build_walk_tables()
 
 
 def batch_random_walk(
@@ -449,53 +731,129 @@ def batch_random_walk(
 
     Every step is a move, so all pairs' move counts advance together
     and the first find in simulated time is the exact colony minimum —
-    a trial retires the moment any of its pairs hits.  Steps are
-    simulated in blocks, with the block length bounded so the
-    ``(pairs x block)`` trajectory scratch stays memory-bounded.
+    a trial retires the moment any of its pairs hits.  Steps run in
+    rotated coordinates ``u = x + y, v = x - y``, where the 4-way unit
+    step decomposes into two *independent* fair ±1 coins packed four
+    to a drawn byte.
+
+    The scan is two-level: a 256-entry table folds each byte into its
+    per-axis displacement, so the prefix sums run over ``block / 4``
+    *words* instead of ``block`` steps.  A step inside word ``w`` can
+    land on the target only if the remaining displacement at the start
+    of the word is within ±4 on both axes (an in-byte prefix moves at
+    most 4), so the exact per-step check runs only on that coarse
+    candidate set — a ``(candidates, 4)`` table lookup — and folds
+    back densely at word granularity.  Pairs whose rotated Chebyshev
+    distance (== Manhattan distance on the original lattice) exceeds
+    the block length skip the scan and advance by two row sums.
     """
     if target == (0, 0):
         return _origin_batch(xp, n_trials)
     (pair_trial, pair_agent, best, best_finder,
      trial_iterations, trial_rounds) = _batch_state(xp, n_trials, n_agents)
-    steps_table = xp.asarray(
-        [(0, 1), (0, -1), (-1, 0), (1, 0)], dtype=xp.int64
-    )
-    positions = xp.zeros((n_trials * n_agents, 2), dtype=xp.int64)
-    x, y = target
+    pairs0 = n_trials * n_agents
+    pos_u = xp.zeros(pairs0, dtype=xp.int64)
+    pos_v = xp.zeros(pairs0, dtype=xp.int64)
+    target_u = target[0] + target[1]
+    target_v = target[0] - target[1]
+    pre_u = xp.asarray(_WALK_PRE_U, dtype=xp.int8)
+    pre_v = xp.asarray(_WALK_PRE_V, dtype=xp.int8)
+    sum_u = pre_u[:, 3]
+    sum_v = pre_v[:, 3]
     moves_done = 0
     while moves_done < move_budget and xp.size(pair_trial):
         pairs = xp.size(pair_trial)
-        # The scratch is (pairs x block); bounding their product keeps
-        # even huge pooled batches at a few MB per round (block
-        # degrades to 1 step when the pair pool alone reaches the cap).
-        block = min(
-            move_budget - moves_done,
-            max(1, _WALK_BLOCK_ELEMENTS // pairs),
-        )
+        # Scratch is word-granular (a fraction of a byte per step), but
+        # itemsize stays 2 — the bit-sliced formulation's footprint —
+        # so block boundaries, and with them the realized outcomes per
+        # seed, match the goldens.  Longer blocks measured < 2% faster.
+        block = _block_len(pairs, 2, move_budget - moves_done, _MAX_WALK_BLOCK)
         _count_round(
             xp, trial_iterations, trial_rounds, pair_trial, n_trials,
             weight=block,
         )
-        choices = rng.integers(0, 4, size=(pairs, block))
-        trajectory = positions[:, None, :] + xp.cumsum(
-            steps_table[choices], axis=1
-        )
-        hits = (trajectory[:, :, 0] == x) & (trajectory[:, :, 1] == y)
-        pair_hit = xp.astype(xp.sum(hits, axis=1), xp.bool_)
-        if xp.any(pair_hit):
-            step_of_hit = xp.where(
-                pair_hit, xp.first_true(hits, axis=1), block
-            )
-            totals = moves_done + step_of_hit + 1
-            _score_hits(
-                xp, best, best_finder, pair_trial, pair_agent, totals, pair_hit
-            )
-        positions = trajectory[:, -1, :]
+        # Four 2-bit steps ride in every drawn byte; the byte tables
+        # fold each one into its per-axis displacement in one gather.
+        # ``rem`` is how many fields of the final word the block uses.
+        n_words = (block + 3) // 4
+        rem = block - (n_words - 1) * 4
+        raw = rng.integers(0, 256, size=(pairs, n_words), dtype=xp.uint8)
+        bu = xp.take(sum_u, raw)
+        bv = xp.take(sum_v, raw)
+        if rem != 4:
+            bu[:, -1] = xp.take(pre_u[:, rem - 1], raw[:, -1])
+            bv[:, -1] = xp.take(pre_v[:, rem - 1], raw[:, -1])
+        rel_u = target_u - pos_u
+        rel_v = target_v - pos_v
+        near = (xp.abs(rel_u) <= block) & (xp.abs(rel_v) <= block)
+        if not xp.any(near):
+            pos_u += xp.astype(xp.sum(bu, axis=1), xp.int64)
+            pos_v += xp.astype(xp.sum(bv, axis=1), xp.int64)
+            moves_done += block
+            continue
+        split = int(xp.sum(xp.astype(near, xp.int64))) != pairs
+        if split:
+            far = ~near
+            pos_u[far] += xp.astype(xp.sum(bu[far], axis=1), xp.int64)
+            pos_v[far] += xp.astype(xp.sum(bv[far], axis=1), xp.int64)
+            bu = bu[near]
+            bv = bv[near]
+            raw = raw[near]
+            scan_trial = pair_trial[near]
+            scan_agent = pair_agent[near]
+            rel_u = rel_u[near]
+            rel_v = rel_v[near]
+        else:
+            scan_trial = pair_trial
+            scan_agent = pair_agent
+        cum_u = xp.cumsum(bu, axis=1, dtype=xp.int16)  # cum at word ends
+        cum_v = xp.cumsum(bv, axis=1, dtype=xp.int16)
+        # Remaining displacement at the *start* of each word.  The
+        # int16 casts are exact (|rel| <= block <= _MAX_WALK_BLOCK);
+        # the one overflowable difference, |rel| + |cum| = 2 * block =
+        # 32768, wraps to -32768 and still fails the +-4 window.
+        diff_u = xp.astype(rel_u, xp.int16)[:, None] - (cum_u - bu)
+        diff_v = xp.astype(rel_v, xp.int16)[:, None] - (cum_v - bv)
+        cand = (xp.abs(diff_u) <= 4) & (xp.abs(diff_v) <= 4)
+        if xp.any(cand):
+            scanned = xp.size(rel_u)
+            k_pre_u = xp.take(pre_u, raw[cand])        # (m, 4) in-byte
+            k_pre_v = xp.take(pre_v, raw[cand])
+            hit_k = k_pre_u == xp.astype(diff_u[cand], xp.int8)[:, None]
+            hit_k &= k_pre_v == xp.astype(diff_v[cand], xp.int8)[:, None]
+            hit_words = xp.zeros((scanned, n_words), dtype=xp.bool_)
+            hit_words[cand] = xp.astype(xp.sum(hit_k, axis=1), xp.bool_)
+            first_k = xp.zeros((scanned, n_words), dtype=xp.int64)
+            first_k[cand] = xp.first_true(hit_k, axis=1)
+            if rem != 4:
+                # Fields past the block end in the final word are
+                # undrawn steps; a first match there is no match.
+                hit_words[:, -1] &= first_k[:, -1] < rem
+            pair_hit = xp.astype(xp.sum(hit_words, axis=1), xp.bool_)
+            if xp.any(pair_hit):
+                first_word = xp.first_true(hit_words, axis=1)
+                step_of_hit = xp.where(
+                    pair_hit,
+                    first_word * 4 + xp.take_along(first_k, first_word),
+                    block,
+                )
+                totals = moves_done + step_of_hit + 1
+                _score_hits(
+                    xp, best, best_finder, scan_trial, scan_agent, totals,
+                    pair_hit,
+                )
+        if split:
+            pos_u[near] += xp.astype(cum_u[:, -1], xp.int64)
+            pos_v[near] += xp.astype(cum_v[:, -1], xp.int64)
+        else:
+            pos_u += xp.astype(cum_u[:, -1], xp.int64)
+            pos_v += xp.astype(cum_v[:, -1], xp.int64)
         moves_done += block
         # Lockstep: any later find is later in time, so finished
         # colonies retire wholesale.
         keep = xp.take(best, pair_trial) == SENTINEL
-        positions = positions[keep]
+        pos_u = pos_u[keep]
+        pos_v = pos_v[keep]
         pair_trial = pair_trial[keep]
         pair_agent = pair_agent[keep]
     return best, best_finder, trial_iterations, trial_rounds

@@ -57,12 +57,31 @@ ACCELERATOR_ENV = "REPRO_ANTS_ACCELERATOR"
 class KernelRNG:
     """Deterministic draw source bound to one namespace's device."""
 
-    def integers(self, low, high, size=None):
-        """Uniform integers on ``[low, high)``; bounds may be arrays."""
+    def integers(self, low, high, size=None, dtype=None):
+        """Uniform integers on ``[low, high)``; bounds may be arrays.
+
+        ``dtype`` (a namespace dtype handle) narrows the output width —
+        the random-walk kernel draws its 2-bit step choices as uint8,
+        quartering the draw bandwidth.  ``None`` keeps the binding's
+        historical int64 output.
+        """
         raise NotImplementedError
 
     def geometric(self, p, size=None):
         """Geometric on ``{1, 2, ...}``; ``p`` may be an array."""
+        raise NotImplementedError
+
+    def random(self, size=None, dtype=None):
+        """Uniform draws on ``[0, 1)``; float64 unless ``dtype`` narrows.
+
+        The raw material for inverse-CDF sampling in kernel code: one
+        bulk uniform fill plus vectorized transforms beats a
+        per-element distribution sampler when ``p`` varies per row
+        (NumPy's array-``p`` ``Generator.geometric`` walks elements in
+        a C loop; the blocked kernels draw millions per call).  A
+        float32 ``dtype`` halves the fill-and-transform bandwidth at
+        24-bit granularity — plenty for distribution gates.
+        """
         raise NotImplementedError
 
 
@@ -80,8 +99,12 @@ class ArrayNamespace:
     device: str = "cpu"
 
     # Dtype handles (bound per library).
+    int8: Any = None
+    int16: Any = None
     int32: Any = None
     int64: Any = None
+    uint8: Any = None
+    float32: Any = None
     float64: Any = None
     bool_: Any = None
 
@@ -121,6 +144,12 @@ class ArrayNamespace:
     def ceil(self, a):
         raise NotImplementedError
 
+    def floor(self, a):
+        raise NotImplementedError
+
+    def log1p(self, a):
+        raise NotImplementedError
+
     def astype(self, a, dtype):
         raise NotImplementedError
 
@@ -131,7 +160,13 @@ class ArrayNamespace:
     def sum(self, a, axis=None):
         raise NotImplementedError
 
-    def cumsum(self, a, axis):
+    def max(self, a):
+        """Largest element of a (nonempty) array, as a 0-d scalar."""
+        raise NotImplementedError
+
+    def cumsum(self, a, axis, dtype=None):
+        """Prefix sum along ``axis``; ``dtype`` widens (or narrows) the
+        accumulator — the walk kernel sums int8 steps into int16."""
         raise NotImplementedError
 
     def first_true(self, mask, axis):
@@ -183,19 +218,30 @@ class _NumpyRNG(KernelRNG):
     def __init__(self, generator: np.random.Generator) -> None:
         self.generator = generator
 
-    def integers(self, low, high, size=None):
-        return self.generator.integers(low, high, size=size)
+    def integers(self, low, high, size=None, dtype=None):
+        if dtype is None:
+            return self.generator.integers(low, high, size=size)
+        return self.generator.integers(low, high, size=size, dtype=dtype)
 
     def geometric(self, p, size=None):
         return self.generator.geometric(p, size=size)
+
+    def random(self, size=None, dtype=None):
+        if dtype is None:
+            return self.generator.random(size=size)
+        return self.generator.random(size=size, dtype=dtype)
 
 
 class NumpyNamespace(ArrayNamespace):
     name = "numpy"
     device = "cpu"
 
+    int8 = np.int8
+    int16 = np.int16
     int32 = np.int32
     int64 = np.int64
+    uint8 = np.uint8
+    float32 = np.float32
     float64 = np.float64
     bool_ = np.bool_
 
@@ -229,6 +275,12 @@ class NumpyNamespace(ArrayNamespace):
     def ceil(self, a):
         return np.ceil(a)
 
+    def floor(self, a):
+        return np.floor(a)
+
+    def log1p(self, a):
+        return np.log1p(a)
+
     def astype(self, a, dtype):
         return np.asarray(a).astype(dtype)
 
@@ -238,8 +290,11 @@ class NumpyNamespace(ArrayNamespace):
     def sum(self, a, axis=None):
         return np.sum(a, axis=axis)
 
-    def cumsum(self, a, axis):
-        return np.cumsum(a, axis=axis)
+    def max(self, a):
+        return np.max(a)
+
+    def cumsum(self, a, axis, dtype=None):
+        return np.cumsum(a, axis=axis, dtype=dtype)
 
     def first_true(self, mask, axis):
         return np.argmax(mask, axis=axis)
@@ -291,13 +346,13 @@ class _TorchRNG(KernelRNG):
             return ()
         return (size,) if isinstance(size, int) else tuple(size)
 
-    def integers(self, low, high, size=None):
+    def integers(self, low, high, size=None, dtype=None):
         torch = self._torch
         if isinstance(low, int) and isinstance(high, int):
             return torch.randint(
                 low, high, self._shape(size) or (1,),
                 generator=self._generator, device=self._device,
-                dtype=torch.int64,
+                dtype=dtype if dtype is not None else torch.int64,
             ).reshape(self._shape(size))
         # Array bounds: scale float64 uniforms into each [low, high)
         # box.  float64 keeps ranges up to ~2^52 exactly representable,
@@ -311,7 +366,8 @@ class _TorchRNG(KernelRNG):
             shape, generator=self._generator, device=self._device,
             dtype=torch.float64,
         )
-        return (low_t + torch.floor(u * (high_t - low_t))).to(torch.int64)
+        out = (low_t + torch.floor(u * (high_t - low_t))).to(torch.int64)
+        return out if dtype is None else out.to(dtype)
 
     def geometric(self, p, size=None):
         torch = self._torch
@@ -329,6 +385,13 @@ class _TorchRNG(KernelRNG):
         ) + 1.0
         return draws.to(torch.int64)
 
+    def random(self, size=None, dtype=None):
+        return self._torch.rand(
+            self._shape(size), generator=self._generator,
+            device=self._device,
+            dtype=self._torch.float64 if dtype is None else dtype,
+        )
+
 
 class TorchNamespace(ArrayNamespace):
     name = "torch"
@@ -336,8 +399,12 @@ class TorchNamespace(ArrayNamespace):
     def __init__(self, torch_mod, device: str) -> None:
         self._torch = torch_mod
         self.device = device
+        self.int8 = torch_mod.int8
+        self.int16 = torch_mod.int16
         self.int32 = torch_mod.int32
         self.int64 = torch_mod.int64
+        self.uint8 = torch_mod.uint8
+        self.float32 = torch_mod.float32
         self.float64 = torch_mod.float64
         self.bool_ = torch_mod.bool
 
@@ -394,6 +461,12 @@ class TorchNamespace(ArrayNamespace):
     def ceil(self, a):
         return self._torch.ceil(a)
 
+    def floor(self, a):
+        return self._torch.floor(a)
+
+    def log1p(self, a):
+        return self._torch.log1p(a)
+
     def astype(self, a, dtype):
         return a.to(dtype)
 
@@ -405,8 +478,11 @@ class TorchNamespace(ArrayNamespace):
             return self._torch.sum(a)
         return self._torch.sum(a, dim=axis)
 
-    def cumsum(self, a, axis):
-        return self._torch.cumsum(a, dim=axis)
+    def max(self, a):
+        return self._torch.max(a)
+
+    def cumsum(self, a, axis, dtype=None):
+        return self._torch.cumsum(a, dim=axis, dtype=dtype)
 
     def first_true(self, mask, axis):
         # torch.argmax does not promise the *first* maximum, so weight
@@ -473,9 +549,11 @@ class _CupyRNG(KernelRNG):
         self._cupy = cupy_mod
         self.generator = cupy_mod.random.default_rng(seed)
 
-    def integers(self, low, high, size=None):
+    def integers(self, low, high, size=None, dtype=None):
         if isinstance(low, int) and isinstance(high, int):
-            return self.generator.integers(low, high, size=size)
+            if dtype is None:
+                return self.generator.integers(low, high, size=size)
+            return self.generator.integers(low, high, size=size, dtype=dtype)
         # CuPy's Generator.integers only takes scalar bounds; scale
         # float64 uniforms into the per-element [low, high) boxes (the
         # Feinerman kernel's center draws), as the torch binding does.
@@ -486,7 +564,8 @@ class _CupyRNG(KernelRNG):
             cupy.broadcast(low_a, high_a).shape if size is None else size
         )
         u = self.generator.random(size=shape, dtype=cupy.float64)
-        return (low_a + cupy.floor(u * (high_a - low_a))).astype(cupy.int64)
+        out = (low_a + cupy.floor(u * (high_a - low_a))).astype(cupy.int64)
+        return out if dtype is None else out.astype(dtype)
 
     def geometric(self, p, size=None):
         # CuPy's Generator lacks geometric(); invert the CDF from
@@ -500,6 +579,12 @@ class _CupyRNG(KernelRNG):
             cupy.floor(cupy.log1p(-u) / cupy.log1p(-p_arr)) + 1.0
         ).astype(cupy.int64)
 
+    def random(self, size=None, dtype=None):
+        return self.generator.random(
+            size=size,
+            dtype=self._cupy.float64 if dtype is None else dtype,
+        )
+
 
 class CupyNamespace(NumpyNamespace):
     """CuPy rides the NumPy surface; only the deviations are overridden."""
@@ -509,8 +594,12 @@ class CupyNamespace(NumpyNamespace):
     def __init__(self, cupy_mod, device: str = "cuda") -> None:
         self._cupy = cupy_mod
         self.device = device
+        self.int8 = cupy_mod.int8
+        self.int16 = cupy_mod.int16
         self.int32 = cupy_mod.int32
         self.int64 = cupy_mod.int64
+        self.uint8 = cupy_mod.uint8
+        self.float32 = cupy_mod.float32
         self.float64 = cupy_mod.float64
         self.bool_ = cupy_mod.bool_
 
@@ -544,6 +633,12 @@ class CupyNamespace(NumpyNamespace):
     def ceil(self, a):
         return self._cupy.ceil(a)
 
+    def floor(self, a):
+        return self._cupy.floor(a)
+
+    def log1p(self, a):
+        return self._cupy.log1p(a)
+
     def astype(self, a, dtype):
         return a.astype(dtype)
 
@@ -553,8 +648,11 @@ class CupyNamespace(NumpyNamespace):
     def sum(self, a, axis=None):
         return self._cupy.sum(a, axis=axis)
 
-    def cumsum(self, a, axis):
-        return self._cupy.cumsum(a, axis=axis)
+    def max(self, a):
+        return self._cupy.max(a)
+
+    def cumsum(self, a, axis, dtype=None):
+        return self._cupy.cumsum(a, axis=axis, dtype=dtype)
 
     def first_true(self, mask, axis):
         return self._cupy.argmax(mask, axis=axis)

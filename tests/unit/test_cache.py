@@ -115,6 +115,28 @@ class TestMemoryLayer:
         monkeypatch.setattr(cache_module, "CODE_VERSION", "sim-vNEXT")
         assert fresh_cache.lookup(request, "batched") is None
 
+    def test_sim_v3_entries_not_served_under_sim_v4(
+        self, fresh_cache, monkeypatch
+    ):
+        """Entries written before the blocked-kernel rewrite stay dead.
+
+        The blocked kernels (CODE_VERSION sim-v4) consume the RNG
+        stream in a different order than sim-v3, so a sim-v3 payload
+        is distributionally fine but bit-different; serving one would
+        silently break request-level determinism.
+        """
+        assert cache_module.CODE_VERSION == "sim-v4"
+        request = _request()
+        outcomes = simulate(request, backend="batched", cache=False).outcomes
+        monkeypatch.setattr(cache_module, "CODE_VERSION", "sim-v3")
+        fresh_cache.store(request, "batched", outcomes)
+        assert fresh_cache.lookup(request, "batched") == outcomes
+        monkeypatch.setattr(cache_module, "CODE_VERSION", "sim-v4")
+        assert fresh_cache.lookup(request, "batched") is None
+        # A fresh store under the current version is served again.
+        fresh_cache.store(request, "batched", outcomes)
+        assert fresh_cache.lookup(request, "batched") == outcomes
+
 
 class TestDiskLayer:
     def test_round_trip_equals_fresh_simulation_bit_for_bit(self, tmp_path):

@@ -129,6 +129,122 @@ def test_torch_distribution_matches_numpy(family):
     )
 
 
+BLOCKED_FAMILIES = ["doubly-uniform", "random-walk", "uniform"]
+
+
+def _edge_run(xp, family: str, *, n_agents: int, target, move_budget: int,
+              n_trials: int):
+    request = SimulationRequest(
+        algorithm=FAMILY_SPECS[family],
+        n_agents=n_agents,
+        target=target,
+        move_budget=move_budget,
+        n_trials=n_trials,
+        seed=SEED,
+        distance_bound=8,
+    )
+    rng = xp.rng(request.trial_seed(0))
+    return tuple(
+        xp.to_numpy(array)
+        for array in run_family(xp, rng, request, n_trials)
+    )
+
+
+@pytest.mark.parametrize("xp", NAMESPACES)
+@pytest.mark.parametrize("family", BLOCKED_FAMILIES)
+class TestBlockedRoundBoundaries:
+    """Boundary hazards of the blocked-round kernels.
+
+    The blocked kernels draw ``(pairs, block)`` rounds at a time; the
+    three hazards are a pool far smaller than one block, the move
+    budget expiring inside a block, and a sibling's hit pruning the
+    pool in the same block as a cheaper hit.  The assertions lean on
+    two exact facts: a sortie hit on target ``(x, y)`` costs exactly
+    ``|x| + |y|`` moves within its round, and a walk hit needs a step
+    count of the same parity as ``|x| + |y|``.
+    """
+
+    def test_pool_smaller_than_block(self, xp, family):
+        # Two pairs total: the scratch-budget block is orders of
+        # magnitude longer than anything this pool can use, so the
+        # whole run lives in the degenerate pool < block regime.
+        results = _edge_run(
+            xp, family, n_agents=2, target=(3, 2), move_budget=50_000,
+            n_trials=1,
+        )
+        best, finder, iters, rounds = results
+        for array in results:
+            assert array.shape == (1,)
+            assert array.dtype == np.int64
+        found = best != SENTINEL
+        if found[0]:
+            assert 5 <= best[0] <= 50_000
+            assert 0 <= finder[0] < 2
+        else:
+            assert finder[0] == -1
+        assert iters[0] >= rounds[0]
+        again = _edge_run(
+            xp, family, n_agents=2, target=(3, 2), move_budget=50_000,
+            n_trials=1,
+        )
+        for a, b in zip(results, again):
+            assert np.array_equal(a, b)
+
+    def test_budget_expires_mid_block(self, xp, family):
+        # 777 moves is far less than one block's worth of rounds for
+        # every family, so the budget boundary lands inside a block:
+        # the sparse exceed scan (phase kernels) and the truncated
+        # final block with a partial last word (walk) must censor at
+        # the budget, never overshoot it.
+        best, finder, iters, rounds = _edge_run(
+            xp, family, n_agents=4, target=(6, 5), move_budget=777,
+            n_trials=128,
+        )
+        found = best != SENTINEL
+        assert found.any()
+        assert (best[found] <= 777).all()
+        assert (best[found] >= 11).all()
+        if family == "random-walk":
+            assert (best[found] % 2 == 1).all()
+        assert (finder[~found] == -1).all()
+        assert (iters >= rounds).all()
+
+    def test_one_move_budget_hits_in_first_round(self, xp, family):
+        # A budget of one move shrinks the walk's first block to a
+        # single partial word and makes only round-one sortie hits
+        # eligible; any reported find must cost exactly one move.
+        best, finder, _, _ = _edge_run(
+            xp, family, n_agents=8, target=(1, 0), move_budget=1,
+            n_trials=256,
+        )
+        found = best != SENTINEL
+        assert found.any()
+        assert (best[found] == 1).all()
+        assert (finder[~found] == -1).all()
+
+    def test_sibling_hit_prunes_within_block(self, xp, family):
+        # A point-blank target with a generous budget makes many
+        # agents of one colony hit inside the same block, racing the
+        # best-prune.  The winning total can never dip below the
+        # |x| + |y| floor — a cheaper value would mean the prune
+        # promoted a partial leg.
+        best, finder, _, _ = _edge_run(
+            xp, family, n_agents=8, target=(1, 1), move_budget=10_000,
+            n_trials=64,
+        )
+        found = best != SENTINEL
+        assert found.all()
+        assert (best >= 2).all()
+        if family == "random-walk":
+            assert (best % 2 == 0).all()
+        assert ((finder >= 0) & (finder < 8)).all()
+        again = _edge_run(
+            xp, family, n_agents=8, target=(1, 1), move_budget=10_000,
+            n_trials=64,
+        )[0]
+        assert np.array_equal(best, again)
+
+
 @pytest.mark.parametrize("xp", NAMESPACES)
 class TestSortieHelpers:
     def test_sample_sorties_shapes_and_ranges(self, xp):
