@@ -21,6 +21,7 @@ import pathlib
 import time
 
 from repro.sim import AlgorithmSpec, SimulationRequest, simulate
+from repro.sim.selector import machine_fingerprint
 
 RECORD_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_sim_backends.json"
 HISTORY_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_history.jsonl"
@@ -44,8 +45,11 @@ def update_record(section: str, payload: dict) -> dict:
     Every call also appends a dated snapshot line to
     ``BENCH_history.jsonl`` — the in-place JSON holds only the latest
     numbers, the JSONL holds the whole perf trajectory across PRs in a
-    machine-readable form (one ``{"recorded_at", "section", "payload"}``
-    object per line).
+    machine-readable form (one ``{"recorded_at", "section", "payload",
+    "machine"}`` object per line).  The ``machine`` fingerprint (CPU
+    model, core count, numpy version) makes cross-machine floor drift
+    diagnosable: when a committed record was measured on different
+    hardware, the history says so.
     """
     record = {}
     if RECORD_PATH.exists():
@@ -69,6 +73,7 @@ def update_record(section: str, payload: dict) -> dict:
         ),
         "section": section,
         "payload": payload,
+        "machine": machine_fingerprint(),
     }
     with HISTORY_PATH.open("a") as history:
         history.write(json.dumps(snapshot, sort_keys=True) + "\n")

@@ -104,7 +104,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         distance_bound=max(args.distance, abs(target[0]), abs(target[1])),
     )
-    if args.async_submit or args.watch:
+    adaptive_run = None
+    if args.adaptive:
+        if args.async_submit or args.watch:
+            raise ReproError(
+                "--adaptive runs batches inline; drop --async/--watch"
+            )
+        from repro.sim.jobs import simulate_adaptive
+
+        adaptive_run = simulate_adaptive(
+            request,
+            metric=args.ci_metric,
+            target_half_width=args.target_half_width,
+            batch_size=args.batch_size,
+            backend=args.backend,
+            cache=args.cache,
+        )
+        result = adaptive_run.result
+    elif args.async_submit or args.watch:
         from repro.sim.jobs import simulate_async
 
         job = simulate_async(
@@ -126,6 +143,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
                       f"{snapshot.done_trials}/{snapshot.total_trials} "
                       f"trials ({snapshot.fraction:.0%})", flush=True)
         result = job.result()
+    elif args.plan:
+        from repro.sim.selector import plan_request
+
+        plan = plan_request(
+            request, backend=args.backend, workers=args.workers
+        )
+        predicted = (
+            ""
+            if plan.predicted_seconds is None
+            else f", predicted {plan.predicted_seconds:.4g}s"
+        )
+        device = f" on {plan.device}" if plan.device else ""
+        print(f"plan      : {plan.backend}{device} — {plan.n_shards} "
+              f"shard(s) x {plan.workers} worker(s){predicted} "
+              f"[{plan.source}]")
+        result = simulate(request, cache=args.cache, plan=plan)
     else:
         result = simulate(
             request, backend=args.backend, workers=args.workers,
@@ -145,11 +178,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"(agent {outcome.finder}{steps})")
     else:
         print(f"found     : no within budget {args.budget}")
-    if args.trials > 1:
+    trials_done = len(result.outcomes)
+    if trials_done > 1:
         moves = result.moves_or_budget()
         print(
-            f"trials    : {args.trials} — find rate {result.find_rate:.2%}, "
+            f"trials    : {trials_done} — find rate {result.find_rate:.2%}, "
             f"mean M_moves (censored) {moves.mean():.1f}"
+        )
+    if adaptive_run is not None:
+        status = "converged" if adaptive_run.converged else "budget exhausted"
+        print(
+            f"adaptive  : {adaptive_run.trials_used}/"
+            f"{adaptive_run.max_trials} trials — {adaptive_run.metric} = "
+            f"{adaptive_run.estimate:.4g} ± {adaptive_run.half_width:.4g} "
+            f"(target ± {adaptive_run.target_half_width:g}, {status}; "
+            f"{adaptive_run.batches_run} batch(es) simulated, "
+            f"{adaptive_run.batches_cached} from cache)"
         )
     # Multi-trial runs succeed if any trial found the target; scripts
     # gating on the exit code get the aggregate, not trial 0's luck.
@@ -160,6 +204,28 @@ _PROBE_BATCH_TRIALS = 100
 
 
 def _cmd_backends(args: argparse.Namespace) -> int:
+    from repro.sim import selector as selector_mod
+
+    if args.calibrate:
+        print("calibrating cost model (micro-profiling every supporting "
+              "backend x family pair)...")
+        profile = selector_mod.calibrate()
+        print(f"  fitted {len(profile.entries)} (backend, family) entries; "
+              f"saved to {selector_mod.profile_path()}")
+        print()
+    if args.json:
+        import json
+
+        from repro.server.wire import WIRE_VERSION
+        from repro.sim.backends.registry import backends_introspection
+
+        payload = {
+            "wire": WIRE_VERSION,
+            **backends_introspection(),
+            "selector": selector_mod.selector_payload(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     backends = registered_backends()
     header = ["backend", *KNOWN_ALGORITHMS]
     lines = [
@@ -199,6 +265,7 @@ def _cmd_backends(args: argparse.Namespace) -> int:
     for name in sorted(backends):
         reasons = backends[name].decline_reasons()
         if not reasons:
+            print(f"  {name:12s} (none — supports every family)")
             continue
         # Group families sharing one reason to keep the report short.
         by_reason = {}
@@ -207,9 +274,35 @@ def _cmd_backends(args: argparse.Namespace) -> int:
         for reason, algos in sorted(by_reason.items()):
             print(f"  {name:12s} {', '.join(algos)}: {reason}")
     print()
+    _print_selector_plans(selector_mod)
     print("(requests with a step budget always resolve to reference, the "
           "only backend honoring M_steps accounting.)")
     return 0
+
+
+def _print_selector_plans(selector_mod) -> None:
+    """The cost-model selector's view: calibration state + family plans."""
+    profile = selector_mod.load_profile()
+    payload = selector_mod.selector_payload(profile=profile)
+    if profile is None:
+        print("cost-model selector: not calibrated — static priorities in "
+              "effect (run `repro-ants backends --calibrate`)")
+    else:
+        meta = payload["profile"]
+        print(f"cost-model selector: calibrated — {meta['entries']} "
+              f"(backend, family) entries, {meta['age_seconds']:.0f}s old "
+              f"({payload['profile_path']})")
+    print(f"planned execution for a {payload['batch_trials']}-trial batch "
+          f"(backend, shards x workers, predicted cost):")
+    for family, plan in payload["plans"].items():
+        predicted = plan["predicted_seconds"]
+        cost = "n/a" if predicted is None else f"{predicted:.4g}s"
+        device = f" on {plan['device']}" if plan.get("device") else ""
+        print(f"  {family:15s} -> {plan['backend']:12s}"
+              f"{device} {plan['n_shards']} shard(s) x "
+              f"{plan['workers']} worker(s), predicted {cost} "
+              f"[{plan['source']}]")
+    print()
 
 
 def _print_kernel_binding(backends) -> None:
@@ -445,6 +538,31 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: process setting, normally on)",
     )
     run_parser.add_argument(
+        "--plan", action="store_true",
+        help="route through the cost-model selector: plan backend and "
+             "shard layout from the calibration profile (static "
+             "fallback when uncalibrated) and execute the plan",
+    )
+    run_parser.add_argument(
+        "--adaptive", action="store_true",
+        help="adaptive sampling: consume --trials in batches until the "
+             "CI half-width target is met (see --target-half-width)",
+    )
+    run_parser.add_argument(
+        "--target-half-width", type=float, default=0.05,
+        help="adaptive stopping target: CI half-width on the chosen "
+             "metric (default: 0.05)",
+    )
+    run_parser.add_argument(
+        "--ci-metric", default="hit_probability",
+        choices=("hit_probability", "moves"),
+        help="metric the adaptive CI targets (default: hit_probability)",
+    )
+    run_parser.add_argument(
+        "--batch-size", type=int, default=32,
+        help="trials per adaptive batch (default: 32)",
+    )
+    run_parser.add_argument(
         "--async", dest="async_submit", action="store_true",
         help="submit through the job layer and stream trial shards "
              "as they complete",
@@ -457,6 +575,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     backends_parser = sub.add_parser(
         "backends", help="list registered simulation backends"
+    )
+    backends_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable payload (same shape as "
+             "GET /v1/backends: coverage, declines, auto resolution, "
+             "selector plans)",
+    )
+    backends_parser.add_argument(
+        "--calibrate", action="store_true",
+        help="micro-profile every backend x family pair first and "
+             "persist the cost-model calibration profile under the "
+             "cache directory",
     )
     backends_parser.set_defaults(func=_cmd_backends)
 

@@ -62,11 +62,7 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.errors import InvalidParameterError, JobCancelledError, ReproError
 from repro.sim.backends.base import SimulationRequest
-from repro.sim.backends.registry import (
-    AUTO,
-    registered_backends,
-    resolve_backend,
-)
+from repro.sim.backends.registry import AUTO
 from repro.sim.cache import get_cache
 from repro.sim.jobs import (
     TERMINAL_STATES,
@@ -388,6 +384,20 @@ class SimulationServer:
         cache = payload.get("cache")
         if cache is not None and not isinstance(cache, bool):
             raise WireError("cache must be true, false, or null")
+        use_plan = payload.get("plan", False)
+        if not isinstance(use_plan, bool):
+            raise WireError("plan must be true or false")
+        plan = None
+        if use_plan:
+            # Route through the cost-model selector: backend choice and
+            # shard layout come from the calibration profile (static
+            # fallback when uncalibrated).  ``workers`` becomes the
+            # plan's shard cap instead of the literal shard count.
+            from repro.sim.selector import plan_request
+
+            plan = plan_request(request, backend=backend, workers=workers)
+            backend = AUTO  # the plan carries the backend choice
+
         def record(job: SimulationJob) -> str:
             self._jobs[job.job_id] = job
             self._jobs_submitted += 1
@@ -395,11 +405,15 @@ class SimulationServer:
 
         job_id = self._admit(
             lambda: self._manager.submit(
-                request, backend=backend, workers=workers, cache=cache
+                request, backend=backend, workers=workers, cache=cache,
+                plan=plan,
             ),
             record,
         )
-        return self.job_status(job_id)
+        status = self.job_status(job_id)
+        if plan is not None:
+            status["plan"] = wire.plan_to_wire(plan)
+        return status
 
     def job_status(self, job_id: str) -> Dict[str, Any]:
         """Status of one job: live progress, or the ledger record.
@@ -652,35 +666,20 @@ class SimulationServer:
         }
 
     def backends_payload(self) -> Dict[str, Any]:
-        """Registry coverage, decline reasons and auto-resolution, as JSON."""
-        from repro.sim.backends.base import KNOWN_ALGORITHMS, probe_request
-        from repro.sim.kernels import available_namespace_names
+        """Registry coverage, declines, auto-resolution and selector plans.
 
-        backends = {}
-        for name, backend in sorted(registered_backends().items()):
-            coverage, declines = backend.coverage_and_reasons()
-            entry: Dict[str, Any] = {
-                "algorithms": coverage,
-                # Why each declined family is declined — "no device",
-                # "step_budget set", ... — so a remote operator can
-                # tell a missing GPU from a missing kernel.
-                "declines": declines,
-            }
-            if hasattr(backend, "device_description"):
-                entry["device"] = backend.device_description()
-            backends[name] = entry
-        auto: Dict[str, Optional[str]] = {}
-        for algorithm in KNOWN_ALGORITHMS:
-            probe = probe_request(algorithm)
-            try:
-                auto[algorithm] = resolve_backend(probe).name
-            except ReproError:
-                auto[algorithm] = None
+        Delegates to the shared introspection builder so this payload
+        and ``repro-ants backends --json`` can never drift apart; the
+        ``selector`` section adds the cost-model calibration state and
+        the planned execution per family.
+        """
+        from repro.sim.backends.registry import backends_introspection
+        from repro.sim.selector import selector_payload
+
         return {
             "wire": WIRE_VERSION,
-            "backends": backends,
-            "auto_resolution": auto,
-            "kernel_namespaces": list(available_namespace_names()),
+            **backends_introspection(),
+            "selector": selector_payload(),
         }
 
     def stats_payload(self) -> Dict[str, Any]:

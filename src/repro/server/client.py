@@ -268,19 +268,25 @@ class RemoteClient:
         backend: str = AUTO,
         workers: int = 1,
         cache: Optional[bool] = None,
+        plan: bool = False,
     ) -> "RemoteJob":
-        """``POST /v1/jobs`` with 429 backoff; returns a :class:`RemoteJob`."""
-        _, body = self._call(
-            "POST",
-            "/v1/jobs",
-            payload={
-                "wire": WIRE_VERSION,
-                "request": wire.request_to_wire(request),
-                "backend": backend,
-                "workers": workers,
-                "cache": cache,
-            },
-        )
+        """``POST /v1/jobs`` with 429 backoff; returns a :class:`RemoteJob`.
+
+        ``plan=True`` asks the server to route the job through its
+        cost-model selector (:func:`repro.sim.selector.plan_request`);
+        the chosen plan comes back in the submission payload
+        (``job.submitted["plan"]``).
+        """
+        payload = {
+            "wire": WIRE_VERSION,
+            "request": wire.request_to_wire(request),
+            "backend": backend,
+            "workers": workers,
+            "cache": cache,
+        }
+        if plan:
+            payload["plan"] = True
+        _, body = self._call("POST", "/v1/jobs", payload=payload)
         return RemoteJob(self, body["job_id"], submitted=body)
 
     def submit_sweep(

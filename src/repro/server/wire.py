@@ -33,6 +33,7 @@ from repro.sim.backends.base import (
 )
 from repro.sim.jobs import JobProgress, JobState, ShardResult
 from repro.sim.metrics import AgentOutcome, FastRunStats, SearchOutcome
+from repro.sim.selector import SimulationPlan
 
 #: Version of the JSON schema; bumped on any incompatible change.  The
 #: server rejects payloads carrying a different version, so a stale
@@ -331,6 +332,17 @@ def progress_to_wire(progress: JobProgress) -> Dict[str, Any]:
         "cached_shards": progress.cached_shards,
         "fraction": progress.fraction,
     }
+
+
+def plan_to_wire(plan: SimulationPlan) -> Dict[str, Any]:
+    """Encode a selector plan (echoed on planned job submissions).
+
+    Same shape as the plans inside the ``/v1/backends`` selector
+    section: backend, shard layout, optional device pin, predicted
+    cost, and whether the cost model or the static fallback produced
+    it.
+    """
+    return plan.to_payload()
 
 
 def state_from_wire(value: Any) -> JobState:

@@ -81,7 +81,21 @@ from repro.sim.runner import (
     censored_moves,
     rows_to_markdown,
 )
-from repro.sim.service import backend_run_count, simulate, simulate_async
+from repro.sim.selector import (
+    CalibrationProfile,
+    SimulationPlan,
+    calibrate,
+    load_profile,
+    machine_fingerprint,
+    plan_request,
+)
+from repro.sim.service import (
+    AdaptiveRun,
+    backend_run_count,
+    simulate,
+    simulate_adaptive,
+    simulate_async,
+)
 from repro.sim.stats import (
     Estimate,
     bootstrap_mean_ci,
@@ -106,7 +120,15 @@ __all__ = [
     "resolve_backend",
     "simulate",
     "simulate_async",
+    "simulate_adaptive",
     "backend_run_count",
+    "AdaptiveRun",
+    "CalibrationProfile",
+    "SimulationPlan",
+    "calibrate",
+    "load_profile",
+    "machine_fingerprint",
+    "plan_request",
     "JobManager",
     "JobProgress",
     "JobState",

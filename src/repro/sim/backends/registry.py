@@ -16,7 +16,7 @@ numbers per probed request, along with each backend's decline reasons.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.errors import InvalidParameterError
 from repro.sim.backends.base import BackendError, SimulationBackend, SimulationRequest
@@ -89,6 +89,65 @@ def resolve_backend(request: SimulationRequest, name: str = AUTO) -> SimulationB
             f"no registered backend supports algorithm {request.algorithm.name!r}"
         )
     return max(candidates, key=lambda b: (b.auto_priority(request), b.name))
+
+
+def supporting_backends(request: SimulationRequest) -> List[SimulationBackend]:
+    """Every backend that supports ``request``, in static-rank order.
+
+    The cost-model selector's candidate list: sorted by descending
+    ``auto_priority`` with name as the tiebreak, so iteration order —
+    and therefore any tie-broken choice downstream — is deterministic.
+    The first element is exactly what :func:`resolve_backend` would
+    pick for ``"auto"``.
+    """
+    _ensure_default_backends()
+    candidates = [
+        backend for backend in _REGISTRY.values() if backend.supports(request)
+    ]
+    candidates.sort(key=lambda b: (-b.auto_priority(request), b.name))
+    return candidates
+
+
+def backends_introspection() -> Dict[str, Any]:
+    """The shared backends payload for CLI ``--json`` and ``/v1/backends``.
+
+    One builder so both surfaces ship the identical shape: per backend
+    the family coverage map, the decline reason for **every** declined
+    family, and — when the backend is device-bound — its device
+    description; plus the ``auto`` resolution per family and the
+    available kernel namespaces.  Callers wrap it with their own
+    envelope (the server adds ``wire``; both add the selector section).
+    """
+    from repro.errors import ReproError
+    from repro.sim.backends.base import KNOWN_ALGORITHMS, probe_request
+    from repro.sim.kernels import available_namespace_names
+
+    backends: Dict[str, Any] = {}
+    for name, backend in sorted(registered_backends().items()):
+        coverage, declines = backend.coverage_and_reasons()
+        entry: Dict[str, Any] = {
+            "algorithms": coverage,
+            # Why each declined family is declined — "no device",
+            # "step_budget set", ... — so an operator can tell a
+            # missing GPU from a missing kernel.
+            "declines": declines,
+        }
+        device = backend.device_description()
+        if device is not None:
+            entry["device"] = device
+        backends[name] = entry
+    auto: Dict[str, Optional[str]] = {}
+    for algorithm in KNOWN_ALGORITHMS:
+        probe = probe_request(algorithm)
+        try:
+            auto[algorithm] = resolve_backend(probe).name
+        except ReproError:
+            auto[algorithm] = None
+    return {
+        "backends": backends,
+        "auto_resolution": auto,
+        "kernel_namespaces": list(available_namespace_names()),
+    }
 
 
 def _ensure_default_backends() -> None:

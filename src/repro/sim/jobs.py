@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import atexit
 import json
+import math
 import os
 import tempfile
 import threading
@@ -63,6 +64,8 @@ from repro.sim.backends.base import (
 from repro.sim.backends.registry import AUTO, resolve_backend
 from repro.sim.cache import cache_enabled, get_cache
 from repro.sim.metrics import SearchOutcome
+from repro.sim.selector import SimulationPlan, plan_request
+from repro.sim.stats import mean_ci, normal_quantile
 
 _RUNS_LOCK = threading.Lock()
 _BACKEND_RUNS = 0
@@ -630,6 +633,7 @@ class JobManager:
         run_in_pool: bool = False,
         pool_size: Optional[int] = None,
         ledger: bool = True,
+        plan: Optional[SimulationPlan] = None,
     ) -> SimulationJob:
         """Start a simulation job and return its handle.
 
@@ -640,15 +644,42 @@ class JobManager:
         in parallel worker processes — and ``ledger=False`` keeps the
         job out of the persistent jobs ledger (used by the blocking
         facade, whose jobs settle before anyone could observe them).
+
+        ``plan`` executes a :class:`~repro.sim.selector.SimulationPlan`
+        instead of the fixed ``backend``/``workers`` layout: the plan's
+        backend choice and shard count take over (shards still come
+        from :func:`_chunk_trials`, so a planned job hits the same
+        shard-cache entries an unplanned job with that layout would).
+        An explicit ``backend`` name that contradicts the plan is an
+        error — silently preferring either side would make runs
+        unreproducible from their call sites.
         """
         if workers < 1:
             raise InvalidParameterError(f"workers must be >= 1, got {workers}")
-        chosen = resolve_backend(request, backend)
-        use_cache = cache_enabled() if cache is None else cache
-        if workers == 1 or request.n_trials == 1:
-            shards: List[Optional[range]] = [None]
+        if plan is not None:
+            if backend != AUTO and backend != plan.backend:
+                raise InvalidParameterError(
+                    f"explicit backend {backend!r} conflicts with plan "
+                    f"backend {plan.backend!r}"
+                )
+            if plan.n_shards < 1:
+                raise InvalidParameterError(
+                    f"plan.n_shards must be >= 1, got {plan.n_shards}"
+                )
+            chosen = resolve_backend(request, plan.backend)
+            workers = max(plan.workers, 1)
+            n_shards = min(plan.n_shards, request.n_trials)
+            if n_shards <= 1 or request.n_trials == 1:
+                shards: List[Optional[range]] = [None]
+            else:
+                shards = list(_chunk_trials(request.n_trials, n_shards))
         else:
-            shards = list(_chunk_trials(request.n_trials, workers))
+            chosen = resolve_backend(request, backend)
+            if workers == 1 or request.n_trials == 1:
+                shards = [None]
+            else:
+                shards = list(_chunk_trials(request.n_trials, workers))
+        use_cache = cache_enabled() if cache is None else cache
         job = SimulationJob(
             job_id=f"job-{uuid.uuid4().hex[:12]}",
             request=request,
@@ -930,4 +961,182 @@ def simulate_async(
     """
     return get_manager().submit(
         request, backend=backend, workers=workers, cache=cache
+    )
+
+
+# -- adaptive sampling ----------------------------------------------------
+
+#: Metrics :func:`simulate_adaptive` can target.
+ADAPTIVE_METRICS = ("hit_probability", "moves")
+
+
+@dataclass(frozen=True)
+class AdaptiveRun:
+    """What an adaptive sampling run did and where it stopped.
+
+    ``result`` holds the trials actually executed (a prefix of the
+    request's ``n_trials``); ``estimate`` / ``half_width`` describe the
+    interval at the stopping point; ``converged`` is False when the
+    full trial budget ran out before the target width was met.
+    ``batches_cached`` counts batches served from the shard cache —
+    a repeat of an identical adaptive run replays entirely from cache
+    (provable via :func:`backend_run_count`).
+    """
+
+    result: SimulationResult
+    metric: str
+    target_half_width: float
+    confidence: float
+    estimate: float
+    half_width: float
+    trials_used: int
+    max_trials: int
+    batches_run: int
+    batches_cached: int
+    converged: bool
+
+
+def _adaptive_estimate(
+    metric: str, outcomes: Sequence[SearchOutcome], confidence: float
+) -> Tuple[float, float]:
+    """(point estimate, CI half-width) for the accumulated outcomes.
+
+    Hit probability uses the Agresti–Coull interval — its ``z²``
+    pseudo-observations keep the width finite and honest at observed
+    rates of exactly 0 or 1, where a Wald interval would collapse to
+    zero width and stop adaptive runs after one batch.  Expected moves
+    uses the normal-approximation mean interval over the censored
+    per-trial move counts (``m_moves`` or the budget).
+    """
+    n = len(outcomes)
+    if metric == "hit_probability":
+        z = normal_quantile(0.5 + confidence / 2.0)
+        hits = sum(1 for outcome in outcomes if outcome.found)
+        n_tilde = n + z * z
+        p_tilde = (hits + z * z / 2.0) / n_tilde
+        half = z * math.sqrt(max(p_tilde * (1.0 - p_tilde), 0.0) / n_tilde)
+        return p_tilde, half
+    samples = [float(outcome.moves_or_budget) for outcome in outcomes]
+    if n < 2:
+        return samples[0] if samples else math.inf, math.inf
+    est = mean_ci(samples, confidence)
+    return est.mean, (est.ci_high - est.ci_low) / 2.0
+
+
+def simulate_adaptive(
+    request: SimulationRequest,
+    metric: str = "hit_probability",
+    target_half_width: float = 0.05,
+    confidence: float = 0.95,
+    batch_size: int = 32,
+    min_trials: int = 2,
+    backend: str = AUTO,
+    cache: Optional[bool] = None,
+) -> AdaptiveRun:
+    """Run trials in batches until the metric's CI is tight enough.
+
+    The request's ``n_trials`` is the trial *budget*; batches of
+    ``batch_size`` trials are consumed **in index order** —
+    ``[0, B), [B, 2B), ...`` — until the ``confidence``-level interval
+    half-width on ``metric`` drops to ``target_half_width`` (or the
+    budget runs out, reported as ``converged=False``).
+
+    Index-order consumption is what keeps the seed contract and the
+    shard cache intact: trial ``t`` still draws from
+    ``derive_seed(seed, *seed_keys, t)``, every completed batch is
+    written through as an ordinary shard entry
+    (``lookup_shard``/``store_shard``), and when the budget is fully
+    consumed the assembled full-request entry is stored too — so
+    adaptive runs, fixed runs, and resumed jobs all share one cache
+    population.  Batches execute inline via ``backend.run(request,
+    trial_indices=...)`` (the driver-thread path), each counted once in
+    :func:`backend_run_count` unless served from cache.
+
+    ``backend="auto"`` routes through the cost-model selector when a
+    calibration profile exists (:func:`repro.sim.selector.plan_request`
+    with its static fallback), so adaptive runs get the measured
+    backend choice for free.
+    """
+    if metric not in ADAPTIVE_METRICS:
+        raise InvalidParameterError(
+            f"metric must be one of {', '.join(ADAPTIVE_METRICS)}, got {metric!r}"
+        )
+    if target_half_width <= 0:
+        raise InvalidParameterError(
+            f"target_half_width must be > 0, got {target_half_width}"
+        )
+    if not 0.0 < confidence < 1.0:
+        raise InvalidParameterError(
+            f"confidence must be in (0, 1), got {confidence}"
+        )
+    if batch_size < 1:
+        raise InvalidParameterError(f"batch_size must be >= 1, got {batch_size}")
+    if min_trials < 2:
+        raise InvalidParameterError(f"min_trials must be >= 2, got {min_trials}")
+    chosen = resolve_backend(
+        request, plan_request(request, backend=backend, workers=1).backend
+    )
+    cache_backend = chosen.cache_name()
+    use_cache = cache_enabled() if cache is None else cache
+    cache_obj = get_cache() if use_cache else None
+
+    full: Optional[Tuple[SearchOutcome, ...]] = None
+    if cache_obj is not None:
+        full = cache_obj.lookup(request, cache_backend)
+
+    outcomes: List[SearchOutcome] = []
+    batches_run = 0
+    batches_cached = 0
+    converged = False
+    estimate, half_width = math.inf, math.inf
+    start = 0
+    while start < request.n_trials:
+        stop = min(start + batch_size, request.n_trials)
+        indices = range(start, stop)
+        batch: Optional[Tuple[SearchOutcome, ...]] = None
+        if full is not None:
+            batch = tuple(full[start:stop])
+            batches_cached += 1
+        else:
+            if cache_obj is not None:
+                hit = cache_obj.lookup_shard(request, cache_backend, indices)
+                if hit is not None:
+                    batch = tuple(hit)
+                    batches_cached += 1
+            if batch is None:
+                batch = tuple(chosen.run(request, trial_indices=list(indices)))
+                _count_backend_runs(1)
+                batches_run += 1
+                if cache_obj is not None:
+                    cache_obj.store_shard(request, cache_backend, indices, batch)
+        outcomes.extend(batch)
+        start = stop
+        estimate, half_width = _adaptive_estimate(metric, outcomes, confidence)
+        if len(outcomes) >= min_trials and half_width <= target_half_width:
+            converged = True
+            break
+
+    if (
+        cache_obj is not None
+        and full is None
+        and len(outcomes) == request.n_trials
+    ):
+        # Budget fully consumed: publish the assembled entry so future
+        # fixed-n lookups of the same request hit in one probe.
+        cache_obj.store(request, cache_backend, tuple(outcomes))
+
+    return AdaptiveRun(
+        result=SimulationResult(
+            request=request, backend=chosen.name, outcomes=tuple(outcomes)
+        ),
+        metric=metric,
+        target_half_width=target_half_width,
+        confidence=confidence,
+        estimate=estimate,
+        half_width=half_width,
+        trials_used=len(outcomes),
+        max_trials=request.n_trials,
+        batches_run=batches_run,
+        batches_cached=batches_cached,
+        converged=converged,
     )

@@ -30,13 +30,23 @@ from typing import Optional
 from repro.sim.backends.base import SimulationRequest, SimulationResult
 from repro.sim.backends.registry import AUTO
 from repro.sim.jobs import (
+    AdaptiveRun,
     SimulationJob,
     backend_run_count,
     get_manager,
+    simulate_adaptive,
     simulate_async,
 )
+from repro.sim.selector import SimulationPlan
 
-__all__ = ["simulate", "simulate_async", "backend_run_count", "SimulationJob"]
+__all__ = [
+    "simulate",
+    "simulate_async",
+    "simulate_adaptive",
+    "backend_run_count",
+    "AdaptiveRun",
+    "SimulationJob",
+]
 
 
 def simulate(
@@ -44,6 +54,7 @@ def simulate(
     backend: str = AUTO,
     workers: int = 1,
     cache: Optional[bool] = None,
+    plan: Optional[SimulationPlan] = None,
 ) -> SimulationResult:
     """Execute a simulation request on the best (or named) backend.
 
@@ -69,9 +80,15 @@ def simulate(
         cache key is ``(request hash, resolved backend, code
         version)`` — ``workers`` is an execution detail and does not
         participate.
+    plan:
+        A :class:`~repro.sim.selector.SimulationPlan` (from
+        :func:`repro.sim.selector.plan_request`) to execute instead of
+        the fixed ``backend``/``workers`` layout — the cost-model
+        selector's backend choice and shard count take over.
     """
     # ledger=False: a blocking job is settled before the caller could
     # inspect it through the jobs CLI, so skip the per-call disk writes.
     return get_manager().submit(
-        request, backend=backend, workers=workers, cache=cache, ledger=False
+        request, backend=backend, workers=workers, cache=cache, ledger=False,
+        plan=plan,
     ).result()

@@ -130,6 +130,88 @@ class TestRegistry:
         with pytest.raises(BackendError):
             resolve_backend(_request(AlgorithmSpec.spiral()), "batched")
 
+    def test_explicit_unsupported_backend_error_carries_the_reason(self):
+        """The BackendError message propagates support_reason verbatim."""
+        with pytest.raises(BackendError) as excinfo:
+            resolve_backend(_request(AlgorithmSpec.spiral()), "batched")
+        assert "no batch kernel" in str(excinfo.value)
+        with pytest.raises(BackendError) as excinfo:
+            resolve_backend(_request(step_budget=500), "batched")
+        assert "step_budget" in str(excinfo.value)
+
+    def test_auto_tie_break_is_deterministic_by_name(self):
+        """Equal auto_priority ties resolve by name — repeatably.
+
+        Run in fresh interpreters (twice) so the stub registrations
+        can't leak into this process's registry: two stubs sharing the
+        top priority must always resolve to the lexicographically
+        larger name, whatever their registration order.
+        """
+        import os
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.sim.backends import register_backend, "
+            "resolve_backend, probe_request\n"
+            "from repro.sim.backends.base import SimulationBackend\n"
+            "class Stub(SimulationBackend):\n"
+            "    def __init__(self, name): self.name = name\n"
+            "    def supports(self, request): return True\n"
+            "    def run(self, request, trial_indices=None): return ()\n"
+            "    def auto_priority(self, request): return 1000\n"
+            "register_backend(Stub('tie-{0}'))\n"
+            "register_backend(Stub('tie-{1}'))\n"
+            "req = probe_request('algorithm1', n_trials=50)\n"
+            "print(resolve_backend(req).name)\n"
+        )
+        for order in (("a", "b"), ("b", "a")):
+            script = code.format(*order)
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, env=dict(os.environ),
+            )
+            assert result.returncode == 0, result.stderr
+            assert result.stdout.strip() == "tie-b", (
+                f"registration order {order} broke the name tie-break"
+            )
+
+    def test_supporting_backends_orders_by_static_rank(self):
+        from repro.sim.backends.registry import supporting_backends
+
+        request = _request(n_trials=50)
+        candidates = supporting_backends(request)
+        names = [backend.name for backend in candidates]
+        # Deterministic: descending priority, name tie-break; the head
+        # is exactly what "auto" resolves to.
+        assert names[0] == resolve_backend(request).name
+        priorities = [b.auto_priority(request) for b in candidates]
+        assert priorities == sorted(priorities, reverse=True)
+        assert candidates == supporting_backends(request)
+
+    def test_selector_static_fallback_without_profile(self):
+        """No calibration profile -> plan_request mirrors resolve_backend."""
+        from repro.sim.selector import plan_request
+
+        for request in (
+            _request(n_trials=50),
+            _request(),
+            _request(AlgorithmSpec.spiral()),
+            _request(step_budget=10_000),
+        ):
+            plan = plan_request(request, workers=1, profile=None)
+            assert plan.source == "static"
+            assert plan.predicted_seconds is None
+            assert plan.backend == resolve_backend(request).name
+
+    def test_selector_static_fallback_keeps_historical_sharding(self):
+        from repro.sim.selector import plan_request
+
+        plan = plan_request(_request(n_trials=50), workers=4, profile=None)
+        assert (plan.n_shards, plan.workers) == (4, 4)
+        single = plan_request(_request(), workers=4, profile=None)
+        assert single.n_shards == 1
+
     def test_get_backend_works_in_fresh_interpreter(self):
         """Built-ins must load lazily on *any* first registry call."""
         import os
