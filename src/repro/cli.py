@@ -9,7 +9,8 @@ Subcommands::
     serve      HTTP/SSE server for remote job submission
     certify    print the lower-bound certificate for an automaton family
     coverage   simulate a below-threshold colony and render its coverage
-    experiment run one registered experiment (E01..E16)
+    experiment run one registered experiment (E01..E16), or all of them
+    report     regenerate EXPERIMENTS.md through the experiment compiler
 
 Examples::
 
@@ -27,6 +28,8 @@ Examples::
     repro-ants coverage --family uniform-walk --distance 48 --agents 16
     repro-ants experiment E04
     repro-ants experiment E03 --workers 4 --watch
+    repro-ants experiment --all
+    repro-ants report --output EXPERIMENTS.md --workers 4
 """
 
 from __future__ import annotations
@@ -38,6 +41,7 @@ import sys
 import numpy as np
 
 from repro.errors import ReproError
+from repro.experiments.base import DEFAULT_SEED
 from repro.sim.backends import (
     AlgorithmSpec,
     KNOWN_ALGORITHMS,
@@ -471,14 +475,9 @@ def _watch_progress(progress) -> None:
           f"({progress.fraction:.0%})", flush=True)
 
 
-def _cmd_experiment(args: argparse.Namespace) -> int:
+def _run_one_experiment(key: str, args: argparse.Namespace):
     from repro.experiments import REGISTRY
 
-    key = args.id.upper()
-    if key not in REGISTRY:
-        print(f"unknown experiment {key!r}; known: {', '.join(sorted(REGISTRY))}",
-              file=sys.stderr)
-        return 2
     runner = REGISTRY[key]
     parameters = inspect.signature(runner).parameters
     kwargs = {}
@@ -494,9 +493,61 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         else:
             print(f"note: {key} does not report live progress",
                   file=sys.stderr)
-    result = runner(scale=args.scale, seed=args.seed, **kwargs)
+    return runner(scale=args.scale, seed=args.seed, **kwargs)
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import REGISTRY
+
+    if args.all:
+        # Same semantics as `python -m repro.experiments`: run every
+        # experiment, name each failing check, exit nonzero when any
+        # check fails — so CI can use either entry point.
+        failures = 0
+        for key in sorted(REGISTRY):
+            result = _run_one_experiment(key, args)
+            status = "ok" if result.all_passed else "CHECK FAILURES"
+            print(f"[{key}] {result.title} — {status}")
+            for name, passed in result.checks.items():
+                if not passed:
+                    print(f"    FAIL: {name}")
+                    failures += 1
+        return 1 if failures else 0
+    if args.id is None:
+        print("experiment id required (or pass --all)", file=sys.stderr)
+        return 2
+    key = args.id.upper()
+    if key not in REGISTRY:
+        print(f"unknown experiment {key!r}; known: {', '.join(sorted(REGISTRY))}",
+              file=sys.stderr)
+        return 2
+    result = _run_one_experiment(key, args)
     print(result.to_markdown())
     return 0 if result.all_passed else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.__main__ import generate_report
+
+    generated = generate_report(
+        scale=args.scale,
+        seed=args.seed,
+        only=args.only,
+        workers=args.workers,
+        compiled=not args.no_compile,
+    )
+    if generated is None:
+        print(f"no experiments match {args.only!r}", file=sys.stderr)
+        return 2
+    report, failures = generated
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote {args.output}")
+    else:
+        print()
+        print(report)
+    return 1 if failures else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -671,11 +722,18 @@ def build_parser() -> argparse.ArgumentParser:
     coverage_parser.set_defaults(func=_cmd_coverage)
 
     experiment_parser = sub.add_parser(
-        "experiment", help="run one registered experiment"
+        "experiment", help="run one registered experiment (or --all)"
     )
-    experiment_parser.add_argument("id", help="experiment id, e.g. E04")
+    experiment_parser.add_argument(
+        "id", nargs="?", default=None, help="experiment id, e.g. E04"
+    )
+    experiment_parser.add_argument(
+        "--all", action="store_true",
+        help="run every registered experiment; exit nonzero when any "
+             "check fails (same semantics as python -m repro.experiments)",
+    )
     experiment_parser.add_argument("--scale", default="smoke", choices=("smoke", "paper"))
-    experiment_parser.add_argument("--seed", type=int, default=20140507)
+    experiment_parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     experiment_parser.add_argument(
         "--workers", type=int, default=1,
         help="worker processes for the experiment's sweeps (forwarded "
@@ -687,6 +745,30 @@ def build_parser() -> argparse.ArgumentParser:
              "experiment runs",
     )
     experiment_parser.set_defaults(func=_cmd_experiment)
+
+    report_parser = sub.add_parser(
+        "report", help="regenerate the EXPERIMENTS.md report"
+    )
+    report_parser.add_argument(
+        "--scale", default="smoke", choices=("smoke", "paper")
+    )
+    report_parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    report_parser.add_argument(
+        "--only", default="", help="comma-separated experiment ids"
+    )
+    report_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="fused-program submission and finalization parallelism",
+    )
+    report_parser.add_argument(
+        "--output", default="", help="write the markdown report here"
+    )
+    report_parser.add_argument(
+        "--no-compile", action="store_true",
+        help="bypass the experiment compiler and run each experiment "
+             "sequentially (byte-identical report, slower)",
+    )
+    report_parser.set_defaults(func=_cmd_report)
 
     return parser
 

@@ -1,0 +1,526 @@
+"""Experiment compiler: declarative specs -> merged IR -> fused plans.
+
+The sixteen experiment modules used to be sixteen hand-rolled scripts:
+each built its own :class:`~repro.sim.runner.Sweep`, re-simulated its
+own grid points, and ran strictly after the previous one.  This module
+splits that monolith into the classic three compiler stages (the same
+front / IR / backend shape AutoSketch uses for sketch compilation):
+
+**Front end — declarative specs.**  Every experiment module exports
+``spec(scale) -> ExperimentSpec``: the experiment's simulation workload
+as data (:class:`SweepSpec` — request factory x parameter grid x trial
+count x seed-key address) plus an ``analyze`` callback that turns
+executed rows into the experiment's :class:`ExperimentResult` (tables,
+checks, notes).  :func:`execute_spec` is the *uncompiled* executor: it
+runs each sweep through the exact :class:`~repro.sim.runner.Sweep`
+invocation the historical ``run()`` used — same trial form, grid order,
+trial count, seed keys — so ``run()`` delegating to it is bit-identical
+to the pre-compiler behaviour.
+
+**IR — canonical points, merged across experiments.**
+:func:`compile_program` binds every (sweep, grid point) to its concrete
+:class:`~repro.sim.backends.base.SimulationRequest` and canonicalizes
+it to a ``(family/params/seed-address fingerprint, backend)`` key with
+the trial count normalized out.  Points that agree on the key — within
+one experiment or across experiments — merge into one
+:class:`MergedPoint` whose trial count is the *max* over subscribers,
+so one simulation serves every subscriber.  Trial-count merging is only
+legal for **trial-addressed** backends (``reference``,
+``closed_form``), whose trial ``t`` depends only on its own
+``derive_seed`` address — a prefix of a longer run is bit-identical to
+a shorter run.  Stream-anchored backends (``batched``, ``accelerator``)
+pool a request's trials into one stream shaped by the batch size, so
+their points merge only at exactly equal trial counts (where the merge
+is the identity the content-addressed cache already provides).  Points
+whose merged request is already satisfied by the cache are marked and
+never re-executed.
+
+**Backend — lowered fused execution.**  :func:`execute_program` asks
+:func:`repro.sim.selector.plan_request` for each surviving point (the
+backend pinned to the static resolution the uncompiled sweep path uses,
+and stream-anchored backends clamped to one shard, so cache entries and
+outcome streams line up bit-for-bit), submits all points concurrently
+through :meth:`repro.sim.jobs.JobManager.run_many`, and scatters each
+merged result back into every subscriber's row space: the subscriber's
+own request entry is stored in the cache (a trial prefix of the merged
+outcomes where trial counts differ).  Finalization then runs every
+experiment's ``analyze`` over :func:`execute_spec` — whose sweep
+lookups now hit the warmed cache with zero re-simulation — in a worker
+process per experiment when ``workers > 1``, which is what parallelizes
+the bespoke (non-sweep) analysis work across cores.
+
+The compiled and uncompiled paths therefore produce byte-identical
+``ExperimentResult`` sections; ``python -m repro.experiments --compile``
+and ``repro-ants report`` front this module.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import InvalidParameterError
+from repro.experiments.base import ExperimentResult, check_scale
+from repro.sim.backends.base import SimulationRequest
+from repro.sim.backends.registry import resolve_backend
+from repro.sim.cache import (
+    cache_enabled,
+    configure_cache,
+    get_cache,
+    request_fingerprint,
+)
+from repro.sim.jobs import get_manager
+from repro.sim.runner import ExperimentRow, SimulationTrial, Sweep
+from repro.sim.selector import load_profile, plan_request
+
+__all__ = [
+    "SweepSpec",
+    "ExperimentSpec",
+    "SpecContext",
+    "execute_spec",
+    "MergedPoint",
+    "Subscriber",
+    "CompileStats",
+    "CompiledProgram",
+    "compile_program",
+    "execute_program",
+    "ProgramReport",
+]
+
+
+# -- front end: declarative specs -----------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One declared sweep: a request factory over a parameter grid.
+
+    The spec is seed-free and worker-free — execution binds the master
+    seed and worker count, so the same spec can be executed uncompiled
+    (:func:`execute_spec`) or lowered through the IR
+    (:func:`compile_program`) with identical addressing: trial ``t`` of
+    grid point ``i`` always draws from ``derive_seed(seed, *seed_keys,
+    i, t)``.
+    """
+
+    name: str
+    trial: SimulationTrial
+    grid: Tuple[Mapping[str, object], ...]
+    trials: int
+    seed_keys: Tuple[int, ...] = ()
+
+    def to_sweep(self, seed: int, workers: int = 1) -> Sweep:
+        """The executable :class:`Sweep` this spec declares."""
+        return Sweep(
+            self.trial,
+            list(self.grid),
+            trials=self.trials,
+            seed=seed,
+            seed_keys=self.seed_keys,
+            workers=workers,
+        )
+
+    def bound_requests(self, seed: int) -> List[SimulationRequest]:
+        """Per-point requests under the sweep's seed addressing."""
+        return self.to_sweep(seed).compile_requests()
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment as data: declared sweeps plus an analysis pass.
+
+    ``analyze`` receives a :class:`SpecContext` carrying the executed
+    rows of every declared sweep (by name) and produces the experiment's
+    :class:`ExperimentResult`.  Experiments whose measurement is not a
+    grid sweep (bespoke numpy loops, colony simulators) declare no
+    sweeps and do all their work inside ``analyze`` — they still gain a
+    spec, which is what lets the compiled report run their analysis in
+    parallel worker processes.
+    """
+
+    experiment_id: str
+    sweeps: Tuple[SweepSpec, ...]
+    analyze: Callable[["SpecContext"], ExperimentResult]
+
+    def sweep(self, name: str) -> SweepSpec:
+        for candidate in self.sweeps:
+            if candidate.name == name:
+                return candidate
+        raise InvalidParameterError(
+            f"{self.experiment_id} declares no sweep {name!r}"
+        )
+
+
+@dataclass
+class SpecContext:
+    """What an experiment's ``analyze`` pass sees at execution time."""
+
+    scale: str
+    seed: int
+    workers: int = 1
+    on_progress: Optional[Callable] = None
+    _rows: Dict[str, List[ExperimentRow]] = field(default_factory=dict)
+
+    def rows(self, name: str) -> List[ExperimentRow]:
+        """The executed rows of one declared sweep, in grid order."""
+        if name not in self._rows:
+            raise InvalidParameterError(f"no executed sweep named {name!r}")
+        return self._rows[name]
+
+
+def execute_spec(
+    spec: ExperimentSpec,
+    scale: str,
+    seed: int,
+    workers: int = 1,
+    on_progress: Optional[Callable] = None,
+) -> ExperimentResult:
+    """The uncompiled executor: run declared sweeps, then analyze.
+
+    Each sweep executes through the exact :class:`Sweep` invocation the
+    historical per-experiment ``run()`` performed, in declaration
+    order, so results are bit-identical to the pre-spec behaviour.
+    After a compiled program has warmed the result cache, the same
+    lookups are served without simulating — which is how the compiled
+    path reuses this function for finalization.
+    """
+    check_scale(scale)
+    context = SpecContext(
+        scale=scale, seed=seed, workers=workers, on_progress=on_progress
+    )
+    for sweep_spec in spec.sweeps:
+        rows = sweep_spec.to_sweep(seed, workers).run(progress=on_progress)
+        context._rows[sweep_spec.name] = rows
+    return spec.analyze(context)
+
+
+# -- IR: canonical point keys, merged across experiments ------------------
+
+
+@dataclass(frozen=True)
+class Subscriber:
+    """One (experiment, sweep, grid point) consuming a merged point."""
+
+    experiment_id: str
+    sweep_name: str
+    point_index: int
+    trials: int
+    request: SimulationRequest
+
+
+@dataclass
+class MergedPoint:
+    """One unique simulation the program must provide.
+
+    ``request`` carries the max trial count over subscribers;
+    ``trial_addressed`` records whether the resolved backend derives
+    each trial from its own seed address (prefix-stable), which is the
+    legality condition for cross-trial-count merging and for scattering
+    trial prefixes back to smaller subscribers.
+    """
+
+    request: SimulationRequest
+    backend: str
+    resolved_name: str
+    cache_backend: str
+    trial_addressed: bool
+    subscribers: List[Subscriber] = field(default_factory=list)
+    cache_satisfied: bool = False
+
+    @property
+    def family(self) -> str:
+        return self.request.algorithm.name
+
+
+@dataclass(frozen=True)
+class CompileStats:
+    """What the IR pass did to the declared workload."""
+
+    declared_points: int
+    merged_points: int
+    cache_satisfied: int
+    trials_declared: int
+    trials_to_run: int
+    points_by_family: Dict[str, int]
+
+    @property
+    def to_run(self) -> int:
+        return self.merged_points - self.cache_satisfied
+
+    def summary(self) -> str:
+        families = ", ".join(
+            f"{family}:{count}"
+            for family, count in sorted(self.points_by_family.items())
+        )
+        return (
+            f"{self.declared_points} declared points -> "
+            f"{self.merged_points} unique -> {self.cache_satisfied} cached "
+            f"-> {self.to_run} to run "
+            f"({self.trials_to_run}/{self.trials_declared} trials; {families})"
+        )
+
+
+@dataclass
+class CompiledProgram:
+    """The IR: merged points grouped per family, plus provenance."""
+
+    scale: str
+    seed: int
+    specs: List[ExperimentSpec]
+    points: List[MergedPoint]
+    stats: CompileStats
+
+    def points_to_run(self) -> List[MergedPoint]:
+        return [point for point in self.points if not point.cache_satisfied]
+
+
+def _canonical_key(
+    request: SimulationRequest, cache_backend: str, trial_addressed: bool
+) -> Tuple:
+    """The merge identity of one bound grid point.
+
+    The fingerprint is taken with ``n_trials`` normalized to 1 so that
+    points differing only in repetition count collide; for backends
+    whose stream is anchored to the whole batch the real trial count is
+    appended, restricting the merge to exact repeats.
+    """
+    canonical = request_fingerprint(replace(request, n_trials=1))
+    if trial_addressed:
+        return (canonical, cache_backend)
+    return (canonical, cache_backend, request.n_trials)
+
+
+def compile_program(
+    specs: Sequence[ExperimentSpec], scale: str, seed: int
+) -> CompiledProgram:
+    """IR pass: canonicalize, merge across experiments, dedup vs cache.
+
+    Every declared (sweep, point) becomes a :class:`Subscriber` of
+    exactly one :class:`MergedPoint`; merged trial counts are the max
+    over subscribers.  Points whose merged request the content-addressed
+    cache already satisfies are marked ``cache_satisfied`` and will not
+    be executed (their subscribers are still scattered).
+    """
+    check_scale(scale)
+    cache = get_cache() if cache_enabled() else None
+    merged: Dict[Tuple, MergedPoint] = {}
+    declared = 0
+    trials_declared = 0
+    for spec in specs:
+        for sweep_spec in spec.sweeps:
+            if sweep_spec.trial.cache is False:
+                # A sweep that opts out of the cache has no channel to
+                # receive pre-warmed results; leave it to finalization.
+                continue
+            for index, request in enumerate(sweep_spec.bound_requests(seed)):
+                declared += 1
+                trials_declared += request.n_trials
+                resolved = resolve_backend(request, sweep_spec.trial.backend)
+                key = _canonical_key(
+                    request, resolved.cache_name(), resolved.trial_addressed
+                )
+                subscriber = Subscriber(
+                    experiment_id=spec.experiment_id,
+                    sweep_name=sweep_spec.name,
+                    point_index=index,
+                    trials=request.n_trials,
+                    request=request,
+                )
+                point = merged.get(key)
+                if point is None:
+                    merged[key] = MergedPoint(
+                        request=request,
+                        backend=sweep_spec.trial.backend,
+                        resolved_name=resolved.name,
+                        cache_backend=resolved.cache_name(),
+                        trial_addressed=resolved.trial_addressed,
+                        subscribers=[subscriber],
+                    )
+                else:
+                    if request.n_trials > point.request.n_trials:
+                        point.request = request  # max trial count wins
+                    point.subscribers.append(subscriber)
+    points = list(merged.values())
+    satisfied = 0
+    if cache is not None:
+        for point in points:
+            if cache.lookup(point.request, point.cache_backend) is not None:
+                point.cache_satisfied = True
+                satisfied += 1
+    by_family: Dict[str, int] = {}
+    trials_to_run = 0
+    for point in points:
+        if point.cache_satisfied:
+            continue
+        by_family[point.family] = by_family.get(point.family, 0) + 1
+        trials_to_run += point.request.n_trials
+    stats = CompileStats(
+        declared_points=declared,
+        merged_points=len(points),
+        cache_satisfied=satisfied,
+        trials_declared=trials_declared,
+        trials_to_run=trials_to_run,
+        points_by_family=by_family,
+    )
+    return CompiledProgram(
+        scale=scale, seed=seed, specs=list(specs), points=points, stats=stats
+    )
+
+
+# -- backend: lowering and fused execution --------------------------------
+
+
+@dataclass
+class ProgramReport:
+    """What one compiled program execution produced."""
+
+    results: Dict[str, ExperimentResult]
+    stats: CompileStats
+    points_executed: int
+    scattered_entries: int
+    warm_seconds: float
+    finalize_seconds: float
+
+
+def _finalize_experiment(
+    experiment_id: str, scale: str, seed: int, cache_dir: Optional[str]
+) -> ExperimentResult:
+    """Worker-process entry: one experiment's finalization pass.
+
+    Re-binds the worker's process-global cache to the coordinator's
+    directory so the warmed disk entries are visible, then executes the
+    experiment's spec — sweeps replay from cache; bespoke analysis runs
+    here, which is what the compiled path parallelizes across workers.
+    """
+    from repro.experiments import SPEC_REGISTRY
+
+    if cache_dir is not None:
+        cache = get_cache()
+        if str(cache.directory) != cache_dir:
+            configure_cache(directory=cache_dir)
+    spec = SPEC_REGISTRY[experiment_id](scale)
+    return execute_spec(spec, scale, seed)
+
+
+def _plan_point(point: MergedPoint, workers: int, profile):
+    """Lower one merged point to its execution plan.
+
+    The backend is pinned to the static resolution the uncompiled sweep
+    path uses (the cost model only plans the shard layout), and
+    non-trial-addressed backends are clamped to a single shard — the
+    layout :class:`~repro.sim.runner.SweepJob` executes — so the
+    outcome stream, and therefore every cache entry and table value,
+    is bit-identical to the uncompiled path.
+    """
+    plan = plan_request(
+        point.request,
+        backend=point.resolved_name,
+        workers=workers,
+        profile=profile,
+    )
+    if not point.trial_addressed and plan.n_shards != 1:
+        plan = replace(plan, n_shards=1, workers=1)
+    return plan
+
+
+def execute_program(
+    program: CompiledProgram,
+    workers: int = 1,
+    on_progress: Optional[Callable[[str], None]] = None,
+) -> ProgramReport:
+    """Execute the IR: fused simulation, scatter, parallel finalize."""
+    say = on_progress or (lambda message: None)
+    cache = get_cache() if cache_enabled() else None
+    manager = get_manager()
+    started = time.perf_counter()
+    executed = 0
+    scattered = 0
+
+    if cache is not None:
+        to_run = program.points_to_run()
+        profile = load_profile()
+        plans = [_plan_point(point, workers, profile) for point in to_run]
+        if to_run:
+            say(
+                f"simulating {len(to_run)} fused points "
+                f"({program.stats.trials_to_run} trials) "
+                f"across {workers} worker(s)"
+            )
+        manager.run_many(
+            [point.request for point in to_run],
+            plans=plans,
+            run_in_pool=workers > 1,
+            pool_size=workers,
+            max_in_flight=max(2 * workers, 2),
+            ledger=False,
+        )
+        executed = len(to_run)
+        # Scatter: store each subscriber's own request entry so the
+        # finalization sweeps hit the cache under their native keys.
+        for point in program.points:
+            prefixes = [
+                subscriber
+                for subscriber in point.subscribers
+                if subscriber.trials < point.request.n_trials
+            ]
+            if not prefixes:
+                continue
+            outcomes = cache.lookup(point.request, point.cache_backend)
+            if outcomes is None:
+                continue  # cache degraded mid-run; finalize re-simulates
+            for subscriber in prefixes:
+                if (
+                    cache.lookup(subscriber.request, point.cache_backend)
+                    is None
+                ):
+                    cache.store(
+                        subscriber.request,
+                        point.cache_backend,
+                        tuple(outcomes[: subscriber.trials]),
+                    )
+                    scattered += 1
+    warm_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    results: Dict[str, ExperimentResult] = {}
+    ordered = sorted(program.specs, key=lambda spec: spec.experiment_id)
+    cache_dir = str(cache.directory) if cache is not None else None
+    if workers > 1 and len(ordered) > 1:
+        say(f"finalizing {len(ordered)} experiments in {workers} processes")
+        with ProcessPoolExecutor(max_workers=min(workers, len(ordered))) as pool:
+            futures = {
+                spec.experiment_id: pool.submit(
+                    _finalize_experiment,
+                    spec.experiment_id,
+                    program.scale,
+                    program.seed,
+                    cache_dir,
+                )
+                for spec in ordered
+            }
+            for experiment_id, future in futures.items():
+                results[experiment_id] = future.result()
+    else:
+        for spec in ordered:
+            results[spec.experiment_id] = execute_spec(
+                spec, program.scale, program.seed
+            )
+    finalize_seconds = time.perf_counter() - started
+    return ProgramReport(
+        results=results,
+        stats=program.stats,
+        points_executed=executed,
+        scattered_entries=scattered,
+        warm_seconds=warm_seconds,
+        finalize_seconds=finalize_seconds,
+    )

@@ -9,10 +9,11 @@ which should fall from ~2 toward ~1 as ``n`` approaches ``D``), and
 over ``n`` at fixed ``D`` (the speed-up curve, which should track
 ``min{n, D}`` up to constants).
 
-Both sweeps are *compiled*: the grid points are
-``SimulationRequest`` factories, so the runner turns each point into
-one vectorized ``batched``-backend call (and the result cache serves
-re-runs without simulating).
+The experiment is declared as an :class:`ExperimentSpec` — the sweeps
+as data, the table/check construction as the ``analyze`` pass — so the
+experiment compiler can merge its grid points with every other
+experiment's and execute one fused program; ``run()`` executes the same
+spec uncompiled.
 """
 
 from __future__ import annotations
@@ -21,11 +22,16 @@ from typing import Callable, Mapping, Optional
 
 from repro.core import theory
 from repro.experiments.base import DEFAULT_SEED, ExperimentResult, check_scale
+from repro.experiments.compiler import (
+    ExperimentSpec,
+    SpecContext,
+    SweepSpec,
+    execute_spec,
+)
 from repro.sim.backends import AlgorithmSpec, SimulationRequest
 from repro.sim.runner import (
     ExperimentRow,
     SimulationTrial,
-    Sweep,
     rows_to_markdown,
 )
 from repro.sim.stats import fit_loglog_slope
@@ -61,30 +67,46 @@ def corner_request(params: Mapping[str, object]) -> SimulationRequest:
     )
 
 
-def run(
-    scale: str = "smoke",
-    seed: int = DEFAULT_SEED,
-    workers: int = 1,
-    on_progress: Optional[Callable] = None,
-) -> ExperimentResult:
+def spec(scale: str = "smoke") -> ExperimentSpec:
+    """E03 as data: the two scaling sweeps plus the analysis pass."""
     params = _SCALES[check_scale(scale)]
-    checks = {}
-    notes = []
-
-    grid_d = [
+    grid_d = tuple(
         {"n": n_agents, "D": distance}
         for n_agents in params["n_for_d_sweep"]
         for distance in params["distances"]
-    ]
-    sweep_d = Sweep(
-        SimulationTrial(corner_request),
-        grid_d,
-        trials=params["trials"],
-        seed=seed,
-        seed_keys=(0,),
-        workers=workers,
-    ).run(progress=on_progress)
+    )
+    grid_n = tuple(
+        {"D": params["d_for_n_sweep"], "n": n_agents}
+        for n_agents in params["n_values"]
+    )
+    return ExperimentSpec(
+        experiment_id="E03",
+        sweeps=(
+            SweepSpec(
+                name="d_sweep",
+                trial=SimulationTrial(corner_request),
+                grid=grid_d,
+                trials=params["trials"],
+                seed_keys=(0,),
+            ),
+            SweepSpec(
+                name="n_sweep",
+                trial=SimulationTrial(corner_request),
+                grid=grid_n,
+                trials=params["trials"],
+                seed_keys=(1,),
+            ),
+        ),
+        analyze=_analyze,
+    )
 
+
+def _analyze(context: SpecContext) -> ExperimentResult:
+    params = _SCALES[context.scale]
+    checks = {}
+    notes = []
+
+    sweep_d = context.rows("d_sweep")
     rows_d = []
     slopes = {}
     means_by_point = {
@@ -122,16 +144,7 @@ def run(
     checks["single agent scales ~ D^2"] = 1.7 <= slopes[1] <= 2.2
 
     distance = params["d_for_n_sweep"]
-    grid_n = [{"D": distance, "n": n_agents} for n_agents in params["n_values"]]
-    sweep_n = Sweep(
-        SimulationTrial(corner_request),
-        grid_n,
-        trials=params["trials"],
-        seed=seed,
-        seed_keys=(1,),
-        workers=workers,
-    ).run(progress=on_progress)
-
+    sweep_n = context.rows("n_sweep")
     rows_n = []
     base_moves = sweep_n[0].estimate.mean
     for row in sweep_n:
@@ -187,3 +200,12 @@ def run(
         checks=checks,
         notes=notes,
     )
+
+
+def run(
+    scale: str = "smoke",
+    seed: int = DEFAULT_SEED,
+    workers: int = 1,
+    on_progress: Optional[Callable] = None,
+) -> ExperimentResult:
+    return execute_spec(spec(scale), scale, seed, workers, on_progress)

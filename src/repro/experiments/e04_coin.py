@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.coin import CompositeCoin
 from repro.experiments.base import DEFAULT_SEED, ExperimentResult, check_scale
+from repro.experiments.compiler import ExperimentSpec, execute_spec
 from repro.sim.runner import ExperimentRow, rows_to_markdown
 from repro.sim.stats import mean_ci
 
@@ -41,7 +42,7 @@ def empirical_tails_rate(
     return float(base_tails.all(axis=1).mean())
 
 
-def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
+def _measure(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
     params = _SCALES[check_scale(scale)]
     rng = np.random.default_rng(seed)
     rows = []
@@ -90,3 +91,17 @@ def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
             "meter matches the lemma bit-for-bit."
         ],
     )
+
+
+def spec(scale: str = "smoke") -> ExperimentSpec:
+    """E04 as data: no declared sweeps — the bespoke measurement is the analyze pass."""
+    check_scale(scale)
+    return ExperimentSpec(
+        experiment_id="E04",
+        sweeps=(),
+        analyze=lambda context: _measure(context.scale, context.seed),
+    )
+
+
+def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
+    return execute_spec(spec(scale), scale, seed)

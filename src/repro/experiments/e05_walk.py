@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.core.walk import walk_length_pmf, walk_length_tail
 from repro.experiments.base import DEFAULT_SEED, ExperimentResult, check_scale
+from repro.experiments.compiler import ExperimentSpec, execute_spec
 from repro.sim.runner import ExperimentRow, rows_to_markdown
 from repro.sim.stats import mean_ci
 
@@ -22,7 +23,7 @@ _SCALES = {
 }
 
 
-def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
+def _measure(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
     params = _SCALES[check_scale(scale)]
     rng = np.random.default_rng(seed)
     rows = []
@@ -93,3 +94,17 @@ def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
             "(1 - 1/m)^m >= 1/4 estimate the proof uses."
         ],
     )
+
+
+def spec(scale: str = "smoke") -> ExperimentSpec:
+    """E05 as data: no declared sweeps — the bespoke measurement is the analyze pass."""
+    check_scale(scale)
+    return ExperimentSpec(
+        experiment_id="E05",
+        sweeps=(),
+        analyze=lambda context: _measure(context.scale, context.seed),
+    )
+
+
+def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
+    return execute_spec(spec(scale), scale, seed)

@@ -19,6 +19,7 @@ from repro.core.square_search import (
     visit_probability_lower_bound,
 )
 from repro.experiments.base import DEFAULT_SEED, ExperimentResult, check_scale
+from repro.experiments.compiler import ExperimentSpec, execute_spec
 from repro.sim.runner import ExperimentRow, rows_to_markdown
 from repro.sim.stats import mean_ci
 
@@ -45,7 +46,7 @@ def empirical_visit_rates(
     return rates
 
 
-def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
+def _measure(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
     params = _SCALES[check_scale(scale)]
     k, ell = params["k"], params["ell"]
     side = 2 ** (k * ell)
@@ -102,3 +103,17 @@ def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
             "rates bracket the closed form within Monte-Carlo error."
         ],
     )
+
+
+def spec(scale: str = "smoke") -> ExperimentSpec:
+    """E06 as data: no declared sweeps — the bespoke measurement is the analyze pass."""
+    check_scale(scale)
+    return ExperimentSpec(
+        experiment_id="E06",
+        sweeps=(),
+        analyze=lambda context: _measure(context.scale, context.seed),
+    )
+
+
+def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
+    return execute_spec(spec(scale), scale, seed)

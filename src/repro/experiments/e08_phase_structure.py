@@ -21,6 +21,7 @@ import numpy as np
 from repro.core import theory
 from repro.core.uniform import first_covering_phase, rho
 from repro.experiments.base import DEFAULT_SEED, ExperimentResult, check_scale
+from repro.experiments.compiler import ExperimentSpec, execute_spec
 from repro.sim.runner import ExperimentRow, rows_to_markdown
 from repro.sim.stats import mean_ci
 
@@ -76,7 +77,7 @@ def sample_phase_find(
     return float(1.0 - miss.mean())
 
 
-def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
+def _measure(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
     params = _SCALES[check_scale(scale)]
     n_agents, ell, K = params["n_agents"], params["ell"], params["K"]
     distance = params["distance"]
@@ -154,3 +155,17 @@ def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
             "K=2 before calibrating).",
         ],
     )
+
+
+def spec(scale: str = "smoke") -> ExperimentSpec:
+    """E08 as data: no declared sweeps — the bespoke measurement is the analyze pass."""
+    check_scale(scale)
+    return ExperimentSpec(
+        experiment_id="E08",
+        sweeps=(),
+        analyze=lambda context: _measure(context.scale, context.seed),
+    )
+
+
+def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
+    return execute_spec(spec(scale), scale, seed)

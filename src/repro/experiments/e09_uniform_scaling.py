@@ -14,8 +14,9 @@ target within (unknown) distance ``D`` after expected
 constant (~2^8) is the concrete value of the theorem's "sufficiently
 large constant" and dominates the measured overshoot.
 
-Both sweeps are compiled grid-point -> batched-backend calls via
-:class:`~repro.sim.runner.SimulationTrial`.
+Declared as an :class:`ExperimentSpec` so the compiler can fuse the
+grid points with other experiments'; ``run()`` executes the spec
+uncompiled.
 """
 
 from __future__ import annotations
@@ -27,11 +28,16 @@ import numpy as np
 from repro.core import theory
 from repro.core.uniform import calibrated_K
 from repro.experiments.base import DEFAULT_SEED, ExperimentResult, check_scale
+from repro.experiments.compiler import (
+    ExperimentSpec,
+    SpecContext,
+    SweepSpec,
+    execute_spec,
+)
 from repro.sim.backends import AlgorithmSpec, SimulationRequest
 from repro.sim.runner import (
     ExperimentRow,
     SimulationTrial,
-    Sweep,
     rows_to_markdown,
 )
 from repro.sim.stats import fit_loglog_slope
@@ -71,30 +77,47 @@ def uniform_corner_request(params: Mapping[str, object]) -> SimulationRequest:
     )
 
 
-def run(
-    scale: str = "smoke",
-    seed: int = DEFAULT_SEED,
-    workers: int = 1,
-    on_progress: Optional[Callable] = None,
-) -> ExperimentResult:
+def spec(scale: str = "smoke") -> ExperimentSpec:
+    """E09 as data: the D-sweep and the l-overshoot sweep."""
     params = _SCALES[check_scale(scale)]
+    n_agents = params["n_agents"]
+    grid_d = tuple(
+        {"D": distance, "n": n_agents, "l": 1}
+        for distance in params["distances"]
+    )
+    grid_ell = tuple(
+        {"D": params["ell_distance"], "n": n_agents, "l": ell}
+        for ell in params["ells"]
+    )
+    return ExperimentSpec(
+        experiment_id="E09",
+        sweeps=(
+            SweepSpec(
+                name="d_sweep",
+                trial=SimulationTrial(uniform_corner_request),
+                grid=grid_d,
+                trials=params["trials"],
+                seed_keys=(0,),
+            ),
+            SweepSpec(
+                name="ell_sweep",
+                trial=SimulationTrial(uniform_corner_request),
+                grid=grid_ell,
+                trials=params["trials"],
+                seed_keys=(1,),
+            ),
+        ),
+        analyze=_analyze,
+    )
+
+
+def _analyze(context: SpecContext) -> ExperimentResult:
+    params = _SCALES[context.scale]
     n_agents = params["n_agents"]
     checks = {}
     notes = []
 
-    grid_d = [
-        {"D": distance, "n": n_agents, "l": 1}
-        for distance in params["distances"]
-    ]
-    sweep_d = Sweep(
-        SimulationTrial(uniform_corner_request),
-        grid_d,
-        trials=params["trials"],
-        seed=seed,
-        seed_keys=(0,),
-        workers=workers,
-    ).run(progress=on_progress)
-
+    sweep_d = context.rows("d_sweep")
     rows_d = []
     means = []
     for row in sweep_d:
@@ -122,18 +145,7 @@ def run(
     checks["D-sweep exponent in [0.8, 2.3]"] = 0.8 <= slope <= 2.3
 
     distance = params["ell_distance"]
-    grid_ell = [
-        {"D": distance, "n": n_agents, "l": ell} for ell in params["ells"]
-    ]
-    sweep_ell = Sweep(
-        SimulationTrial(uniform_corner_request),
-        grid_ell,
-        trials=params["trials"],
-        seed=seed,
-        seed_keys=(1,),
-        workers=workers,
-    ).run(progress=on_progress)
-
+    sweep_ell = context.rows("ell_sweep")
     rows_ell = []
     base = None
     overshoots = []
@@ -195,3 +207,12 @@ def run(
         checks=checks,
         notes=notes,
     )
+
+
+def run(
+    scale: str = "smoke",
+    seed: int = DEFAULT_SEED,
+    workers: int = 1,
+    on_progress: Optional[Callable] = None,
+) -> ExperimentResult:
+    return execute_spec(spec(scale), scale, seed, workers, on_progress)

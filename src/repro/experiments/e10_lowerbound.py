@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.nonuniform import NonUniformSearch
 from repro.experiments.base import DEFAULT_SEED, ExperimentResult, check_scale
+from repro.experiments.compiler import ExperimentSpec, execute_spec
 from repro.lowerbound.colony import simulate_colony
 from repro.lowerbound.coverage import adversarial_target
 from repro.lowerbound.theory import horizon_moves
@@ -54,7 +55,7 @@ def specimens(seed: int):
     ]
 
 
-def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
+def _measure(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
     params = _SCALES[check_scale(scale)]
     n_agents = params["n_agents"]
     epsilon = params["epsilon"]
@@ -183,3 +184,17 @@ def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
         checks=checks,
         notes=notes,
     )
+
+
+def spec(scale: str = "smoke") -> ExperimentSpec:
+    """E10 as data: no declared sweeps — the bespoke measurement is the analyze pass."""
+    check_scale(scale)
+    return ExperimentSpec(
+        experiment_id="E10",
+        sweeps=(),
+        analyze=lambda context: _measure(context.scale, context.seed),
+    )
+
+
+def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
+    return execute_spec(spec(scale), scale, seed)

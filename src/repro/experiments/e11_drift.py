@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.actions import Action
 from repro.experiments.base import DEFAULT_SEED, ExperimentResult, check_scale
+from repro.experiments.compiler import ExperimentSpec, execute_spec
 from repro.lowerbound.drift import drift_profile, measure_max_deviation
 from repro.lowerbound.theory import horizon_moves
 from repro.markov.random_automata import (
@@ -47,7 +48,7 @@ def specimens():
     ]
 
 
-def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
+def _measure(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
     params = _SCALES[check_scale(scale)]
     rows = []
     checks = {}
@@ -104,3 +105,17 @@ def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
         checks=checks,
         notes=notes,
     )
+
+
+def spec(scale: str = "smoke") -> ExperimentSpec:
+    """E11 as data: no declared sweeps — the bespoke measurement is the analyze pass."""
+    check_scale(scale)
+    return ExperimentSpec(
+        experiment_id="E11",
+        sweeps=(),
+        analyze=lambda context: _measure(context.scale, context.seed),
+    )
+
+
+def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
+    return execute_spec(spec(scale), scale, seed)

@@ -4,9 +4,10 @@ Places the paper's algorithms next to the comparators its introduction
 cites: the Feinerman et al. style search (optimal but chi = Theta(log
 D)) and the uniform random walk (chi = 4 but speed-up capped at
 ``min{log n, D}``).  Everything runs at the same ``(D, n)`` with the
-same corner target, as one compiled sweep — every (algorithm, n) grid
-point is a single batched-backend call, which is precisely the
-coverage the batched backend gained for the baseline families.
+same corner target, as one declared sweep — every (algorithm, n) grid
+point is a single batched-backend call, and the spec form lets the
+experiment compiler fuse these points with any other experiment
+touching the same families.
 """
 
 from __future__ import annotations
@@ -20,11 +21,16 @@ from repro.core import theory
 from repro.core.nonuniform import NonUniformSearch
 from repro.core.uniform import UniformSearch, calibrated_K
 from repro.experiments.base import DEFAULT_SEED, ExperimentResult, check_scale
+from repro.experiments.compiler import (
+    ExperimentSpec,
+    SpecContext,
+    SweepSpec,
+    execute_spec,
+)
 from repro.sim.backends import AlgorithmSpec, SimulationRequest
 from repro.sim.runner import (
     ExperimentRow,
     SimulationTrial,
-    Sweep,
     rows_to_markdown,
 )
 
@@ -59,13 +65,34 @@ def baseline_request(params: Mapping[str, object]) -> SimulationRequest:
     )
 
 
-def run(
-    scale: str = "smoke",
-    seed: int = DEFAULT_SEED,
-    workers: int = 1,
-    on_progress: Optional[Callable] = None,
-) -> ExperimentResult:
+def _grid(params) -> tuple:
+    return tuple(
+        {"algorithm": name, "n": n_agents, "D": params["distance"]}
+        for n_agents in params["n_values"]
+        for name in _ALGORITHMS
+    )
+
+
+def spec(scale: str = "smoke") -> ExperimentSpec:
+    """E12 as data: one comparator sweep plus the head-to-head analysis."""
     params = _SCALES[check_scale(scale)]
+    return ExperimentSpec(
+        experiment_id="E12",
+        sweeps=(
+            SweepSpec(
+                name="baselines",
+                trial=SimulationTrial(baseline_request),
+                grid=_grid(params),
+                trials=params["trials"],
+                seed_keys=(12,),
+            ),
+        ),
+        analyze=_analyze,
+    )
+
+
+def _analyze(context: SpecContext) -> ExperimentResult:
+    params = _SCALES[context.scale]
     distance = params["distance"]
     target = (distance, distance)
     rows = []
@@ -86,19 +113,8 @@ def run(
 
     chi_values["algorithm1"] = Algorithm1(distance).selection_complexity().chi
 
-    grid = [
-        {"algorithm": name, "n": n_agents, "D": distance}
-        for n_agents in params["n_values"]
-        for name in _ALGORITHMS
-    ]
-    sweep = Sweep(
-        SimulationTrial(baseline_request),
-        grid,
-        trials=params["trials"],
-        seed=seed,
-        seed_keys=(12,),
-        workers=workers,
-    ).run(progress=on_progress)
+    grid = _grid(params)
+    sweep = context.rows("baselines")
 
     means = {}
     for point, row in zip(grid, sweep):
@@ -156,3 +172,12 @@ def run(
             "its ~D^2 log D hitting time.",
         ],
     )
+
+
+def run(
+    scale: str = "smoke",
+    seed: int = DEFAULT_SEED,
+    workers: int = 1,
+    on_progress: Optional[Callable] = None,
+) -> ExperimentResult:
+    return execute_spec(spec(scale), scale, seed, workers, on_progress)

@@ -11,10 +11,11 @@ evaluated on its own adversarial placement (the bound is existential
 per algorithm), each above-threshold algorithm on the corner, its
 worst placement.
 
-The above-threshold strategies run as one compiled sweep (one batched
-call per strategy, with the standard ``find_rate`` extra supplying
-``P[find <= Delta]``); the below-threshold automata keep the faithful
-colony simulator, which is what the lower bound is stated over.
+The above-threshold strategies are a declared sweep (one batched call
+per strategy, with the standard ``find_rate`` extra supplying
+``P[find <= Delta]``) the experiment compiler can fuse; the
+below-threshold automata keep the faithful colony simulator inside the
+analysis pass, which is what the lower bound is stated over.
 
 Notes on fairness at finite ``D``: the colony is sized
 ``n = ceil(256 D^{1/4})`` so that the optimal regime's explicit
@@ -43,6 +44,12 @@ from repro.core.nonuniform import NonUniformSearch
 from repro.core.selection import chi_threshold
 from repro.core.uniform import UniformSearch, calibrated_K
 from repro.experiments.base import DEFAULT_SEED, ExperimentResult, check_scale
+from repro.experiments.compiler import (
+    ExperimentSpec,
+    SpecContext,
+    SweepSpec,
+    execute_spec,
+)
 from repro.lowerbound.colony import simulate_colony
 from repro.lowerbound.coverage import adversarial_target
 from repro.lowerbound.theory import horizon_moves
@@ -56,7 +63,6 @@ from repro.sim.rng import derive_seed
 from repro.sim.runner import (
     ExperimentRow,
     SimulationTrial,
-    Sweep,
     rows_to_markdown,
 )
 from repro.sim.stats import mean_ci
@@ -65,6 +71,14 @@ _SCALES = {
     "smoke": {"distance": 32, "trials": 20, "epsilon": 0.25},
     "paper": {"distance": 64, "trials": 60, "epsilon": 0.25},
 }
+
+#: Above-threshold strategies, in frontier-sweep grid order.
+_FAST_STRATEGIES = (
+    "algorithm1",
+    "nonuniform(l=1)",
+    "uniform(l=1)",
+    "feinerman",
+)
 
 
 def frontier_request(params: Mapping[str, object]) -> SimulationRequest:
@@ -87,13 +101,37 @@ def frontier_request(params: Mapping[str, object]) -> SimulationRequest:
     )
 
 
-def run(
-    scale: str = "smoke",
-    seed: int = DEFAULT_SEED,
-    workers: int = 1,
-    on_progress: Optional[Callable] = None,
-) -> ExperimentResult:
+def _frontier_grid(params) -> tuple:
+    distance = params["distance"]
+    horizon = horizon_moves(distance, params["epsilon"])
+    n_agents = int(np.ceil(256.0 * distance**0.25))
+    return tuple(
+        {"strategy": name, "n": n_agents, "D": distance, "horizon": horizon}
+        for name in _FAST_STRATEGIES
+    )
+
+
+def spec(scale: str = "smoke") -> ExperimentSpec:
+    """E13 as data: the above-threshold sweep; colonies run in analyze."""
     params = _SCALES[check_scale(scale)]
+    return ExperimentSpec(
+        experiment_id="E13",
+        sweeps=(
+            SweepSpec(
+                name="frontier",
+                trial=SimulationTrial(frontier_request),
+                grid=_frontier_grid(params),
+                trials=params["trials"],
+                seed_keys=(13,),
+            ),
+        ),
+        analyze=_analyze,
+    )
+
+
+def _analyze(context: SpecContext) -> ExperimentResult:
+    params = _SCALES[context.scale]
+    seed = context.seed
     distance = params["distance"]
     horizon = horizon_moves(distance, params["epsilon"])
     n_agents = int(np.ceil(256.0 * distance**0.25))
@@ -135,18 +173,8 @@ def run(
         "uniform(l=1)": "above*",
         "feinerman": "above",
     }
-    grid = [
-        {"strategy": name, "n": n_agents, "D": distance, "horizon": horizon}
-        for name in fast_specs
-    ]
-    fast_rows = Sweep(
-        SimulationTrial(frontier_request),
-        grid,
-        trials=params["trials"],
-        seed=seed,
-        seed_keys=(13,),
-        workers=workers,
-    ).run(progress=on_progress)
+    grid = _frontier_grid(params)
+    fast_rows = context.rows("frontier")
 
     adversary_rng = np.random.default_rng(derive_seed(seed, 999))
     random_machine = random_bounded_automaton(adversary_rng, bits=3, ell=2)
@@ -229,3 +257,12 @@ def run(
             "crossover; E09 carries its scaling evidence."
         ],
     )
+
+
+def run(
+    scale: str = "smoke",
+    seed: int = DEFAULT_SEED,
+    workers: int = 1,
+    on_progress: Optional[Callable] = None,
+) -> ExperimentResult:
+    return execute_spec(spec(scale), scale, seed, workers, on_progress)

@@ -12,7 +12,8 @@ The experiment fixes ``(D, n)`` and sweeps ``l``, tabulating the
 declared bits, chi, and measured moves — the quantitative version of
 the paper's "more bits of memory might be of greater utility than
 having access to smaller probabilities".  Both the calibrated-K and
-fixed-K sweeps compile to single batched-backend calls per ``l``.
+fixed-K sweeps are declared specs compiling to single batched-backend
+calls per ``l``.
 """
 
 from __future__ import annotations
@@ -22,11 +23,16 @@ from typing import Callable, Mapping, Optional
 from repro.core import theory
 from repro.core.uniform import UniformSearch, calibrated_K
 from repro.experiments.base import DEFAULT_SEED, ExperimentResult, check_scale
+from repro.experiments.compiler import (
+    ExperimentSpec,
+    SpecContext,
+    SweepSpec,
+    execute_spec,
+)
 from repro.sim.backends import AlgorithmSpec, SimulationRequest
 from repro.sim.runner import (
     ExperimentRow,
     SimulationTrial,
-    Sweep,
     rows_to_markdown,
 )
 
@@ -38,6 +44,10 @@ _SCALES = {
     "smoke": {"distance": 32, "n_agents": 4, "ells": (1, 2, 3), "trials": 30},
     "paper": {"distance": 128, "n_agents": 8, "ells": (1, 2, 3), "trials": 150},
 }
+
+#: Fixed-K companion sweep constants (see the notes in the analysis).
+_FIXED_DISTANCE = 32
+_FIXED_ELLS = (1, 2)
 
 
 def ablation_request(params: Mapping[str, object]) -> SimulationRequest:
@@ -59,30 +69,64 @@ def ablation_request(params: Mapping[str, object]) -> SimulationRequest:
     )
 
 
-def run(
-    scale: str = "smoke",
-    seed: int = DEFAULT_SEED,
-    workers: int = 1,
-    on_progress: Optional[Callable] = None,
-) -> ExperimentResult:
+def _calibrated_grid(params) -> tuple:
+    return tuple(
+        {
+            "D": params["distance"],
+            "n": params["n_agents"],
+            "l": ell,
+            "K": calibrated_K(ell),
+        }
+        for ell in params["ells"]
+    )
+
+
+def _fixed_grid(params) -> tuple:
+    return tuple(
+        {
+            "D": _FIXED_DISTANCE,
+            "n": params["n_agents"],
+            "l": ell,
+            "K": calibrated_K(1),
+        }
+        for ell in _FIXED_ELLS
+    )
+
+
+def spec(scale: str = "smoke") -> ExperimentSpec:
+    """E14 as data: calibrated-K and fixed-K ablation sweeps."""
     params = _SCALES[check_scale(scale)]
+    return ExperimentSpec(
+        experiment_id="E14",
+        sweeps=(
+            SweepSpec(
+                name="calibrated",
+                trial=SimulationTrial(ablation_request),
+                grid=_calibrated_grid(params),
+                trials=params["trials"],
+                seed_keys=(15,),
+            ),
+            SweepSpec(
+                name="fixed_k",
+                trial=SimulationTrial(ablation_request),
+                grid=_fixed_grid(params),
+                trials=max(10, params["trials"] // 3),
+                seed_keys=(16,),
+            ),
+        ),
+        analyze=_analyze,
+    )
+
+
+def _analyze(context: SpecContext) -> ExperimentResult:
+    params = _SCALES[context.scale]
     distance, n_agents = params["distance"], params["n_agents"]
     rows = []
     checks = {}
     notes = []
 
-    grid = [
-        {"D": distance, "n": n_agents, "l": ell, "K": calibrated_K(ell)}
-        for ell in params["ells"]
-    ]
-    sweep = Sweep(
-        SimulationTrial(ablation_request),
-        grid,
-        trials=params["trials"],
-        seed=seed,
-        seed_keys=(15,),
-        workers=workers,
-    ).run(progress=on_progress)
+    grid = _calibrated_grid(params)
+    sweep = context.rows("calibrated")
 
     bits_list = []
     means = []
@@ -128,19 +172,9 @@ def run(
     # small distance — the point is the constant's growth, and the
     # earlier phases' sunk sortie counts scale like 4^{Kl} in wall time.
     fixed_K = calibrated_K(1)
-    fixed_distance = 32
-    fixed_grid = [
-        {"D": fixed_distance, "n": n_agents, "l": ell, "K": fixed_K}
-        for ell in (1, 2)
-    ]
-    fixed_sweep = Sweep(
-        SimulationTrial(ablation_request),
-        fixed_grid,
-        trials=max(10, params["trials"] // 3),
-        seed=seed,
-        seed_keys=(16,),
-        workers=workers,
-    ).run(progress=on_progress)
+    fixed_distance = _FIXED_DISTANCE
+    fixed_grid = _fixed_grid(params)
+    fixed_sweep = context.rows("fixed_k")
     fixed_rows = []
     fixed_means = []
     for point, row in zip(fixed_grid, fixed_sweep):
@@ -195,3 +229,12 @@ def run(
         checks=checks,
         notes=notes,
     )
+
+
+def run(
+    scale: str = "smoke",
+    seed: int = DEFAULT_SEED,
+    workers: int = 1,
+    on_progress: Optional[Callable] = None,
+) -> ExperimentResult:
+    return execute_spec(spec(scale), scale, seed, workers, on_progress)

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.core import theory
 from repro.experiments.base import DEFAULT_SEED, ExperimentResult, check_scale
+from repro.experiments.compiler import ExperimentSpec, execute_spec
 from repro.grid.geometry import Point
 from repro.robustness.perturbation import perturb_probability
 from repro.sim.fast import lshape_first_find
@@ -91,7 +92,7 @@ def noisy_search_mean(
     return float(np.mean(samples))
 
 
-def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
+def _measure(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
     params = _SCALES[check_scale(scale)]
     distance, n_agents = params["distance"], params["n_agents"]
     ell = 1
@@ -183,3 +184,17 @@ def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
         checks=checks,
         notes=notes,
     )
+
+
+def spec(scale: str = "smoke") -> ExperimentSpec:
+    """E15 as data: no declared sweeps — the bespoke measurement is the analyze pass."""
+    check_scale(scale)
+    return ExperimentSpec(
+        experiment_id="E15",
+        sweeps=(),
+        analyze=lambda context: _measure(context.scale, context.seed),
+    )
+
+
+def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
+    return execute_spec(spec(scale), scale, seed)

@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.base import DEFAULT_SEED, ExperimentResult, check_scale
+from repro.experiments.compiler import ExperimentSpec, execute_spec
 from repro.markov.classify import classify_states
 from repro.markov.coupling import (
     doeblin_epsilon,
@@ -50,7 +51,7 @@ def specimens(seed: int):
     ]
 
 
-def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
+def _measure(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
     params = _SCALES[check_scale(scale)]
     distance = params["distance"]
     rows = []
@@ -115,3 +116,17 @@ def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
         checks=checks,
         notes=notes,
     )
+
+
+def spec(scale: str = "smoke") -> ExperimentSpec:
+    """E16 as data: no declared sweeps — the bespoke measurement is the analyze pass."""
+    check_scale(scale)
+    return ExperimentSpec(
+        experiment_id="E16",
+        sweeps=(),
+        analyze=lambda context: _measure(context.scale, context.seed),
+    )
+
+
+def run(scale: str = "smoke", seed: int = DEFAULT_SEED) -> ExperimentResult:
+    return execute_spec(spec(scale), scale, seed)

@@ -64,7 +64,7 @@ from repro.sim.backends.base import (
 from repro.sim.backends.registry import AUTO, resolve_backend
 from repro.sim.cache import cache_enabled, get_cache
 from repro.sim.metrics import SearchOutcome
-from repro.sim.selector import SimulationPlan, plan_request
+from repro.sim.selector import SimulationPlan, observe_timing, plan_request
 from repro.sim.stats import mean_ci, normal_quantile
 
 _RUNS_LOCK = threading.Lock()
@@ -167,12 +167,40 @@ def _run_shard_task(
     request: SimulationRequest,
     backend_name: str,
     trial_indices: Optional[Sequence[int]],
-) -> Tuple[SearchOutcome, ...]:
-    """Worker-process entry point: run one shard of a request."""
+) -> Tuple[Tuple[SearchOutcome, ...], float]:
+    """Worker-process entry point: run one shard of a request.
+
+    Returns ``(outcomes, elapsed_seconds)`` — the timing is measured in
+    the worker (pure backend execution, no dispatch/pickling cost) and
+    fed back into the selector's cost model by the parent driver.
+    """
     backend = resolve_backend(request, backend_name)
+    start = time.perf_counter()
     if trial_indices is None:
-        return backend.run(request)
-    return backend.run(request, trial_indices=trial_indices)
+        outcomes = backend.run(request)
+    else:
+        outcomes = backend.run(request, trial_indices=trial_indices)
+    return outcomes, time.perf_counter() - start
+
+
+def _observe_job_timing(
+    job: "SimulationJob", n_trials: int, elapsed_seconds: float
+) -> None:
+    """Report one measured execution to the selector profile.
+
+    Best-effort by design: feedback is an optimization, never a reason
+    for a finished simulation to fail.
+    """
+    try:
+        observe_timing(
+            job.backend,
+            job.request.algorithm.name,
+            n_trials,
+            job.request.move_budget,
+            elapsed_seconds,
+        )
+    except Exception:  # noqa: BLE001 — feedback must never fail the job
+        pass
 
 
 class SimulationJob:
@@ -714,6 +742,65 @@ class JobManager:
         thread.start()
         return job
 
+    def run_many(
+        self,
+        requests: Sequence[SimulationRequest],
+        plans: Optional[Sequence[Optional[SimulationPlan]]] = None,
+        backend: str = AUTO,
+        run_in_pool: bool = False,
+        pool_size: Optional[int] = None,
+        max_in_flight: int = 1,
+        ledger: bool = True,
+        cache: Optional[bool] = None,
+    ) -> List[SimulationResult]:
+        """Submit many requests with bounded concurrency; collect in order.
+
+        The experiment compiler's lowering pass uses this to execute a
+        whole fused program: at most ``max_in_flight`` jobs are live at
+        once (window 1 degenerates to strictly sequential execution),
+        each optionally carrying its own :class:`SimulationPlan` from
+        ``plans`` (parallel list, ``None`` entries fall back to
+        ``backend``).  Results come back in request order; the first
+        failure cancels the not-yet-collected tail and re-raises.
+        """
+        if plans is not None and len(plans) != len(requests):
+            raise InvalidParameterError(
+                f"plans must parallel requests: "
+                f"{len(plans)} plans for {len(requests)} requests"
+            )
+        if max_in_flight < 1:
+            raise InvalidParameterError(
+                f"max_in_flight must be >= 1, got {max_in_flight}"
+            )
+        jobs: List[SimulationJob] = []
+        results: List[SimulationResult] = []
+        submitted = 0
+        try:
+            while len(results) < len(requests):
+                while (
+                    submitted < len(requests)
+                    and submitted < len(results) + max_in_flight
+                ):
+                    plan = plans[submitted] if plans is not None else None
+                    jobs.append(
+                        self.submit(
+                            requests[submitted],
+                            backend=backend if plan is None else AUTO,
+                            cache=cache,
+                            run_in_pool=run_in_pool,
+                            pool_size=pool_size,
+                            ledger=ledger,
+                            plan=plan,
+                        )
+                    )
+                    submitted += 1
+                results.append(jobs[len(results)].result())
+        except BaseException:
+            for job in jobs[len(results):]:
+                job.cancel()
+            raise
+        return results
+
     def get(self, job_id: str) -> Optional[SimulationJob]:
         """The in-process job with this id, if any."""
         with self._lock:
@@ -827,7 +914,11 @@ class JobManager:
                 # driver thread — the same in-process execution the
                 # blocking facade always had.
                 _count_backend_runs(1)
+                run_start = time.perf_counter()
                 outcomes = backend.run(request)
+                _observe_job_timing(
+                    job, len(outcomes), time.perf_counter() - run_start
+                )
                 job._record_shard(pending[0], outcomes, from_cache=False)
                 if cache is not None:
                     cache.store(request, job.cache_backend, outcomes)
@@ -893,7 +984,7 @@ class JobManager:
             for future in done:
                 shard_index = futures.pop(future)
                 try:
-                    outcomes = future.result()
+                    outcomes, elapsed = future.result()
                 except BaseException:
                     # One shard failing fails the job; don't leave the
                     # rest burning pool capacity.
@@ -901,6 +992,7 @@ class JobManager:
                         remaining.cancel()
                     raise
                 _count_backend_runs(1)
+                _observe_job_timing(job, len(outcomes), elapsed)
                 job._record_shard(shard_index, outcomes, from_cache=False)
                 if cache is not None:
                     indices = job._shards[shard_index]

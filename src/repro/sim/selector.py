@@ -50,6 +50,7 @@ import math
 import os
 import platform
 import tempfile
+import threading
 import time
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
@@ -464,6 +465,76 @@ def calibrate(
     if save:
         save_profile(profile)
     return profile
+
+
+# -- online feedback ------------------------------------------------------
+
+#: EWMA weight of one fresh observation against the fitted coefficient.
+OBSERVATION_ALPHA = 0.2
+
+#: Observations below these floors carry more clock noise than signal:
+#: tiny jobs are dominated by dispatch jitter, and sub-20ms timings sit
+#: at scheduler granularity.  They are dropped, which also keeps a
+#: sweep of hundreds of small cached points from rewriting the profile
+#: file hundreds of times.
+MIN_OBSERVED_TRIALS = 4
+MIN_OBSERVED_SECONDS = 0.02
+
+_OBSERVE_LOCK = threading.Lock()
+
+
+def observe_timing(
+    backend_name: str,
+    family: str,
+    n_trials: int,
+    move_budget: int,
+    elapsed_seconds: float,
+    alpha: float = OBSERVATION_ALPHA,
+) -> bool:
+    """Blend one measured job timing back into the persisted profile.
+
+    The job layer calls this after every uncached backend execution it
+    times (inline runs and pool shards alike), closing the loop the
+    calibration pass opens: the fitted ``per_trial`` coefficient for
+    ``(backend, family)`` drifts toward what jobs actually cost on this
+    machine *now* — thermal state, contended runners, library upgrades
+    — without anyone re-running ``calibrate``.
+
+    The update solves the cost model for the per-trial coefficient the
+    observation implies (holding the fitted intercept and budget
+    exponent fixed) and EWMA-blends it in with weight ``alpha``; the
+    rewrite is atomic (:func:`save_profile`) and preserves
+    ``created_at``, so feedback never resets the staleness clock — a
+    week-old profile still expires even if jobs touch it hourly.
+
+    Returns ``True`` when the profile was updated; ``False`` when there
+    is nothing to update (no usable profile, no fitted entry for the
+    pair) or the observation is below the noise floors
+    (:data:`MIN_OBSERVED_TRIALS`, :data:`MIN_OBSERVED_SECONDS`).
+    """
+    if n_trials < MIN_OBSERVED_TRIALS or elapsed_seconds < MIN_OBSERVED_SECONDS:
+        return False
+    if not 0.0 < alpha <= 1.0:
+        raise InvalidParameterError(f"alpha must be in (0, 1], got {alpha}")
+    with _OBSERVE_LOCK:
+        profile = load_profile()
+        if profile is None:
+            return False
+        key = CalibrationProfile.entry_key(backend_name, family)
+        entry = profile.entries.get(key)
+        if entry is None:
+            return False
+        scale = (move_budget / BASE_BUDGET) ** entry.budget_exponent
+        if scale <= 0.0:
+            return False
+        observed_per_trial = max(elapsed_seconds - entry.intercept, 0.0) / (
+            n_trials * scale
+        )
+        blended = (1.0 - alpha) * entry.per_trial + alpha * observed_per_trial
+        entries = dict(profile.entries)
+        entries[key] = replace(entry, per_trial=max(blended, 1e-9))
+        save_profile(replace(profile, entries=entries))
+        return True
 
 
 # -- planning ------------------------------------------------------------

@@ -1,0 +1,383 @@
+"""Unit tests for the experiment compiler IR and its satellites.
+
+Covers the invariants :mod:`repro.experiments.compiler` promises:
+
+* **Merge coverage** — every declared (experiment, sweep, point)
+  subscribes to exactly one merged point, within and across
+  experiments;
+* **Max-trials wins** — a merged point carries the largest trial count
+  over its subscribers, and only trial-addressed backends merge across
+  trial counts (stream-anchored backends merge at exact repeats only);
+* **Cache dedup** — points already satisfied by the content-addressed
+  cache are never re-executed, proven with
+  :func:`repro.sim.jobs.backend_run_count`;
+* **Prefix scatter** — a subscriber with fewer trials than its merged
+  point reads rows bit-identical to a standalone uncompiled run;
+* **Selector feedback** — :func:`repro.sim.selector.observe_timing`
+  EWMA-blends measured job timings into the persisted profile without
+  resetting its staleness clock;
+* **CLI surface** — ``repro-ants experiment --all`` exit semantics and
+  the single-sourced default seed.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+import repro.sim.cache as cache_module
+from repro.errors import InvalidParameterError
+from repro.experiments import REGISTRY, SPEC_REGISTRY
+from repro.experiments.base import DEFAULT_SEED, ExperimentResult
+from repro.experiments.compiler import (
+    ExperimentSpec,
+    SpecContext,
+    SweepSpec,
+    compile_program,
+    execute_program,
+    execute_spec,
+)
+from repro.sim.backends import AlgorithmSpec, SimulationRequest, resolve_backend
+from repro.sim.cache import configure_cache, get_cache
+from repro.sim.jobs import backend_run_count
+from repro.sim.runner import SimulationTrial
+from repro.sim.selector import (
+    BASE_BUDGET,
+    CalibrationProfile,
+    CostEntry,
+    load_profile,
+    observe_timing,
+    save_profile,
+)
+
+SEED = 20140507
+
+
+@pytest.fixture
+def fresh_cache(tmp_path):
+    """A private cache (and thus selector profile) for one test."""
+    cache = configure_cache(directory=tmp_path)
+    yield cache
+    configure_cache(
+        directory=cache_module.default_cache_dir(), max_memory_entries=256
+    )
+
+
+def _factory(params):
+    distance = int(params["D"])
+    return SimulationRequest(
+        algorithm=AlgorithmSpec.algorithm1(distance),
+        n_agents=2,
+        target=(distance, distance),
+        move_budget=40_000,
+    )
+
+
+def _spec(
+    experiment_id,
+    trials,
+    backend="closed_form",
+    seed_keys=(1,),
+    grid=({"D": 8},),
+    sweep_name="s",
+):
+    """A synthetic one-sweep spec for exercising the IR."""
+
+    def analyze(context: SpecContext) -> ExperimentResult:
+        rows = context.rows(sweep_name)
+        return ExperimentResult(
+            experiment_id=experiment_id,
+            title="synthetic",
+            paper_claim="n/a",
+            table=repr([row.estimate for row in rows]),
+            checks={"ran": len(rows) == len(grid)},
+        )
+
+    return ExperimentSpec(
+        experiment_id=experiment_id,
+        sweeps=(
+            SweepSpec(
+                name=sweep_name,
+                trial=SimulationTrial(_factory, backend=backend),
+                grid=tuple(grid),
+                trials=trials,
+                seed_keys=tuple(seed_keys),
+            ),
+        ),
+        analyze=analyze,
+    )
+
+
+def _subscriber_slots(program):
+    return [
+        (sub.experiment_id, sub.sweep_name, sub.point_index)
+        for point in program.points
+        for sub in point.subscribers
+    ]
+
+
+class TestBackendTrialAddressing:
+    def test_flags_match_the_merge_legality_story(self):
+        request = _factory({"D": 8})
+        assert resolve_backend(request, "closed_form").trial_addressed
+        assert resolve_backend(request, "reference").trial_addressed
+        assert not resolve_backend(request, "batched").trial_addressed
+
+
+class TestCanonicalMerge:
+    def test_cross_experiment_merge_max_trials_wins(self, fresh_cache):
+        program = compile_program(
+            [_spec("T01", trials=4), _spec("T02", trials=9)], "smoke", SEED
+        )
+        assert program.stats.declared_points == 2
+        assert program.stats.merged_points == 1
+        point = program.points[0]
+        assert point.request.n_trials == 9
+        assert point.trial_addressed
+        assert {s.experiment_id for s in point.subscribers} == {"T01", "T02"}
+
+    def test_every_declared_point_subscribes_exactly_once(self, fresh_cache):
+        grid = ({"D": 8}, {"D": 16})
+        specs = [
+            _spec("T01", trials=4, grid=grid),
+            _spec("T02", trials=6, grid=grid),
+            _spec("T03", trials=4, grid=grid, seed_keys=(2,)),
+        ]
+        program = compile_program(specs, "smoke", SEED)
+        slots = _subscriber_slots(program)
+        assert sorted(slots) == sorted(
+            (spec.experiment_id, "s", index)
+            for spec in specs
+            for index in range(len(grid))
+        )
+        assert len(slots) == len(set(slots)) == program.stats.declared_points
+
+    def test_distinct_seed_addresses_never_merge(self, fresh_cache):
+        # Same factory and grid, different seed keys: the bound requests
+        # draw different streams, so merging them would corrupt tables.
+        program = compile_program(
+            [_spec("T01", trials=4), _spec("T02", trials=4, seed_keys=(2,))],
+            "smoke",
+            SEED,
+        )
+        assert program.stats.merged_points == 2
+
+    def test_stream_anchored_backends_merge_only_exact_repeats(
+        self, fresh_cache
+    ):
+        equal = compile_program(
+            [
+                _spec("T01", trials=4, backend="batched"),
+                _spec("T02", trials=4, backend="batched"),
+            ],
+            "smoke",
+            SEED,
+        )
+        assert equal.stats.merged_points == 1
+        unequal = compile_program(
+            [
+                _spec("T01", trials=4, backend="batched"),
+                _spec("T02", trials=9, backend="batched"),
+            ],
+            "smoke",
+            SEED,
+        )
+        assert unequal.stats.merged_points == 2
+        for point in unequal.points:
+            assert not point.trial_addressed
+
+    def test_uncached_sweeps_are_left_to_finalization(self, fresh_cache):
+        spec = _spec("T01", trials=4)
+        opted_out = ExperimentSpec(
+            experiment_id="T01",
+            sweeps=(
+                SweepSpec(
+                    name="s",
+                    trial=SimulationTrial(_factory, cache=False),
+                    grid=spec.sweeps[0].grid,
+                    trials=4,
+                    seed_keys=(1,),
+                ),
+            ),
+            analyze=spec.analyze,
+        )
+        program = compile_program([opted_out], "smoke", SEED)
+        assert program.stats.declared_points == 0
+        assert program.points == []
+
+
+class TestCacheDedup:
+    def test_cache_satisfied_points_are_never_rerun(self, fresh_cache):
+        specs = [_spec("T01", trials=4)]
+        first = compile_program(specs, "smoke", SEED)
+        assert first.stats.cache_satisfied == 0
+        before = backend_run_count()
+        report = execute_program(first)
+        assert backend_run_count() > before
+        assert report.points_executed == 1
+
+        second = compile_program(specs, "smoke", SEED)
+        assert second.stats.cache_satisfied == second.stats.merged_points == 1
+        assert second.stats.to_run == 0
+        before = backend_run_count()
+        replay = execute_program(second)
+        assert backend_run_count() == before
+        assert replay.points_executed == 0
+        assert replay.results["T01"].checks == {"ran": True}
+
+    def test_one_merged_simulation_serves_every_subscriber(self, fresh_cache):
+        specs = [_spec("T01", trials=4), _spec("T02", trials=9)]
+        program = compile_program(specs, "smoke", SEED)
+        report = execute_program(program)
+        assert report.points_executed == 1
+        assert report.scattered_entries == 1  # T01's 4-trial prefix entry
+        # Both experiments' uncompiled executors now replay purely from
+        # cache: zero further backend executions.
+        before = backend_run_count()
+        for spec in specs:
+            result = execute_spec(spec, "smoke", SEED)
+            assert result.all_passed
+        assert backend_run_count() == before
+
+
+class TestPrefixScatterBitIdentity:
+    def test_prefix_subscriber_matches_standalone_run(self, tmp_path):
+        short = _spec("T01", trials=4)
+        # Warm one cache through the compiler with a 9-trial superset.
+        configure_cache(directory=tmp_path / "compiled")
+        execute_program(
+            compile_program([short, _spec("T02", trials=9)], "smoke", SEED)
+        )
+        before = backend_run_count()
+        compiled = execute_spec(short, "smoke", SEED)
+        assert backend_run_count() == before  # pure cache replay
+        # Same spec, standalone, in a cache that never saw the merge.
+        configure_cache(directory=tmp_path / "standalone")
+        standalone = execute_spec(short, "smoke", SEED)
+        assert compiled == standalone
+        configure_cache(
+            directory=cache_module.default_cache_dir(), max_memory_entries=256
+        )
+
+
+class TestObserveTiming:
+    def _entry_profile(self, per_trial=1.0, created_at=None):
+        key = CalibrationProfile.entry_key("closed_form", "algorithm1")
+        return CalibrationProfile(
+            entries={
+                key: CostEntry(
+                    intercept=0.0, per_trial=per_trial, budget_exponent=0.0
+                )
+            },
+            shard_overhead_seconds=0.01,
+            created_at=time.time() if created_at is None else created_at,
+        )
+
+    def test_noop_without_a_profile(self, fresh_cache):
+        assert not observe_timing("closed_form", "algorithm1", 10, 4000, 1.0)
+
+    def test_noop_below_the_floors(self, fresh_cache):
+        save_profile(self._entry_profile())
+        assert not observe_timing("closed_form", "algorithm1", 2, 4000, 1.0)
+        assert not observe_timing("closed_form", "algorithm1", 10, 4000, 0.001)
+        assert load_profile().entry(
+            "closed_form", "algorithm1"
+        ).per_trial == pytest.approx(1.0)
+
+    def test_noop_for_an_unfitted_pair(self, fresh_cache):
+        save_profile(self._entry_profile())
+        assert not observe_timing("batched", "algorithm1", 10, 4000, 1.0)
+
+    def test_ewma_blend_and_preserved_staleness_clock(self, fresh_cache):
+        created = time.time() - 60.0
+        save_profile(self._entry_profile(per_trial=1.0, created_at=created))
+        # 10 trials at BASE_BUDGET in 20s: observed per-trial cost 2.0;
+        # blended = 0.8 * 1.0 + 0.2 * 2.0 = 1.2.
+        assert observe_timing(
+            "closed_form", "algorithm1", 10, BASE_BUDGET, 20.0
+        )
+        profile = load_profile()
+        entry = profile.entry("closed_form", "algorithm1")
+        assert entry.per_trial == pytest.approx(1.2)
+        assert profile.created_at == pytest.approx(created)
+
+    def test_invalid_alpha_rejected(self, fresh_cache):
+        save_profile(self._entry_profile())
+        with pytest.raises(InvalidParameterError):
+            observe_timing(
+                "closed_form", "algorithm1", 10, 4000, 1.0, alpha=1.5
+            )
+
+
+class TestSpecContract:
+    def test_unknown_sweep_rows_raise(self):
+        context = SpecContext(scale="smoke", seed=SEED)
+        with pytest.raises(InvalidParameterError):
+            context.rows("nope")
+
+    def test_unknown_sweep_lookup_raises(self):
+        spec = _spec("T01", trials=4)
+        with pytest.raises(InvalidParameterError):
+            spec.sweep("nope")
+
+    def test_invalid_scale_rejected_everywhere(self):
+        spec = _spec("T01", trials=4)
+        with pytest.raises(InvalidParameterError):
+            execute_spec(spec, "huge", SEED)
+        with pytest.raises(InvalidParameterError):
+            compile_program([spec], "huge", SEED)
+
+    def test_every_experiment_exports_a_matching_spec(self):
+        assert set(SPEC_REGISTRY) == set(REGISTRY)
+        for key, factory in SPEC_REGISTRY.items():
+            spec = factory("smoke")
+            assert spec.experiment_id == key
+            assert callable(spec.analyze)
+            for sweep in spec.sweeps:
+                assert sweep.trials >= 1
+                assert len(sweep.grid) >= 1
+
+
+class TestCliSurface:
+    def test_seed_default_is_single_sourced(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        assert parser.parse_args(["experiment", "E01"]).seed == DEFAULT_SEED
+        assert parser.parse_args(["report"]).seed == DEFAULT_SEED
+
+    def test_experiment_requires_id_or_all(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment"]) == 2
+
+    def _fake_registry(self, passed):
+        def fake_run(scale="smoke", seed=DEFAULT_SEED):
+            return ExperimentResult(
+                experiment_id="T01",
+                title="synthetic",
+                paper_claim="n/a",
+                table="",
+                checks={"check": passed},
+            )
+
+        return {"T01": fake_run}
+
+    def test_experiment_all_exit_codes(self, monkeypatch, capsys):
+        import repro.experiments as experiments
+        from repro.cli import main
+
+        monkeypatch.setattr(
+            experiments, "REGISTRY", self._fake_registry(True)
+        )
+        assert main(["experiment", "--all"]) == 0
+        assert "[T01] synthetic — ok" in capsys.readouterr().out
+
+        monkeypatch.setattr(
+            experiments, "REGISTRY", self._fake_registry(False)
+        )
+        assert main(["experiment", "--all"]) == 1
+        out = capsys.readouterr().out
+        assert "CHECK FAILURES" in out
+        assert "FAIL: check" in out
