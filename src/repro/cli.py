@@ -6,6 +6,8 @@ Subcommands::
     backends   list registered simulation backends, coverage, priorities
     cache      inspect, clear, or LRU-prune the result cache
     jobs       list, inspect, or cancel recorded simulation jobs
+    trace      render a recorded job trace as a span tree
+    metrics    dump the process/server metrics registry
     serve      HTTP/SSE server for remote job submission
     certify    print the lower-bound certificate for an automaton family
     coverage   simulate a below-threshold colony and render its coverage
@@ -24,6 +26,10 @@ Examples::
     repro-ants cache prune --max-bytes 100000000
     repro-ants jobs list
     repro-ants jobs cancel job-0123456789ab
+    repro-ants trace job-0123456789ab
+    repro-ants trace job-0123456789ab --url http://127.0.0.1:8642
+    repro-ants metrics --watch
+    repro-ants metrics --url http://127.0.0.1:8642 --json
     repro-ants certify --family random --bits 3 --ell 2 --distance 128
     repro-ants coverage --family uniform-walk --distance 48 --agents 16
     repro-ants experiment E04
@@ -330,6 +336,12 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
     cache = get_cache()
     if args.action == "info":
+        if args.json:
+            import json
+
+            print(json.dumps(cache.info().to_payload(), indent=2,
+                             sort_keys=True))
+            return 0
         print("content-addressed simulation result cache:")
         for line in cache.info().summary_lines():
             print(line)
@@ -417,6 +429,86 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
     return 2
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.trace import (
+        Span,
+        find_trace_for_job,
+        render_trace,
+        ring_spans,
+        spans_for_trace,
+    )
+
+    spans = []
+    trace_id = None
+    if args.url:
+        # The server's recorded spans first; local spans of the same
+        # trace (client.submit, client.simulate) merge in below.
+        from repro.server.client import RemoteClient, RemoteJob
+
+        job = RemoteJob(RemoteClient(args.url), args.job_id)
+        trace_id, payloads = job.trace()
+        spans = [Span.from_payload(payload) for payload in payloads]
+    else:
+        trace_id = find_trace_for_job(args.job_id)
+        if trace_id is None:
+            print(f"error: no recorded trace mentions job {args.job_id!r} "
+                  f"(tracing off, ring evicted, or wrong cache dir?)",
+                  file=sys.stderr)
+            return 2
+        spans = list(spans_for_trace(trace_id))
+    seen = {span.span_id for span in spans}
+    spans.extend(
+        span
+        for span in ring_spans()
+        if span.trace_id == trace_id and span.span_id not in seen
+    )
+    print(f"trace {trace_id} — {len(spans)} span(s):")
+    print(render_trace(spans))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import time as time_mod
+
+    def snapshot() -> str:
+        if args.url:
+            from repro.server.client import RemoteClient
+
+            client = RemoteClient(args.url)
+            if args.json:
+                import json
+
+                return json.dumps(
+                    client.stats().get("metrics", {}),
+                    indent=2, sort_keys=True,
+                )
+            return client.metrics()
+        from repro.obs.metrics import get_registry, render_prometheus
+
+        if args.json:
+            import json
+
+            return json.dumps(
+                get_registry().to_payload(), indent=2, sort_keys=True
+            )
+        return render_prometheus()
+
+    if not args.watch:
+        text = snapshot()
+        print(text, end="" if text.endswith("\n") else "\n")
+        return 0
+    try:
+        while True:
+            text = snapshot()
+            print(f"--- {time_mod.strftime('%H:%M:%S')} "
+                  f"---------------------------------")
+            print(text, end="" if text.endswith("\n") else "\n", flush=True)
+            time_mod.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.server.app import SimulationServer
 
@@ -425,9 +517,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     print(f"repro-ants serving on {server.url} "
           f"(max {args.max_jobs} concurrent jobs)")
-    print("routes: POST /v1/jobs · GET /v1/jobs[/{id}[/result|/events]] · "
-          "DELETE /v1/jobs/{id} · POST /v1/sweeps · GET /v1/backends · "
-          "GET /v1/stats", flush=True)
+    print("routes: POST /v1/jobs · GET /v1/jobs[/{id}[/result|/events|"
+          "/trace]] · DELETE /v1/jobs/{id} · POST /v1/sweeps · "
+          "GET /v1/backends · GET /v1/stats · GET /v1/metrics", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -655,6 +747,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="disk budget for prune: evict LRU entries until the "
              "cache directory fits",
     )
+    cache_parser.add_argument(
+        "--json", action="store_true",
+        help="info only: emit the machine-readable payload (counters, "
+             "hit ratios, configuration)",
+    )
     cache_parser.set_defaults(func=_cmd_cache)
 
     jobs_parser = sub.add_parser(
@@ -672,6 +769,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="job id for status/cancel (see `jobs list`)",
     )
     jobs_parser.set_defaults(func=_cmd_jobs)
+
+    trace_parser = sub.add_parser(
+        "trace", help="render a recorded job trace as a span tree"
+    )
+    trace_parser.add_argument(
+        "job_id", help="job id whose trace to render (see `jobs list`)"
+    )
+    trace_parser.add_argument(
+        "--url", default="",
+        help="fetch the server's spans from GET /v1/jobs/{id}/trace at "
+             "this base URL and merge them with locally recorded spans "
+             "(default: local ring + JSONL sink only)",
+    )
+    trace_parser.set_defaults(func=_cmd_trace)
+
+    metrics_parser = sub.add_parser(
+        "metrics", help="dump the process/server metrics registry"
+    )
+    metrics_parser.add_argument(
+        "--url", default="",
+        help="read a remote server's registry (GET /v1/metrics, or the "
+             "stats route for --json) instead of this process's",
+    )
+    metrics_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the JSON payload instead of Prometheus text",
+    )
+    metrics_parser.add_argument(
+        "--watch", action="store_true",
+        help="redraw every --interval seconds until interrupted",
+    )
+    metrics_parser.add_argument(
+        "--interval", type=float, default=2.0,
+        help="refresh period for --watch (default: 2s)",
+    )
+    metrics_parser.set_defaults(func=_cmd_metrics)
 
     serve_parser = sub.add_parser(
         "serve", help="HTTP/SSE server for remote job submission"

@@ -1,0 +1,71 @@
+"""repro.obs — stdlib-only observability: tracing and metrics.
+
+Two halves, importable without pulling in the simulation stack:
+
+* :mod:`repro.obs.trace` — spans with ambient (contextvars) parenting,
+  explicit context capture across process pools and ``traceparent``
+  headers across HTTP, a bounded in-memory ring, and a JSONL sink
+  under the cache directory.
+* :mod:`repro.obs.metrics` — a process-wide registry of counters,
+  gauges, and fixed-boundary histograms with Prometheus text and JSON
+  exposition.
+
+Both stay on by default; the ``bench_obs`` CI gate holds their cost on
+the batched hot path under 5%.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BOUNDARIES,
+    MetricsRegistry,
+    get_registry,
+    render_prometheus,
+)
+from repro.obs.trace import (
+    Span,
+    SpanContext,
+    attach,
+    child_span,
+    clear_ring,
+    configure_tracing,
+    current_context,
+    current_span,
+    find_trace_for_job,
+    parse_traceparent,
+    render_trace,
+    ring_spans,
+    span,
+    spans_for_trace,
+    trace_dir,
+    traceparent_header,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BOUNDARIES",
+    "MetricsRegistry",
+    "Span",
+    "SpanContext",
+    "attach",
+    "child_span",
+    "clear_ring",
+    "configure_tracing",
+    "current_context",
+    "current_span",
+    "find_trace_for_job",
+    "get_registry",
+    "parse_traceparent",
+    "render_prometheus",
+    "render_trace",
+    "ring_spans",
+    "span",
+    "spans_for_trace",
+    "trace_dir",
+    "traceparent_header",
+    "tracing_enabled",
+]

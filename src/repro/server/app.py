@@ -13,12 +13,14 @@ Routes (all JSON unless noted)::
 
     GET    /v1/health              liveness probe
     GET    /v1/backends            registry coverage, decline reasons, auto picks
-    GET    /v1/stats               server, job, and cache counters
+    GET    /v1/stats               server, job, cache, and metric counters
+    GET    /v1/metrics             Prometheus text exposition (text/plain)
     POST   /v1/jobs                submit a request; 429 over --max-jobs
     GET    /v1/jobs                recent jobs (live + ledger records)
     GET    /v1/jobs/{id}           status; falls back to the JSON ledger
     GET    /v1/jobs/{id}/result    full result; ?wait=S long-polls
     GET    /v1/jobs/{id}/events    SSE: shard completions + progress
+    GET    /v1/jobs/{id}/trace     recorded trace (raw span payloads)
     DELETE /v1/jobs/{id}           request cancellation
     POST   /v1/sweeps              submit a grid sweep (server-compiled)
     GET    /v1/sweeps/{id}         sweep progress + completed rows
@@ -49,6 +51,7 @@ resubmits.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import re
@@ -61,6 +64,13 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro.errors import InvalidParameterError, JobCancelledError, ReproError
+from repro.obs.metrics import get_registry, render_prometheus
+from repro.obs.trace import (
+    find_trace_for_job,
+    parse_traceparent,
+    span,
+    spans_for_trace,
+)
 from repro.sim.backends.base import SimulationRequest
 from repro.sim.backends.registry import AUTO
 from repro.sim.cache import get_cache
@@ -89,8 +99,42 @@ _MAX_TRACKED = 1024
 #: asks for — bounds how long one handler thread can be parked.
 _MAX_RESULT_WAIT = 60.0
 
-_JOB_ROUTE = re.compile(r"^/v1/jobs/([A-Za-z0-9_.-]+)(/events|/result)?$")
+_JOB_ROUTE = re.compile(
+    r"^/v1/jobs/([A-Za-z0-9_.-]+)(/events|/result|/trace)?$"
+)
 _SWEEP_ROUTE = re.compile(r"^/v1/sweeps/([A-Za-z0-9_.-]+)(/events)?$")
+
+# Per-route HTTP metrics.  Labels use the route *pattern* (ids
+# collapsed to {id}), so series cardinality is bounded by the route
+# table however many jobs a server handles.
+_REGISTRY = get_registry()
+_HTTP_REQUESTS = _REGISTRY.counter(
+    "repro_http_requests_total",
+    "HTTP requests handled, by route pattern, method, and status.",
+    ["route", "method", "status"],
+)
+_HTTP_SECONDS = _REGISTRY.histogram(
+    "repro_http_request_seconds",
+    "HTTP request handling latency by route pattern (SSE streams count "
+    "their full stream lifetime).",
+    ["route"],
+)
+
+
+def _route_label(path: str) -> str:
+    """Collapse a request path to its route pattern for metric labels."""
+    match = _JOB_ROUTE.match(path)
+    if match is not None:
+        return f"/v1/jobs/{{id}}{match.group(2) or ''}"
+    match = _SWEEP_ROUTE.match(path)
+    if match is not None:
+        return f"/v1/sweeps/{{id}}{match.group(2) or ''}"
+    if path in (
+        "/v1/health", "/v1/backends", "/v1/stats", "/v1/metrics",
+        "/v1/jobs", "/v1/sweeps",
+    ):
+        return path
+    return "other"
 
 #: Request-level fields a sweep grid point may override on the template.
 _SWEEP_REQUEST_FIELDS = frozenset(
@@ -714,8 +758,28 @@ class SimulationServer:
         payload["units_active"] = (
             payload["jobs_active"] + payload["sweeps_active"]
         )
-        payload["cache"] = asdict(get_cache().info())
+        payload["cache"] = get_cache().info().to_payload()
+        payload["metrics"] = get_registry().to_payload()
         return payload
+
+    def job_trace(self, job_id: str) -> Dict[str, Any]:
+        """The recorded trace of one job, raw span payloads.
+
+        Served from this process's span ring and the JSONL sink under
+        the cache directory — which is also where pool-worker shard
+        spans land, so a multi-shard job's trace is complete here.
+        """
+        trace_id = find_trace_for_job(job_id)
+        if trace_id is None:
+            raise _HTTPFailure(
+                404,
+                f"no trace recorded for job {job_id!r} (tracing off, span "
+                f"evicted from the ring, or unknown job)",
+            )
+        return wire.trace_to_wire(
+            job_id, trace_id,
+            [sp.to_payload() for sp in spans_for_trace(trace_id)],
+        )
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -740,6 +804,12 @@ class _Handler(BaseHTTPRequestHandler):
         # Quiet by default — the CLI serve command is the only place
         # meant for human eyes, and per-request logging would swamp it.
         pass
+
+    def send_response(self, code: int, message: Optional[str] = None) -> None:
+        # Remember the status line for the per-route metrics; every
+        # response path funnels through here.
+        self._last_status = code
+        super().send_response(code, message)
 
     # -- plumbing --------------------------------------------------------
 
@@ -789,6 +859,15 @@ class _Handler(BaseHTTPRequestHandler):
             headers=failure.headers,
         )
 
+    def _send_text(self, status: int, body: str, content_type: str) -> None:
+        self._drain_body()
+        encoded = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
     def _read_body(self) -> Mapping[str, Any]:
         self._body_consumed = True
         length = int(self.headers.get("Content-Length") or 0)
@@ -808,25 +887,52 @@ class _Handler(BaseHTTPRequestHandler):
         # Per-request state (the handler instance survives across
         # requests on one keep-alive connection).
         self._body_consumed = False
+        self._last_status = 0
         parsed = urlparse(self.path)
+        route = _route_label(parsed.path)
+        # Spans are opened for submissions and for any request carrying
+        # a traceparent (the client wants stitching); health probes and
+        # bare pollers stay span-free so they cannot flood the ring.
+        # Metrics cover every route regardless.
+        context = parse_traceparent(self.headers.get("traceparent"))
+        traced = context is not None or (
+            method == "POST" and parsed.path in ("/v1/jobs", "/v1/sweeps")
+        )
+        opened = (
+            span("server.request", context=context, route=route, method=method)
+            if traced
+            else contextlib.nullcontext(None)
+        )
+        start = time.perf_counter()
         try:
-            self._route(method, parsed.path, parse_qs(parsed.query))
-        except _HTTPFailure as failure:
-            self._send_error_json(failure)
-        except WireError as error:
-            self._send_error_json(_HTTPFailure(400, str(error)))
-        except ReproError as error:
-            # Validation errors from request/backends surface as 400s.
-            self._send_error_json(_HTTPFailure(400, str(error)))
-        except (BrokenPipeError, ConnectionResetError):
-            self.close_connection = True
-        except Exception as error:  # noqa: BLE001 — last-resort 500
-            try:
-                self._send_error_json(
-                    _HTTPFailure(500, f"internal error: {error}")
-                )
-            except OSError:
-                self.close_connection = True
+            with opened as sp:
+                try:
+                    self._route(method, parsed.path, parse_qs(parsed.query))
+                except _HTTPFailure as failure:
+                    self._send_error_json(failure)
+                except WireError as error:
+                    self._send_error_json(_HTTPFailure(400, str(error)))
+                except ReproError as error:
+                    # Validation errors from request/backends: 400s.
+                    self._send_error_json(_HTTPFailure(400, str(error)))
+                except (BrokenPipeError, ConnectionResetError):
+                    self.close_connection = True
+                except Exception as error:  # noqa: BLE001 — last-resort 500
+                    try:
+                        self._send_error_json(
+                            _HTTPFailure(500, f"internal error: {error}")
+                        )
+                    except OSError:
+                        self.close_connection = True
+                if sp is not None:
+                    sp.set_attribute("status_code", self._last_status)
+                    if self._last_status >= 500:
+                        sp.set_status("error")
+        finally:
+            _HTTP_REQUESTS.inc(
+                route=route, method=method, status=str(self._last_status)
+            )
+            _HTTP_SECONDS.observe(time.perf_counter() - start, route=route)
 
     do_GET = lambda self: self._dispatch("GET")  # noqa: E731
     do_POST = lambda self: self._dispatch("POST")  # noqa: E731
@@ -847,6 +953,13 @@ class _Handler(BaseHTTPRequestHandler):
         if method == "GET" and path == "/v1/stats":
             self._send_json(200, app.stats_payload())
             return
+        if method == "GET" and path == "/v1/metrics":
+            self._send_text(
+                200,
+                render_prometheus(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+            return
         if path == "/v1/jobs":
             if method == "POST":
                 self._send_json(201, app.submit_job(self._read_body()))
@@ -866,6 +979,9 @@ class _Handler(BaseHTTPRequestHandler):
                 except ValueError:
                     raise _HTTPFailure(400, "wait must be a number") from None
                 self._send_json(200, app.job_result(job_id, wait))
+                return
+            if method == "GET" and suffix == "/trace":
+                self._send_json(200, app.job_trace(job_id))
                 return
             if method == "GET" and suffix is None:
                 self._send_json(200, app.job_status(job_id))

@@ -31,6 +31,8 @@ import urllib.request
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.errors import InvalidParameterError, JobCancelledError, ReproError
+from repro.obs.metrics import get_registry
+from repro.obs.trace import current_context, span, traceparent_header
 from repro.sim.backends.base import SimulationRequest, SimulationResult
 from repro.sim.backends.registry import AUTO
 from repro.sim.jobs import JobState, ShardResult
@@ -42,6 +44,17 @@ _DEFAULT_TIMEOUT = 30.0
 
 #: How long one result long-poll asks the server to wait.
 _RESULT_WAIT = 30.0
+
+_REGISTRY = get_registry()
+_RETRIES_TOTAL = _REGISTRY.counter(
+    "repro_client_retries_total",
+    "Remote client retries absorbed by backoff, by kind.",
+    ["kind"],
+)
+_RETRY_AFTER_SECONDS = _REGISTRY.gauge(
+    "repro_client_last_retry_after_seconds",
+    "Most recent Retry-After the server sent on a 429 rejection.",
+)
 
 
 class RemoteServerError(ReproError):
@@ -153,12 +166,18 @@ class RemoteClient:
         attempts = self._max_attempts if retry else 1
         retry_connect = retry and method in ("GET", "DELETE")
         last_error: Optional[BaseException] = None
+        headers = {"Content-Type": "application/json"}
+        # Propagate the ambient span (if any) as a W3C traceparent so
+        # the server parents its request/job spans under ours and the
+        # stitched trace crosses the process boundary.
+        if current_context() is not None:
+            headers["traceparent"] = traceparent_header()
         for attempt in range(attempts):
             request = urllib.request.Request(
                 url,
                 data=body,
                 method=method,
-                headers={"Content-Type": "application/json"},
+                headers=dict(headers),
             )
             try:
                 return urllib.request.urlopen(
@@ -173,6 +192,8 @@ class RemoteClient:
                     retry_after = self._retry_after(error)
                     error.close()
                     self.retries_429 += 1
+                    _RETRIES_TOTAL.inc(kind="429")
+                    _RETRY_AFTER_SECONDS.set(retry_after)
                     self._sleep(
                         min(
                             max(retry_after, self._backoff * 2**attempt),
@@ -190,6 +211,7 @@ class RemoteClient:
                 last_error = error
                 if retry_connect and attempt + 1 < attempts:
                     self.retries_connect += 1
+                    _RETRIES_TOTAL.inc(kind="connect")
                     self._sleep(
                         min(self._backoff * 2**attempt, self._backoff_cap)
                     )
@@ -246,9 +268,14 @@ class RemoteClient:
         Mirrors :func:`repro.sim.simulate`: same parameters, same
         outcome values for a fixed seed on per-trial backends.
         """
-        return self.submit(
-            request, backend=backend, workers=workers, cache=cache
-        ).result()
+        with span(
+            "client.simulate",
+            algorithm=request.algorithm.name,
+            n_trials=request.n_trials,
+        ):
+            return self.submit(
+                request, backend=backend, workers=workers, cache=cache
+            ).result()
 
     def simulate_async(
         self,
@@ -286,7 +313,17 @@ class RemoteClient:
         }
         if plan:
             payload["plan"] = True
-        _, body = self._call("POST", "/v1/jobs", payload=payload)
+        # The span is live *during* the POST so _open propagates its
+        # context as the traceparent — the server's request/job spans
+        # become children of client.submit in the stitched trace.
+        with span(
+            "client.submit",
+            algorithm=request.algorithm.name,
+            n_trials=request.n_trials,
+        ) as sp:
+            _, body = self._call("POST", "/v1/jobs", payload=payload)
+            if sp is not None:
+                sp.set_attribute("job_id", body["job_id"])
         return RemoteJob(self, body["job_id"], submitted=body)
 
     def submit_sweep(
@@ -331,6 +368,12 @@ class RemoteClient:
     def stats(self) -> Dict[str, Any]:
         """``GET /v1/stats``."""
         return self._call("GET", "/v1/stats")[1]
+
+    def metrics(self) -> str:
+        """``GET /v1/metrics`` — the Prometheus text exposition."""
+        response = self._open("GET", "/v1/metrics")
+        with response:
+            return response.read().decode("utf-8")
 
     def jobs(self) -> List[Dict[str, Any]]:
         """``GET /v1/jobs`` — recent jobs, newest first."""
@@ -442,6 +485,18 @@ class RemoteJob:
             if status == 200:
                 return wire.result_from_wire(body)
             # 202: still running — poll again.
+
+    def trace(self) -> Tuple[str, List[Dict[str, Any]]]:
+        """``GET /v1/jobs/{id}/trace`` -> ``(trace_id, span payloads)``.
+
+        The server's recorded spans for this job's trace; merge with
+        locally recorded spans of the same trace id for the full
+        client -> server -> shards picture.
+        """
+        _, body = self._client._call(
+            "GET", f"/v1/jobs/{self.job_id}/trace"
+        )
+        return wire.trace_from_wire(body)
 
     def cancel(self) -> bool:
         """``DELETE /v1/jobs/{id}``; ``True`` if accepted."""

@@ -351,3 +351,41 @@ def state_from_wire(value: Any) -> JobState:
         return JobState(value)
     except ValueError:
         raise WireError(f"unknown job state {value!r}") from None
+
+
+# -- traces --------------------------------------------------------------
+
+
+def trace_to_wire(
+    job_id: str, trace_id: str, spans: Sequence[Mapping[str, Any]]
+) -> Dict[str, Any]:
+    """Encode one job's recorded trace (``GET /v1/jobs/{id}/trace``).
+
+    ``spans`` are the raw :meth:`repro.obs.trace.Span.to_payload`
+    dicts; they pass through verbatim so the client can rebuild
+    :class:`~repro.obs.trace.Span` objects and merge them with locally
+    recorded spans of the same trace.
+    """
+    return {
+        "wire": WIRE_VERSION,
+        "job_id": job_id,
+        "trace_id": trace_id,
+        "spans": [dict(span) for span in spans],
+    }
+
+
+def trace_from_wire(payload: Any) -> Tuple[str, list]:
+    """Decode a trace payload to ``(trace_id, span payload dicts)``."""
+    if not isinstance(payload, Mapping):
+        raise WireError("trace must be an object")
+    check_version(payload)
+    trace_id = payload.get("trace_id")
+    if not isinstance(trace_id, str) or not trace_id:
+        raise WireError("trace.trace_id must be a non-empty string")
+    spans = payload.get("spans")
+    if not isinstance(spans, Sequence):
+        raise WireError("trace.spans must be an array")
+    for span in spans:
+        if not isinstance(span, Mapping):
+            raise WireError("trace.spans entries must be objects")
+    return trace_id, [dict(span) for span in spans]

@@ -59,8 +59,24 @@ from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import InvalidParameterError
+from repro.obs.metrics import get_registry
+from repro.obs.trace import child_span
 from repro.sim.backends.base import SimulationRequest
 from repro.sim.metrics import SearchOutcome
+
+# Process-wide observability: the per-instance ints below survive for
+# fresh-instance snapshots (`CacheInfo`), while these registry series
+# aggregate across every cache instance the process creates and feed
+# /v1/metrics.  ``level`` is "entry" (whole-request) or "shard".
+_REGISTRY = get_registry()
+_LOOKUPS_TOTAL = _REGISTRY.counter(
+    "repro_cache_lookups_total",
+    "Cache lookups by outcome (hit_memory/hit_disk/miss) and level.",
+    ["outcome", "level"],
+)
+_STORES_TOTAL = _REGISTRY.counter(
+    "repro_cache_stores_total", "Cache stores by level.", ["level"]
+)
 
 #: Version tag of the simulator code baked into every cache key.  Bump
 #: whenever any backend's sampling scheme changes, so stale entries
@@ -170,9 +186,54 @@ class CacheInfo:
     misses_shard: int = 0
     stores_shard: int = 0
 
+    @property
+    def hit_ratio(self) -> Optional[float]:
+        """hits / (hits + misses) across both layers, ``None`` before
+        any lookup has happened (0/0 is not a ratio)."""
+        total = self.hits_memory + self.hits_disk + self.misses
+        if total == 0:
+            return None
+        return (self.hits_memory + self.hits_disk) / total
+
+    @property
+    def hit_ratio_shard(self) -> Optional[float]:
+        """Shard-level hit ratio (the job layer's resume traffic)."""
+        total = self.hits_shard + self.misses_shard
+        if total == 0:
+            return None
+        return self.hits_shard / total
+
+    def to_payload(self) -> dict:
+        """JSON-ready form with the derived ratios included — the
+        shape served by /v1/stats and ``cache info --json``."""
+        payload = {
+            "directory": self.directory,
+            "disk_enabled": self.disk_enabled,
+            "disk_error": self.disk_error,
+            "memory_entries": self.memory_entries,
+            "max_memory_entries": self.max_memory_entries,
+            "disk_files": self.disk_files,
+            "disk_bytes": self.disk_bytes,
+            "hits_memory": self.hits_memory,
+            "hits_disk": self.hits_disk,
+            "misses": self.misses,
+            "stores": self.stores,
+            "code_version": self.code_version,
+            "hits_shard": self.hits_shard,
+            "misses_shard": self.misses_shard,
+            "stores_shard": self.stores_shard,
+            "hit_ratio": self.hit_ratio,
+            "hit_ratio_shard": self.hit_ratio_shard,
+        }
+        return payload
+
     def summary_lines(self) -> Tuple[str, ...]:
         """Human-readable report for the CLI."""
         disk = "enabled" if self.disk_enabled else f"disabled ({self.disk_error})"
+
+        def ratio(value: Optional[float]) -> str:
+            return "n/a" if value is None else f"{value:.1%}"
+
         return (
             f"directory    : {self.directory}",
             f"disk layer   : {disk}",
@@ -182,6 +243,8 @@ class CacheInfo:
             f"hits         : {self.hits_memory} memory, {self.hits_disk} disk",
             f"misses       : {self.misses}",
             f"stores       : {self.stores}",
+            f"hit ratio    : {ratio(self.hit_ratio)} entry, "
+            f"{ratio(self.hit_ratio_shard)} shard",
             f"shard level  : {self.hits_shard} hits, {self.misses_shard} "
             f"misses, {self.stores_shard} stores",
         )
@@ -256,6 +319,23 @@ class SimulationCache:
         backend_name: str,
         shard: Optional[Tuple[int, int]],
     ) -> Optional[Tuple[SearchOutcome, ...]]:
+        level = "entry" if shard is None else "shard"
+        with child_span("cache.lookup", level=level) as sp:
+            outcome, cached = self._lookup_counted(
+                key, request, backend_name, shard
+            )
+            _LOOKUPS_TOTAL.inc(outcome=outcome, level=level)
+            if sp is not None:
+                sp.set_attribute("outcome", outcome)
+            return cached
+
+    def _lookup_counted(
+        self,
+        key: str,
+        request: SimulationRequest,
+        backend_name: str,
+        shard: Optional[Tuple[int, int]],
+    ) -> Tuple[str, Optional[Tuple[SearchOutcome, ...]]]:
         with self._lock:
             cached = self._memory.get(key)
             if cached is not None:
@@ -263,7 +343,7 @@ class SimulationCache:
                 self._hits_memory += 1
                 if shard is not None:
                     self._hits_shard += 1
-                return cached
+                return "hit_memory", cached
         outcomes = self._read_disk(key, request, backend_name, shard)
         with self._lock:
             if outcomes is not None:
@@ -271,11 +351,11 @@ class SimulationCache:
                 self._hits_disk += 1
                 if shard is not None:
                     self._hits_shard += 1
-                return outcomes
+                return "hit_disk", outcomes
             self._misses += 1
             if shard is not None:
                 self._misses_shard += 1
-            return None
+            return "miss", None
 
     def store(
         self,
@@ -288,6 +368,7 @@ class SimulationCache:
         with self._lock:
             self._remember(key, outcomes)
             self._stores += 1
+        _STORES_TOTAL.inc(level="entry")
         self._write_disk(key, request, backend_name, outcomes, None)
 
     def store_shard(
@@ -308,6 +389,7 @@ class SimulationCache:
             self._remember(key, outcomes)
             self._stores += 1
             self._stores_shard += 1
+        _STORES_TOTAL.inc(level="shard")
         self._write_disk(key, request, backend_name, outcomes, (start, count))
 
     def clear(self, memory: bool = True, disk: bool = True) -> int:

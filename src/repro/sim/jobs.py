@@ -42,6 +42,7 @@ the driver polls at shard boundaries.
 from __future__ import annotations
 
 import atexit
+import contextlib
 import json
 import math
 import os
@@ -56,6 +57,8 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import InvalidParameterError, JobCancelledError
+from repro.obs.metrics import get_registry
+from repro.obs.trace import SpanContext, child_span, current_context, span
 from repro.sim.backends.base import (
     SimulationBackend,
     SimulationRequest,
@@ -69,6 +72,52 @@ from repro.sim.stats import mean_ci, normal_quantile
 
 _RUNS_LOCK = threading.Lock()
 _BACKEND_RUNS = 0
+
+# Job-layer observability.  Everything here is attributed in the
+# job-owning process: pooled shards report their worker-measured
+# timings back with the outcomes, so colony throughput aggregates in
+# one registry per serving process even though the compute happened in
+# pool workers.
+_REGISTRY = get_registry()
+_JOBS_SUBMITTED = _REGISTRY.counter(
+    "repro_jobs_submitted_total", "Jobs submitted, by backend.", ["backend"]
+)
+_JOBS_COMPLETED = _REGISTRY.counter(
+    "repro_jobs_completed_total",
+    "Jobs settled, by terminal state (done/failed/cancelled).",
+    ["state"],
+)
+_JOB_SECONDS = _REGISTRY.histogram(
+    "repro_job_seconds", "Wall-clock from submission to settlement.",
+    ["backend"],
+)
+_SHARDS_TOTAL = _REGISTRY.counter(
+    "repro_shards_total",
+    "Trial shards delivered, by source (run/cache).",
+    ["source"],
+)
+_COLONIES_TOTAL = _REGISTRY.counter(
+    "repro_sim_colonies_total",
+    "Simulated colonies (trials) executed, by family and backend.",
+    ["family", "backend"],
+)
+_COMPUTE_SECONDS = _REGISTRY.counter(
+    "repro_sim_compute_seconds_total",
+    "Backend compute seconds spent executing trials, by family and "
+    "backend (worker-measured for pooled shards; colonies/sec = "
+    "colonies_total / this).",
+    ["family", "backend"],
+)
+
+
+def _count_execution(
+    family: str, backend_name: str, n_trials: int, elapsed_seconds: float
+) -> None:
+    """Record one timed backend execution (inline, pooled, adaptive)."""
+    _COLONIES_TOTAL.inc(n_trials, family=family, backend=backend_name)
+    _COMPUTE_SECONDS.inc(
+        max(elapsed_seconds, 0.0), family=family, backend=backend_name
+    )
 
 #: How often a driver waiting on pool shards re-checks for cancellation
 #: (in-process event or cross-process marker file).
@@ -167,20 +216,48 @@ def _run_shard_task(
     request: SimulationRequest,
     backend_name: str,
     trial_indices: Optional[Sequence[int]],
+    trace_context: Optional[Dict[str, str]] = None,
+    shard_index: Optional[int] = None,
 ) -> Tuple[Tuple[SearchOutcome, ...], float]:
     """Worker-process entry point: run one shard of a request.
 
     Returns ``(outcomes, elapsed_seconds)`` — the timing is measured in
     the worker (pure backend execution, no dispatch/pickling cost) and
     fed back into the selector's cost model by the parent driver.
+
+    ``trace_context`` is the driver's job-span context, carried
+    explicitly because contextvars do not cross the process boundary:
+    the worker opens its "shard" span under it, so pooled shards (and
+    the kernel spans beneath them) stitch into the submitting trace via
+    the shared JSONL sink.
     """
-    backend = resolve_backend(request, backend_name)
-    start = time.perf_counter()
-    if trial_indices is None:
-        outcomes = backend.run(request)
-    else:
-        outcomes = backend.run(request, trial_indices=trial_indices)
-    return outcomes, time.perf_counter() - start
+    context: Optional[SpanContext] = None
+    if trace_context is not None:
+        try:
+            context = SpanContext.from_payload(trace_context)
+        except (KeyError, TypeError, ValueError):
+            context = None
+    opened = (
+        span(
+            "shard",
+            context=context,
+            shard_index=shard_index,
+            trial_count=(
+                request.n_trials if trial_indices is None else len(trial_indices)
+            ),
+            backend=backend_name,
+        )
+        if context is not None
+        else contextlib.nullcontext(None)
+    )
+    with opened:
+        backend = resolve_backend(request, backend_name)
+        start = time.perf_counter()
+        if trial_indices is None:
+            outcomes = backend.run(request)
+        else:
+            outcomes = backend.run(request, trial_indices=trial_indices)
+        return outcomes, time.perf_counter() - start
 
 
 def _observe_job_timing(
@@ -253,6 +330,11 @@ class SimulationJob:
         # settled before the caller could ever inspect them, so the
         # per-call disk writes would be pure overhead.
         self._ledger_enabled = ledger
+        # Trace parentage captured at submit time (the driver thread
+        # cannot inherit the submitter's contextvars) and the plan this
+        # job executes, for predicted-vs-actual span attributes.
+        self._trace_ctx: Optional[SpanContext] = None
+        self._plan: Optional[SimulationPlan] = None
 
     # -- read side -------------------------------------------------------
 
@@ -388,6 +470,7 @@ class SimulationJob:
     ) -> None:
         shard = self._shards[shard_index]
         trial_start = shard.start if shard is not None else 0
+        _SHARDS_TOTAL.inc(source="cache" if from_cache else "run")
         with self._condition:
             self._shard_outcomes[shard_index] = outcomes
             if from_cache:
@@ -416,6 +499,7 @@ class SimulationJob:
 
     def _complete_from_cache(self, outcomes: Tuple[SearchOutcome, ...]) -> None:
         """Full-request cache hit: collapse to one cached shard, DONE."""
+        _SHARDS_TOTAL.inc(source="cache")
         with self._condition:
             self._served_from_cache = True
             self._shards = [None]
@@ -718,6 +802,13 @@ class JobManager:
             pool_workers=(pool_size or workers) if (run_in_pool or len(shards) > 1) else 0,
             ledger=ledger,
         )
+        # The driver thread cannot see the submitter's contextvars, so
+        # the ambient span (a client request, an experiment program, a
+        # server route) is captured here and re-attached in _drive —
+        # that is what parents the job span under its caller.
+        job._trace_ctx = current_context()
+        job._plan = plan
+        _JOBS_SUBMITTED.inc(backend=chosen.name)
         with self._lock:
             self._jobs[job.job_id] = job
             if len(self._jobs) > self.MAX_RETAINED_JOBS:
@@ -878,7 +969,40 @@ class JobManager:
         return False
 
     def _drive(self, job: SimulationJob, backend: SimulationBackend) -> None:
-        """Driver-thread body: the canonical execution pipeline."""
+        """Driver-thread body: the job span around the pipeline."""
+        with span(
+            "job",
+            context=job._trace_ctx,
+            job_id=job.job_id,
+            backend=job.backend,
+            algorithm=job.request.algorithm.name,
+            n_trials=job.request.n_trials,
+        ) as sp:
+            if sp is not None and job._plan is not None:
+                sp.set_attribute("plan_source", job._plan.source)
+                if job._plan.predicted_seconds is not None:
+                    sp.set_attribute(
+                        "predicted_seconds",
+                        round(job._plan.predicted_seconds, 6),
+                    )
+            self._drive_pipeline(job, backend)
+            state = job.state
+            _JOBS_COMPLETED.inc(state=state.value)
+            if job._finished_at is not None:
+                _JOB_SECONDS.observe(
+                    max(job._finished_at - job._submitted_at, 0.0),
+                    backend=job.backend,
+                )
+            if sp is not None:
+                sp.set_attribute("state", state.value)
+                sp.set_attribute("cached_shards", job.progress().cached_shards)
+                if state is JobState.FAILED:
+                    sp.set_status("error")
+
+    def _drive_pipeline(
+        self, job: SimulationJob, backend: SimulationBackend
+    ) -> None:
+        """The canonical execution pipeline."""
         try:
             job._mark_running()
             cache = get_cache() if job._use_cache else None
@@ -914,11 +1038,19 @@ class JobManager:
                 # driver thread — the same in-process execution the
                 # blocking facade always had.
                 _count_backend_runs(1)
-                run_start = time.perf_counter()
-                outcomes = backend.run(request)
-                _observe_job_timing(
-                    job, len(outcomes), time.perf_counter() - run_start
+                with child_span(
+                    "shard",
+                    shard_index=pending[0],
+                    trial_count=request.n_trials,
+                    backend=job.backend,
+                ):
+                    run_start = time.perf_counter()
+                    outcomes = backend.run(request)
+                    elapsed = time.perf_counter() - run_start
+                _count_execution(
+                    request.algorithm.name, job.backend, len(outcomes), elapsed
                 )
+                _observe_job_timing(job, len(outcomes), elapsed)
                 job._record_shard(pending[0], outcomes, from_cache=False)
                 if cache is not None:
                     cache.store(request, job.cache_backend, outcomes)
@@ -960,6 +1092,10 @@ class JobManager:
         """
         pool = self._ensure_pool(job._pool_workers, requester=job)
         request = job.request
+        # Hand the ambient job span to each worker explicitly — the
+        # pool boundary is where contextvars stop.
+        context = current_context()
+        trace_payload = None if context is None else context.to_payload()
         futures: Dict[Future, int] = {}
         for shard_index in pending:
             indices = job._shards[shard_index]
@@ -968,6 +1104,8 @@ class JobManager:
                 request,
                 job.backend,
                 None if indices is None else list(indices),
+                trace_payload,
+                shard_index,
             )
             futures[future] = shard_index
         cancelled = False
@@ -992,6 +1130,9 @@ class JobManager:
                         remaining.cancel()
                     raise
                 _count_backend_runs(1)
+                _count_execution(
+                    request.algorithm.name, job.backend, len(outcomes), elapsed
+                )
                 _observe_job_timing(job, len(outcomes), elapsed)
                 job._record_shard(shard_index, outcomes, from_cache=False)
                 if cache is not None:
@@ -1196,7 +1337,14 @@ def simulate_adaptive(
                     batch = tuple(hit)
                     batches_cached += 1
             if batch is None:
+                batch_start = time.perf_counter()
                 batch = tuple(chosen.run(request, trial_indices=list(indices)))
+                _count_execution(
+                    request.algorithm.name,
+                    chosen.name,
+                    len(batch),
+                    time.perf_counter() - batch_start,
+                )
                 _count_backend_runs(1)
                 batches_run += 1
                 if cache_obj is not None:

@@ -53,6 +53,7 @@ from __future__ import annotations
 import math
 from typing import Tuple
 
+from repro.obs.trace import child_span
 from repro.sim.kernels.xp import ArrayNamespace, KernelRNG, index_dtype
 
 __all__ = [
@@ -954,6 +955,29 @@ def batch_feinerman(
     return best, best_finder, trial_iterations, trial_rounds
 
 
+class _CountingRNG:
+    """Forwarding RNG proxy counting draw calls for span attributes.
+
+    Only wrapped around the real RNG when a kernel span is live — the
+    untraced hot path never pays the indirection.
+    """
+
+    def __init__(self, inner: KernelRNG) -> None:
+        self._inner = inner
+        self.draw_calls = 0
+
+    def __getattr__(self, name: str):
+        attr = getattr(self._inner, name)
+        if not callable(attr):
+            return attr
+
+        def counted(*args, **kwargs):
+            self.draw_calls += 1
+            return attr(*args, **kwargs)
+
+        return counted
+
+
 def run_family(
     xp: ArrayNamespace,
     rng: KernelRNG,
@@ -966,7 +990,41 @@ def run_family(
     Shared by the ``batched`` (NumPy) and ``accelerator`` (device)
     backends — the only difference between them is the namespace bound
     here.  Returns the four namespace arrays.
+
+    When an ambient trace exists the dispatch is wrapped in a
+    ``kernel.<family>`` span carrying the kernel's working set —
+    family, trials, agents, namespace/device, scratch budget, and the
+    number of blocked RNG draw calls the kernel issued.
     """
+    spec = request.algorithm
+    with child_span(
+        f"kernel.{spec.name}",
+        family=spec.name,
+        n_trials=n_trials,
+        n_agents=request.n_agents,
+        namespace=xp.name,
+        device=(
+            None
+            if getattr(xp, "device", None) is None
+            else str(xp.device)
+        ),
+        move_budget=request.move_budget,
+        scratch_bytes=SCRATCH_BYTES,
+    ) as sp:
+        if sp is None:
+            return _dispatch_family(xp, rng, request, n_trials)
+        counting = _CountingRNG(rng)
+        result = _dispatch_family(xp, counting, request, n_trials)
+        sp.set_attribute("rng_draw_calls", counting.draw_calls)
+        return result
+
+
+def _dispatch_family(
+    xp: ArrayNamespace,
+    rng: KernelRNG,
+    request,
+    n_trials: int,
+) -> Tuple:
     spec = request.algorithm
     if spec.name in ("algorithm1", "nonuniform"):
         return batch_lshape(

@@ -69,7 +69,32 @@ from repro.sim.backends.registry import (
     resolve_backend,
     supporting_backends,
 )
+from repro.obs.metrics import get_registry
+from repro.obs.trace import child_span
 from repro.sim.cache import CODE_VERSION, get_cache
+
+# Selector observability: how plans are being made (cost-model vs
+# static fallback) and how well the model predicts reality.  The
+# prediction-error histogram is the selector's public error signal —
+# the same delta `observe_timing` folds back into the profile.
+_REGISTRY = get_registry()
+_PLANS_TOTAL = _REGISTRY.counter(
+    "repro_selector_plans_total",
+    "Execution plans issued, by source (cost-model/static) and backend.",
+    ["source", "backend"],
+)
+_PREDICTION_ERROR = _REGISTRY.histogram(
+    "repro_selector_prediction_error_ratio",
+    "abs(predicted - actual) / actual seconds per observed job timing.",
+    ["backend", "family"],
+    boundaries=(0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0),
+)
+_OBSERVATIONS_TOTAL = _REGISTRY.counter(
+    "repro_selector_observations_total",
+    "Timing observations offered to the profile, by outcome "
+    "(blended/below_floor/no_profile/no_entry).",
+    ["outcome"],
+)
 
 #: On-disk layout version of the persisted calibration profile.
 PROFILE_FORMAT = 1
@@ -513,17 +538,30 @@ def observe_timing(
     (:data:`MIN_OBSERVED_TRIALS`, :data:`MIN_OBSERVED_SECONDS`).
     """
     if n_trials < MIN_OBSERVED_TRIALS or elapsed_seconds < MIN_OBSERVED_SECONDS:
+        _OBSERVATIONS_TOTAL.inc(outcome="below_floor")
         return False
     if not 0.0 < alpha <= 1.0:
         raise InvalidParameterError(f"alpha must be in (0, 1], got {alpha}")
     with _OBSERVE_LOCK:
         profile = load_profile()
         if profile is None:
+            _OBSERVATIONS_TOTAL.inc(outcome="no_profile")
             return False
         key = CalibrationProfile.entry_key(backend_name, family)
         entry = profile.entries.get(key)
         if entry is None:
+            _OBSERVATIONS_TOTAL.inc(outcome="no_entry")
             return False
+        # Publish the prediction error before blending: this is the
+        # exact signal the EWMA update is about to absorb, measured
+        # against the profile that made the prediction.
+        predicted = entry.seconds(n_trials, move_budget)
+        if elapsed_seconds > 0.0:
+            _PREDICTION_ERROR.observe(
+                abs(predicted - elapsed_seconds) / elapsed_seconds,
+                backend=backend_name,
+                family=family,
+            )
         scale = (move_budget / BASE_BUDGET) ** entry.budget_exponent
         if scale <= 0.0:
             return False
@@ -534,6 +572,7 @@ def observe_timing(
         entries = dict(profile.entries)
         entries[key] = replace(entry, per_trial=max(blended, 1e-9))
         save_profile(replace(profile, entries=entries))
+        _OBSERVATIONS_TOTAL.inc(outcome="blended")
         return True
 
 
@@ -636,6 +675,25 @@ def plan_request(
     ``backend`` name pins the choice and only the shard layout is
     planned.
     """
+    with child_span("selector.plan", family=request.algorithm.name) as sp:
+        plan = _plan_request_impl(request, backend, workers, profile)
+        _PLANS_TOTAL.inc(source=plan.source, backend=plan.backend)
+        if sp is not None:
+            sp.set_attribute("backend", plan.backend)
+            sp.set_attribute("source", plan.source)
+            if plan.predicted_seconds is not None:
+                sp.set_attribute(
+                    "predicted_seconds", round(plan.predicted_seconds, 6)
+                )
+        return plan
+
+
+def _plan_request_impl(
+    request: SimulationRequest,
+    backend: str,
+    workers: Optional[int],
+    profile: Any,
+) -> SimulationPlan:
     if profile is _UNSET:
         profile = load_profile()
     cap = _worker_cap(workers)

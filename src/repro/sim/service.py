@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.obs.trace import span
 from repro.sim.backends.base import SimulationRequest, SimulationResult
 from repro.sim.backends.registry import AUTO
 from repro.sim.jobs import (
@@ -88,7 +89,15 @@ def simulate(
     """
     # ledger=False: a blocking job is settled before the caller could
     # inspect it through the jobs CLI, so skip the per-call disk writes.
-    return get_manager().submit(
-        request, backend=backend, workers=workers, cache=cache, ledger=False,
-        plan=plan,
-    ).result()
+    # The "simulate" span is the root of a local trace (or a child of
+    # whatever ambient span the caller holds); submit() captures it as
+    # the job span's parent.
+    with span(
+        "simulate",
+        algorithm=request.algorithm.name,
+        n_trials=request.n_trials,
+    ):
+        return get_manager().submit(
+            request, backend=backend, workers=workers, cache=cache,
+            ledger=False, plan=plan,
+        ).result()
