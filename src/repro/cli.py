@@ -4,7 +4,7 @@ Subcommands::
 
     run        simulate searches through the backend service layer
     backends   list registered simulation backends, coverage, priorities
-    cache      inspect, clear, or LRU-prune the result cache
+    cache      inspect, verify, clear, or LRU-prune the result cache
     jobs       list, inspect, or cancel recorded simulation jobs
     trace      render a recorded job trace as a span tree
     metrics    dump the process/server metrics registry
@@ -346,6 +346,25 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         for line in cache.info().summary_lines():
             print(line)
         return 0
+    if args.action == "verify":
+        report = cache.verify(repair=args.repair)
+        if args.json:
+            import json
+
+            print(json.dumps(report.to_payload(), indent=2, sort_keys=True))
+        else:
+            print(f"cache verify: {report.scanned} entries scanned, "
+                  f"{report.ok} ok, {len(report.corrupt)} corrupt, "
+                  f"{report.quarantined} quarantined "
+                  f"({cache.directory})")
+            for name in report.corrupt:
+                state = "quarantined" if args.repair else "corrupt"
+                print(f"  {state}: {name}")
+            if report.corrupt and not args.repair:
+                print("  (re-run with --repair to quarantine)")
+        # Corrupt entries found but left in place is a nonzero exit so
+        # scripted scans can gate on it; a repaired scan is clean.
+        return 1 if report.corrupt and not args.repair else 0
     if args.action == "prune":
         if args.max_bytes is None:
             print("error: cache prune requires --max-bytes N",
@@ -385,15 +404,18 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
         if not records:
             print(f"no recorded jobs ({jobs_module.ledger_dir()})")
             return 0
-        header = (f"{'job id':<18} {'state':<10} {'algorithm':<15} "
+        header = (f"{'job id':<18} {'state':<19} {'algorithm':<15} "
                   f"{'backend':<12} {'trials':>6} {'shards':>7} {'age':>6}")
         print(header)
         print("-" * len(header))
         for record in records:
             shards = (f"{record.get('done_shards', 0)}"
                       f"/{record.get('total_shards', '?')}")
+            # A non-terminal record whose owning process died is shown
+            # as failed-recoverable: resubmitting the same request
+            # resumes from its cached shards.
             print(f"{record.get('job_id', '?'):<18} "
-                  f"{record.get('state', '?'):<10} "
+                  f"{jobs_module.effective_state(record):<19} "
                   f"{record.get('algorithm', '?'):<15} "
                   f"{record.get('backend', '?'):<12} "
                   f"{record.get('n_trials', '?'):>6} "
@@ -420,9 +442,11 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
     # finished jobs evicted from the manager's registry still answer.
     record = jobs_module.job_status_record(args.job_id)
     if record is not None:
+        record = dict(record, state=jobs_module.effective_state(record))
         for key in ("job_id", "state", "algorithm", "backend", "n_agents",
                     "n_trials", "seed", "total_shards", "done_shards",
-                    "done_trials", "cached_shards", "pid", "error"):
+                    "done_trials", "cached_shards", "pid", "error",
+                    "retries", "degraded_from", "degradation_reason"):
             print(f"{key:13s}: {record.get(key)}")
         return 0
     print(f"error: no record for job {args.job_id!r}", file=sys.stderr)
@@ -734,13 +758,14 @@ def build_parser() -> argparse.ArgumentParser:
     backends_parser.set_defaults(func=_cmd_backends)
 
     cache_parser = sub.add_parser(
-        "cache", help="inspect, clear, or LRU-prune the result cache"
+        "cache", help="inspect, verify, clear, or LRU-prune the result cache"
     )
     cache_parser.add_argument(
-        "action", choices=("info", "clear", "prune"),
+        "action", choices=("info", "clear", "prune", "verify"),
         help="info: configuration + counters; clear: drop all entries; "
              "prune: evict least-recently-used disk entries to fit "
-             "--max-bytes",
+             "--max-bytes; verify: scan disk entries against their "
+             "checksums",
     )
     cache_parser.add_argument(
         "--max-bytes", type=int, default=None,
@@ -749,8 +774,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache_parser.add_argument(
         "--json", action="store_true",
-        help="info only: emit the machine-readable payload (counters, "
-             "hit ratios, configuration)",
+        help="info/verify: emit the machine-readable payload",
+    )
+    cache_parser.add_argument(
+        "--repair", action="store_true",
+        help="verify only: quarantine every entry that fails its "
+             "checksum (moved under quarantine/, never deleted)",
     )
     cache_parser.set_defaults(func=_cmd_cache)
 

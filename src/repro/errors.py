@@ -47,6 +47,39 @@ class JobCancelledError(ReproError, RuntimeError):
     """
 
 
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A simulation job ran past its request-level deadline.
+
+    Raised by the job layer when ``SimulationRequest.deadline_seconds``
+    elapses before the job settles.  Shards that completed before the
+    deadline are already written through to the result cache, so
+    resubmitting the same request (with or without a deadline) resumes
+    from them instead of restarting.
+    """
+
+
+class DeviceLostError(ReproError, RuntimeError):
+    """An accelerator device disappeared or failed mid-execution.
+
+    Backends raise this (and the fault harness injects it) when the
+    device a job was planned onto stops answering.  The job layer treats
+    it as a degradation signal, not a terminal failure: the job is
+    re-executed on the next supporting backend (normally ``batched``)
+    with the decline reason recorded, producing results bit-identical
+    to a run that had used the fallback from the start.
+    """
+
+
+class TransientFaultError(ReproError, RuntimeError):
+    """An injected (or genuinely transient) retryable execution fault.
+
+    The shard retry machinery in :mod:`repro.sim.jobs` treats this
+    class — alongside broken process pools and OS-level errors — as
+    safe to retry with backoff, because shard outcomes are a pure
+    function of ``(request, backend, trial range)``.
+    """
+
+
 class AnalysisError(ReproError, RuntimeError):
     """A Markov-chain analysis could not be completed.
 

@@ -34,6 +34,16 @@ and a terminal ``done``/``failed``/``cancelled`` event, each with a
 monotonically increasing ``id:`` field, so a consumer sees every shard
 of a multi-shard job in landing order.  Streams come straight from
 :meth:`SimulationJob.iter_results`, so cache-served shards stream too.
+A consumer whose connection dropped reconnects with the standard
+``Last-Event-ID`` header and the server skips everything already
+delivered — event ids are stable across connections because the job
+replays its emitted shards deterministically.
+
+Submissions may carry an ``idempotency_key`` (a client-chosen opaque
+string); resubmitting the same key returns the original unit's status
+instead of admitting a duplicate, which is what lets
+:class:`~repro.server.client.RemoteClient` retry a POST whose
+connection dropped after the server may have admitted it.
 
 Sweep submissions carry a request *template* plus a parameter grid and
 are compiled server-side onto the existing
@@ -74,11 +84,13 @@ from repro.obs.trace import (
 from repro.sim.backends.base import SimulationRequest
 from repro.sim.backends.registry import AUTO
 from repro.sim.cache import get_cache
+from repro.resilience.faults import maybe_inject
 from repro.sim.jobs import (
     TERMINAL_STATES,
     JobManager,
     JobState,
     SimulationJob,
+    effective_state,
     find_job_record,
     get_manager,
     read_job_records,
@@ -275,6 +287,13 @@ class SimulationServer:
         # Final status payloads of evicted sweeps (rows are small
         # aggregates); the sweep-side analogue of the jobs ledger.
         self._sweep_records: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        # Idempotency-key -> unit id, so a client retrying a POST whose
+        # connection dropped after admission gets the already-submitted
+        # unit back instead of a duplicate.  Bounded like the handle
+        # maps; a key evicted here means a *very* stale retry, which at
+        # worst resubmits (and the result cache absorbs the rerun).
+        self._job_keys: "OrderedDict[str, str]" = OrderedDict()
+        self._sweep_keys: "OrderedDict[str, str]" = OrderedDict()
         self._sweep_counter = 0
         self._started_at = time.time()
         self._requests_total = 0
@@ -377,7 +396,7 @@ class SimulationServer:
         while len(self._sweep_records) > _MAX_TRACKED:
             self._sweep_records.popitem(last=False)
 
-    def _admit(self, submit, record):
+    def _admit(self, submit, record, existing=None):
         """Admission-controlled submission shared by jobs and sweeps.
 
         ``submit()`` produces the handle; ``record(handle)`` registers
@@ -386,8 +405,18 @@ class SimulationServer:
         concurrent submitters while `_lock` is only pinned for the
         dict/counter touches, so introspection routes never stall
         behind a slow submit.
+
+        ``existing()`` (optional) is the idempotency probe: evaluated
+        under the submission lock *before* the capacity check, so a
+        retried POST that matches an already-admitted unit returns its
+        id — never consuming capacity, never double-submitting, even
+        against a concurrent first attempt.
         """
         with self._submit_lock:
+            if existing is not None:
+                duplicate = existing()
+                if duplicate is not None:
+                    return duplicate, True
             with self._lock:
                 if self._active_units() >= self.max_jobs:
                     self._rejected_429 += 1
@@ -400,7 +429,7 @@ class SimulationServer:
             with self._lock:
                 identifier = record(handle)
                 self._evict_tracked()
-        return identifier
+        return identifier, False
 
     def get_job(self, job_id: str) -> Optional[SimulationJob]:
         """A live handle for ``job_id``: server-tracked, then manager."""
@@ -415,8 +444,24 @@ class SimulationServer:
 
     # -- operations (called by the handler) ------------------------------
 
+    @staticmethod
+    def _idempotency_key(payload: Mapping[str, Any]) -> Optional[str]:
+        key = payload.get("idempotency_key")
+        if key is None:
+            return None
+        if not isinstance(key, str) or not key:
+            raise WireError("idempotency_key must be a non-empty string")
+        return key
+
     def submit_job(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
-        """Admit and submit one job; raises 429 when at capacity."""
+        """Admit and submit one job; raises 429 when at capacity.
+
+        A payload carrying an ``idempotency_key`` the server has seen
+        before answers with the original job's status (marked
+        ``"idempotent_replay": true``) instead of submitting again —
+        the contract that makes client-side POST retries safe.
+        """
+        idempotency_key = self._idempotency_key(payload)
         request = wire.request_from_wire(payload.get("request"))
         backend = payload.get("backend", AUTO)
         if not isinstance(backend, str):
@@ -445,17 +490,29 @@ class SimulationServer:
         def record(job: SimulationJob) -> str:
             self._jobs[job.job_id] = job
             self._jobs_submitted += 1
+            if idempotency_key is not None:
+                self._job_keys[idempotency_key] = job.job_id
+                while len(self._job_keys) > _MAX_TRACKED:
+                    self._job_keys.popitem(last=False)
             return job.job_id
 
-        job_id = self._admit(
+        def existing() -> Optional[str]:
+            if idempotency_key is None:
+                return None
+            return self._job_keys.get(idempotency_key)
+
+        job_id, replayed = self._admit(
             lambda: self._manager.submit(
                 request, backend=backend, workers=workers, cache=cache,
                 plan=plan,
             ),
             record,
+            existing=existing,
         )
         status = self.job_status(job_id)
-        if plan is not None:
+        if replayed:
+            status["idempotent_replay"] = True
+        elif plan is not None:
             status["plan"] = wire.plan_to_wire(plan)
         return status
 
@@ -484,17 +541,21 @@ class SimulationServer:
         record = find_job_record(job_id)
         if record is None:
             raise _HTTPFailure(404, f"unknown job {job_id!r}")
+        # effective_state: a record claiming pending/running whose
+        # writing process is dead reports failed-recoverable instead of
+        # posing as live forever.
+        state = effective_state(record)
         return {
             "wire": WIRE_VERSION,
             "job_id": job_id,
-            "state": record.get("state"),
+            "state": state,
             "backend": record.get("backend"),
             "algorithm": record.get("algorithm"),
             "n_trials": record.get("n_trials"),
             # Same shape as the live branch's progress_to_wire payload
             # — a client reading one key must not break on eviction.
             "progress": {
-                "state": record.get("state"),
+                "state": state,
                 "total_shards": record.get("total_shards"),
                 "done_shards": record.get("done_shards"),
                 "total_trials": record.get("n_trials"),
@@ -520,7 +581,7 @@ class SimulationServer:
         for record in read_job_records():
             entries[record["job_id"]] = {
                 "job_id": record["job_id"],
-                "state": record.get("state"),
+                "state": effective_state(record),
                 "algorithm": record.get("algorithm"),
                 "backend": record.get("backend"),
                 "n_trials": record.get("n_trials"),
@@ -597,7 +658,11 @@ class SimulationServer:
         }
 
     def submit_sweep(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
-        """Compile and submit a sweep onto the :class:`SweepJob` path."""
+        """Compile and submit a sweep onto the :class:`SweepJob` path.
+
+        Honors ``idempotency_key`` exactly like :meth:`submit_job`.
+        """
+        idempotency_key = self._idempotency_key(payload)
         template = wire.request_from_wire(payload.get("template"))
         grid = payload.get("grid")
         if not isinstance(grid, list) or not all(
@@ -637,15 +702,28 @@ class SimulationServer:
             sweep_id = f"sweep-{self._sweep_counter:06d}"
             self._sweeps[sweep_id] = handle
             self._sweeps_submitted += 1
+            if idempotency_key is not None:
+                self._sweep_keys[idempotency_key] = sweep_id
+                while len(self._sweep_keys) > _MAX_TRACKED:
+                    self._sweep_keys.popitem(last=False)
             return sweep_id
+
+        def existing() -> Optional[str]:
+            if idempotency_key is None:
+                return None
+            return self._sweep_keys.get(idempotency_key)
 
         # Sweep.submit() compiles the grid synchronously (applying
         # every factory), so a bad override 400s the submission here
         # rather than failing the background driver.
-        sweep_id = self._admit(
-            lambda: sweep.submit(manager=self._manager), record
+        sweep_id, replayed = self._admit(
+            lambda: sweep.submit(manager=self._manager), record,
+            existing=existing,
         )
-        return self.sweep_status(sweep_id)
+        status = self.sweep_status(sweep_id)
+        if replayed:
+            status["idempotent_replay"] = True
+        return status
 
     def _sweep_rows(self, handle: SweepJob) -> List[Dict[str, Any]]:
         return [
@@ -1019,9 +1097,33 @@ class _Handler(BaseHTTPRequestHandler):
         # connection closes with it.
         self.close_connection = True
 
+    def _last_event_id(self) -> int:
+        """The ``Last-Event-ID`` header, or ``-1`` (send everything).
+
+        A reconnecting SSE consumer sends the id of the last event it
+        processed; since job streams replay deterministically from the
+        start (``iter_results`` re-yields every emitted shard in
+        landing order, with stable sequence ids), skipping events with
+        ``id <= Last-Event-ID`` resumes the stream exactly where the
+        dropped connection left it — no duplicates, no gaps.
+        """
+        value = self.headers.get("Last-Event-ID")
+        if value is None:
+            return -1
+        try:
+            return int(value)
+        except ValueError:
+            return -1
+
     def _send_event(
         self, event_id: int, event: str, data: Mapping[str, Any]
     ) -> None:
+        if event_id <= self._resume_after:
+            return  # already delivered on a previous connection
+        # The chaos seam: a "reset" rule here severs the stream
+        # mid-flight (before the event is written), exactly like a
+        # dropped socket — what the Last-Event-ID resume tests exercise.
+        maybe_inject("server.sse", event_index=event_id, kind=event)
         chunk = (
             f"id: {event_id}\n"
             f"event: {event}\n"
@@ -1035,6 +1137,7 @@ class _Handler(BaseHTTPRequestHandler):
         job = self.app.get_job(job_id)
         if job is None:
             raise _HTTPFailure(404, f"unknown or no longer live job {job_id!r}")
+        self._resume_after = self._last_event_id()
         self._start_event_stream()
         sequence = 0
         try:
@@ -1051,6 +1154,11 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_event(
                     sequence, "done", wire.progress_to_wire(job.progress())
                 )
+            except (BrokenPipeError, ConnectionResetError):
+                # Transport failure while *writing*, not the job's own
+                # error — fall through to the outer handler so a
+                # dropped consumer is never reported as a failed job.
+                raise
             except JobCancelledError as error:
                 sequence += 1
                 self._send_event(sequence, "cancelled", {"error": str(error)})
@@ -1065,6 +1173,7 @@ class _Handler(BaseHTTPRequestHandler):
         handle = self.app.get_sweep(sweep_id)
         if handle is None:
             raise _HTTPFailure(404, f"unknown sweep {sweep_id!r}")
+        self._resume_after = self._last_event_id()
         self._start_event_stream()
         sequence = 0
         try:
@@ -1076,6 +1185,8 @@ class _Handler(BaseHTTPRequestHandler):
                     )
                 sequence += 1
                 self._send_event(sequence, "done", {"state": "done"})
+            except (BrokenPipeError, ConnectionResetError):
+                raise  # transport failure, not the sweep's own error
             except JobCancelledError as error:
                 sequence += 1
                 self._send_event(sequence, "cancelled", {"error": str(error)})

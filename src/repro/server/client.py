@@ -19,20 +19,27 @@ pin down over a real socket.
 Transient failures are retried with exponential backoff: a ``429 Too
 Many Requests`` honors the server's ``Retry-After`` header (the
 concurrency-limit path), and connection errors (server still booting,
-blip) back off geometrically up to ``max_attempts``.
+blip) back off geometrically up to ``max_attempts``.  Submissions
+carry client-generated idempotency keys, so even POSTs retry safely —
+a resubmission after a dropped connection replays the already-admitted
+job instead of duplicating it — and SSE consumers resume dropped
+streams with ``Last-Event-ID`` instead of raising.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
 import urllib.request
+import uuid
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.errors import InvalidParameterError, JobCancelledError, ReproError
 from repro.obs.metrics import get_registry
 from repro.obs.trace import current_context, span, traceparent_header
+from repro.resilience.faults import maybe_inject
 from repro.sim.backends.base import SimulationRequest, SimulationResult
 from repro.sim.backends.registry import AUTO
 from repro.sim.jobs import JobState, ShardResult
@@ -55,6 +62,18 @@ _RETRY_AFTER_SECONDS = _REGISTRY.gauge(
     "repro_client_last_retry_after_seconds",
     "Most recent Retry-After the server sent on a 429 rejection.",
 )
+# Shared with the job layer's shard retries (same metric, different
+# layer label) — one counter tells the whole resilience-retry story.
+_LAYER_RETRIES = _REGISTRY.counter(
+    "repro_retries_total",
+    "Retries performed by the resilience machinery, by layer "
+    "(shard: pool shard re-execution; client: HTTP re-request).",
+    ["layer"],
+)
+
+#: SSE events that end a job/sweep stream; a stream that stops without
+#: one of these was dropped mid-flight and is resumed via Last-Event-ID.
+_TERMINAL_EVENTS = frozenset({"done", "failed", "cancelled"})
 
 
 class RemoteServerError(ReproError):
@@ -131,10 +150,11 @@ class RemoteClient:
         self._backoff = backoff_seconds
         self._backoff_cap = backoff_cap
         self._sleep = sleep
-        #: Diagnostics: how many 429 rejections / connection errors this
-        #: client has absorbed by backing off.
+        #: Diagnostics: how many 429 rejections / connection errors /
+        #: dropped SSE streams this client has absorbed by backing off.
         self.retries_429 = 0
         self.retries_connect = 0
+        self.retries_stream = 0
 
     # -- transport -------------------------------------------------------
 
@@ -146,6 +166,8 @@ class RemoteClient:
         stream: bool = False,
         retry: bool = True,
         timeout: Optional[float] = None,
+        idempotent: bool = False,
+        extra_headers: Optional[Mapping[str, str]] = None,
     ):
         """One HTTP exchange with backoff; returns the open response.
 
@@ -157,16 +179,22 @@ class RemoteClient:
 
         Retry policy: a 429 is always safe to retry (the server
         rejected before admitting).  Connection errors are retried for
-        idempotent methods only — a POST whose connection dropped may
-        already have been admitted server-side, and resubmitting would
-        duplicate the job.
+        idempotent methods — GET/DELETE always, and POSTs only when
+        ``idempotent=True``, i.e. the payload carries an
+        ``idempotency_key`` the server dedups on, so a resubmission of
+        a POST whose connection dropped after admission replays the
+        original unit instead of duplicating it.
         """
         url = f"{self.base_url}{path}"
         body = None if payload is None else json.dumps(payload).encode("utf-8")
         attempts = self._max_attempts if retry else 1
-        retry_connect = retry and method in ("GET", "DELETE")
+        retry_connect = retry and (
+            idempotent or method in ("GET", "DELETE")
+        )
         last_error: Optional[BaseException] = None
         headers = {"Content-Type": "application/json"}
+        for name, value in (extra_headers or {}).items():
+            headers[name] = value
         # Propagate the ambient span (if any) as a W3C traceparent so
         # the server parents its request/job spans under ours and the
         # stitched trace crosses the process boundary.
@@ -180,6 +208,12 @@ class RemoteClient:
                 headers=dict(headers),
             )
             try:
+                # The chaos seam: a "reset" rule here simulates the
+                # connection dropping before (or while) the request is
+                # on the wire — the case idempotency keys make safe.
+                maybe_inject(
+                    "client.http", method=method, path=path, attempt=attempt
+                )
                 return urllib.request.urlopen(
                     request,
                     timeout=None if stream else (timeout or self._timeout),
@@ -207,11 +241,12 @@ class RemoteClient:
                     f"{method} {path} -> {error.code}: {detail}",
                     status=error.code,
                 ) from None
-            except urllib.error.URLError as error:
+            except (urllib.error.URLError, ConnectionResetError) as error:
                 last_error = error
                 if retry_connect and attempt + 1 < attempts:
                     self.retries_connect += 1
                     _RETRIES_TOTAL.inc(kind="connect")
+                    _LAYER_RETRIES.inc(layer="client")
                     self._sleep(
                         min(self._backoff * 2**attempt, self._backoff_cap)
                     )
@@ -244,15 +279,62 @@ class RemoteClient:
         payload: Optional[Mapping[str, Any]] = None,
         retry: bool = True,
         timeout: Optional[float] = None,
+        idempotent: bool = False,
     ) -> Tuple[int, Dict[str, Any]]:
         """JSON request -> (status, decoded body)."""
         response = self._open(
-            method, path, payload=payload, retry=retry, timeout=timeout
+            method, path, payload=payload, retry=retry, timeout=timeout,
+            idempotent=idempotent,
         )
         with response:
             status = response.status
             body = json.loads(response.read() or b"{}")
         return status, body
+
+    def _stream_events(
+        self, path: str
+    ) -> Iterator[Tuple[str, Dict[str, Any], Optional[str]]]:
+        """SSE events from ``path``, resuming across dropped streams.
+
+        Tracks the last delivered event id; when the stream stops
+        before a terminal event (severed socket, server blip), the
+        client reconnects with the standard ``Last-Event-ID`` header
+        and the server skips everything already delivered — the
+        consumer sees one seamless, duplicate-free sequence.  Resumes
+        are bounded by ``max_attempts``; a stream that keeps dying
+        raises :class:`RemoteServerError` so truncated results are
+        never mistaken for success.
+        """
+        last_id: Optional[str] = None
+        resumes = 0
+        while True:
+            headers = {} if last_id is None else {"Last-Event-ID": last_id}
+            response = self._open(
+                "GET", path, stream=True, extra_headers=headers
+            )
+            try:
+                with response:
+                    for event, data, event_id in _iter_sse(response):
+                        if event_id is not None:
+                            last_id = event_id
+                        yield event, data, event_id
+                        if event in _TERMINAL_EVENTS:
+                            return
+            except (http.client.HTTPException, OSError):
+                pass  # dropped mid-stream; fall through to resume
+            resumes += 1
+            if resumes >= self._max_attempts:
+                raise RemoteServerError(
+                    f"event stream {path} ended before a terminal event "
+                    f"after {resumes} resume attempt(s); results may be "
+                    f"incomplete"
+                )
+            self.retries_stream += 1
+            _RETRIES_TOTAL.inc(kind="sse_resume")
+            _LAYER_RETRIES.inc(layer="client")
+            self._sleep(
+                min(self._backoff * 2 ** (resumes - 1), self._backoff_cap)
+            )
 
     # -- the facade mirror -----------------------------------------------
 
@@ -303,6 +385,11 @@ class RemoteClient:
         cost-model selector (:func:`repro.sim.selector.plan_request`);
         the chosen plan comes back in the submission payload
         (``job.submitted["plan"]``).
+
+        Every submission carries a fresh idempotency key, so a POST
+        whose connection dropped is retried safely: if the first
+        attempt was admitted server-side, the retry replays that job
+        instead of duplicating it.
         """
         payload = {
             "wire": WIRE_VERSION,
@@ -310,6 +397,7 @@ class RemoteClient:
             "backend": backend,
             "workers": workers,
             "cache": cache,
+            "idempotency_key": uuid.uuid4().hex,
         }
         if plan:
             payload["plan"] = True
@@ -321,7 +409,9 @@ class RemoteClient:
             algorithm=request.algorithm.name,
             n_trials=request.n_trials,
         ) as sp:
-            _, body = self._call("POST", "/v1/jobs", payload=payload)
+            _, body = self._call(
+                "POST", "/v1/jobs", payload=payload, idempotent=True
+            )
             if sp is not None:
                 sp.set_attribute("job_id", body["job_id"])
         return RemoteJob(self, body["job_id"], submitted=body)
@@ -351,7 +441,9 @@ class RemoteClient:
                 "backend": backend,
                 "workers": workers,
                 "cache": cache,
+                "idempotency_key": uuid.uuid4().hex,
             },
+            idempotent=True,
         )
         return RemoteSweep(self, body["sweep_id"])
 
@@ -418,13 +510,14 @@ class RemoteJob:
 
         Events: one initial ``progress``, one ``shard`` per completed
         trial shard, then a terminal ``done``/``failed``/``cancelled``.
+        A dropped stream resumes transparently via ``Last-Event-ID``
+        (bounded by the client's ``max_attempts``), so consumers see
+        one seamless sequence across reconnects.
         """
-        response = self._client._open(
-            "GET", f"/v1/jobs/{self.job_id}/events", stream=True
-        )
-        with response:
-            for event, data, _ in _iter_sse(response):
-                yield event, data
+        for event, data, _ in self._client._stream_events(
+            f"/v1/jobs/{self.job_id}/events"
+        ):
+            yield event, data
 
     def iter_results(self) -> Iterator[ShardResult]:
         """Stream :class:`ShardResult` values as shards complete.
@@ -516,26 +609,28 @@ class RemoteSweep:
         return self._client._call("GET", f"/v1/sweeps/{self.sweep_id}")[1]
 
     def iter_rows(self) -> Iterator[Tuple[int, Dict[str, Any]]]:
-        """Stream ``(point_index, row)`` as grid points complete."""
-        response = self._client._open(
-            "GET", f"/v1/sweeps/{self.sweep_id}/events", stream=True
-        )
+        """Stream ``(point_index, row)`` as grid points complete.
+
+        Dropped streams resume via ``Last-Event-ID`` like the job
+        event stream.
+        """
         terminal = False
-        with response:
-            for event, data, _ in _iter_sse(response):
-                if event == "row":
-                    yield data["point_index"], data
-                elif event == "done":
-                    terminal = True
-                elif event == "cancelled":
-                    raise JobCancelledError(
-                        data.get("error")
-                        or f"sweep {self.sweep_id} was cancelled"
-                    )
-                elif event == "failed":
-                    raise RemoteServerError(
-                        f"sweep {self.sweep_id} failed: {data.get('error')}"
-                    )
+        for event, data, _ in self._client._stream_events(
+            f"/v1/sweeps/{self.sweep_id}/events"
+        ):
+            if event == "row":
+                yield data["point_index"], data
+            elif event == "done":
+                terminal = True
+            elif event == "cancelled":
+                raise JobCancelledError(
+                    data.get("error")
+                    or f"sweep {self.sweep_id} was cancelled"
+                )
+            elif event == "failed":
+                raise RemoteServerError(
+                    f"sweep {self.sweep_id} failed: {data.get('error')}"
+                )
         if not terminal:
             raise RemoteServerError(
                 f"event stream for sweep {self.sweep_id} ended before a "

@@ -11,10 +11,13 @@ seed stream (``seed``/``seed_keys``), which is what makes remote
 execution reproduce local execution bit for bit on the per-trial
 backends.
 
-All request and outcome fields are integers (or ``None``), so JSON
-represents them exactly — there is no float rounding anywhere in the
-schema.  Numpy integer scalars that backends may leave in outcomes are
-normalized to Python ints on encode.
+All request and outcome fields that feed the seed stream or the cache
+fingerprint are integers (or ``None``), so JSON represents them exactly
+— there is no float rounding anywhere that could perturb
+reproducibility.  The one float in the schema, ``deadline_seconds``, is
+an execution detail excluded from the fingerprint.  Numpy integer
+scalars that backends may leave in outcomes are normalized to Python
+ints on encode.
 
 Decoding is strict: a payload with the wrong wire version, a missing
 field, or a value outside the request's validated domain raises
@@ -58,6 +61,14 @@ def req_int(value: Any, field: str) -> int:
     if result is None:
         raise WireError(f"{field} is required")
     return result
+
+
+def opt_float(value: Any, field: str) -> Optional[float]:
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise WireError(f"{field} must be a number or null, got {value!r}")
+    return float(value)
 
 
 def point(value: Any, field: str) -> Tuple[int, int]:
@@ -133,6 +144,11 @@ def request_to_wire(request: SimulationRequest) -> Dict[str, Any]:
             if request.distance_bound is None
             else int(request.distance_bound)
         ),
+        "deadline_seconds": (
+            None
+            if request.deadline_seconds is None
+            else float(request.deadline_seconds)
+        ),
     }
 
 
@@ -163,6 +179,9 @@ def request_from_wire(payload: Any) -> SimulationRequest:
             ),
             distance_bound=opt_int(
                 payload.get("distance_bound"), "distance_bound"
+            ),
+            deadline_seconds=opt_float(
+                payload.get("deadline_seconds"), "deadline_seconds"
             ),
         )
     except ReproError:

@@ -33,8 +33,9 @@ of splitting trials across pool workers.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
+from repro.resilience.faults import maybe_inject
 from repro.sim.backends.base import SimulationBackend, SimulationRequest
 from repro.sim.backends.batched import KernelBackendMixin
 from repro.sim.kernels.xp import (
@@ -42,6 +43,7 @@ from repro.sim.kernels.xp import (
     accelerator_unavailable_reason,
     resolve_accelerator,
 )
+from repro.sim.metrics import SearchOutcome
 
 
 class AcceleratorBackend(KernelBackendMixin, SimulationBackend):
@@ -51,6 +53,19 @@ class AcceleratorBackend(KernelBackendMixin, SimulationBackend):
 
     def namespace(self) -> Optional[ArrayNamespace]:
         return resolve_accelerator()
+
+    def run(
+        self,
+        request: SimulationRequest,
+        trial_indices: Optional[Sequence[int]] = None,
+    ) -> Tuple[SearchOutcome, ...]:
+        # The device is probed on every execution — the seam where the
+        # chaos harness simulates a device disappearing mid-job (a real
+        # loss would surface from the array library at the same point).
+        # A DeviceLostError here triggers the job layer's degradation
+        # ladder onto the next supporting backend.
+        maybe_inject("accelerator.probe")
+        return super().run(request, trial_indices=trial_indices)
 
     def support_reason(self, request: SimulationRequest) -> Optional[str]:
         if self.namespace() is None:

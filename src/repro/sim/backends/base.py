@@ -190,6 +190,12 @@ class SimulationRequest:
     distance_bound:
         The world's ``D``; defaults to the spec's distance or the
         target's max-norm, whichever is larger.
+    deadline_seconds:
+        Optional wall-clock budget for the whole job, measured from
+        submission.  An *execution* detail like ``workers`` — it never
+        enters the request fingerprint, so deadlined and undeadlined
+        runs of the same request share cache entries, and a run that
+        died on its deadline resumes from its completed shards.
     """
 
     algorithm: AlgorithmSpec
@@ -201,6 +207,7 @@ class SimulationRequest:
     seed: int = 0
     seed_keys: Tuple[int, ...] = ()
     distance_bound: Optional[int] = None
+    deadline_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.n_agents < 1:
@@ -213,6 +220,10 @@ class SimulationRequest:
             raise InvalidParameterError(f"n_trials must be >= 1, got {self.n_trials}")
         if self.seed < 0:
             raise InvalidParameterError(f"seed must be non-negative, got {self.seed}")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise InvalidParameterError(
+                f"deadline_seconds must be > 0, got {self.deadline_seconds}"
+            )
         if self.algorithm.name not in KNOWN_ALGORITHMS:
             raise InvalidParameterError(
                 f"unknown algorithm {self.algorithm.name!r}; "

@@ -31,6 +31,15 @@ Disk failures (read-only home, concurrent writers, corrupt files) are
 never fatal — the disk layer degrades to memory-only and records the
 reason in :meth:`SimulationCache.info`.
 
+Since PR 10 every disk entry is **checksummed**: the on-disk container
+is a one-line header carrying the SHA-256 of the pickled payload,
+verified on every read.  A truncated, bit-flipped, or otherwise
+unreadable entry is detected, moved into a ``quarantine/`` subdirectory
+(never served, preserved for inspection), and the lookup reports a
+miss — the caller transparently re-simulates and the next store
+replaces the entry.  :meth:`SimulationCache.verify` scans the whole
+store against the checksums (``repro-ants cache verify [--repair]``).
+
 Two extensions serve the job layer (:mod:`repro.sim.jobs`):
 
 * **shard entries** — a contiguous trial range of a request can be
@@ -58,9 +67,10 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
-from repro.errors import InvalidParameterError
+from repro.errors import InvalidParameterError, TransientFaultError
 from repro.obs.metrics import get_registry
 from repro.obs.trace import child_span
+from repro.resilience.faults import maybe_inject
 from repro.sim.backends.base import SimulationRequest
 from repro.sim.metrics import SearchOutcome
 
@@ -77,6 +87,10 @@ _LOOKUPS_TOTAL = _REGISTRY.counter(
 _STORES_TOTAL = _REGISTRY.counter(
     "repro_cache_stores_total", "Cache stores by level.", ["level"]
 )
+_QUARANTINED_TOTAL = _REGISTRY.counter(
+    "repro_cache_quarantined_total",
+    "Disk entries that failed integrity checks and were quarantined.",
+)
 
 #: Version tag of the simulator code baked into every cache key.  Bump
 #: whenever any backend's sampling scheme changes, so stale entries
@@ -84,9 +98,55 @@ _STORES_TOTAL = _REGISTRY.counter(
 CODE_VERSION = "sim-v4"  # blocked kernels: fused draw order moved again
 
 #: Disk payload layout version (independent of the simulator version).
-_FORMAT_VERSION = 1
+#: v2 wraps the pickled payload in a checksummed container (below).
+_FORMAT_VERSION = 2
+
+#: On-disk container header.  The full layout is one ASCII header line
+#: ``repro-ants-cache v2 sha256=<64 hex>\n`` followed by the pickled
+#: payload the digest covers.  Anything that does not parse — legacy
+#: v1 raw pickles included — is treated as corrupt and quarantined.
+_MAGIC = b"repro-ants-cache v2 sha256="
+_DIGEST_LEN = 64  # hex chars of sha256
+
+#: Subdirectory (under the cache root) holding quarantined entries.
+#: Outside every ``*.pkl`` glob, so quarantined files are invisible to
+#: lookups, pruning, and ``cache clear`` — preserved for inspection.
+QUARANTINE_DIR = "quarantine"
 
 _DEFAULT_MAX_MEMORY_ENTRIES = 256
+
+
+def _encode_entry(payload: dict) -> bytes:
+    """Serialize a payload into the checksummed v2 container."""
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(body).hexdigest().encode("ascii")
+    return _MAGIC + digest + b"\n" + body
+
+
+def _decode_entry(data: bytes) -> Optional[dict]:
+    """Parse and integrity-check a v2 container; ``None`` if damaged.
+
+    ``None`` covers every way an entry can be bad — missing or mangled
+    header, digest mismatch (bit flips, truncation), or an unpicklable
+    body — so callers have exactly one corrupt path.
+    """
+    header_len = len(_MAGIC) + _DIGEST_LEN + 1
+    if len(data) < header_len or not data.startswith(_MAGIC):
+        return None
+    digest = data[len(_MAGIC):header_len - 1]
+    if data[header_len - 1:header_len] != b"\n":
+        return None
+    body = data[header_len:]
+    if hashlib.sha256(body).hexdigest().encode("ascii") != digest:
+        return None
+    try:
+        payload = pickle.loads(body)
+    except Exception:
+        # A matching digest with an unpicklable body means the file was
+        # *written* damaged (e.g. an injected pre-checksum corruption);
+        # still one corrupt path.
+        return None
+    return payload if isinstance(payload, dict) else None
 
 
 def default_cache_dir() -> Path:
@@ -163,6 +223,24 @@ class PruneResult:
 
 
 @dataclass(frozen=True)
+class CacheVerifyResult:
+    """Outcome of one integrity scan (``repro-ants cache verify``)."""
+
+    scanned: int
+    ok: int
+    corrupt: Tuple[str, ...]  # file names that failed the checksum
+    quarantined: int  # of those, how many were moved (``--repair``)
+
+    def to_payload(self) -> dict:
+        return {
+            "scanned": self.scanned,
+            "ok": self.ok,
+            "corrupt": list(self.corrupt),
+            "quarantined": self.quarantined,
+        }
+
+
+@dataclass(frozen=True)
 class CacheInfo:
     """A snapshot of one cache's configuration and counters."""
 
@@ -185,6 +263,9 @@ class CacheInfo:
     hits_shard: int = 0
     misses_shard: int = 0
     stores_shard: int = 0
+    # Disk entries this instance failed to integrity-check and moved
+    # into the quarantine subdirectory (lookup-time detections).
+    quarantined: int = 0
 
     @property
     def hit_ratio(self) -> Optional[float]:
@@ -222,6 +303,7 @@ class CacheInfo:
             "hits_shard": self.hits_shard,
             "misses_shard": self.misses_shard,
             "stores_shard": self.stores_shard,
+            "quarantined": self.quarantined,
             "hit_ratio": self.hit_ratio,
             "hit_ratio_shard": self.hit_ratio_shard,
         }
@@ -247,6 +329,7 @@ class CacheInfo:
             f"{ratio(self.hit_ratio_shard)} shard",
             f"shard level  : {self.hits_shard} hits, {self.misses_shard} "
             f"misses, {self.stores_shard} stores",
+            f"quarantined  : {self.quarantined} entries",
         )
 
 
@@ -283,6 +366,7 @@ class SimulationCache:
         self._hits_shard = 0
         self._misses_shard = 0
         self._stores_shard = 0
+        self._quarantined = 0
 
     @property
     def directory(self) -> Path:
@@ -450,6 +534,41 @@ class SimulationCache:
             remaining_bytes=total,
         )
 
+    def verify(self, repair: bool = False) -> CacheVerifyResult:
+        """Scan every disk entry against its embedded checksum.
+
+        Reports entries whose container fails to parse or whose digest
+        does not match the body — bit flips, truncation, and legacy
+        pre-checksum files all count.  With ``repair=True`` each bad
+        entry is quarantined immediately (the same move a lookup would
+        perform on first touch); without it the scan only reports.
+        """
+        corrupt: List[str] = []
+        scanned = 0
+        ok = 0
+        quarantined = 0
+        if self._directory.is_dir():
+            for path in sorted(self._directory.glob("*.pkl")):
+                scanned += 1
+                try:
+                    data = path.read_bytes()
+                except OSError:
+                    corrupt.append(path.name)
+                    continue
+                if _decode_entry(data) is None:
+                    corrupt.append(path.name)
+                    if repair:
+                        self._quarantine(path)
+                        quarantined += 1
+                else:
+                    ok += 1
+        return CacheVerifyResult(
+            scanned=scanned,
+            ok=ok,
+            corrupt=tuple(corrupt),
+            quarantined=quarantined,
+        )
+
     def info(self) -> CacheInfo:
         """Configuration + hit/miss counters + disk usage."""
         disk_files = 0
@@ -478,6 +597,7 @@ class SimulationCache:
                 hits_shard=self._hits_shard,
                 misses_shard=self._misses_shard,
                 stores_shard=self._stores_shard,
+                quarantined=self._quarantined,
             )
 
     def _remember(self, key: str, outcomes: Tuple[SearchOutcome, ...]) -> None:
@@ -488,6 +608,29 @@ class SimulationCache:
 
     def _path_for(self, key: str) -> Path:
         return self._directory / f"{key}.pkl"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a failed entry out of the served store, best-effort.
+
+        Quarantined files keep their name under ``quarantine/`` so a
+        damaged entry can be diffed against its eventual replacement.
+        Deleting is never done — the byte pattern of a corruption is
+        exactly the evidence a post-mortem needs.
+        """
+        try:
+            target_dir = path.parent / QUARANTINE_DIR
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target_dir / path.name)
+        except OSError:
+            # Fall back to unlinking so the bad entry is at least
+            # never served again.
+            try:
+                path.unlink()
+            except OSError:
+                return
+        with self._lock:
+            self._quarantined += 1
+        _QUARANTINED_TOTAL.inc()
 
     def _read_disk(
         self,
@@ -500,18 +643,24 @@ class SimulationCache:
             return None
         path = self._path_for(key)
         try:
-            with path.open("rb") as handle:
-                payload = pickle.load(handle)
+            maybe_inject(
+                "cache.disk_read",
+                level="entry" if shard is None else "shard",
+            )
+            data = path.read_bytes()
         except FileNotFoundError:
             return None
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-            # Corrupt or unreadable entry: drop it and resimulate.
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        except TransientFaultError:
+            # An injected read blip is not corruption: report a miss
+            # (re-simulation covers it) but leave the entry alone.
             return None
-        if not isinstance(payload, dict):
+        except OSError:
+            return None
+        payload = _decode_entry(data)
+        if payload is None:
+            # Failed the checksum (or predates it): quarantine and
+            # report a miss so the caller transparently re-simulates.
+            self._quarantine(path)
             return None
         if payload.get("format") != _FORMAT_VERSION:
             return None
@@ -552,6 +701,20 @@ class SimulationCache:
             "shard": None if shard is None else list(shard),
             "outcomes": outcomes,
         }
+        data = _encode_entry(payload)
+        fault = maybe_inject(
+            "cache.disk_write",
+            level="entry" if shard is None else "shard",
+        )
+        if fault is not None:
+            # Simulate a torn or bit-flipped write landing on disk: the
+            # published file fails its own checksum, so the next read
+            # detects and quarantines it.
+            if fault.kind == "truncate":
+                data = data[: max(1, len(data) // 2)]
+            elif fault.kind == "corrupt":
+                middle = len(data) // 2
+                data = data[:middle] + bytes([data[middle] ^ 0xFF]) + data[middle + 1:]
         try:
             self._directory.mkdir(parents=True, exist_ok=True)
             # Atomic publish: a concurrent reader sees the old file or
@@ -561,7 +724,7 @@ class SimulationCache:
             )
             try:
                 with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                    handle.write(data)
                 os.replace(temp_name, self._path_for(key))
             except BaseException:
                 try:

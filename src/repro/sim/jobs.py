@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import atexit
 import contextlib
+import hashlib
 import json
 import math
 import os
@@ -51,14 +52,22 @@ import threading
 import time
 import uuid
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from enum import Enum
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.errors import InvalidParameterError, JobCancelledError
+from repro.errors import (
+    DeadlineExceededError,
+    DeviceLostError,
+    InvalidParameterError,
+    JobCancelledError,
+    TransientFaultError,
+)
 from repro.obs.metrics import get_registry
-from repro.obs.trace import SpanContext, child_span, current_context, span
+from repro.obs.trace import SpanContext, child_span, current_context, current_span, span
+from repro.resilience.faults import maybe_inject
 from repro.sim.backends.base import (
     SimulationBackend,
     SimulationRequest,
@@ -67,7 +76,12 @@ from repro.sim.backends.base import (
 from repro.sim.backends.registry import AUTO, resolve_backend
 from repro.sim.cache import cache_enabled, get_cache
 from repro.sim.metrics import SearchOutcome
-from repro.sim.selector import SimulationPlan, observe_timing, plan_request
+from repro.sim.selector import (
+    SimulationPlan,
+    observe_timing,
+    plan_fallback,
+    plan_request,
+)
 from repro.sim.stats import mean_ci, normal_quantile
 
 _RUNS_LOCK = threading.Lock()
@@ -108,6 +122,18 @@ _COMPUTE_SECONDS = _REGISTRY.counter(
     "colonies_total / this).",
     ["family", "backend"],
 )
+_RETRIES_TOTAL = _REGISTRY.counter(
+    "repro_retries_total",
+    "Retries performed by the resilience machinery, by layer "
+    "(shard: pool shard re-execution; client: HTTP re-request).",
+    ["layer"],
+)
+_DEGRADATIONS_TOTAL = _REGISTRY.counter(
+    "repro_degradations_total",
+    "Jobs degraded to a fallback backend after a mid-run backend "
+    "failure, by failed and fallback backend.",
+    ["from_backend", "to_backend"],
+)
 
 
 def _count_execution(
@@ -122,6 +148,50 @@ def _count_execution(
 #: How often a driver waiting on pool shards re-checks for cancellation
 #: (in-process event or cross-process marker file).
 _CANCEL_POLL_SECONDS = 0.1
+
+#: Shard retry policy.  Retries are safe because shard outcomes are a
+#: pure function of ``(request, backend, trial range)`` — a second
+#: attempt is bit-identical to what the first would have produced.
+_MAX_SHARD_ATTEMPTS = 3
+_RETRY_BASE_SECONDS = 0.05
+_RETRY_MAX_SECONDS = 2.0
+#: Job-wide retry budget floor: however many shards, a job never
+#: performs fewer than this many retries before giving up, and at most
+#: two per shard on average.
+_MIN_RETRY_BUDGET = 4
+
+#: How many times one job may fall back to another backend before a
+#: device loss becomes terminal.
+_MAX_DEGRADATIONS = 2
+
+#: Errors the shard retry machinery treats as transient.  Deliberately
+#: narrow: deterministic failures (bad parameters, backend bugs) would
+#: fail identically on every attempt, and :class:`DeviceLostError` is a
+#: degradation signal, not a retry signal.
+_RETRYABLE_ERRORS = (BrokenProcessPool, TransientFaultError, OSError)
+
+
+def _is_retryable(error: BaseException) -> bool:
+    return isinstance(error, _RETRYABLE_ERRORS) and not isinstance(
+        error, DeviceLostError
+    )
+
+
+def _retry_delay(job_id: str, shard_index: int, attempt: int) -> float:
+    """Exponential backoff with deterministic jitter.
+
+    The jitter derives from ``(job_id, shard_index, attempt)`` — not
+    global RNG state — so chaos runs are exactly reproducible and
+    concurrent shards of one job still decorrelate their retries.
+    """
+    base = min(
+        _RETRY_MAX_SECONDS, _RETRY_BASE_SECONDS * (2 ** max(attempt - 1, 0))
+    )
+    digest = hashlib.sha256(
+        f"{job_id}:{shard_index}:{attempt}".encode()
+    ).digest()
+    jitter = int.from_bytes(digest[:8], "big") / float(1 << 64)
+    return base * (0.5 + 0.5 * jitter)
 
 
 def backend_run_count() -> int:
@@ -218,6 +288,7 @@ def _run_shard_task(
     trial_indices: Optional[Sequence[int]],
     trace_context: Optional[Dict[str, str]] = None,
     shard_index: Optional[int] = None,
+    attempt: int = 0,
 ) -> Tuple[Tuple[SearchOutcome, ...], float]:
     """Worker-process entry point: run one shard of a request.
 
@@ -230,6 +301,12 @@ def _run_shard_task(
     the worker opens its "shard" span under it, so pooled shards (and
     the kernel spans beneath them) stitch into the submitting trace via
     the shared JSONL sink.
+
+    ``attempt`` is the retry generation (0 = first try).  It feeds the
+    ``worker.shard`` fault seam so chaos rules can target exactly one
+    attempt of one shard (``match={"shard_index": 2, "attempt": 0}``
+    kills the first try and lets the retry through), and is stamped on
+    the shard span for trace forensics.
     """
     context: Optional[SpanContext] = None
     if trace_context is not None:
@@ -250,7 +327,15 @@ def _run_shard_task(
         if context is not None
         else contextlib.nullcontext(None)
     )
-    with opened:
+    with opened as sp:
+        if sp is not None and attempt > 0:
+            sp.set_attribute("attempt", attempt)
+        maybe_inject(
+            "worker.shard",
+            shard_index=shard_index,
+            attempt=attempt,
+            backend=backend_name,
+        )
         backend = resolve_backend(request, backend_name)
         start = time.perf_counter()
         if trial_indices is None:
@@ -323,6 +408,18 @@ class SimulationJob:
         self._cancel_event = threading.Event()
         self._submitted_at = time.time()
         self._finished_at: Optional[float] = None
+        # Request-level deadline, anchored at submission on the
+        # monotonic clock (wall-clock steps must not fire deadlines).
+        self._deadline_monotonic: Optional[float] = (
+            None
+            if request.deadline_seconds is None
+            else time.monotonic() + request.deadline_seconds
+        )
+        # Resilience bookkeeping: shard retries performed, and — when a
+        # backend failed mid-run — where the job degraded from and why.
+        self._retries = 0
+        self._degraded_from: Optional[str] = None
+        self._degradation_reason: Optional[str] = None
         # Jobs served entirely from the result cache skip the ledger —
         # no disk I/O for replays that simulated nothing.
         self._served_from_cache = False
@@ -497,6 +594,29 @@ class SimulationJob:
             self._finished_at = time.time()
             self._condition.notify_all()
 
+    def _reset_for_degradation(
+        self, backend_name: str, cache_backend: str, reason: str
+    ) -> None:
+        """Restart the job's result state under a fallback backend.
+
+        Called by the degradation path after a mid-run backend failure:
+        every shard re-executes under the fallback so the final result
+        is wholly the fallback's stream (the failed backend's partial
+        output — possibly a different distribution — must never be
+        stitched in).  ``_emitted`` is deliberately left alone: streams
+        are append-only, so consumers may observe superseded shards
+        from before the degradation; ``result()`` assembles only from
+        the reset ``_shard_outcomes``.
+        """
+        with self._condition:
+            self._degraded_from = self.backend
+            self._degradation_reason = reason
+            self.backend = backend_name
+            self.cache_backend = cache_backend
+            self._shard_outcomes = [None for _ in self._shards]
+            self._cached_shards = 0
+            self._condition.notify_all()
+
     def _complete_from_cache(self, outcomes: Tuple[SearchOutcome, ...]) -> None:
         """Full-request cache hit: collapse to one cached shard, DONE."""
         _SHARDS_TOTAL.inc(source="cache")
@@ -595,6 +715,9 @@ def job_record(job: SimulationJob) -> dict:
         "error": (
             str(job.exception()) if job.exception() is not None else None
         ),
+        "retries": job._retries,
+        "degraded_from": job._degraded_from,
+        "degradation_reason": job._degradation_reason,
     }
 
 
@@ -673,6 +796,27 @@ def _owner_alive(record: dict) -> bool:
         return False
     except OSError:
         return True  # exists but not ours (EPERM)
+
+
+#: The state reported for a non-terminal ledger record whose owning
+#: process no longer exists: the run crashed, but every shard it
+#: finished is in the shard cache, so resubmitting the same request
+#: resumes from them (``backend_run_count`` proves zero re-simulation).
+FAILED_RECOVERABLE = "failed-recoverable"
+
+
+def effective_state(record: dict) -> str:
+    """A ledger record's state, with crashed owners made visible.
+
+    A record that claims ``pending``/``running`` but whose writing
+    process is dead can never progress — ``repro-ants jobs list`` and
+    the server's job listing report it as :data:`FAILED_RECOVERABLE`
+    instead of letting it pose as live forever.
+    """
+    state = str(record.get("state", "unknown"))
+    if state not in _TERMINAL_RECORD_STATES and not _owner_alive(record):
+        return FAILED_RECOVERABLE
+    return state
 
 
 def prune_job_records(max_records: int = _MAX_LEDGER_RECORDS) -> int:
@@ -996,78 +1140,39 @@ class JobManager:
             if sp is not None:
                 sp.set_attribute("state", state.value)
                 sp.set_attribute("cached_shards", job.progress().cached_shards)
+                if job._retries:
+                    sp.set_attribute("retries", job._retries)
                 if state is JobState.FAILED:
                     sp.set_status("error")
 
     def _drive_pipeline(
         self, job: SimulationJob, backend: SimulationBackend
     ) -> None:
-        """The canonical execution pipeline."""
+        """Degradation guard around the canonical pipeline.
+
+        A :class:`~repro.errors.DeviceLostError` escaping the pipeline
+        is a backend failure, not a job failure: the job re-plans onto
+        the next supporting backend (the selector's static ranking,
+        excluding everything that already failed) and re-executes the
+        whole pipeline under the fallback's cache identity — producing
+        results bit-identical to a run that had used the fallback from
+        the start.  Any other error, or running out of fallbacks, fails
+        the job.
+        """
+        failed_backends: List[str] = []
         try:
-            job._mark_running()
-            cache = get_cache() if job._use_cache else None
-            request = job.request
-
-            if cache is not None:
-                full = cache.lookup(request, job.cache_backend)
-                if full is not None:
-                    # Served entirely from memory/disk cache: skip the
-                    # ledger altogether — a replay that simulated
-                    # nothing is not worth disk I/O per call, and the
-                    # original run's record already exists.
-                    job._complete_from_cache(full)
+            while True:
+                try:
+                    self._execute(job, backend)
                     return
-            self._write_ledger(job)
-
-            pending: List[int] = []
-            for shard_index, indices in enumerate(job._shards):
-                hit = None
-                if cache is not None and indices is not None:
-                    hit = cache.lookup_shard(request, job.cache_backend, indices)
-                if hit is not None:
-                    job._record_shard(shard_index, hit, from_cache=True)
-                else:
-                    pending.append(shard_index)
-
-            if self._cancel_requested(job):
-                job._finish(JobState.CANCELLED)
-                return
-
-            if pending and job._pool_workers == 0:
-                # Single shard, no pool requested: run inline on this
-                # driver thread — the same in-process execution the
-                # blocking facade always had.
-                _count_backend_runs(1)
-                with child_span(
-                    "shard",
-                    shard_index=pending[0],
-                    trial_count=request.n_trials,
-                    backend=job.backend,
-                ):
-                    run_start = time.perf_counter()
-                    outcomes = backend.run(request)
-                    elapsed = time.perf_counter() - run_start
-                _count_execution(
-                    request.algorithm.name, job.backend, len(outcomes), elapsed
-                )
-                _observe_job_timing(job, len(outcomes), elapsed)
-                job._record_shard(pending[0], outcomes, from_cache=False)
-                if cache is not None:
-                    cache.store(request, job.cache_backend, outcomes)
-            elif pending:
-                cancelled = self._run_pooled(job, cache, pending)
-                if cancelled:
-                    job._finish(JobState.CANCELLED)
-                    return
-
-            if cache is not None and len(job._shards) > 1:
-                # Publish the assembled full-request entry next to the
-                # shard entries so future lookups hit in one probe.
-                outcomes = []
-                for shard_outcomes in job._shard_outcomes:
-                    outcomes.extend(shard_outcomes or ())
-                cache.store(request, job.cache_backend, tuple(outcomes))
-            job._finish(JobState.DONE)
+                except DeviceLostError as error:
+                    failed_backends.append(backend.name)
+                    if len(failed_backends) > _MAX_DEGRADATIONS:
+                        raise
+                    fallback = self._degrade(job, failed_backends, error)
+                    if fallback is None:
+                        raise
+                    backend = fallback
         except BaseException as error:  # noqa: BLE001 — surfaced via result()
             job._finish(JobState.FAILED, error)
         finally:
@@ -1077,6 +1182,164 @@ class JobManager:
                     _cancel_marker(job.job_id).unlink()
                 except OSError:
                     pass
+
+    def _degrade(
+        self,
+        job: SimulationJob,
+        failed_backends: List[str],
+        error: DeviceLostError,
+    ) -> Optional[SimulationBackend]:
+        """Re-plan a job onto a fallback backend after a device loss."""
+        plan = plan_fallback(
+            job.request, exclude=failed_backends, reason=str(error)
+        )
+        if plan is None:
+            return None
+        fallback = resolve_backend(job.request, plan.backend)
+        _DEGRADATIONS_TOTAL.inc(
+            from_backend=failed_backends[-1], to_backend=fallback.name
+        )
+        sp = current_span()
+        if sp is not None:
+            sp.set_attribute("degraded_from", failed_backends[-1])
+            sp.set_attribute("degradation_reason", str(error))
+        job._reset_for_degradation(
+            fallback.name, fallback.cache_name(), str(error)
+        )
+        self._write_ledger(job)
+        return fallback
+
+    def _check_deadline(
+        self,
+        job: SimulationJob,
+        futures: Optional[Dict[Future, int]] = None,
+    ) -> None:
+        """Raise once the job's submission-anchored deadline passes."""
+        deadline = job._deadline_monotonic
+        if deadline is None or time.monotonic() <= deadline:
+            return
+        if futures:
+            for future in futures:
+                future.cancel()
+        raise DeadlineExceededError(
+            f"job {job.job_id} exceeded its "
+            f"{job.request.deadline_seconds}s deadline; completed "
+            f"shards remain cached, resubmitting resumes from them"
+        )
+
+    def _execute(
+        self, job: SimulationJob, backend: SimulationBackend
+    ) -> None:
+        """The canonical execution pipeline (one backend generation)."""
+        job._mark_running()
+        cache = get_cache() if job._use_cache else None
+        request = job.request
+
+        if cache is not None:
+            full = cache.lookup(request, job.cache_backend)
+            if full is not None:
+                # Served entirely from memory/disk cache: skip the
+                # ledger altogether — a replay that simulated
+                # nothing is not worth disk I/O per call, and the
+                # original run's record already exists.
+                job._complete_from_cache(full)
+                return
+        self._write_ledger(job)
+
+        pending: List[int] = []
+        for shard_index, indices in enumerate(job._shards):
+            hit = None
+            if cache is not None and indices is not None:
+                hit = cache.lookup_shard(request, job.cache_backend, indices)
+            if hit is not None:
+                job._record_shard(shard_index, hit, from_cache=True)
+            else:
+                pending.append(shard_index)
+
+        if self._cancel_requested(job):
+            job._finish(JobState.CANCELLED)
+            return
+        self._check_deadline(job)
+
+        if pending and job._pool_workers == 0:
+            # Single shard, no pool requested: run inline on this
+            # driver thread — the same in-process execution the
+            # blocking facade always had.
+            outcomes, elapsed = self._run_inline(job, backend, pending[0])
+            _count_backend_runs(1)
+            _count_execution(
+                request.algorithm.name, job.backend, len(outcomes), elapsed
+            )
+            _observe_job_timing(job, len(outcomes), elapsed)
+            job._record_shard(pending[0], outcomes, from_cache=False)
+            if cache is not None:
+                cache.store(request, job.cache_backend, outcomes)
+        elif pending:
+            cancelled = self._run_pooled(job, cache, pending)
+            if cancelled:
+                job._finish(JobState.CANCELLED)
+                return
+
+        if cache is not None and len(job._shards) > 1:
+            # Publish the assembled full-request entry next to the
+            # shard entries so future lookups hit in one probe.
+            outcomes = []
+            for shard_outcomes in job._shard_outcomes:
+                outcomes.extend(shard_outcomes or ())
+            cache.store(request, job.cache_backend, tuple(outcomes))
+        job._finish(JobState.DONE)
+
+    def _run_inline(
+        self, job: SimulationJob, backend: SimulationBackend, shard_index: int
+    ) -> Tuple[Tuple[SearchOutcome, ...], float]:
+        """Run the whole request on the driver thread, with retries."""
+        request = job.request
+        attempt = 0
+        while True:
+            self._check_deadline(job)
+            try:
+                with child_span(
+                    "shard",
+                    shard_index=shard_index,
+                    trial_count=request.n_trials,
+                    backend=job.backend,
+                ) as sp:
+                    if sp is not None and attempt > 0:
+                        sp.set_attribute("attempt", attempt)
+                    maybe_inject(
+                        "backend.run",
+                        backend=job.backend,
+                        shard_index=shard_index,
+                        attempt=attempt,
+                    )
+                    run_start = time.perf_counter()
+                    outcomes = backend.run(request)
+                    return outcomes, time.perf_counter() - run_start
+            except _RETRYABLE_ERRORS as error:
+                if not _is_retryable(error):
+                    raise
+                attempt += 1
+                if attempt >= _MAX_SHARD_ATTEMPTS:
+                    raise
+                job._retries += 1
+                _RETRIES_TOTAL.inc(layer="shard")
+                time.sleep(_retry_delay(job.job_id, shard_index, attempt))
+
+    def _replace_broken_pool(
+        self, broken: ProcessPoolExecutor, job: SimulationJob
+    ) -> ProcessPoolExecutor:
+        """Discard a pool whose worker died; return a fresh one.
+
+        Safe under sharing: only the first job to observe the breakage
+        replaces the manager's pool (the identity check), everyone else
+        just picks up the replacement from :meth:`_ensure_pool`.
+        """
+        with self._lock:
+            if self._pool is broken:
+                self._pool = None
+                self._pool_size = 0
+        broken.shutdown(wait=False, cancel_futures=True)
+        return self._ensure_pool(job._pool_workers, requester=job)
 
     def _run_pooled(
         self,
@@ -1089,6 +1352,16 @@ class JobManager:
         On cancellation, not-yet-started shards are dropped but
         in-flight ones are awaited and written through to the cache —
         completed work survives for resumption.
+
+        Transient shard failures — a killed worker (the pool breaks for
+        every in-flight shard at once), an OS-level blip, an injected
+        :class:`~repro.errors.TransientFaultError` — are retried with
+        exponential backoff and deterministic jitter, at most
+        :data:`_MAX_SHARD_ATTEMPTS` per shard within a job-wide retry
+        budget.  Shards already written through to the cache are never
+        re-run: a retry re-executes only the attempt that failed, and
+        its outcomes are bit-identical to what the lost attempt would
+        have produced (shard outcomes are pure in the trial range).
         """
         pool = self._ensure_pool(job._pool_workers, requester=job)
         request = job.request
@@ -1096,18 +1369,32 @@ class JobManager:
         # pool boundary is where contextvars stop.
         context = current_context()
         trace_payload = None if context is None else context.to_payload()
+        attempts: Dict[int, int] = {index: 0 for index in pending}
+        retry_budget = max(_MIN_RETRY_BUDGET, 2 * len(pending))
         futures: Dict[Future, int] = {}
-        for shard_index in pending:
+
+        def submit_shard(shard_index: int) -> None:
+            nonlocal pool
             indices = job._shards[shard_index]
-            future = pool.submit(
-                _run_shard_task,
+            args = (
                 request,
                 job.backend,
                 None if indices is None else list(indices),
                 trace_payload,
                 shard_index,
+                attempts[shard_index],
             )
+            try:
+                future = pool.submit(_run_shard_task, *args)
+            except (BrokenProcessPool, RuntimeError):
+                # The shared pool broke under another job's feet (or
+                # was shut down behind us): rebuild once and resubmit.
+                pool = self._replace_broken_pool(pool, job)
+                future = pool.submit(_run_shard_task, *args)
             futures[future] = shard_index
+
+        for shard_index in pending:
+            submit_shard(shard_index)
         cancelled = False
         while futures:
             if not cancelled and self._cancel_requested(job):
@@ -1115,20 +1402,41 @@ class JobManager:
                 for future in list(futures):
                     if future.cancel():
                         del futures[future]
+            self._check_deadline(job, futures)
             done, _ = wait(
                 futures, timeout=_CANCEL_POLL_SECONDS,
                 return_when=FIRST_COMPLETED,
             )
+            retry_indices: List[int] = []
+            pool_broken = False
             for future in done:
                 shard_index = futures.pop(future)
                 try:
                     outcomes, elapsed = future.result()
-                except BaseException:
-                    # One shard failing fails the job; don't leave the
-                    # rest burning pool capacity.
-                    for remaining in futures:
-                        remaining.cancel()
-                    raise
+                except BaseException as error:
+                    retryable = (
+                        not cancelled
+                        and _is_retryable(error)
+                        and attempts[shard_index] + 1 < _MAX_SHARD_ATTEMPTS
+                        and job._retries < retry_budget
+                    )
+                    if not retryable:
+                        # Out of budget (or a deterministic failure):
+                        # fail the job; don't leave the rest burning
+                        # pool capacity.
+                        for remaining in futures:
+                            remaining.cancel()
+                        raise
+                    attempts[shard_index] += 1
+                    job._retries += 1
+                    _RETRIES_TOTAL.inc(layer="shard")
+                    sp = current_span()
+                    if sp is not None:
+                        sp.set_attribute("retries", job._retries)
+                    retry_indices.append(shard_index)
+                    if isinstance(error, BrokenProcessPool):
+                        pool_broken = True
+                    continue
                 _count_backend_runs(1)
                 _count_execution(
                     request.algorithm.name, job.backend, len(outcomes), elapsed
@@ -1144,6 +1452,20 @@ class JobManager:
                             request, job.cache_backend, indices, outcomes
                         )
                 self._write_ledger(job)
+            if retry_indices:
+                if pool_broken:
+                    # A worker death breaks the whole executor: every
+                    # sibling future fails with BrokenProcessPool too
+                    # (and retries through this same path); replace the
+                    # pool before resubmitting anything onto it.
+                    pool = self._replace_broken_pool(pool, job)
+                for shard_index in retry_indices:
+                    time.sleep(
+                        _retry_delay(
+                            job.job_id, shard_index, attempts[shard_index]
+                        )
+                    )
+                    submit_shard(shard_index)
         return cancelled
 
     # -- ledger ----------------------------------------------------------

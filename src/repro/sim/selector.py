@@ -688,6 +688,53 @@ def plan_request(
         return plan
 
 
+def plan_fallback(
+    request: SimulationRequest,
+    exclude: Sequence[str],
+    reason: str,
+    workers: int = 1,
+) -> Optional[SimulationPlan]:
+    """Re-plan a request after a backend failed mid-job.
+
+    The degradation path of the job layer: ``exclude`` names the
+    backends that already failed (device loss, repeated worker death),
+    and the plan falls to the best remaining supporting backend by
+    static priority — the same ranking ``auto`` resolution uses, so
+    the degraded run is bit-identical to a run that had picked the
+    fallback from the start.  The decline ``reason`` is recorded on
+    the plan span and in the plans-total metric; ``None`` when no
+    supporting backend remains.
+    """
+    excluded = set(exclude)
+    with child_span(
+        "selector.plan", family=request.algorithm.name
+    ) as sp:
+        chosen = next(
+            (
+                candidate
+                for candidate in supporting_backends(request)
+                if candidate.name not in excluded
+            ),
+            None,
+        )
+        if sp is not None:
+            sp.set_attribute("source", "degraded")
+            sp.set_attribute("declined", ",".join(sorted(excluded)))
+            sp.set_attribute("decline_reason", reason)
+            sp.set_attribute(
+                "backend", "none" if chosen is None else chosen.name
+            )
+        if chosen is None:
+            return None
+        _PLANS_TOTAL.inc(source="degraded", backend=chosen.name)
+        return SimulationPlan(
+            backend=chosen.name,
+            n_shards=1,
+            workers=max(workers, 1),
+            source="degraded",
+        )
+
+
 def _plan_request_impl(
     request: SimulationRequest,
     backend: str,

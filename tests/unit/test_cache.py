@@ -153,16 +153,33 @@ class TestDiskLayer:
         assert loaded == again.outcomes
         assert reader.info().hits_disk == 1
 
-    def test_corrupt_disk_entry_is_dropped_not_fatal(self, tmp_path):
+    def test_corrupt_disk_entry_is_quarantined_not_fatal(self, tmp_path):
         request = _request()
         cache = SimulationCache(directory=tmp_path)
         outcomes = simulate(request, backend="batched", cache=False).outcomes
         cache.store(request, "batched", outcomes)
+        (name,) = [path.name for path in tmp_path.glob("*.pkl")]
         for path in tmp_path.glob("*.pkl"):
-            path.write_bytes(b"not a pickle")
+            path.write_bytes(b"not a checksummed container")
         reader = SimulationCache(directory=tmp_path)
         assert reader.lookup(request, "batched") is None
+        # The damaged entry is moved out of the served store, not
+        # deleted: preserved under quarantine/ for inspection.
         assert list(tmp_path.glob("*.pkl")) == []
+        assert (tmp_path / "quarantine" / name).is_file()
+        assert reader.info().quarantined == 1
+
+    def test_truncated_disk_entry_fails_the_checksum(self, tmp_path):
+        request = _request()
+        cache = SimulationCache(directory=tmp_path)
+        outcomes = simulate(request, backend="batched", cache=False).outcomes
+        cache.store(request, "batched", outcomes)
+        (path,) = tmp_path.glob("*.pkl")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        reader = SimulationCache(directory=tmp_path)
+        assert reader.lookup(request, "batched") is None
+        assert reader.info().quarantined == 1
 
     def test_disk_payload_validates_fingerprint(self, tmp_path):
         """A hash collision cannot serve the wrong request's outcomes."""
@@ -172,11 +189,42 @@ class TestDiskLayer:
         cache.store(request, "batched", outcomes)
         other = _request(seed=99)
         path = cache._path_for(cache_key(request, "batched"))
-        payload = pickle.loads(path.read_bytes())
+        payload = cache_module._decode_entry(path.read_bytes())
         payload["fingerprint"] = request_fingerprint(other)
-        path.write_bytes(pickle.dumps(payload))
+        # Re-encode with a *valid* checksum so only the fingerprint
+        # validation — not the integrity layer — rejects the entry.
+        path.write_bytes(cache_module._encode_entry(payload))
         reader = SimulationCache(directory=tmp_path)
         assert reader.lookup(request, "batched") is None
+        assert reader.info().quarantined == 0
+
+    def test_verify_reports_and_repairs_corrupt_entries(self, tmp_path):
+        cache = SimulationCache(directory=tmp_path)
+        good = _request()
+        bad = _request(seed=77)
+        outcomes = simulate(good, backend="batched", cache=False).outcomes
+        cache.store(good, "batched", outcomes)
+        cache.store(bad, "batched", outcomes)
+        bad_path = cache._path_for(cache_key(bad, "batched"))
+        data = bad_path.read_bytes()
+        middle = len(data) // 2
+        bad_path.write_bytes(
+            data[:middle] + bytes([data[middle] ^ 0xFF]) + data[middle + 1:]
+        )
+        report = cache.verify()
+        assert report.scanned == 2
+        assert report.ok == 1
+        assert report.corrupt == (bad_path.name,)
+        assert report.quarantined == 0  # report-only without --repair
+        assert bad_path.is_file()
+        repaired = cache.verify(repair=True)
+        assert repaired.corrupt == (bad_path.name,)
+        assert repaired.quarantined == 1
+        assert not bad_path.is_file()
+        assert (tmp_path / "quarantine" / bad_path.name).is_file()
+        # The good entry still round-trips after the sweep.
+        reader = SimulationCache(directory=tmp_path)
+        assert reader.lookup(good, "batched") == outcomes
 
     def test_unwritable_directory_degrades_to_memory_only(self, tmp_path):
         blocked = tmp_path / "blocked"
